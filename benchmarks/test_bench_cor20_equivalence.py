@@ -1,0 +1,49 @@
+"""Corollary 20 — all reference implementations compute the same
+answers.
+
+Here: the whole corpus run on all seven machines; the artifact records
+each program's answer and step counts per machine (the step counts
+differ — I_gc takes extra return transitions — the answers never do).
+"""
+
+from conftest import once
+
+from repro.harness.report import render_table
+from repro.harness.runner import answers_agree, compare_machines
+from repro.programs.corpus import load_corpus
+
+MACHINES = ("tail", "gc", "stack", "evlis", "free", "sfs", "bigloo")
+
+
+def run_corpus():
+    outcomes = {}
+    for program in load_corpus():
+        outcomes[program.name] = compare_machines(
+            program.source, program.default_input, machines=MACHINES
+        )
+    return outcomes
+
+
+def test_bench_cor20_equivalence(benchmark, artifacts):
+    outcomes = once(benchmark, run_corpus)
+    rows = []
+    for name, results in outcomes.items():
+        answer = results["tail"].answer
+        shown = answer if len(answer) <= 24 else answer[:21] + "..."
+        rows.append(
+            [name, shown]
+            + [results[m].steps for m in MACHINES]
+        )
+    table = render_table(
+        ["program", "answer"] + [f"steps:{m}" for m in MACHINES],
+        rows,
+        title="Corollary 20: identical answers on every machine",
+    )
+    artifacts.write("cor20_equivalence.txt", table)
+    print("\n" + table)
+
+    for name, results in outcomes.items():
+        assert answers_agree(results), name
+        # I_gc inserts a return transition per call: strictly more
+        # steps than I_tail on every program.
+        assert results["gc"].steps > results["tail"].steps, name

@@ -1,0 +1,55 @@
+"""Extension — Steele's CPS account, checked against Clinger's model.
+
+The standard's citation for proper tail recursion is Steele's Rabbit
+report, which explains the property via CPS conversion.  This
+benchmark regenerates the comparison: the CPS image of the iterative
+loop stays constant-space on the properly tail recursive machine
+(Steele's account holds there), but on the improperly tail recursive
+machine the image is strictly *worse* than the original — pure CPS
+never returns, so the per-call frames of I_gc accumulate for the whole
+run.  CPS style is only viable given the space guarantee; that is the
+paper's opening argument for mandating proper tail recursion.
+"""
+
+from conftest import once
+
+from repro.compiler.cps import cps_program
+from repro.harness.report import render_series
+from repro.space.asymptotics import fit_growth, is_bounded
+from repro.space.consumption import space_consumption
+
+NS = (8, 16, 32, 64)
+LOOP = "(define (f n) (if (zero? n) 0 (f (- n 1))))"
+
+
+def run_comparison():
+    image = cps_program(LOOP)
+    series = {}
+    for machine in ("tail", "gc"):
+        series[f"{machine}/direct"] = [
+            space_consumption(machine, LOOP, str(n), fixed_precision=True)
+            for n in NS
+        ]
+        series[f"{machine}/cps"] = [
+            space_consumption(machine, image, str(n), fixed_precision=True)
+            for n in NS
+        ]
+    return series
+
+
+def test_bench_ext_cps_conversion(benchmark, artifacts):
+    series = once(benchmark, run_comparison)
+    table = render_series(
+        NS,
+        series,
+        title="CPS conversion [Ste78] vs the reference machines (iterative loop)",
+    )
+    artifacts.write("ext_cps_conversion.txt", table)
+    print("\n" + table)
+
+    assert is_bounded(series["tail/direct"])
+    assert is_bounded(series["tail/cps"])
+    assert fit_growth(NS, series["gc/direct"]).name == "O(n)"
+    assert fit_growth(NS, series["gc/cps"]).name == "O(n)"
+    # The image costs I_gc strictly more than the original at scale.
+    assert series["gc/cps"][-1] > 3 * series["gc/direct"][-1]

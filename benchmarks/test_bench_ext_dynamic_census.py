@@ -1,0 +1,34 @@
+"""Extension — dynamic tail-call census.
+
+Not a paper artifact: Figure 2 counts *static* call sites; this
+companion study counts *executed* calls over the same corpus.  The
+paper's motivation predicts the dynamic numbers should be even more
+tail-heavy than the static ones (loops execute their tail call once
+per iteration), which is exactly what we measure.
+"""
+
+from conftest import once
+
+from repro.analysis.dynamic import corpus_dynamic_census, dynamic_census_table
+from repro.analysis.frequency import corpus_frequencies, total_row
+
+
+def test_bench_ext_dynamic_census(benchmark, artifacts):
+    rows = once(benchmark, corpus_dynamic_census)
+    table = dynamic_census_table(rows)
+    artifacts.write("ext_dynamic_census.txt", table)
+    print("\n" + table)
+
+    executed = sum(r.calls for r in rows)
+    executed_tail = sum(r.tail_calls for r in rows)
+    dynamic_tail_percent = 100.0 * executed_tail / executed
+
+    static_total = total_row(corpus_frequencies())
+
+    assert executed > 10_000
+    # Tail calls matter at runtime at least as much as in the text:
+    # the loops dominate execution counts.
+    assert dynamic_tail_percent > 15.0
+    # And some corpus programs are dynamically almost pure tail calls.
+    heavy = [r for r in rows if r.calls and r.tail_percent > 30.0]
+    assert len(heavy) >= 3

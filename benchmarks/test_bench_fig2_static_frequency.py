@@ -1,0 +1,34 @@
+"""Figure 2 — static frequency of tail calls.
+
+Paper: instrumented lcc (C) and Twobit (Scheme) over their benchmark
+suites; tail calls are far more common than self-tail calls, and the
+Scheme column's "self-tail" numbers really count tail calls to known
+closures.
+
+Here: the Definition 1/2 analyzer plus the known-closure analysis over
+the bundled classic-benchmark corpus.  The shape to reproduce: tail%
+well above self-tail%, with known-tail% in between.
+"""
+
+from conftest import once
+
+from repro.analysis.frequency import (
+    corpus_frequencies,
+    frequency_table,
+    total_row,
+)
+
+
+def test_bench_fig2_static_frequency(benchmark, artifacts):
+    rows = once(benchmark, corpus_frequencies)
+    table = frequency_table(rows)
+    artifacts.write("fig2_static_frequency.txt", table)
+    print("\n" + table)
+
+    total = total_row(rows)
+    # The paper's headline shape.
+    assert total.tail_percent > 3 * total.self_tail_percent
+    assert total.tail_percent >= total.known_tail_percent
+    assert total.known_tail_percent > total.self_tail_percent
+    # Sanity: a corpus-wide fraction of calls is in tail position.
+    assert 20.0 < total.tail_percent < 80.0

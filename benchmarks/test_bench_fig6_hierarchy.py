@@ -1,0 +1,70 @@
+"""Figure 6 — the hierarchy of space complexity classes.
+
+Paper: O(S_sfs) < O(S_evlis), O(S_free) < O(S_tail) < O(S_gc) <
+O(S_stack), with O(S_evlis) and O(S_free) incomparable.
+
+Here: a growth-class matrix — for each Theorem 25 separator program,
+the fitted growth class of lambda-N . S_X(P, N) on every reference
+implementation (fixed-precision accounting).  Reading down a column
+reproduces every edge of the figure.
+"""
+
+from conftest import once
+
+from repro.harness.report import render_table
+from repro.programs.separators import SEPARATORS
+from repro.space.asymptotics import fit_growth, is_bounded
+from repro.space.consumption import sweep
+
+NS = (8, 16, 32, 64)
+MACHINES = ("tail", "gc", "stack", "evlis", "free", "sfs")
+
+
+def classify(machine, source):
+    _, totals = sweep(machine, lambda n: source, NS, fixed_precision=True)
+    if is_bounded(totals):
+        return "O(1)", totals
+    return fit_growth(NS, totals).name, totals
+
+
+def build_matrix():
+    matrix = {}
+    for separator in SEPARATORS:
+        for machine in MACHINES:
+            matrix[(separator.name, machine)] = classify(
+                machine, separator.source
+            )
+    return matrix
+
+
+def test_bench_fig6_hierarchy(benchmark, artifacts):
+    matrix = once(benchmark, build_matrix)
+    rows = []
+    for separator in SEPARATORS:
+        rows.append(
+            [separator.name]
+            + [matrix[(separator.name, m)][0] for m in MACHINES]
+        )
+    table = render_table(
+        ["program"] + list(MACHINES),
+        rows,
+        title="Figure 6 evidence: growth class of S_X per separator program",
+    )
+    artifacts.write("fig6_hierarchy.txt", table)
+    print("\n" + table)
+
+    # Every proper inclusion of Figure 6 is witnessed by some program
+    # where the larger class's machine grows strictly faster.
+    def grade(name):
+        order = ["O(1)", "O(log n)", "O(n)", "O(n log n)", "O(n^2)", "O(n^3)"]
+        return order.index(name)
+
+    for separator in SEPARATORS:
+        for bigger, smaller in separator.separates:
+            growth_bigger = matrix[(separator.name, bigger)][0]
+            growth_smaller = matrix[(separator.name, smaller)][0]
+            assert grade(growth_bigger) > grade(growth_smaller), (
+                separator.name,
+                bigger,
+                smaller,
+            )

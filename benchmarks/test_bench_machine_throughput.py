@@ -1,0 +1,34 @@
+"""Machine throughput — not a paper artifact, but the harness's own
+performance baseline: steps/second for each reference implementation
+on a fixed workload, timed by pytest-benchmark the conventional way
+(many rounds).
+
+The paper's section 14 remark "proper tail recursion is considerably
+faster than improper tail recursion" shows up here too: I_tail takes
+fewer transitions (no return steps) for the same program.
+"""
+
+import pytest
+
+from repro.programs.corpus import load_program
+from repro.space.consumption import prepare_input, prepare_program
+from repro.space.meter import run_to_final
+from repro.machine.variants import make_machine
+
+PROGRAM = prepare_program(load_program("fib").source)
+ARGUMENT = prepare_input("10")
+
+MACHINES = ("tail", "gc", "stack", "evlis", "free", "sfs", "bigloo", "mta")
+
+
+@pytest.mark.parametrize("name", MACHINES)
+def test_bench_machine_throughput(benchmark, name):
+    machine = make_machine(name)
+
+    def run_once():
+        final, steps = run_to_final(machine, PROGRAM, ARGUMENT)
+        return steps
+
+    steps = benchmark(run_once)
+    benchmark.extra_info["transitions"] = steps
+    assert steps > 0

@@ -1,0 +1,93 @@
+"""Section 13 — the linked-environment analogues.
+
+Paper: "It is easy to see that analogues of Theorems 24 and 25 hold
+for linked environments, and that U_X <= S_X for each implementation
+I_X."  (U_free and U_sfs "have no practical meaning" — free-variable
+restriction requires flat copying — so the linked matrix covers
+I_tail, I_gc, I_stack, I_evlis.)
+
+Here: the U_X growth matrix over the Theorem 25 separators, plus the
+pointwise U_X <= S_X check.
+"""
+
+from conftest import once
+
+from repro.harness.report import render_table
+from repro.programs.separators import SEPARATORS
+from repro.space.asymptotics import fit_growth, is_bounded
+from repro.space.consumption import space_consumption, sweep
+
+NS = (8, 16, 32, 64)
+MACHINES = ("tail", "gc", "stack", "evlis")
+
+
+def build_matrix():
+    matrix = {}
+    for separator in SEPARATORS:
+        for machine in MACHINES:
+            _, totals = sweep(
+                machine,
+                lambda n: separator.source,
+                NS,
+                fixed_precision=True,
+                linked=True,
+            )
+            if is_bounded(totals):
+                matrix[(separator.name, machine)] = "O(1)"
+            else:
+                matrix[(separator.name, machine)] = fit_growth(NS, totals).name
+    return matrix
+
+
+def test_bench_sec13_linked_hierarchy(benchmark, artifacts):
+    matrix = once(benchmark, build_matrix)
+    rows = [
+        [separator.name] + [matrix[(separator.name, m)] for m in MACHINES]
+        for separator in SEPARATORS
+    ]
+    table = render_table(
+        ["program"] + list(MACHINES),
+        rows,
+        title="Section 13: growth of U_X (linked environments) per separator",
+    )
+    artifacts.write("sec13_linked_hierarchy.txt", table)
+    print("\n" + table)
+
+    # The linked analogues of the relevant Theorem 25 separations.
+    assert matrix[("gc-vs-tail", "tail")] == "O(1)"
+    assert matrix[("gc-vs-tail", "gc")] == "O(n)"
+    assert matrix[("stack-vs-gc", "gc")] == "O(n)"
+    assert matrix[("stack-vs-gc", "stack")] == "O(n^2)"
+    assert matrix[("tail-vs-evlis", "evlis")] == "O(n)"
+    assert matrix[("tail-vs-evlis", "tail")] == "O(n^2)"
+
+
+def test_bench_sec13_u_leq_s(benchmark, artifacts):
+    """U_X <= S_X pointwise, for every machine and program."""
+
+    def measure_pairs():
+        rows = []
+        for separator in SEPARATORS:
+            for machine in MACHINES:
+                linked = space_consumption(
+                    machine, separator.source, "16",
+                    linked=True, fixed_precision=True,
+                )
+                flat = space_consumption(
+                    machine, separator.source, "16",
+                    fixed_precision=True,
+                )
+                rows.append([f"{separator.name}/{machine}", linked, flat])
+        return rows
+
+    rows = once(benchmark, measure_pairs)
+    table = render_table(
+        ["program/machine", "U_X", "S_X"],
+        rows,
+        title="Section 13: U_X <= S_X pointwise (N = 16)",
+    )
+    artifacts.write("sec13_u_leq_s.txt", table)
+    print("\n" + table)
+
+    for label, linked, flat in rows:
+        assert linked <= flat, label

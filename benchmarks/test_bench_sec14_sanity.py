@@ -1,0 +1,113 @@
+"""Section 14 — the sanity check.
+
+Paper: implementations that compile to C (Bigloo) make "all simple
+tail recursions" free but "fail with continuation-passing style and
+with the find-leftmost example of Section 4, [though] most tail calls
+to known procedures consume no space".
+
+Here: the 'bigloo' machine (self tail calls are gotos, everything
+else pushes a frame) against I_tail and I_gc on four idioms.
+"""
+
+from conftest import once
+
+from repro.harness.report import render_table
+from repro.programs.examples import (
+    CPS_PINGPONG,
+    MUTUAL_RECURSION,
+    SELF_TAIL_LOOP,
+    find_leftmost_program,
+)
+from repro.space.asymptotics import fit_growth, is_bounded
+from repro.space.consumption import sweep
+
+NS = (8, 16, 32, 64)
+MACHINES = ("tail", "bigloo", "mta", "gc")
+
+WORKLOADS = [
+    ("self-tail-loop", SELF_TAIL_LOOP),
+    ("mutual-recursion", MUTUAL_RECURSION),
+    ("cps-pingpong", CPS_PINGPONG),
+]
+
+
+def classify_all():
+    matrix = {}
+    for name, source in WORKLOADS:
+        for machine in MACHINES:
+            _, totals = sweep(
+                machine, lambda n: source, NS, fixed_precision=True
+            )
+            matrix[(name, machine)] = (
+                "O(1)" if is_bounded(totals, tolerance=2.0)
+                else fit_growth(NS, totals).name
+            )
+    return matrix
+
+
+def test_bench_sec14_sanity(benchmark, artifacts):
+    matrix = once(benchmark, classify_all)
+    rows = [
+        [name] + [matrix[(name, m)] for m in MACHINES]
+        for name, _ in WORKLOADS
+    ]
+    table = render_table(
+        ["idiom"] + list(MACHINES),
+        rows,
+        title="Section 14: growth of S_X on tail-call idioms",
+    )
+    artifacts.write("sec14_sanity.txt", table)
+    print("\n" + table)
+
+    # Simple self tail recursion: free everywhere except I_gc.
+    assert matrix[("self-tail-loop", "tail")] == "O(1)"
+    assert matrix[("self-tail-loop", "bigloo")] == "O(1)"
+    assert matrix[("self-tail-loop", "gc")] == "O(n)"
+    # Non-self tail calls: bigloo degrades to I_gc's shape, while
+    # Baker's MTA stays properly tail recursive despite pushing a
+    # frame for every call (the paper's closing section 14 point).
+    for idiom in ("mutual-recursion", "cps-pingpong"):
+        assert matrix[(idiom, "tail")] == "O(1)", idiom
+        assert matrix[(idiom, "bigloo")] == "O(n)", idiom
+        assert matrix[(idiom, "mta")] == "O(1)", idiom
+
+
+def test_bench_sec14_find_leftmost_on_bigloo(benchmark, artifacts):
+    """The find-leftmost half of the section 14 claim: the search's
+    own space (tree factored out) grows under the bigloo machine even
+    on the friendly right-spine tree."""
+    from repro.programs.examples import tree_build_only_program
+    from repro.space.consumption import space_consumption
+
+    def overhead():
+        values = {}
+        for machine in ("tail", "bigloo"):
+            values[machine] = [
+                max(
+                    1,
+                    space_consumption(
+                        machine, find_leftmost_program("right"), str(n),
+                        fixed_precision=True,
+                    )
+                    - space_consumption(
+                        machine, tree_build_only_program("right"), str(n),
+                        fixed_precision=True,
+                    ),
+                )
+                for n in NS
+            ]
+        return values
+
+    values = once(benchmark, overhead)
+    from repro.harness.report import render_series
+
+    table = render_series(
+        NS,
+        values,
+        title="Section 14: find-leftmost search space, right-spine tree",
+    )
+    artifacts.write("sec14_find_leftmost.txt", table)
+    print("\n" + table)
+
+    assert is_bounded(values["tail"], tolerance=2.0)
+    assert fit_growth(NS, values["bigloo"]).name == "O(n)"

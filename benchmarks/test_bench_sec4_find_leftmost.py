@@ -1,0 +1,71 @@
+"""Section 4 — the find-leftmost example (Figure 3).
+
+Paper: "the space required by find-leftmost is independent of the
+number of right edges in the tree, and is proportional to the maximal
+number of left edges that occur within any directed path ... If every
+left child is a leaf, then find-leftmost runs in constant space, no
+matter how large the tree."
+
+Here: the search's own space (S of build+search minus S of an
+identical-scope build-only control) on right-spine and left-spine
+trees, under I_tail and I_gc.  I_tail: constant on the right spine,
+linear on the left spine.  I_gc: linear even on the right spine —
+deletion-free improper tail recursion destroys the property.
+"""
+
+from conftest import once
+
+from repro.harness.report import render_series
+from repro.programs.examples import (
+    find_leftmost_program,
+    tree_build_only_program,
+)
+from repro.space.asymptotics import fit_growth, is_bounded
+from repro.space.consumption import space_consumption
+
+NS = (8, 16, 32, 64)
+
+
+def overhead(machine, shape):
+    values = []
+    for n in NS:
+        with_search = space_consumption(
+            machine, find_leftmost_program(shape), str(n),
+            fixed_precision=True,
+        )
+        build_only = space_consumption(
+            machine, tree_build_only_program(shape), str(n),
+            fixed_precision=True,
+        )
+        values.append(max(1, with_search - build_only))
+    return values
+
+
+def run_all():
+    return {
+        "tail/right-spine": overhead("tail", "right"),
+        "tail/left-spine": overhead("tail", "left"),
+        "gc/right-spine": overhead("gc", "right"),
+    }
+
+
+def test_bench_sec4_find_leftmost(benchmark, artifacts):
+    series = once(benchmark, run_all)
+    table = render_series(
+        NS,
+        series,
+        title=(
+            "Section 4: find-leftmost search space "
+            "(S[build+search] - S[build only])"
+        ),
+    )
+    artifacts.write("sec4_find_leftmost.txt", table)
+    print("\n" + table)
+
+    assert is_bounded(series["tail/right-spine"], tolerance=2.0)
+    assert fit_growth(NS, series["tail/left-spine"]).name == "O(n)"
+    assert fit_growth(NS, series["gc/right-spine"]).name == "O(n)"
+    # Left edges cost more than right edges by an unbounded factor.
+    ratio_last = series["tail/left-spine"][-1] / series["tail/right-spine"][-1]
+    ratio_first = series["tail/left-spine"][0] / series["tail/right-spine"][0]
+    assert ratio_last > ratio_first

@@ -1,0 +1,70 @@
+"""Section 7 — the garbage collection schedule costs a bounded factor.
+
+Paper: "In a real implementation the garbage collector would run much
+less often, but would use no more than some fixed constant R times the
+space required when collecting after every computation step
+([App92], Section 12.4).  Usually R <= 3."
+
+Here: S_tail measured with the GC rule forced every step (Definition
+21) versus every k steps, for k in {4, 16, 64}; the ratio stays a
+small constant across programs whose live size differs wildly.
+"""
+
+from conftest import once
+
+from repro.harness.report import render_table
+from repro.programs.corpus import load_program
+from repro.programs.examples import CPS_LOOP
+from repro.programs.separators import GC_VS_TAIL, STACK_VS_GC
+from repro.space.consumption import space_consumption
+
+INTERVALS = (1, 4, 16, 64)
+
+WORKLOADS = [
+    ("loop", GC_VS_TAIL, "64"),
+    ("make-vector", STACK_VS_GC, "24"),
+    ("cps-loop", CPS_LOOP, "48"),
+    ("gen-list", load_program("gen-list").source, "14"),
+]
+
+
+def run_intervals():
+    measured = {}
+    for name, source, argument in WORKLOADS:
+        measured[name] = [
+            space_consumption(
+                "tail", source, argument,
+                gc_interval=interval, fixed_precision=True,
+            )
+            for interval in INTERVALS
+        ]
+    return measured
+
+
+def test_bench_sec7_gc_interval(benchmark, artifacts):
+    measured = once(benchmark, run_intervals)
+    rows = []
+    for name, _s, _a in WORKLOADS:
+        values = measured[name]
+        rows.append(
+            [name]
+            + values
+            + [round(values[-1] / values[0], 2)]
+        )
+    table = render_table(
+        ["program"] + [f"k={k}" for k in INTERVALS] + ["R (k=64 / k=1)"],
+        rows,
+        title="Section 7: S_tail under relaxed GC schedules (collect every k steps)",
+    )
+    artifacts.write("sec7_gc_interval.txt", table)
+    print("\n" + table)
+
+    for name, _s, _a in WORKLOADS:
+        values = measured[name]
+        assert values == sorted(values), name  # monotone in k
+        # Small per-step allocation keeps even k=64 within a modest
+        # constant of the canonical schedule; the paper's R <= 3 is
+        # about real collectors triggered by heap growth, so we allow
+        # a looser bound for the fixed-k schedule.
+        assert values[1] <= 3 * values[0], name
+        assert values[-1] <= 12 * values[0], name

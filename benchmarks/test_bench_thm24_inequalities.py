@@ -1,0 +1,68 @@
+"""Theorem 24 — the pointwise inequalities between S_X functions.
+
+Paper: S_tail <= S_gc <= S_stack and S_sfs <= S_evlis, S_free <=
+S_tail for all (P, D).
+
+Here: the measured S_X(P, D) table over a pool of programs (the
+separators, the section 4/14 examples, and a corpus sample), with
+every chain asserted on every row.
+"""
+
+from conftest import once
+
+from repro.harness.report import render_table
+from repro.programs.corpus import load_program
+from repro.programs.examples import CPS_LOOP, MUTUAL_RECURSION
+from repro.programs.separators import SEPARATORS
+from repro.space.consumption import measure_all
+
+MACHINES = ("tail", "gc", "stack", "evlis", "free", "sfs")
+
+POOL = [(s.name, s.source, "16") for s in SEPARATORS] + [
+    ("cps-loop", CPS_LOOP, "24"),
+    ("mutual", MUTUAL_RECURSION, "24"),
+    ("tak", load_program("tak").source, "6"),
+    ("higher-order", load_program("higher-order").source, "10"),
+]
+
+CHAINS = [
+    ("tail", "gc"),
+    ("gc", "stack"),
+    ("sfs", "evlis"),
+    ("evlis", "tail"),
+    ("sfs", "free"),
+    ("free", "tail"),
+]
+
+
+def measure_pool():
+    table = {}
+    for name, source, argument in POOL:
+        results = measure_all(source, argument, machines=MACHINES)
+        table[name] = {m: results[m].total for m in MACHINES}
+    return table
+
+
+def test_bench_thm24_inequalities(benchmark, artifacts):
+    measured = once(benchmark, measure_pool)
+    rows = [
+        [name] + [measured[name][m] for m in MACHINES]
+        for name, _s, _a in POOL
+    ]
+    table = render_table(
+        ["program"] + list(MACHINES),
+        rows,
+        title="Theorem 24: S_X(P, D) in words (matched choices)",
+    )
+    artifacts.write("thm24_inequalities.txt", table)
+    print("\n" + table)
+
+    for name, _source, _argument in POOL:
+        totals = measured[name]
+        for smaller, larger in CHAINS:
+            assert totals[smaller] <= totals[larger], (
+                name,
+                smaller,
+                larger,
+                totals,
+            )

@@ -1,0 +1,63 @@
+"""Theorem 25 — every inclusion of Figure 6 is proper.
+
+Paper: four programs, each quadratic in one implementation and linear
+(or constant) in another; the gc-vs-tail program is linear vs constant.
+
+Here: the measured S_X(P, N) series for each separator on the two
+sides of each separation, with the fitted growth classes.
+"""
+
+import pytest
+from conftest import once
+
+from repro.harness.report import render_series
+from repro.programs.separators import SEPARATORS_BY_NAME
+from repro.space.asymptotics import fit_growth, is_bounded
+from repro.space.consumption import sweep
+
+NS = (8, 16, 32, 64, 96)
+
+
+def run_separation(name):
+    separator = SEPARATORS_BY_NAME[name]
+    machines = sorted({m for pair in separator.separates for m in pair})
+    series = {}
+    for machine in machines:
+        _, totals = sweep(
+            machine, lambda n: separator.source, NS, fixed_precision=True
+        )
+        series[machine] = list(totals)
+    return separator, machines, series
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["stack-vs-gc", "gc-vs-tail", "tail-vs-evlis", "evlis-vs-free"],
+)
+def test_bench_thm25_separation(benchmark, artifacts, name):
+    separator, machines, series = once(benchmark, run_separation, name)
+    fits = {
+        machine: (
+            "O(1)" if is_bounded(values) else fit_growth(NS, values).name
+        )
+        for machine, values in series.items()
+    }
+    title = (
+        f"Theorem 25 [{name}]: S_X(P, N), fits "
+        + ", ".join(f"{m}={fits[m]}" for m in machines)
+    )
+    table = render_series(NS, series, title=title)
+    artifacts.write(f"thm25_{name}.txt", table)
+    print("\n" + table)
+
+    grades = ["O(1)", "O(log n)", "O(n)", "O(n log n)", "O(n^2)", "O(n^3)"]
+    for bigger, smaller in separator.separates:
+        assert grades.index(fits[bigger]) > grades.index(fits[smaller]), (
+            name,
+            bigger,
+            smaller,
+            fits,
+        )
+        # The paper's stated classes for the separated machines.
+        assert fits[bigger] == separator.growth[bigger]
+        assert fits[smaller] == separator.growth[smaller]

@@ -1,0 +1,85 @@
+"""Theorem 26 — flat and linked environments are incomparable.
+
+Paper: on the program family P_N (N nested lets + a thunk-accumulating
+loop), U_tail(P_N, N) is O(N log N) (O(N) with fixed precision) while
+S_sfs(P_N, N) is Theta(N^2); Appel's examples give the other
+direction, which the Theorem 25 thunk program also witnesses
+(U_evlis quadratic vs S_free linear).
+"""
+
+from conftest import once
+
+from repro.harness.report import render_series
+from repro.programs.separators import SEPARATORS_BY_NAME, theorem26_family
+from repro.space.asymptotics import fit_growth
+from repro.space.consumption import space_consumption
+
+NS = (12, 24, 48, 96)
+
+
+def run_family():
+    series = {"U_tail (linked)": [], "S_sfs (flat)": [], "S_tail (flat)": []}
+    for n in NS:
+        program, argument = theorem26_family(n)
+        series["U_tail (linked)"].append(
+            space_consumption("tail", program, argument,
+                              linked=True, fixed_precision=True)
+        )
+        series["S_sfs (flat)"].append(
+            space_consumption("sfs", program, argument,
+                              fixed_precision=True)
+        )
+        series["S_tail (flat)"].append(
+            space_consumption("tail", program, argument,
+                              fixed_precision=True)
+        )
+    return series
+
+
+def run_appel_direction():
+    source = SEPARATORS_BY_NAME["evlis-vs-free"].source
+    ns = (8, 16, 32, 64)
+    series = {"U_evlis (linked)": [], "S_free (flat)": []}
+    for n in ns:
+        series["U_evlis (linked)"].append(
+            space_consumption("evlis", source, str(n),
+                              linked=True, fixed_precision=True)
+        )
+        series["S_free (flat)"].append(
+            space_consumption("free", source, str(n),
+                              fixed_precision=True)
+        )
+    return ns, series
+
+
+def test_bench_thm26_nested_lets(benchmark, artifacts):
+    series = once(benchmark, run_family)
+    fits = {label: fit_growth(NS, values).name for label, values in series.items()}
+    title = (
+        "Theorem 26 [P_N family]: "
+        + ", ".join(f"{k}={v}" for k, v in fits.items())
+    )
+    table = render_series(NS, series, title=title)
+    artifacts.write("thm26_nested_lets.txt", table)
+    print("\n" + table)
+
+    assert fits["U_tail (linked)"] == "O(n)"
+    assert fits["S_sfs (flat)"] == "O(n^2)"
+
+
+def test_bench_thm26_appel_direction(benchmark, artifacts):
+    ns, series = once(benchmark, run_appel_direction)
+    fits = {label: fit_growth(ns, values).name for label, values in series.items()}
+    table = render_series(
+        ns,
+        series,
+        title=(
+            "Theorem 26 [other direction, Appel-style]: "
+            + ", ".join(f"{k}={v}" for k, v in fits.items())
+        ),
+    )
+    artifacts.write("thm26_appel_direction.txt", table)
+    print("\n" + table)
+
+    assert fits["U_evlis (linked)"] == "O(n^2)"
+    assert fits["S_free (flat)"] == "O(n)"

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Continuation-passing style and the section 14 dilemma.
+
+Section 4: "it is perfectly feasible to write large programs in which
+no procedure ever returns, and all calls are tail calls...  Proper
+tail recursion guarantees that implementations will use only a bounded
+amount of storage."
+
+Section 14: C-targeting implementations (Bigloo) compile "all simple
+tail recursions" without stack growth but fail on general tail calls.
+The 'bigloo' machine reproduces exactly that boundary.
+
+Run:  python examples/cps_and_bigloo.py
+"""
+
+from repro import space_consumption
+from repro.harness.report import render_series
+from repro.programs.examples import (
+    CPS_FACTORIAL,
+    CPS_LOOP,
+    CPS_PINGPONG,
+    MUTUAL_RECURSION,
+    SELF_TAIL_LOOP,
+)
+
+NS = (16, 32, 64, 128)
+
+
+def series(machine, source):
+    return [
+        space_consumption(machine, source, str(n), fixed_precision=True)
+        for n in NS
+    ]
+
+
+def show(title, source, machines=("tail", "bigloo", "gc")):
+    print(
+        render_series(
+            NS, {m: series(m, source) for m in machines}, title=title
+        )
+    )
+    print()
+
+
+def main():
+    show("pure CPS loop (self tail calls)", CPS_LOOP)
+    show("CPS ping-pong (mutual tail calls)", CPS_PINGPONG)
+    show("mutual recursion (even?/odd?)", MUTUAL_RECURSION)
+    show("accumulator loop (the one case Bigloo wins)", SELF_TAIL_LOOP)
+    show("CPS factorial: the continuation chain lives in the heap",
+         CPS_FACTORIAL, machines=("tail", "gc"))
+    print(
+        "Self tail calls are free everywhere but I_gc; the moment the"
+        "\ntail call is not a self call — mutual recursion, CPS ping-pong —"
+        "\nthe bigloo machine degrades to I_gc while I_tail stays flat."
+    )
+
+
+if __name__ == "__main__":
+    main()

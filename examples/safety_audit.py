@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Audit every machine against the paper's definitions.
+
+Definition 5: an implementation is properly tail recursive iff its
+space consumption is in O(S_tail).  Definition 4: it has no
+conventional space leaks iff in O(S_stack).  Definition 6: evlis tail
+recursive iff in O(S_evlis); safe for space iff in O(S_sfs).
+
+The checker probes each candidate on the Theorem 25 separator families
+and flags any probe where it grows asymptotically faster than the
+reference.  The star of the show is 'mta' — Baker's Cheney-on-the-MTA
+machine, which pushes a return frame for *every* call yet passes the
+proper-tail-recursion audit, the behaviour the paper built its
+asymptotic definition to accommodate.
+
+Run:  python examples/safety_audit.py
+"""
+
+from repro import check_space_safety
+from repro.harness.report import render_table
+
+CANDIDATES = ("tail", "evlis", "free", "sfs", "gc", "stack", "bigloo", "mta")
+REFERENCES = (
+    ("O(S_stack): no conventional leaks", "stack"),
+    ("O(S_tail): properly tail recursive", "tail"),
+    ("O(S_evlis): evlis tail recursive", "evlis"),
+    ("O(S_sfs): safe for space", "sfs"),
+)
+
+
+def main():
+    rows = []
+    reports = {}
+    for candidate in CANDIDATES:
+        row = [candidate]
+        for _label, reference in REFERENCES:
+            report = check_space_safety(candidate, reference)
+            reports[(candidate, reference)] = report
+            row.append("yes" if report.safe else "NO")
+        rows.append(row)
+    print(
+        render_table(
+            ["machine"] + [label for label, _ in REFERENCES],
+            rows,
+            title="Definitions 4-6, audited empirically",
+        )
+    )
+
+    print("\nWhy I_gc fails the proper-tail-recursion audit:\n")
+    print(reports[("gc", "tail")].summary())
+    print(
+        "\nAnd the section 14 punchline — 'mta' allocates a frame per"
+        "\ncall, collects them periodically, and still passes:\n"
+    )
+    print(reports[("mta", "tail")].summary())
+
+
+if __name__ == "__main__":
+    main()

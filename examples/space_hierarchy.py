@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's space-complexity hierarchy (Figure 6) from
+scratch: sweep each Theorem 25 separator program over N on every
+reference implementation and fit the growth class.
+
+Run:  python examples/space_hierarchy.py
+"""
+
+from repro import fit_growth, sweep
+from repro.harness.report import render_table
+from repro.programs.separators import SEPARATORS
+from repro.space.asymptotics import is_bounded
+
+NS = (8, 16, 32, 64)
+MACHINES = ("tail", "gc", "stack", "evlis", "free", "sfs")
+
+
+def growth(machine, source):
+    _, totals = sweep(machine, lambda n: source, NS, fixed_precision=True)
+    if is_bounded(totals):
+        return "O(1)"
+    return fit_growth(NS, totals).name
+
+
+def main():
+    rows = []
+    for separator in SEPARATORS:
+        print(f"measuring {separator.name} ...")
+        rows.append(
+            [separator.name]
+            + [growth(machine, separator.source) for machine in MACHINES]
+        )
+    print()
+    print(
+        render_table(
+            ["program"] + list(MACHINES),
+            rows,
+            title="Growth of S_X(P, N): every edge of Figure 6, witnessed",
+        )
+    )
+    print(
+        "\nRead row by row:"
+        "\n  stack-vs-gc   — deletion leaks what collection reclaims"
+        "\n  gc-vs-tail    — return frames make loops linear"
+        "\n  tail-vs-evlis — the saved push environment retains a dead vector"
+        "\n  evlis-vs-free — close-over-everything closures retain it too"
+    )
+
+
+if __name__ == "__main__":
+    main()

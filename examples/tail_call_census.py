@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Figure 2, live: the static frequency of tail calls over the bundled
+classic-benchmark corpus — plus the same census for any Scheme file
+you point it at.
+
+Run:  python examples/tail_call_census.py [file.scm ...]
+"""
+
+import sys
+
+from repro.analysis.frequency import (
+    analyze_program,
+    corpus_frequencies,
+    frequency_table,
+    total_row,
+)
+
+
+def main(paths):
+    rows = list(corpus_frequencies())
+    for path in paths:
+        with open(path) as handle:
+            source = handle.read()
+        rows.append(analyze_program(path, source))
+
+    print(frequency_table(rows))
+    total = total_row(rows)
+    print(
+        f"\nTail calls: {total.tail_percent:.1f}% of call sites."
+        f"\nTail calls to known closures: {total.known_tail_percent:.1f}%."
+        f"\nStrict self-tail calls: only {total.self_tail_percent:.1f}%."
+        "\n\nThe paper's Figure 2 point: optimizing just self-tail calls"
+        "\n(or even just known-closure tail calls) covers a fraction of"
+        "\nwhat proper tail recursion guarantees."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

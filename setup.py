@@ -1,0 +1,34 @@
+"""Packaging for repro.
+
+NOTE: this project deliberately ships a setup.py/setup.cfg pair instead
+of pyproject.toml.  The offline build environment has no `wheel`
+package and no network access, so pip's PEP 517/660 paths (which
+pyproject.toml would force) cannot build; the legacy path used here
+makes plain ``pip install -e .`` work everywhere.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reference implementations and space-complexity classes from "
+        "Clinger's 'Proper Tail Recursion and Space Efficiency' (PLDI 1998)"
+    ),
+    long_description=open("README.md").read() if __import__("os").path.exists("README.md") else "",
+    long_description_content_type="text/markdown",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro.programs": ["corpus/*.scm"]},
+    include_package_data=True,
+    python_requires=">=3.9",
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    classifiers=[
+        "Development Status :: 5 - Production/Stable",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Software Development :: Interpreters",
+    ],
+)

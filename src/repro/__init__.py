@@ -1,0 +1,82 @@
+"""repro — reference implementations and space-complexity classes from
+William D. Clinger, "Proper Tail Recursion and Space Efficiency"
+(PLDI 1998).
+
+Quickstart::
+
+    from repro import run, space_consumption
+
+    result = run("(define (f n) (if (zero? n) 0 (f (- n 1))))", "1000")
+    print(result.answer)            # => 0
+
+    s_tail = space_consumption("tail", LOOP, "1000")
+    s_gc = space_consumption("gc", LOOP, "1000")
+    assert s_tail <= s_gc           # Theorem 24
+
+The package layers:
+
+- :mod:`repro.reader` — S-expression reader;
+- :mod:`repro.syntax` — Core Scheme AST, macro expander, tail-call
+  analysis (Definitions 1-2), free variables, section 12 validation;
+- :mod:`repro.machine` — the CEKS machine family I_tail, I_gc,
+  I_stack, I_evlis, I_free, I_sfs (+ a section 14 'bigloo' variant);
+- :mod:`repro.space` — Figure 7/8 space accounting, the meter, the
+  S_X / U_X consumption functions, growth-class fitting;
+- :mod:`repro.analysis` — the Figure 2 static-frequency study;
+- :mod:`repro.programs` — the paper's example and separator programs
+  plus a classic-benchmark corpus;
+- :mod:`repro.harness` — one-call run/compare/sweep drivers and table
+  rendering.
+"""
+
+import sys as _sys
+
+# Deeply nested programs (Theorem 26's P_N family) and the recursive
+# expander need more Python stack than the default.
+if _sys.getrecursionlimit() < 20000:
+    _sys.setrecursionlimit(20000)
+
+from .harness.runner import RunResult, compare_machines, run  # noqa: E402
+from .machine.variants import (  # noqa: E402
+    ALL_MACHINES,
+    REFERENCE_MACHINES,
+    make_machine,
+)
+from .space.asymptotics import fit_growth, growth_name  # noqa: E402
+from .space.consumption import (  # noqa: E402
+    Consumption,
+    measure,
+    measure_all,
+    space_consumption,
+    sweep,
+)
+from .space.safety import (  # noqa: E402
+    SafetyReport,
+    check_space_safety,
+    is_properly_tail_recursive,
+)
+from .syntax.expander import expand_expression, expand_program  # noqa: E402
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RunResult",
+    "compare_machines",
+    "run",
+    "ALL_MACHINES",
+    "REFERENCE_MACHINES",
+    "make_machine",
+    "fit_growth",
+    "growth_name",
+    "Consumption",
+    "measure",
+    "measure_all",
+    "space_consumption",
+    "sweep",
+    "SafetyReport",
+    "check_space_safety",
+    "is_properly_tail_recursive",
+    "expand_expression",
+    "expand_program",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Static analyses behind the Figure 2 study."""
+
+from .callgraph import CallGraphAnalysis, ClassifiedCall, classify_calls
+from .dynamic import (
+    DynamicCensus,
+    corpus_dynamic_census,
+    dynamic_census_table,
+    run_census,
+)
+from .frequency import (
+    FrequencyRow,
+    analyze_program,
+    corpus_frequencies,
+    frequency_table,
+    total_row,
+)
+
+__all__ = [
+    "CallGraphAnalysis",
+    "ClassifiedCall",
+    "classify_calls",
+    "DynamicCensus",
+    "corpus_dynamic_census",
+    "dynamic_census_table",
+    "run_census",
+    "FrequencyRow",
+    "analyze_program",
+    "corpus_frequencies",
+    "frequency_table",
+    "total_row",
+]

@@ -1,0 +1,206 @@
+"""Known-closure analysis for the Figure 2 statistics.
+
+Figure 2's caption: "The self-tail calls shown for Scheme include all
+tail calls to known closures, because Twobit has no reason to
+recognize self-tail calls as a special case."  To reproduce the
+distinction the figure draws, we classify every call site by what its
+operator is known to be:
+
+- ``direct``    — the operator is a lambda expression (a let);
+- ``known``     — a variable that provably denotes one specific lambda
+                  (bound to it and never reassigned, or letrec-style:
+                  initialized with a dummy and assigned exactly once);
+- ``primitive`` — a free variable (resolved in rho_0);
+- ``unknown``   — anything else (computed operators, rebound names,
+                  parameters fed from arbitrary call sites).
+
+A *self* tail call is a tail call whose known target is the lambda the
+call occurs in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..syntax.ast import Call, Expr, If, Lambda, Quote, SetBang, Var
+
+
+class _Binding:
+    """One lexical binding (a parameter of some lambda)."""
+
+    __slots__ = ("name", "owner", "flows", "assignments", "escapes")
+
+    def __init__(self, name: str, owner: Lambda):
+        self.name = name
+        self.owner = owner
+        self.flows: List[Expr] = []
+        self.assignments = 0
+        self.escapes = False
+
+    def known_lambda(self) -> Optional[Lambda]:
+        """The unique lambda this binding denotes, if provable."""
+        lambdas = [flow for flow in self.flows if isinstance(flow, Lambda)]
+        dummies = [
+            flow
+            for flow in self.flows
+            if isinstance(flow, Quote) and not isinstance(flow, Lambda)
+        ]
+        if len(lambdas) == 1 and len(lambdas) + len(dummies) == len(self.flows):
+            return lambdas[0]
+        return None
+
+
+@dataclass(frozen=True)
+class ClassifiedCall:
+    """One call site with everything Figure 2 needs."""
+
+    call: Call
+    is_tail: bool
+    enclosing: Optional[Lambda]
+    operator_kind: str  # direct | known | primitive | unknown
+    target: Optional[Lambda]
+
+    @property
+    def is_self_tail(self) -> bool:
+        """A tail call whose known target is the enclosing lambda."""
+        return (
+            self.is_tail
+            and self.target is not None
+            and self.target is self.enclosing
+        )
+
+    @property
+    def is_known_tail(self) -> bool:
+        """A tail call to a known closure (Figure 2's Scheme column)."""
+        return self.is_tail and (
+            self.target is not None or self.operator_kind == "direct"
+        )
+
+
+class CallGraphAnalysis:
+    """Two-pass analysis: collect bindings and flows, then classify
+    every call site."""
+
+    def __init__(self, program: Expr):
+        self.program = program
+        self._bindings: Dict[Tuple[int, str], _Binding] = {}
+        self._collect(program, {})
+        self.calls: Tuple[ClassifiedCall, ...] = tuple(
+            self._classify(program, {}, False, None)
+        )
+
+    # -- pass 1: binding flows ------------------------------------------------
+
+    def _binding_for(self, lam: Lambda, name: str) -> _Binding:
+        key = (id(lam), name)
+        binding = self._bindings.get(key)
+        if binding is None:
+            binding = _Binding(name, lam)
+            self._bindings[key] = binding
+        return binding
+
+    def _collect(self, expr: Expr, scope: Dict[str, _Binding]) -> None:
+        if isinstance(expr, (Quote, Var)):
+            return
+        if isinstance(expr, Lambda):
+            inner = dict(scope)
+            for param in expr.params:
+                inner[param] = self._binding_for(expr, param)
+            self._collect(expr.body, inner)
+            return
+        if isinstance(expr, If):
+            for sub in expr.subexpressions():
+                self._collect(sub, scope)
+            return
+        if isinstance(expr, SetBang):
+            binding = scope.get(expr.name)
+            if binding is not None:
+                binding.assignments += 1
+                binding.flows.append(expr.expr)
+            self._collect(expr.expr, scope)
+            return
+        if isinstance(expr, Call):
+            operator = expr.operator
+            if isinstance(operator, Lambda) and len(operator.params) == len(
+                expr.operands
+            ):
+                # A direct application (let): operands flow into params.
+                for param, operand in zip(operator.params, expr.operands):
+                    self._binding_for(operator, param).flows.append(operand)
+            for sub in expr.exprs:
+                self._collect(sub, scope)
+            return
+        raise TypeError(f"not a Core Scheme expression: {expr!r}")
+
+    # -- pass 2: classification -------------------------------------------------
+
+    def _classify(
+        self,
+        expr: Expr,
+        scope: Dict[str, _Binding],
+        in_tail: bool,
+        enclosing: Optional[Lambda],
+    ):
+        if isinstance(expr, (Quote, Var)):
+            return
+        if isinstance(expr, Lambda):
+            inner = dict(scope)
+            for param in expr.params:
+                inner[param] = self._binding_for(expr, param)
+            yield from self._classify(expr.body, inner, True, expr)
+            return
+        if isinstance(expr, If):
+            yield from self._classify(expr.test, scope, False, enclosing)
+            yield from self._classify(expr.consequent, scope, in_tail, enclosing)
+            yield from self._classify(expr.alternative, scope, in_tail, enclosing)
+            return
+        if isinstance(expr, SetBang):
+            yield from self._classify(expr.expr, scope, False, enclosing)
+            return
+        if isinstance(expr, Call):
+            yield self._classify_call(expr, scope, in_tail, enclosing)
+            operator = expr.operator
+            if isinstance(operator, Lambda) and len(operator.params) == len(
+                expr.operands
+            ):
+                # A direct application (let, begin, or, ...): the
+                # lambda is not a procedure boundary in the source
+                # program, so calls in its body keep the outer
+                # enclosing procedure for self-call detection.  Its
+                # body is still a tail expression (Definition 1).
+                inner = dict(scope)
+                for param in operator.params:
+                    inner[param] = self._binding_for(operator, param)
+                yield from self._classify(operator.body, inner, True, enclosing)
+            else:
+                yield from self._classify(operator, scope, False, enclosing)
+            for operand in expr.operands:
+                yield from self._classify(operand, scope, False, enclosing)
+            return
+        raise TypeError(f"not a Core Scheme expression: {expr!r}")
+
+    def _classify_call(
+        self,
+        call: Call,
+        scope: Dict[str, _Binding],
+        in_tail: bool,
+        enclosing: Optional[Lambda],
+    ) -> ClassifiedCall:
+        operator = call.operator
+        if isinstance(operator, Lambda):
+            return ClassifiedCall(call, in_tail, enclosing, "direct", operator)
+        if isinstance(operator, Var):
+            binding = scope.get(operator.name)
+            if binding is None:
+                return ClassifiedCall(call, in_tail, enclosing, "primitive", None)
+            target = binding.known_lambda()
+            if target is not None:
+                return ClassifiedCall(call, in_tail, enclosing, "known", target)
+            return ClassifiedCall(call, in_tail, enclosing, "unknown", None)
+        return ClassifiedCall(call, in_tail, enclosing, "unknown", None)
+
+
+def classify_calls(program: Expr) -> Tuple[ClassifiedCall, ...]:
+    """All call sites of *program*, classified."""
+    return CallGraphAnalysis(program).calls

@@ -1,0 +1,220 @@
+"""Command-line interface.
+
+::
+
+    python -m repro run program.scm --arg 100 --machine tail --meter
+    python -m repro machines
+    python -m repro census program.scm ...       # Figure 2 statistics
+    python -m repro dynamic program.scm --arg 10 # runtime census
+    python -m repro sweep program.scm --ns 8,16,32,64 --machine gc
+    python -m repro corpus                       # bundled benchmarks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.dynamic import dynamic_census_table, run_census
+from .analysis.frequency import analyze_program, frequency_table
+from .harness.report import render_series, render_table
+from .harness.runner import run
+from .machine.variants import ALL_MACHINES
+from .programs.corpus import load_corpus
+from .space.asymptotics import fit_growth, is_bounded
+from .space.consumption import sweep as sweep_fn
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    source = _read_source(args.program)
+    result = run(
+        source,
+        args.arg,
+        machine=args.machine,
+        meter=args.meter,
+        linked=args.linked,
+        fixed_precision=args.fixed_precision,
+        step_limit=args.step_limit,
+    )
+    print(result.answer)
+    if args.meter:
+        print(
+            f"; steps={result.steps} sup-space={result.sup_space} "
+            f"S_{args.machine}={result.consumption}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_machines(args: argparse.Namespace) -> int:
+    rows = []
+    for name, cls in sorted(ALL_MACHINES.items()):
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        rows.append([name, doc])
+    print(render_table(["machine", "description"], rows))
+    return 0
+
+
+def _cmd_census(args: argparse.Namespace) -> int:
+    rows = [
+        analyze_program(path, _read_source(path)) for path in args.programs
+    ]
+    print(frequency_table(rows if rows else None))
+    return 0
+
+
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    if args.program:
+        census = run_census(
+            _read_source(args.program),
+            args.arg,
+            machine=args.machine,
+            name=args.program,
+        )
+        print(dynamic_census_table([census]))
+    else:
+        print(dynamic_census_table())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    source = _read_source(args.program)
+    ns = tuple(int(n) for n in args.ns.split(","))
+    series = {}
+    for machine in args.machine.split(","):
+        _, totals = sweep_fn(
+            machine,
+            lambda n: source,
+            ns,
+            fixed_precision=args.fixed_precision,
+            linked=args.linked,
+        )
+        label = machine
+        if len(ns) >= 3 and max(ns) >= 2 * min(ns):
+            if is_bounded(totals):
+                label = f"{machine} [O(1)]"
+            else:
+                label = f"{machine} [{fit_growth(ns, totals).name}]"
+        series[label] = list(totals)
+    print(render_series(ns, series, title=f"S_X({args.program}, N)"))
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .space.safety import check_space_safety
+
+    report = check_space_safety(args.candidate, args.reference)
+    print(report.summary())
+    return 0 if report.safe else 1
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    rows = [
+        [program.name, program.default_input, len(program.source.splitlines())]
+        for program in load_corpus()
+    ]
+    print(render_table(["program", "default input", "lines"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reference implementations and space-complexity classes from "
+            "Clinger's 'Proper Tail Recursion and Space Efficiency' "
+            "(PLDI 1998)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser("run", help="run a Scheme program")
+    run_parser.add_argument("program", help="path to a .scm file, or -")
+    run_parser.add_argument("--arg", help="input expression D for (P D)")
+    run_parser.add_argument(
+        "--machine", default="tail", choices=sorted(ALL_MACHINES)
+    )
+    run_parser.add_argument(
+        "--meter", action="store_true",
+        help="run a Definition 21 space-efficient computation and report S_X",
+    )
+    run_parser.add_argument("--linked", action="store_true",
+                            help="Figure 8 (linked) accounting")
+    run_parser.add_argument("--fixed-precision", action="store_true",
+                            help="charge every number one word")
+    run_parser.add_argument("--step-limit", type=int, default=5_000_000)
+    run_parser.set_defaults(handler=_cmd_run)
+
+    machines_parser = commands.add_parser(
+        "machines", help="list the reference implementations"
+    )
+    machines_parser.set_defaults(handler=_cmd_machines)
+
+    census_parser = commands.add_parser(
+        "census",
+        help="Figure 2 static tail-call statistics "
+        "(bundled corpus when no files given)",
+    )
+    census_parser.add_argument("programs", nargs="*")
+    census_parser.set_defaults(handler=_cmd_census)
+
+    dynamic_parser = commands.add_parser(
+        "dynamic", help="runtime tail-call census"
+    )
+    dynamic_parser.add_argument("program", nargs="?")
+    dynamic_parser.add_argument("--arg")
+    dynamic_parser.add_argument(
+        "--machine", default="tail", choices=sorted(ALL_MACHINES)
+    )
+    dynamic_parser.set_defaults(handler=_cmd_dynamic)
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="measure S_X(P, N) over a range of N"
+    )
+    sweep_parser.add_argument("program")
+    sweep_parser.add_argument("--ns", default="8,16,32,64")
+    sweep_parser.add_argument(
+        "--machine", default="tail,gc",
+        help="comma-separated machine names",
+    )
+    sweep_parser.add_argument("--linked", action="store_true")
+    sweep_parser.add_argument(
+        "--fixed-precision", action="store_true", default=True
+    )
+    sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    corpus_parser = commands.add_parser(
+        "corpus", help="list the bundled benchmark corpus"
+    )
+    corpus_parser.set_defaults(handler=_cmd_corpus)
+
+    audit_parser = commands.add_parser(
+        "audit",
+        help="space-safety audit: is CANDIDATE within O(S_REFERENCE)? "
+        "(exit status 1 when not)",
+    )
+    audit_parser.add_argument("candidate", choices=sorted(ALL_MACHINES))
+    audit_parser.add_argument(
+        "reference", nargs="?", default="tail", choices=sorted(ALL_MACHINES)
+    )
+    audit_parser.set_defaults(handler=_cmd_audit)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

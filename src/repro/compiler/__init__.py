@@ -1,0 +1,5 @@
+"""Source-to-source passes: the [Ste78] CPS conversion."""
+
+from .cps import CpsConverter, CpsError, cps_expression, cps_program
+
+__all__ = ["CpsConverter", "CpsError", "cps_expression", "cps_program"]

@@ -1,0 +1,13 @@
+"""Section 16 future work: a denotational semantics for Core Scheme."""
+
+from .semantics import (
+    DenotationalEscape,
+    DenotationalEvaluator,
+    denotational_answer,
+)
+
+__all__ = [
+    "DenotationalEscape",
+    "DenotationalEvaluator",
+    "denotational_answer",
+]

@@ -1,0 +1,14 @@
+"""High-level run/compare/sweep drivers and report rendering."""
+
+from .report import render_series, render_table, sparkline
+from .runner import RunResult, answers_agree, compare_machines, run
+
+__all__ = [
+    "render_series",
+    "render_table",
+    "sparkline",
+    "RunResult",
+    "answers_agree",
+    "compare_machines",
+    "run",
+]

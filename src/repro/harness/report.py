@@ -1,0 +1,80 @@
+"""Plain-text report rendering for the benchmark harness.
+
+Every benchmark regenerates its paper artifact as an aligned text
+table (the medium the paper itself uses); these helpers keep the
+formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned text table with a rule under the
+    header (and a title line above, when given)."""
+    rendered_rows = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    ns: Sequence[int],
+    series: dict,
+    n_label: str = "N",
+    title: Optional[str] = None,
+) -> str:
+    """Render {label: [values aligned with ns]} as a table with one
+    column per label — the shape of a paper figure's data."""
+    headers = [n_label] + list(series)
+    rows = []
+    for index, n in enumerate(ns):
+        rows.append([n] + [series[label][index] for label in series])
+    return render_table(headers, rows, title=title)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A coarse text sparkline of a space trace (for examples)."""
+    if not values:
+        return ""
+    blocks = " .:-=+*#%@"
+    peak = max(values) or 1
+    if len(values) > width:
+        bucket = len(values) / width
+        sampled = [
+            max(values[int(i * bucket): max(int(i * bucket) + 1,
+                                            int((i + 1) * bucket))])
+            for i in range(width)
+        ]
+    else:
+        sampled = list(values)
+    return "".join(
+        blocks[min(len(blocks) - 1, int(v / peak * (len(blocks) - 1)))]
+        for v in sampled
+    )

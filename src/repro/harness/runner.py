@@ -1,0 +1,138 @@
+"""High-level drivers: run a program, compare machines, check answers.
+
+These wrap the reader -> expander -> validator -> machine -> meter
+pipeline into single calls used by the examples, tests, and benchmark
+harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Union
+
+from ..machine.answer import answer_string
+from ..machine.policy import Policy
+from ..machine.primitives import primitive_names
+from ..machine.values import Value
+from ..machine.variants import REFERENCE_MACHINES, make_machine
+from ..space.consumption import prepare_input, prepare_program
+from ..space.meter import (
+    DEFAULT_STEP_LIMIT,
+    MeterResult,
+    run_metered,
+    run_to_final,
+)
+from ..syntax.ast import Expr
+from ..syntax.validate import validate
+
+Source = Union[str, Expr]
+
+
+@dataclass
+class RunResult:
+    """The outcome of running one program on one machine."""
+
+    machine: str
+    answer: str
+    value: Value
+    steps: int
+    sup_space: Optional[int] = None
+    consumption: Optional[int] = None
+
+    def __str__(self) -> str:
+        return self.answer
+
+
+def run(
+    program: Source,
+    argument: Optional[Source] = None,
+    machine: str = "tail",
+    *,
+    meter: bool = False,
+    linked: bool = False,
+    fixed_precision: bool = False,
+    policy: Optional[Policy] = None,
+    strict: bool = False,
+    gc_interval: int = 1,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+    answer_limit: int = 10000,
+) -> RunResult:
+    """Run *program* (optionally applied to *argument*).
+
+    With ``meter=True`` the run is a Definition 21 space-efficient
+    computation and the result carries sup-space and S_X; without it
+    the run uses a relaxed GC schedule and is much faster.
+
+    ``strict=True`` enforces the full section 12 Program/Input
+    conditions (atomic constants only, free variables bound in rho_0);
+    by default only the free-variable condition is enforced.
+    """
+    program_expr = prepare_program(program)
+    argument_expr = prepare_input(argument)
+    names = primitive_names()
+    validate(program_expr, names, strict=strict)
+    if argument_expr is not None:
+        validate(argument_expr, names, strict=strict)
+
+    engine = (
+        make_machine(machine, policy=policy)
+        if policy is not None
+        else make_machine(machine)
+    )
+    if meter:
+        result: MeterResult = run_metered(
+            engine,
+            program_expr,
+            argument_expr,
+            linked=linked,
+            fixed_precision=fixed_precision,
+            gc_interval=gc_interval,
+            step_limit=step_limit,
+        )
+        return RunResult(
+            machine=machine,
+            answer=answer_string(result.final, answer_limit),
+            value=result.final.value,
+            steps=result.steps,
+            sup_space=result.sup_space,
+            consumption=result.consumption,
+        )
+    final, steps = run_to_final(
+        engine,
+        program_expr,
+        argument_expr,
+        gc_interval=1024,
+        step_limit=step_limit,
+    )
+    return RunResult(
+        machine=machine,
+        answer=answer_string(final, answer_limit),
+        value=final.value,
+        steps=steps,
+    )
+
+
+def compare_machines(
+    program: Source,
+    argument: Optional[Source] = None,
+    machines: Iterable[str] = tuple(REFERENCE_MACHINES),
+    **options,
+) -> Dict[str, RunResult]:
+    """Run the same (program, argument) on several machines.
+
+    Corollary 20: all reference implementations compute the same
+    answers — so the ``answer`` fields should agree; the space fields
+    will not.
+    """
+    program_expr = prepare_program(program)
+    argument_expr = prepare_input(argument)
+    return {
+        name: run(program_expr, argument_expr, machine=name, **options)
+        for name in machines
+    }
+
+
+def answers_agree(results: Dict[str, RunResult]) -> bool:
+    """True when every machine produced the same observable answer."""
+    answers = {result.answer for result in results.values()}
+    return len(answers) == 1

@@ -1,0 +1,153 @@
+"""Observable answers (Definition 11).
+
+The observable answer represented by a final configuration (v, sigma)
+is a (possibly infinite) sequence of output tokens: booleans print as
+``#t``/``#f``, numbers and symbols as themselves, procedures and
+escape procedures as ``#<PROC>``, vectors as ``#( ... )`` and lists as
+``( ... )`` with their elements printed recursively through the store.
+
+Cyclic data yields an infinite token stream, so :func:`answer` is a
+generator and :func:`answer_string` takes a token budget.  Equivalence
+of implementations (Corollary 20) is decided on bounded prefixes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Union
+
+from .config import Final
+from .store import Store
+from .values import (
+    Boolean,
+    Char,
+    Closure,
+    Escape,
+    NIL,
+    Num,
+    Pair,
+    Primop,
+    Str,
+    Sym,
+    UNDEFINED,
+    UNSPECIFIED,
+    Value,
+    Vector,
+)
+
+Token = str
+
+
+def answer(value: Value, store: Store) -> Iterator[Token]:
+    """Yield the output tokens of answer(v, sigma).
+
+    The traversal is an explicit work stack, so deep lists and cyclic
+    structure never overflow the Python stack.
+    """
+    stack: List[Union[Value, Token]] = [value]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, str):
+            yield item
+            continue
+        token = _immediate_token(item)
+        if token is not None:
+            yield token
+            continue
+        if isinstance(item, Vector):
+            yield "#("
+            stack.append(")")
+            for location in reversed(item.locations_):
+                stack.append(store.read(location))
+            continue
+        if isinstance(item, Pair):
+            yield "("
+            stack.append(")")
+            _push_list_elements(stack, store, item)
+            continue
+        yield f"#<UNKNOWN {item!r}>"
+
+
+def _push_list_elements(stack: List, store: Store, pair: Pair) -> None:
+    """Schedule the elements of a (possibly improper or cyclic) list.
+
+    Elements are pushed lazily: the cdr chain is walked via a sentinel
+    closure so that cyclic lists produce an infinite token stream
+    instead of looping forever inside this helper.
+    """
+    elements: List[Union[Value, Token]] = []
+    current: Value = pair
+    steps = 0
+    seen = set()
+    while True:
+        if isinstance(current, Pair):
+            key = (current.car_loc, current.cdr_loc)
+            if key in seen:
+                # Cyclic: re-emit from the repeated cell indefinitely by
+                # scheduling the cell itself again; answer() will keep
+                # producing tokens until the consumer stops.
+                elements.append(current)
+                break
+            seen.add(key)
+            elements.append(store.read(current.car_loc))
+            current = store.read(current.cdr_loc)
+            steps += 1
+        elif current is NIL:
+            break
+        else:
+            elements.append(".")
+            elements.append(current)
+            break
+    for element in reversed(elements):
+        stack.append(element)
+
+
+def _immediate_token(value: Value) -> Optional[Token]:
+    if isinstance(value, Boolean):
+        return "#t" if value.value else "#f"
+    if isinstance(value, Num):
+        return str(value.value)
+    if isinstance(value, Sym):
+        return value.name
+    if isinstance(value, Str):
+        return '"' + value.value + '"'
+    if isinstance(value, Char):
+        return "#\\" + value.value
+    if value is NIL:
+        return "()"
+    if isinstance(value, (Closure, Escape, Primop)):
+        return "#<PROC>"
+    if value is UNSPECIFIED:
+        return "#<UNSPECIFIED>"
+    if value is UNDEFINED:
+        return "#<UNDEFINED>"
+    return None
+
+
+def answer_tokens(final: Final, limit: int = 10000) -> List[Token]:
+    """The first *limit* tokens of the final configuration's answer."""
+    tokens = []
+    for token in answer(final.value, final.store):
+        tokens.append(token)
+        if len(tokens) >= limit:
+            break
+    return tokens
+
+
+def answer_string(final: Final, limit: int = 10000) -> str:
+    """The answer as a single string (bounded prefix for cyclic data)."""
+    return _render(answer_tokens(final, limit))
+
+
+def _render(tokens: List[Token]) -> str:
+    pieces: List[str] = []
+    for token in tokens:
+        if token == ")":
+            if pieces and pieces[-1] == " ":
+                pieces.pop()
+            pieces.append(")")
+            pieces.append(" ")
+            continue
+        pieces.append(token)
+        if not token.endswith("("):
+            pieces.append(" ")
+    return "".join(pieces).strip()

@@ -1,0 +1,70 @@
+"""Machine configurations (Figure 4).
+
+::
+
+    Configuration ::= (v, sigma)            -- Final
+                    | (E, rho, kappa, sigma) -- State with is_value=False
+                    | (v, rho, kappa, sigma) -- State with is_value=True
+
+The store is shared mutable state threaded through the computation;
+everything else in a State is immutable.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..syntax.ast import Expr
+from .continuation import Kont
+from .environment import Environment
+from .store import Store
+from .values import Value
+
+
+class State:
+    """An intermediate configuration of the CEKS machine."""
+
+    __slots__ = ("control", "is_value", "env", "kont", "store")
+
+    def __init__(
+        self,
+        control: Union[Expr, Value],
+        is_value: bool,
+        env: Environment,
+        kont: Kont,
+        store: Store,
+    ):
+        self.control = control
+        self.is_value = is_value
+        self.env = env
+        self.kont = kont
+        self.store = store
+
+    def with_expr(self, expr: Expr, env: Environment, kont: Kont) -> "State":
+        return State(expr, False, env, kont, self.store)
+
+    def with_value(self, value: Value, env: Environment, kont: Kont) -> "State":
+        return State(value, True, env, kont, self.store)
+
+    def __repr__(self) -> str:
+        kind = "value" if self.is_value else "expr"
+        return (
+            f"State({kind}={self.control!r}, |rho|={len(self.env)}, "
+            f"kont={self.kont!r}, |sigma|={len(self.store)})"
+        )
+
+
+class Final:
+    """A final configuration (v, sigma)."""
+
+    __slots__ = ("value", "store")
+
+    def __init__(self, value: Value, store: Store):
+        self.value = value
+        self.store = store
+
+    def __repr__(self) -> str:
+        return f"Final({self.value!r}, |sigma|={len(self.store)})"
+
+
+Configuration = Union[State, Final]

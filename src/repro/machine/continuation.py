@@ -1,0 +1,221 @@
+"""Continuations (Figure 4) and the return variants of sections 8.
+
+::
+
+    kappa ::= halt
+            | select:(E1, E2, rho, kappa)
+            | assign:(I, rho, kappa)
+            | push:((E, ...), (v, ...), pi, rho, kappa)
+            | call:((v, ...), kappa)
+            | return:(rho, kappa)              -- I_gc (section 8)
+            | return:(A, rho, kappa)           -- I_stack (section 8)
+
+Continuations are immutable.  Each caches its Figure 7 flat space at
+construction (space is defined structurally, so the child adds O(1) to
+the cached space of its parent), making per-step metering O(1) in the
+continuation component.
+
+Note Figure 7 counts values parked in push/call continuations as one
+word each (the ``m`` and ``n`` of ``1 + m + n + |Dom rho| + space(kappa)``);
+their heap parts are counted in the store, which the values keep
+reachable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from ..syntax.ast import Expr
+from .environment import Environment
+from .values import Location, Value
+
+
+class Kont:
+    """Base class for continuations."""
+
+    __slots__ = ("parent", "env", "flat_space")
+
+    parent: Optional["Kont"]
+    env: Optional[Environment]
+    flat_space: int
+
+    def direct_locations(self) -> Tuple[Location, ...]:
+        """Locations held directly by this frame (excluding parents)."""
+        if self.env is not None:
+            return tuple(self.env.location_values())
+        return ()
+
+    def direct_values(self) -> Tuple[Value, ...]:
+        """Values parked in this frame (push/call); GC traverses them."""
+        return ()
+
+
+class Halt(Kont):
+    """halt — the initial continuation."""
+
+    __slots__ = ()
+
+    def __init__(self):
+        self.parent = None
+        self.env = None
+        self.flat_space = 1
+
+    def __repr__(self) -> str:
+        return "halt"
+
+
+class Select(Kont):
+    """select:(E1, E2, rho, kappa) — choose a conditional arm."""
+
+    __slots__ = ("consequent", "alternative")
+
+    def __init__(
+        self, consequent: Expr, alternative: Expr, env: Environment, parent: Kont
+    ):
+        self.consequent = consequent
+        self.alternative = alternative
+        self.env = env
+        self.parent = parent
+        self.flat_space = 1 + len(env) + parent.flat_space
+
+    def __repr__(self) -> str:
+        return f"select:(|rho|={len(self.env)}, {self.parent!r})"
+
+
+class Assign(Kont):
+    """assign:(I, rho, kappa) — store the R-value into rho(I)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, env: Environment, parent: Kont):
+        self.name = name
+        self.env = env
+        self.parent = parent
+        self.flat_space = 1 + len(env) + parent.flat_space
+
+    def __repr__(self) -> str:
+        return f"assign:({self.name}, {self.parent!r})"
+
+
+class Push(Kont):
+    """push:((E, ...), (v, ...), pi, rho, kappa).
+
+    ``pending`` holds the expressions still to evaluate, in evaluation
+    order; ``done`` holds the values already computed, in evaluation
+    order; ``order`` is the permutation pi — ``order[j]`` is the
+    original position (0 = operator) of the j-th expression evaluated.
+
+    ``site`` is the Call expression this push belongs to.  It is a
+    code pointer (like the expressions already in the frame), costs no
+    space under Figure 7, and exists so the dynamic tail-call census
+    can attribute each runtime call to its syntactic site.
+    """
+
+    __slots__ = ("pending", "done", "order", "site")
+
+    def __init__(
+        self,
+        pending: Tuple[Expr, ...],
+        done: Tuple[Value, ...],
+        order: Tuple[int, ...],
+        env: Environment,
+        parent: Kont,
+        site=None,
+    ):
+        self.pending = pending
+        self.done = done
+        self.order = order
+        self.env = env
+        self.parent = parent
+        self.site = site
+        self.flat_space = (
+            1 + len(pending) + len(done) + len(env) + parent.flat_space
+        )
+
+    def direct_values(self) -> Tuple[Value, ...]:
+        return self.done
+
+    def __repr__(self) -> str:
+        return (
+            f"push:(m={len(self.pending)}, n={len(self.done)}, "
+            f"|rho|={len(self.env)}, {self.parent!r})"
+        )
+
+
+class CallK(Kont):
+    """call:((v1, ..., vm), kappa) — apply the operator to the args.
+
+    ``site`` carries the originating Call expression for the dynamic
+    census (a code pointer; no space under Figure 7)."""
+
+    __slots__ = ("args", "site")
+
+    def __init__(self, args: Tuple[Value, ...], parent: Kont, site=None):
+        self.args = args
+        self.env = None
+        self.parent = parent
+        self.site = site
+        self.flat_space = 1 + len(args) + parent.flat_space
+
+    def direct_values(self) -> Tuple[Value, ...]:
+        return self.args
+
+    def __repr__(self) -> str:
+        return f"call:(m={len(self.args)}, {self.parent!r})"
+
+
+class Return(Kont):
+    """return:(rho, kappa) — the I_gc frame created for every call."""
+
+    __slots__ = ()
+
+    def __init__(self, env: Environment, parent: Kont):
+        self.env = env
+        self.parent = parent
+        self.flat_space = 1 + len(env) + parent.flat_space
+
+    def __repr__(self) -> str:
+        return f"return:(|rho|={len(self.env)}, {self.parent!r})"
+
+
+class ReturnStack(Kont):
+    """return:(A, rho, kappa) — the I_stack frame.
+
+    ``frame`` is the deletion set A: locations retained (as roots)
+    until this frame returns, then deleted if that creates no dangling
+    pointer.  Figure 7 charges return:(A, rho, kappa) the same words as
+    return:(rho, kappa); A itself is free.
+    """
+
+    __slots__ = ("frame",)
+
+    def __init__(
+        self, frame: Tuple[Location, ...], env: Environment, parent: Kont
+    ):
+        self.frame = frame
+        self.env = env
+        self.parent = parent
+        self.flat_space = 1 + len(env) + parent.flat_space
+
+    def direct_locations(self) -> Tuple[Location, ...]:
+        env_locations = tuple(self.env.location_values()) if self.env else ()
+        return env_locations + self.frame
+
+    def __repr__(self) -> str:
+        return f"return-stack:(|A|={len(self.frame)}, {self.parent!r})"
+
+
+HALT = Halt()
+
+
+def chain(kont: Optional[Kont]) -> Iterator[Kont]:
+    """Iterate a continuation and all its ancestors (iteratively, so
+    CPS-deep chains cannot overflow the Python stack)."""
+    while kont is not None:
+        yield kont
+        kont = kont.parent
+
+
+def depth(kont: Kont) -> int:
+    """Number of frames in the continuation (halt included)."""
+    return sum(1 for _ in chain(kont))

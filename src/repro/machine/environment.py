@@ -1,0 +1,84 @@
+"""Environments: finite functions from identifiers to locations.
+
+Environments are immutable; ``extend`` and ``restrict`` return new
+environments (flat copies).  The linked-environment space accounting of
+Figure 8 views an environment as its *graph* — the set of
+(identifier, location) pairs — which :meth:`Environment.graph` exposes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
+
+from .values import Location
+
+
+class Environment:
+    """An immutable finite map Identifier -> Location."""
+
+    __slots__ = ("_bindings", "_graph")
+
+    def __init__(self, bindings: Optional[Dict[str, Location]] = None):
+        self._bindings: Dict[str, Location] = dict(bindings) if bindings else {}
+        self._graph: Optional[FrozenSet[Tuple[str, Location]]] = None
+
+    # -- lookups ------------------------------------------------------------
+
+    def lookup(self, name: str) -> Optional[Location]:
+        """The location bound to *name*, or None (caller decides stuck)."""
+        return self._bindings.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bindings
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._bindings)
+
+    def names(self) -> Iterable[str]:
+        return self._bindings.keys()
+
+    def location_values(self) -> Iterable[Location]:
+        """All locations in the range of the environment (GC roots)."""
+        return self._bindings.values()
+
+    def graph(self) -> FrozenSet[Tuple[str, Location]]:
+        """graph(rho): the environment as a set of bindings (section 13)."""
+        if self._graph is None:
+            self._graph = frozenset(self._bindings.items())
+        return self._graph
+
+    # -- constructors ---------------------------------------------------------
+
+    def extend(
+        self, names: Tuple[str, ...], locations: Tuple[Location, ...]
+    ) -> "Environment":
+        """rho[I1, ..., In -> b1, ..., bn] as a flat copy."""
+        if len(names) != len(locations):
+            raise ValueError("names and locations must have equal length")
+        bindings = dict(self._bindings)
+        bindings.update(zip(names, locations))
+        return Environment(bindings)
+
+    def restrict(self, names: Iterable[str]) -> "Environment":
+        """rho | names — keep only the bindings whose name is in *names*."""
+        wanted = names if isinstance(names, (set, frozenset)) else frozenset(names)
+        if len(wanted) >= len(self._bindings):
+            kept = {
+                name: loc for name, loc in self._bindings.items() if name in wanted
+            }
+            if len(kept) == len(self._bindings):
+                return self
+            return Environment(kept)
+        return Environment(
+            {name: self._bindings[name] for name in wanted if name in self._bindings}
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}->{v}" for k, v in sorted(self._bindings.items()))
+        return f"Env{{{inner}}}"
+
+
+EMPTY_ENV = Environment()

@@ -1,0 +1,45 @@
+"""Errors raised by the reference machines.
+
+A *stuck* computation (section 7: "the transition rule cannot be
+applied, and the computation will be stuck") is reported by raising
+:class:`StuckError`; Definition 21 excludes stuck computations from the
+space consumption sup, and the meter propagates the exception.
+"""
+
+from __future__ import annotations
+
+
+class SchemeError(Exception):
+    """Base class for every error signalled by this reproduction."""
+
+
+class StuckError(SchemeError):
+    """The machine reached a configuration no rule applies to."""
+
+
+class UnboundVariableError(StuckError):
+    """I not in Dom rho, rho(I) not in Dom sigma, or sigma(rho(I)) = UNDEFINED."""
+
+
+class NotAProcedureError(StuckError):
+    """The operator of a call evaluated to a non-procedure."""
+
+
+class ArityError(StuckError):
+    """A closure or primitive was called with the wrong argument count."""
+
+
+class PrimitiveError(StuckError):
+    """A primitive was applied to arguments outside its domain."""
+
+
+class DanglingPointerError(StuckError):
+    """An I_stack deletion created (or would create) a dangling pointer."""
+
+
+class StepLimitExceeded(SchemeError):
+    """The step budget ran out before a final configuration."""
+
+    def __init__(self, steps: int):
+        super().__init__(f"no final configuration within {steps} steps")
+        self.steps = steps

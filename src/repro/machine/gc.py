@@ -1,0 +1,97 @@
+"""The garbage collection rule (Figure 5).
+
+    (v, rho, kappa, sigma[b -> v', ...]) -> (v, rho, kappa, sigma)
+        if {b, ...} is nonempty and b, ... do not occur within
+        v, rho, kappa, sigma
+
+Reachability is computed iteratively (no Python recursion) because CPS
+programs build continuation chains and list structures far deeper than
+the interpreter stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from .config import Final, State
+from .continuation import Kont, chain
+from .environment import Environment
+from .store import Store
+from .values import Escape, Location, Value
+
+
+def reachable_locations(
+    store: Store,
+    root_values: Iterable[Value] = (),
+    root_env: Optional[Environment] = None,
+    root_kont: Optional[Kont] = None,
+) -> Set[Location]:
+    """The set of locations reachable from the given roots via the
+    active store."""
+    live: Set[Location] = set()
+    pending_locations: list = []
+    pending_values: list = list(root_values)
+    seen_konts: Set[int] = set()
+    pending_konts: list = []
+
+    if root_env is not None:
+        pending_locations.extend(root_env.location_values())
+    if root_kont is not None:
+        pending_konts.append(root_kont)
+
+    while pending_values or pending_locations or pending_konts:
+        while pending_values:
+            value = pending_values.pop()
+            pending_locations.extend(value.locations())
+            if isinstance(value, Escape):
+                pending_konts.append(value.kont)
+        while pending_locations:
+            location = pending_locations.pop()
+            if location in live:
+                continue
+            live.add(location)
+            if location in store:
+                pending_values.append(store.read(location))
+        while pending_konts:
+            kont = pending_konts.pop()
+            if id(kont) in seen_konts:
+                continue
+            for frame in chain(kont):
+                if id(frame) in seen_konts:
+                    break
+                seen_konts.add(id(frame))
+                pending_locations.extend(frame.direct_locations())
+                pending_values.extend(frame.direct_values())
+
+    return live
+
+
+def state_roots(state: State):
+    """Root values/env/kont of an intermediate configuration.
+
+    When the control component is an expression it mentions no
+    locations (Programs and Inputs contain none, and quoted constants
+    are atomic), so only the environment and continuation are roots.
+    """
+    values = (state.control,) if state.is_value else ()
+    return values, state.env, state.kont
+
+
+def collect(state: State) -> int:
+    """Apply the GC rule exhaustively: remove every unreachable
+    location.  Returns the number of locations collected."""
+    values, env, kont = state_roots(state)
+    live = reachable_locations(state.store, values, env, kont)
+    garbage = [loc for loc in state.store.locations() if loc not in live]
+    if garbage:
+        state.store.delete_many(garbage)
+    return len(garbage)
+
+
+def collect_final(final: Final) -> int:
+    """GC a final configuration (v, sigma): roots are v alone."""
+    live = reachable_locations(final.store, (final.value,))
+    garbage = [loc for loc in final.store.locations() if loc not in live]
+    if garbage:
+        final.store.delete_many(garbage)
+    return len(garbage)

@@ -1,0 +1,354 @@
+"""The CEKS reference machine (Figure 5) with variant hooks.
+
+:class:`Machine` implements the properly tail recursive semantics
+I_tail exactly; the other reference implementations of sections 8-10
+are subclasses (:mod:`repro.machine.variants`) that override precisely
+the hooks corresponding to the rules the paper changes:
+
+========================  =====================================================
+hook                      paper rule it parameterizes
+========================  =====================================================
+``closure_env``           the lambda reduction rule (I_free, I_sfs close over
+                          free variables only)
+``select_env``            the if reduction rule (I_sfs restricts)
+``assign_env``            the set! reduction rule (I_sfs restricts)
+``call_env``              the procedure-call reduction rule (I_sfs restricts
+                          to the free variables of the pending expressions)
+``push_env``              the push continuation rule (I_evlis drops the
+                          environment before the last subexpression; I_sfs
+                          restricts to the free variables of the rest)
+``call_frame``            the closure-call continuation rule (I_gc creates
+                          return:(rho, kappa); I_stack creates
+                          return:(A, rho, kappa))
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..syntax.ast import Call, Expr, If, Lambda, Quote, SetBang, Var
+from .config import Configuration, Final, State
+from .continuation import (
+    Assign,
+    CallK,
+    Halt,
+    Kont,
+    Push,
+    Return,
+    ReturnStack,
+    Select,
+)
+from .environment import EMPTY_ENV, Environment
+from .errors import (
+    ArityError,
+    NotAProcedureError,
+    StuckError,
+    UnboundVariableError,
+)
+from .gc import reachable_locations
+from .policy import LeftToRight, Policy
+from .store import Store
+from .values import (
+    Char as CharValue,
+    Closure,
+    Escape,
+    FALSE,
+    Location,
+    NIL,
+    Num,
+    Primop,
+    Str,
+    Sym,
+    TRUE,
+    UNDEFINED,
+    UNSPECIFIED,
+    Value,
+    is_true,
+)
+from ..reader.datum import Char as CharDatum, Symbol
+
+
+class Machine:
+    """The properly tail recursive reference implementation I_tail."""
+
+    name = "tail"
+
+    #: Whether the semantics includes the garbage collection rule of
+    #: Figure 5.  I_stack (a pure deletion strategy, section 5) sets
+    #: this False: storage is reclaimed only by frame deletion.
+    uses_gc_rule = True
+
+    def __init__(self, policy: Optional[Policy] = None):
+        self.policy = policy if policy is not None else LeftToRight()
+
+    # ------------------------------------------------------------------
+    # Injection
+    # ------------------------------------------------------------------
+
+    def inject(
+        self,
+        program: Expr,
+        argument: Optional[Expr] = None,
+        store: Optional[Store] = None,
+        global_env: Optional[Environment] = None,
+        trim_globals: bool = True,
+    ) -> State:
+        """Build the initial configuration.
+
+        With an *argument*, this is Definition 23's
+        ``((P D), rho_0, halt, sigma_0)``; without one, the program
+        expression itself is evaluated.  ``trim_globals`` restricts
+        rho_0 to the free variables of the program and argument (a
+        per-program constant change to S_X; pass False for the full
+        fixed rho_0 of section 12).
+        """
+        from ..syntax.free_vars import free_vars
+        from .primitives import make_initial_environment
+
+        if store is None:
+            store = Store()
+        if global_env is None:
+            names = None
+            if trim_globals:
+                names = set(free_vars(program))
+                if argument is not None:
+                    names |= free_vars(argument)
+            global_env = make_initial_environment(store, names)
+        expr = Call((program, argument)) if argument is not None else program
+        self.policy.reset()
+        return State(expr, False, global_env, Halt(), store)
+
+    # ------------------------------------------------------------------
+    # The transition function
+    # ------------------------------------------------------------------
+
+    def step(self, state: State) -> Configuration:
+        """One transition of Figure 5 (plus variant rules)."""
+        if state.is_value:
+            return self._step_value(state)
+        return self._step_expr(state)
+
+    def _step_expr(self, state: State) -> Configuration:
+        expr = state.control
+        env = state.env
+        store = state.store
+        if isinstance(expr, Quote):
+            return state.with_value(constant_value(expr.value), env, state.kont)
+        if isinstance(expr, Var):
+            location = env.lookup(expr.name)
+            if location is None:
+                raise UnboundVariableError(f"unbound variable: {expr.name}")
+            if location not in store:
+                raise UnboundVariableError(
+                    f"variable {expr.name} refers to an unmapped location"
+                )
+            value = store.read(location)
+            if value is UNDEFINED:
+                raise UnboundVariableError(
+                    f"variable {expr.name} read before initialization"
+                )
+            return state.with_value(value, env, state.kont)
+        if isinstance(expr, Lambda):
+            closed = self.closure_env(expr, env)
+            tag = store.alloc(UNSPECIFIED)
+            return state.with_value(Closure(tag, expr, closed), env, state.kont)
+        if isinstance(expr, If):
+            saved = self.select_env(env, expr.consequent, expr.alternative)
+            kont = Select(expr.consequent, expr.alternative, saved, state.kont)
+            return state.with_expr(expr.test, env, kont)
+        if isinstance(expr, SetBang):
+            saved = self.assign_env(env, expr.name)
+            kont = Assign(expr.name, saved, state.kont)
+            return state.with_expr(expr.expr, env, kont)
+        if isinstance(expr, Call):
+            order = self.policy.permutation(len(expr.exprs))
+            if sorted(order) != list(range(len(expr.exprs))):
+                raise StuckError(f"policy returned a non-permutation: {order}")
+            first = expr.exprs[order[0]]
+            pending = tuple(expr.exprs[i] for i in order[1:])
+            saved = self.call_env(env, pending)
+            kont = Push(pending, (), order, saved, state.kont, site=expr)
+            return state.with_expr(first, env, kont)
+        raise StuckError(f"not a Core Scheme expression: {expr!r}")
+
+    def _step_value(self, state: State) -> Configuration:
+        value = state.control
+        kont = state.kont
+        if isinstance(kont, Halt):
+            return Final(value, state.store)
+        if isinstance(kont, Select):
+            branch = kont.consequent if is_true(value) else kont.alternative
+            return state.with_expr(branch, kont.env, kont.parent)
+        if isinstance(kont, Assign):
+            location = kont.env.lookup(kont.name)
+            if location is None or location not in state.store:
+                raise UnboundVariableError(
+                    f"assignment to unbound variable: {kont.name}"
+                )
+            state.store.write(location, value)
+            return state.with_value(UNSPECIFIED, kont.env, kont.parent)
+        if isinstance(kont, Push):
+            return self._step_push(state, value, kont)
+        if isinstance(kont, CallK):
+            return self.apply_procedure(state, value, kont.args, kont.parent)
+        if isinstance(kont, ReturnStack):
+            self._delete_frame(state, value, kont)
+            return state.with_value(value, kont.env, kont.parent)
+        if isinstance(kont, Return):
+            return state.with_value(value, kont.env, kont.parent)
+        raise StuckError(f"unknown continuation: {kont!r}")
+
+    def _step_push(self, state: State, value: Value, kont: Push) -> Configuration:
+        if kont.pending:
+            next_expr = kont.pending[0]
+            rest = kont.pending[1:]
+            saved = self.push_env(kont.env, rest)
+            new_kont = Push(
+                rest, kont.done + (value,), kont.order, saved, kont.parent,
+                site=kont.site,
+            )
+            return state.with_expr(next_expr, kont.env, new_kont)
+        # All subexpressions evaluated: unpermute and form the call.
+        values_in_order = kont.done + (value,)
+        original: list = [None] * len(values_in_order)
+        for position, evaluated in zip(kont.order, values_in_order):
+            original[position] = evaluated
+        operator = original[0]
+        args = tuple(original[1:])
+        return state.with_value(
+            operator, kont.env, CallK(args, kont.parent, site=kont.site)
+        )
+
+    # ------------------------------------------------------------------
+    # Procedure application
+    # ------------------------------------------------------------------
+
+    def apply_procedure(
+        self, state: State, operator: Value, args: Tuple[Value, ...], kont: Kont
+    ) -> Configuration:
+        """The call continuation rule, dispatched on the operator."""
+        if isinstance(operator, Closure):
+            return self._apply_closure(state, operator, args, kont)
+        if isinstance(operator, Primop):
+            return self._apply_primop(state, operator, args, kont)
+        if isinstance(operator, Escape):
+            if len(args) != 1:
+                raise ArityError(
+                    f"escape procedure expects 1 argument, got {len(args)}"
+                )
+            return state.with_value(args[0], EMPTY_ENV, operator.kont)
+        raise NotAProcedureError(f"not a procedure: {operator!r}")
+
+    def _apply_closure(
+        self, state: State, closure: Closure, args: Tuple[Value, ...], kont: Kont
+    ) -> Configuration:
+        params = closure.lam.params
+        if len(params) != len(args):
+            raise ArityError(
+                f"procedure expects {len(params)} arguments, got {len(args)}"
+            )
+        locations = state.store.alloc_many(args)
+        body_env = closure.env.extend(params, locations)
+        body_kont = self.call_frame(locations, state.env, kont)
+        return state.with_expr(closure.lam.body, body_env, body_kont)
+
+    def _apply_primop(
+        self, state: State, primop: Primop, args: Tuple[Value, ...], kont: Kont
+    ) -> Configuration:
+        if primop.arity is not None:
+            low, high = primop.arity
+            if len(args) < low or (high is not None and len(args) > high):
+                raise ArityError(
+                    f"{primop.name} expects {_arity_text(low, high)} arguments, "
+                    f"got {len(args)}"
+                )
+        if primop.controls:
+            return primop.proc(self, state, args, kont)
+        result = primop.proc(self, state.store, args)
+        return state.with_value(result, state.env, kont)
+
+    # ------------------------------------------------------------------
+    # Variant hooks (I_tail defaults)
+    # ------------------------------------------------------------------
+
+    def closure_env(self, lam: Lambda, env: Environment) -> Environment:
+        """Environment captured by a closure (I_tail: all of scope)."""
+        return env
+
+    def select_env(self, env: Environment, consequent: Expr, alternative: Expr):
+        """Environment saved in a select continuation."""
+        return env
+
+    def assign_env(self, env: Environment, name: str) -> Environment:
+        """Environment saved in an assign continuation."""
+        return env
+
+    def call_env(self, env: Environment, pending: Tuple[Expr, ...]) -> Environment:
+        """Environment saved in the push continuation at call reduction."""
+        return env
+
+    def push_env(self, env: Environment, rest: Tuple[Expr, ...]) -> Environment:
+        """Environment saved when the push continuation advances."""
+        return env
+
+    def call_frame(
+        self,
+        frame_locations: Tuple[Location, ...],
+        caller_env: Environment,
+        kont: Kont,
+    ) -> Kont:
+        """Continuation for a closure body (I_tail: the caller's kappa
+        unchanged — every call is a goto)."""
+        return kont
+
+    def compact(self, state: State) -> State:
+        """Optional continuation compaction, run by the meter alongside
+        the GC rule.  The base machines do nothing; Baker's MTA variant
+        collapses runs of return frames here."""
+        return state
+
+    # ------------------------------------------------------------------
+    # I_stack frame deletion (used only by variants with ReturnStack)
+    # ------------------------------------------------------------------
+
+    def _delete_frame(self, state: State, value: Value, kont: ReturnStack) -> None:
+        """Delete the largest subset of the frame that creates no
+        dangling pointer: frame locations unreachable from the
+        post-return configuration."""
+        store = state.store
+        candidates = [loc for loc in kont.frame if loc in store]
+        if not candidates:
+            return
+        live = reachable_locations(store, (value,), kont.env, kont.parent)
+        deletable = [loc for loc in candidates if loc not in live]
+        if deletable:
+            store.delete_many(deletable)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} policy={self.policy!r}>"
+
+
+def constant_value(constant) -> Value:
+    """Map a quoted constant datum to a runtime value."""
+    if isinstance(constant, bool):
+        return TRUE if constant else FALSE
+    if isinstance(constant, int):
+        return Num(constant)
+    if isinstance(constant, Symbol):
+        return Sym(constant.name)
+    if isinstance(constant, CharDatum):
+        return CharValue(constant.value)
+    if isinstance(constant, str):
+        return Str(constant)
+    if constant == ():
+        return NIL
+    raise StuckError(f"not an atomic constant: {constant!r}")
+
+
+def _arity_text(low: int, high: Optional[int]) -> str:
+    if high is None:
+        return f"at least {low}"
+    if low == high:
+        return str(low)
+    return f"{low} to {high}"

@@ -1,0 +1,87 @@
+"""Evaluation policies: the nondeterministic choices of the semantics.
+
+The paper's machines are nondeterministic in
+
+- the permutation pi chosen for each procedure call's subexpressions,
+- the locations allocated (handled by the store's counter; all choices
+  are alpha-convertible, Lemma 14),
+- whether/when to apply the GC rule (handled by the meter),
+- the deletion set A of I_stack (handled by the variant).
+
+A :class:`Policy` fixes the permutation choice and seeds ``(random n)``
+so that runs are reproducible and choices can be *matched* across
+machines, as the proofs of Theorems 19 and 24 require.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+
+class Policy:
+    """Deterministic realization of the machine's nondeterminism."""
+
+    name = "abstract"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def permutation(self, count: int) -> Tuple[int, ...]:
+        """The evaluation order for a call with *count* subexpressions
+        (operator at index 0): ``result[j]`` is the original position
+        of the j-th subexpression to be evaluated."""
+        raise NotImplementedError
+
+    def random_integer(self, bound: int) -> int:
+        """The value of ``(random bound)``: an integer in [0, bound)."""
+        return self._rng.randrange(bound)
+
+    def reset(self) -> None:
+        """Restore the initial RNG state (for matched reruns)."""
+        self._rng = random.Random(self.seed)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(seed={self.seed})"
+
+
+class LeftToRight(Policy):
+    """Evaluate operator first, then operands left to right."""
+
+    name = "left-to-right"
+
+    def permutation(self, count: int) -> Tuple[int, ...]:
+        return tuple(range(count))
+
+
+class RightToLeft(Policy):
+    """Evaluate operands right to left, operator last."""
+
+    name = "right-to-left"
+
+    def permutation(self, count: int) -> Tuple[int, ...]:
+        return tuple(reversed(range(count)))
+
+
+class OperatorLast(Policy):
+    """Operands left to right, operator last (SML-like)."""
+
+    name = "operator-last"
+
+    def permutation(self, count: int) -> Tuple[int, ...]:
+        return tuple(range(1, count)) + (0,)
+
+
+class Shuffled(Policy):
+    """A seeded random permutation per call site occurrence."""
+
+    name = "shuffled"
+
+    def permutation(self, count: int) -> Tuple[int, ...]:
+        order = list(range(count))
+        self._rng.shuffle(order)
+        return tuple(order)
+
+
+DEFAULT_POLICY_FACTORY = LeftToRight

@@ -1,0 +1,118 @@
+"""The store: a finite function from locations to values.
+
+Locations are allocated from a countably infinite supply (section 11
+requires one); the store tracks running Figure 7 space totals —
+``sum(1 + space(sigma(a)))`` over its domain — under both bignum and
+fixed-precision number accounting, so the space meter reads
+``space(sigma)`` in O(1) per step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Tuple
+
+from .values import Location, Value
+
+
+class StoreError(KeyError):
+    """Raised on reads/writes of unmapped locations (a stuck state)."""
+
+
+class Store:
+    """A mutable store with running space totals and a version stamp."""
+
+    __slots__ = (
+        "_cells",
+        "_next_location",
+        "_space_bignum",
+        "_space_fixed",
+        "version",
+    )
+
+    def __init__(self):
+        self._cells: Dict[Location, Value] = {}
+        self._next_location: Location = 0
+        self._space_bignum: int = 0
+        self._space_fixed: int = 0
+        self.version: int = 0
+
+    # -- allocation and access ------------------------------------------------
+
+    def alloc(self, value: Value) -> Location:
+        """Allocate a fresh location holding *value*."""
+        location = self._next_location
+        self._next_location += 1
+        self._cells[location] = value
+        self._add_space(value, 1)
+        self.version += 1
+        return location
+
+    def alloc_many(self, values: Iterable[Value]) -> Tuple[Location, ...]:
+        """Allocate fresh locations for several values at once."""
+        return tuple(self.alloc(value) for value in values)
+
+    def read(self, location: Location) -> Value:
+        try:
+            return self._cells[location]
+        except KeyError:
+            raise StoreError(f"read of unmapped location {location}") from None
+
+    def write(self, location: Location, value: Value) -> None:
+        """sigma[a -> v] for an already-mapped location."""
+        old = self._cells.get(location)
+        if old is None:
+            raise StoreError(f"write to unmapped location {location}")
+        self._add_space(old, -1)
+        self._cells[location] = value
+        self._add_space(value, 1)
+        self.version += 1
+
+    def delete_many(self, locations: Iterable[Location]) -> None:
+        """Remove locations from the active store (GC / stack deletion)."""
+        for location in locations:
+            value = self._cells.pop(location, None)
+            if value is not None:
+                self._add_space(value, -1)
+        self.version += 1
+
+    def __contains__(self, location: Location) -> bool:
+        return location in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def locations(self) -> Iterator[Location]:
+        return iter(self._cells)
+
+    def items(self):
+        return self._cells.items()
+
+    # -- space totals -----------------------------------------------------------
+
+    @property
+    def space_bignum(self) -> int:
+        """space(sigma) under unlimited-precision number accounting."""
+        return self._space_bignum
+
+    @property
+    def space_fixed(self) -> int:
+        """space(sigma) under fixed-precision number accounting."""
+        return self._space_fixed
+
+    def _add_space(self, value: Value, sign: int) -> None:
+        from ..space.flat import value_space
+
+        self._space_bignum += sign * (1 + value_space(value, fixed_precision=False))
+        self._space_fixed += sign * (1 + value_space(value, fixed_precision=True))
+
+    def checkpoint_spaces(self) -> Tuple[int, int]:
+        """Recompute both totals from scratch (used by integrity tests)."""
+        from ..space.flat import value_space
+
+        bignum = sum(
+            1 + value_space(v, fixed_precision=False) for v in self._cells.values()
+        )
+        fixed = sum(
+            1 + value_space(v, fixed_precision=True) for v in self._cells.values()
+        )
+        return bignum, fixed

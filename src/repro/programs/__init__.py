@@ -1,0 +1,49 @@
+"""The paper's programs: Theorem 25/26 separators, section 4
+examples, and the classic-benchmark corpus for Figure 2."""
+
+from .corpus import CorpusProgram, corpus_names, load_corpus, load_program
+from .examples import (
+    CPS_FACTORIAL,
+    CPS_LOOP,
+    FIND_LEFTMOST_DEFINITIONS,
+    MUTUAL_RECURSION,
+    SELF_TAIL_LOOP,
+    STATE_MACHINE,
+    find_leftmost_program,
+    tree_build_only_program,
+)
+from .separators import (
+    EVLIS_VS_FREE,
+    GC_VS_TAIL,
+    SEPARATORS,
+    SEPARATORS_BY_NAME,
+    STACK_VS_GC,
+    Separator,
+    TAIL_VS_EVLIS,
+    theorem26_family,
+    theorem26_program,
+)
+
+__all__ = [
+    "CorpusProgram",
+    "corpus_names",
+    "load_corpus",
+    "load_program",
+    "CPS_FACTORIAL",
+    "CPS_LOOP",
+    "FIND_LEFTMOST_DEFINITIONS",
+    "MUTUAL_RECURSION",
+    "SELF_TAIL_LOOP",
+    "STATE_MACHINE",
+    "find_leftmost_program",
+    "tree_build_only_program",
+    "EVLIS_VS_FREE",
+    "GC_VS_TAIL",
+    "SEPARATORS",
+    "SEPARATORS_BY_NAME",
+    "STACK_VS_GC",
+    "Separator",
+    "TAIL_VS_EVLIS",
+    "theorem26_family",
+    "theorem26_program",
+]

@@ -1,0 +1,88 @@
+"""The benchmark corpus for the Figure 2 study.
+
+The paper instrumented two compilers (lcc for C, Twobit for Scheme)
+over their benchmark suites to count the static frequency of tail
+calls.  Those suites are not available, so this corpus bundles
+classic Gabriel-style Scheme benchmarks written in the subset this
+reproduction supports; each is a sequence of definitions ending in a
+one-argument ``main`` so the same sources also drive the machine
+equivalence tests and the throughput benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+_CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+@dataclass(frozen=True)
+class CorpusProgram:
+    """One corpus entry: its name, source text, and a default input
+    for which the program terminates quickly on every machine."""
+
+    name: str
+    source: str
+    default_input: str = "10"
+
+
+#: Inputs chosen so each program runs in well under a second even on
+#: the improperly tail recursive machines.
+_DEFAULT_INPUTS: Dict[str, str] = {
+    "tak": "6",
+    "cpstak": "6",
+    "ctak": "4",
+    "fib": "10",
+    "ack": "5",
+    "deriv": "5",
+    "nqueens": "6",
+    "sieve": "50",
+    "mergesort": "12",
+    "treesort": "12",
+    "destruct": "20",
+    "boyer-lite": "4",
+    "takl": "5",
+    "div": "12",
+    "browse-lite": "9",
+    "puzzle-lite": "7",
+    "rewrite-qq": "8",
+    "church": "7",
+    "streams": "9",
+    "meta-eval": "15",
+    "string-ops": "6",
+    "vector-loops": "20",
+    "higher-order": "12",
+    "gen-list": "14",
+}
+
+
+def corpus_names() -> Tuple[str, ...]:
+    """The names of every bundled corpus program, sorted."""
+    names = [
+        entry[: -len(".scm")]
+        for entry in os.listdir(_CORPUS_DIR)
+        if entry.endswith(".scm")
+    ]
+    return tuple(sorted(names))
+
+
+def load_program(name: str) -> CorpusProgram:
+    """Load one corpus program by name."""
+    path = os.path.join(_CORPUS_DIR, name + ".scm")
+    if not os.path.exists(path):
+        known = ", ".join(corpus_names())
+        raise KeyError(f"no corpus program {name!r}; known: {known}")
+    with open(path) as handle:
+        source = handle.read()
+    return CorpusProgram(
+        name=name,
+        source=source,
+        default_input=_DEFAULT_INPUTS.get(name, "10"),
+    )
+
+
+def load_corpus() -> Tuple[CorpusProgram, ...]:
+    """Load every bundled corpus program."""
+    return tuple(load_program(name) for name in corpus_names())

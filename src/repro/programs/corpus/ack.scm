@@ -1,0 +1,8 @@
+; ACK — Ackermann's function: a tail call in two of its three arms.
+(define (ack m n)
+  (cond ((zero? m) (+ n 1))
+        ((zero? n) (ack (- m 1) 1))                 ; tail call
+        (else (ack (- m 1) (ack m (- n 1))))))      ; tail + non-tail
+
+(define (main n)
+  (ack 2 (remainder n 8)))

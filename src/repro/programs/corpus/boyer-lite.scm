@@ -1,0 +1,79 @@
+; BOYER-LITE — a slimmed term-rewriting kernel in the spirit of the
+; Boyer benchmark: rewrite a term to normal form under a small rule
+; base kept in an association list.
+(define (make-rule lhs rhs) (cons lhs rhs))
+
+(define (rules)
+  (list (make-rule '(plus zero x) 'x)
+        (make-rule '(plus (succ x) y) '(succ (plus x y)))
+        (make-rule '(times zero x) 'zero)
+        (make-rule '(times (succ x) y) '(plus y (times x y)))))
+
+(define (match pattern term bindings)
+  (cond ((eqv? bindings #f) #f)
+        ((symbol? pattern)
+         (let ((bound (assq pattern bindings)))
+           (if bound
+               (if (equal? (cdr bound) term) bindings #f)
+               (cons (cons pattern term) bindings))))
+        ((and (pair? pattern) (pair? term))
+         (if (eqv? (car pattern) (car term))
+             (match-args (cdr pattern) (cdr term) bindings)
+             #f))
+        (else (if (equal? pattern term) bindings #f))))
+
+(define (match-args patterns terms bindings)
+  (cond ((and (null? patterns) (null? terms)) bindings)
+        ((or (null? patterns) (null? terms)) #f)
+        (else (match-args (cdr patterns) (cdr terms)
+                          (match (car patterns) (car terms) bindings)))))
+
+(define (instantiate template bindings)
+  (cond ((symbol? template)
+         (let ((bound (assq template bindings)))
+           (if bound (cdr bound) template)))
+        ((pair? template)
+         (cons (car template)
+               (instantiate-args (cdr template) bindings)))
+        (else template)))
+
+(define (instantiate-args templates bindings)
+  (if (null? templates)
+      '()
+      (cons (instantiate (car templates) bindings)
+            (instantiate-args (cdr templates) bindings))))
+
+(define (rewrite-head term rule-list)
+  (if (null? rule-list)
+      #f
+      (let ((bindings (match (car (car rule-list)) term '())))
+        (if bindings
+            (instantiate (cdr (car rule-list)) bindings)
+            (rewrite-head term (cdr rule-list))))))
+
+(define (normalize term fuel)
+  (if (zero? fuel)
+      term
+      (let ((next (rewrite-head term (rules))))
+        (if next
+            (normalize next (- fuel 1))
+            (if (pair? term)
+                (cons (car term)
+                      (normalize-args (cdr term) fuel))
+                term)))))
+
+(define (normalize-args terms fuel)
+  (if (null? terms)
+      '()
+      (cons (normalize (car terms) fuel)
+            (normalize-args (cdr terms) fuel))))
+
+(define (church k)
+  (if (zero? k) 'zero (list 'succ (church (- k 1)))))
+
+(define (unchurch term)
+  (if (eqv? term 'zero) 0 (+ 1 (unchurch (cadr term)))))
+
+(define (main n)
+  (let ((k (+ 1 (remainder n 5))))
+    (unchurch (normalize (list 'plus (church k) (church k)) 100))))

@@ -1,0 +1,47 @@
+; BROWSE-LITE — a slimmed browse: property lists kept in association
+; lists, pattern matching with wildcards over a small database.
+(define (get obj prop db)
+  (let ((entry (assq obj db)))
+    (if entry
+        (let ((hit (assq prop (cdr entry))))
+          (if hit (cdr hit) #f))
+        #f)))
+
+(define (put obj prop value db)
+  (let ((entry (assq obj db)))
+    (if entry
+        (begin (set-cdr! entry (cons (cons prop value) (cdr entry)))
+               db)
+        (cons (cons obj (list (cons prop value))) db))))
+
+(define (match? pattern datum)
+  (cond ((eqv? pattern '?) #t)
+        ((and (pair? pattern) (pair? datum))
+         (and (match? (car pattern) (car datum))
+              (match? (cdr pattern) (cdr datum))))
+        (else (equal? pattern datum))))
+
+(define (browse db pattern)
+  (define (scan entries hits)
+    (cond ((null? entries) hits)
+          ((match? pattern (car entries))
+           (scan (cdr entries) (+ hits 1)))
+          (else (scan (cdr entries) hits))))
+  (scan db 0))
+
+(define (seed-database k)
+  (define (loop i db)
+    (if (zero? i)
+        db
+        (loop (- i 1)
+              (put (if (even? i) 'alpha 'beta)
+                   (if (zero? (remainder i 3)) 'size 'color)
+                   i
+                   db))))
+  (loop k '()))
+
+(define (main n)
+  (let ((db (seed-database (+ 4 (remainder n 12)))))
+    (+ (browse db (cons 'alpha '?))
+       (browse db (cons 'beta '?))
+       (if (get 'alpha 'size db) 1 0))))

@@ -1,0 +1,26 @@
+; CHURCH — Church-numeral arithmetic: the pure-closure workload.
+; Every numeral is a tower of closures; exercises closure capture
+; policies (I_tail vs I_free/I_sfs) and higher-order application.
+(define (church-zero) (lambda (f) (lambda (x) x)))
+
+(define (church-succ n)
+  (lambda (f) (lambda (x) (f ((n f) x)))))
+
+(define (church-add a b)
+  (lambda (f) (lambda (x) ((a f) ((b f) x)))))
+
+(define (church-mul a b)
+  (lambda (f) (a (b f))))
+
+(define (nat->church k)
+  (if (zero? k)
+      (church-zero)
+      (church-succ (nat->church (- k 1)))))
+
+(define (church->nat n)
+  ((n (lambda (k) (+ k 1))) 0))
+
+(define (main n)
+  (let ((a (nat->church (+ 1 (remainder n 5))))
+        (b (nat->church (+ 2 (remainder n 3)))))
+    (church->nat (church-add (church-mul a b) a))))

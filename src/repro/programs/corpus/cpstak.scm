@@ -1,0 +1,19 @@
+; CPSTAK — TAK in continuation-passing style: every call is a tail
+; call, no procedure ever returns.  Pure CPS, the idiom proper tail
+; recursion exists to protect.
+(define (cpstak x y z k)
+  (if (not (< y x))
+      (k z)
+      (cpstak (- x 1) y z
+              (lambda (v1)
+                (cpstak (- y 1) z x
+                        (lambda (v2)
+                          (cpstak (- z 1) x y
+                                  (lambda (v3)
+                                    (cpstak v1 v2 v3 k)))))))))
+
+(define (main n)
+  (cpstak (remainder (+ n 18) 19)
+          (remainder (+ n 12) 13)
+          (remainder n 7)
+          (lambda (x) x)))

@@ -1,0 +1,22 @@
+; CTAK — TAK using call-with-current-continuation for every return.
+; Exercises escape procedures (the ESCAPE values of Figure 4).
+(define (ctak x y z)
+  (call-with-current-continuation
+   (lambda (k) (ctak-aux k x y z))))
+
+(define (ctak-aux k x y z)
+  (if (not (< y x))
+      (k z)
+      (call-with-current-continuation
+       (lambda (k2)
+         (k2 (ctak-aux
+              k2
+              (call-with-current-continuation
+               (lambda (k3) (k3 (ctak-aux k3 (- x 1) y z))))
+              (call-with-current-continuation
+               (lambda (k4) (k4 (ctak-aux k4 (- y 1) z x))))
+              (call-with-current-continuation
+               (lambda (k5) (k5 (ctak-aux k5 (- z 1) x y))))))))))
+
+(define (main n)
+  (ctak (remainder (+ n 12) 13) (remainder (+ n 6) 7) (remainder n 4)))

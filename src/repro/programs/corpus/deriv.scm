@@ -1,0 +1,42 @@
+; DERIV — symbolic differentiation (Gabriel benchmark, simplified to
+; the supported subset).  List-structured expressions, association of
+; operators, deep recursion through cons structure.
+(define (deriv-constant? e) (number? e))
+(define (deriv-variable? e) (symbol? e))
+
+(define (make-sum a b)
+  (cond ((and (number? a) (number? b)) (+ a b))
+        ((eqv? a 0) b)
+        ((eqv? b 0) a)
+        (else (list '+ a b))))
+
+(define (make-product a b)
+  (cond ((and (number? a) (number? b)) (* a b))
+        ((eqv? a 0) 0)
+        ((eqv? b 0) 0)
+        ((eqv? a 1) b)
+        ((eqv? b 1) a)
+        (else (list '* a b))))
+
+(define (deriv e x)
+  (cond ((deriv-constant? e) 0)
+        ((deriv-variable? e) (if (eqv? e x) 1 0))
+        ((eqv? (car e) '+)
+         (make-sum (deriv (cadr e) x) (deriv (caddr e) x)))
+        ((eqv? (car e) '*)
+         (make-sum (make-product (cadr e) (deriv (caddr e) x))
+                   (make-product (deriv (cadr e) x) (caddr e))))
+        (else (error 'deriv-unknown-operator))))
+
+(define (build-expression n)
+  (if (zero? n)
+      'x
+      (list '* (list '+ 'x (remainder n 10)) (build-expression (- n 1)))))
+
+(define (expression-size e)
+  (if (pair? e)
+      (+ 1 (+ (expression-size (car e)) (expression-size (cdr e))))
+      1))
+
+(define (main n)
+  (expression-size (deriv (build-expression (remainder n 20)) 'x)))

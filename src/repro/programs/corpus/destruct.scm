@@ -1,0 +1,40 @@
+; DESTRUCT — destructive list surgery with set-car!/set-cdr!
+; (a slimmed version of the Gabriel destructive benchmark).
+(define (iota n)
+  (define (loop i acc)
+    (if (zero? i)
+        acc
+        (loop (- i 1) (cons i acc))))
+  (loop n '()))
+
+(define (nreverse! lst)
+  (define (loop prev cur)
+    (if (null? cur)
+        prev
+        (let ((next (cdr cur)))
+          (begin
+            (set-cdr! cur prev)
+            (loop cur next)))))
+  (loop '() lst))
+
+(define (smash-evens! lst)
+  (define (loop cell)
+    (if (null? cell)
+        0
+        (begin
+          (if (even? (car cell))
+              (set-car! cell (* 2 (car cell)))
+              0)
+          (loop (cdr cell)))))
+  (begin (loop lst) lst))
+
+(define (sum lst)
+  (define (loop cell acc)
+    (if (null? cell)
+        acc
+        (loop (cdr cell) (+ acc (car cell)))))
+  (loop lst 0))
+
+(define (main n)
+  (let ((size (+ 1 (remainder n 50))))
+    (sum (smash-evens! (nreverse! (iota size))))))

@@ -1,0 +1,21 @@
+; DIV — the Gabriel divide-by-two pair: an iterative (tail recursive)
+; and a recursive (stack-building) version of halving a unary list.
+(define (create-n n)
+  (do ((i n (- i 1))
+       (acc '() (cons '() acc)))
+      ((zero? i) acc)))
+
+(define (iterative-div2 lst)
+  (do ((cell lst (cddr cell))
+       (acc '() (cons (car cell) acc)))
+      ((null? cell) acc)))
+
+(define (recursive-div2 lst)
+  (if (null? lst)
+      '()
+      (cons (car lst) (recursive-div2 (cddr lst)))))
+
+(define (main n)
+  (let ((lst (create-n (* 2 (+ 1 (remainder n 20))))))
+    (+ (length (iterative-div2 lst))
+       (length (recursive-div2 lst)))))

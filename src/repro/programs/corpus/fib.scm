@@ -1,0 +1,17 @@
+; FIB — doubly recursive Fibonacci: one tail call per arm of the
+; addition?  No: the recursive calls are operands of +, so they are
+; non-tail; only the whole (+ ...) is in tail position.
+(define (fib n)
+  (if (< n 2)
+      n
+      (+ (fib (- n 1)) (fib (- n 2)))))
+
+(define (fib-iter n)
+  (define (loop i a b)
+    (if (= i n)
+        a
+        (loop (+ i 1) b (+ a b))))
+  (loop 0 0 1))
+
+(define (main n)
+  (+ (fib (remainder n 17)) (fib-iter n)))

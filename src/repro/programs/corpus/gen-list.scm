@@ -1,0 +1,25 @@
+; GEN-LIST — list generation, reversal, appending, zipping: the
+; allocation-heavy list workloads of portable Scheme code.
+(define (build n f)
+  (define (loop i acc)
+    (if (< i 0)
+        acc
+        (loop (- i 1) (cons (f i) acc))))
+  (loop (- n 1) '()))
+
+(define (zip-sum a b)
+  (if (or (null? a) (null? b))
+      '()
+      (cons (+ (car a) (car b))
+            (zip-sum (cdr a) (cdr b)))))
+
+(define (sum lst)
+  (define (loop cell acc)
+    (if (null? cell) acc (loop (cdr cell) (+ acc (car cell)))))
+  (loop lst 0))
+
+(define (main n)
+  (let ((size (+ 1 (remainder n 40))))
+    (let ((xs (build size (lambda (i) i)))
+          (ys (build size (lambda (i) (* 2 i)))))
+      (sum (zip-sum (append xs (reverse ys)) (append ys xs))))))

@@ -1,0 +1,34 @@
+; HIGHER-ORDER — map/filter/fold written from scratch, compose and
+; curry: closure-heavy code where closures capture freely.
+(define (my-map f lst)
+  (if (null? lst)
+      '()
+      (cons (f (car lst)) (my-map f (cdr lst)))))
+
+(define (my-filter keep? lst)
+  (cond ((null? lst) '())
+        ((keep? (car lst)) (cons (car lst) (my-filter keep? (cdr lst))))
+        (else (my-filter keep? (cdr lst)))))          ; tail call
+
+(define (my-fold f acc lst)
+  (if (null? lst)
+      acc
+      (my-fold f (f acc (car lst)) (cdr lst))))       ; tail call
+
+(define (compose f g)
+  (lambda (x) (f (g x))))
+
+(define (curry-add k)
+  (lambda (x) (+ x k)))
+
+(define (range a b)
+  (if (>= a b)
+      '()
+      (cons a (range (+ a 1) b))))
+
+(define (main n)
+  (let ((size (+ 1 (remainder n 30))))
+    (my-fold (lambda (acc x) (+ acc x))
+             0
+             (my-map (compose (curry-add 1) (curry-add 2))
+                     (my-filter odd? (range 0 size))))))

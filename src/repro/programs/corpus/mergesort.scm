@@ -1,0 +1,42 @@
+; MERGESORT — list merge sort.  split/merge are partly tail
+; recursive; the sort itself recurses non-tail on both halves.
+(define (msort-split lst)
+  (if (or (null? lst) (null? (cdr lst)))
+      (cons lst '())
+      (let ((rest (msort-split (cddr lst))))
+        (cons (cons (car lst) (car rest))
+              (cons (cadr lst) (cdr rest))))))
+
+(define (msort-merge a b)
+  (cond ((null? a) b)
+        ((null? b) a)
+        ((< (car a) (car b))
+         (cons (car a) (msort-merge (cdr a) b)))
+        (else
+         (cons (car b) (msort-merge a (cdr b))))))
+
+(define (msort lst)
+  (if (or (null? lst) (null? (cdr lst)))
+      lst
+      (let ((halves (msort-split lst)))
+        (msort-merge (msort (car halves))
+                     (msort (cdr halves))))))
+
+(define (iota-scrambled n)
+  (define (loop i acc)
+    (if (zero? i)
+        acc
+        (loop (- i 1) (cons (remainder (* i 17) n) acc))))
+  (loop n '()))
+
+(define (sorted? lst)
+  (or (null? lst)
+      (null? (cdr lst))
+      (and (<= (car lst) (cadr lst))
+           (sorted? (cdr lst)))))
+
+(define (main n)
+  (let ((size (+ 2 (remainder n 40))))
+    (if (sorted? (msort (iota-scrambled size)))
+        (length (msort (iota-scrambled size)))
+        -1)))

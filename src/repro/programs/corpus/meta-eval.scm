@@ -1,0 +1,48 @@
+; META-EVAL — a tiny metacircular evaluator for an arithmetic lambda
+; language, the "art of the interpreter" workload.  Environments are
+; association lists; the evaluator is tail recursive in exactly the
+; places a properly tail recursive host rewards.
+(define (lookup name env)
+  (let ((hit (assq name env)))
+    (if hit (cdr hit) (error 'unbound))))
+
+(define (extend env name value)
+  (cons (cons name value) env))
+
+(define (meta-eval expr env)
+  (cond ((number? expr) expr)
+        ((symbol? expr) (lookup expr env))
+        ((eqv? (car expr) 'lam)
+         (list 'closure (cadr expr) (caddr expr) env))
+        ((eqv? (car expr) 'ifz)
+         (if (zero? (meta-eval (cadr expr) env))
+             (meta-eval (caddr expr) env)          ; tail call
+             (meta-eval (cadddr-of expr) env)))    ; tail call
+        ((eqv? (car expr) 'add)
+         (+ (meta-eval (cadr expr) env)
+            (meta-eval (caddr expr) env)))
+        ((eqv? (car expr) 'sub)
+         (- (meta-eval (cadr expr) env)
+            (meta-eval (caddr expr) env)))
+        (else
+         (meta-apply (meta-eval (car expr) env)
+                     (meta-eval (cadr expr) env)))))
+
+(define (cadddr-of x) (car (cdr (cdr (cdr x)))))
+
+(define (meta-apply closure argument)
+  (meta-eval (caddr closure)
+             (extend (cadddr-of closure) (cadr closure) argument)))
+
+; Object program: an iterative countdown loop via a Y-like self
+; application, i.e. the interpreted program is itself tail recursive.
+(define (loop-program n)
+  (list (list 'lam 'self
+              (list (list 'self 'self) n))
+        (list 'lam 'self
+              (list 'lam 'n
+                    (list 'ifz 'n 42
+                          (list (list 'self 'self) (list 'sub 'n 1)))))))
+
+(define (main n)
+  (meta-eval (loop-program (remainder n 50)) '()))

@@ -1,0 +1,26 @@
+; NQUEENS — backtracking n-queens solution counter.  Mixed tail and
+; non-tail recursion: the column walk is tail recursive, the row walk
+; accumulates through +.
+(define (queens-ok? row dist placed)
+  (or (null? placed)
+      (and (not (= (car placed) (+ row dist)))
+           (not (= (car placed) (- row dist)))
+           (not (= (car placed) row))
+           (queens-ok? row (+ dist 1) (cdr placed)))))
+
+(define (nqueens n)
+  (define (try-column col placed)
+    (if (> col n)
+        1
+        (try-rows 1 col placed)))
+  (define (try-rows row col placed)
+    (if (> row n)
+        0
+        (+ (if (queens-ok? row 1 placed)
+               (try-column (+ col 1) (cons row placed))
+               0)
+           (try-rows (+ row 1) col placed))))
+  (try-column 1 '()))
+
+(define (main n)
+  (nqueens (+ 4 (remainder n 3))))

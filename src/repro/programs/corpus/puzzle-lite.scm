@@ -1,0 +1,38 @@
+; PUZZLE-LITE — a small exact-cover search over a bit board kept in a
+; vector, in the spirit of the Gabriel puzzle benchmark.
+(define (make-board size) (make-vector size #f))
+
+(define (fits? board pos len)
+  (let loop ((i 0))
+    (cond ((= i len) #t)
+          ((>= (+ pos i) (vector-length board)) #f)
+          ((vector-ref board (+ pos i)) #f)
+          (else (loop (+ i 1))))))
+
+(define (place! board pos len flag)
+  (let loop ((i 0))
+    (if (= i len)
+        0
+        (begin
+          (vector-set! board (+ pos i) flag)
+          (loop (+ i 1))))))
+
+(define (solve board pieces)
+  (if (null? pieces)
+      1
+      (let ((len (car pieces)))
+        (let try ((pos 0) (count 0))
+          (if (> (+ pos len) (vector-length board))
+              count
+              (if (fits? board pos len)
+                  (begin
+                    (place! board pos len #t)
+                    (let ((below (solve board (cdr pieces))))
+                      (begin
+                        (place! board pos len #f)
+                        (try (+ pos 1) (+ count below)))))
+                  (try (+ pos 1) count)))))))
+
+(define (main n)
+  (solve (make-board (+ 5 (remainder n 3)))
+         (list 3 2)))

@@ -1,0 +1,33 @@
+; REWRITE-QQ — algebraic simplification with quasiquoted templates:
+; exercises the quasiquote expansion into list/append calls.
+(define (simplify expr)
+  (cond ((not (pair? expr)) expr)
+        ((eqv? (car expr) '+)
+         (let ((a (simplify (cadr expr)))
+               (b (simplify (caddr expr))))
+           (cond ((eqv? a 0) b)
+                 ((eqv? b 0) a)
+                 ((and (number? a) (number? b)) (+ a b))
+                 (else `(+ ,a ,b)))))
+        ((eqv? (car expr) '*)
+         (let ((a (simplify (cadr expr)))
+               (b (simplify (caddr expr))))
+           (cond ((or (eqv? a 0) (eqv? b 0)) 0)
+                 ((eqv? a 1) b)
+                 ((eqv? b 1) a)
+                 ((and (number? a) (number? b)) (* a b))
+                 (else `(* ,a ,b)))))
+        (else expr)))
+
+(define (build k)
+  (if (zero? k)
+      'x
+      `(+ (* 1 ,(build (- k 1))) (* x 0))))
+
+(define (size expr)
+  (if (pair? expr)
+      (+ 1 (size (car expr)) (size (cdr expr)))
+      1))
+
+(define (main n)
+  (size (simplify (build (+ 1 (remainder n 12))))))

@@ -1,0 +1,20 @@
+; SIEVE — the sieve of Eratosthenes over a vector, written with do
+; loops (which expand to tail-recursive named lets).
+(define (sieve-primes limit)
+  (let ((flags (make-vector (+ limit 1) #t)))
+    (begin
+      (vector-set! flags 0 #f)
+      (if (> limit 0) (vector-set! flags 1 #f) 0)
+      (do ((i 2 (+ i 1)))
+          ((> (* i i) limit) 0)
+        (if (vector-ref flags i)
+            (do ((j (* i i) (+ j i)))
+                ((> j limit) 0)
+              (vector-set! flags j #f))
+            0))
+      (do ((k limit (- k 1))
+           (count 0 (if (vector-ref flags k) (+ count 1) count)))
+          ((< k 2) count)))))
+
+(define (main n)
+  (sieve-primes (+ 10 (remainder n 90))))

@@ -1,0 +1,37 @@
+; STREAMS — SICP-style lazy streams built from thunks.  Stream
+; processing is a classic space-behaviour subject: holding the head
+; of a stream while walking its tail retains everything between.
+(define (stream-cons-thunk head tail-thunk) (cons head tail-thunk))
+(define (stream-head s) (car s))
+(define (stream-rest s) ((cdr s)))
+
+(define (integers-from k)
+  (stream-cons-thunk k (lambda () (integers-from (+ k 1)))))
+
+(define (stream-filter keep? s)
+  (if (keep? (stream-head s))
+      (stream-cons-thunk (stream-head s)
+                         (lambda () (stream-filter keep? (stream-rest s))))
+      (stream-filter keep? (stream-rest s))))
+
+(define (stream-map f s)
+  (stream-cons-thunk (f (stream-head s))
+                     (lambda () (stream-map f (stream-rest s)))))
+
+(define (stream-take s k)
+  (if (zero? k)
+      '()
+      (cons (stream-head s) (stream-take (stream-rest s) (- k 1)))))
+
+(define (stream-ref s k)
+  (if (zero? k)
+      (stream-head s)
+      (stream-ref (stream-rest s) (- k 1))))
+
+(define (divisible? a b) (zero? (remainder a b)))
+
+(define (main n)
+  (let ((k (+ 2 (remainder n 10))))
+    (+ (stream-ref (stream-filter odd? (integers-from 0)) k)
+       (stream-ref (stream-map (lambda (x) (* x x)) (integers-from 1)) k)
+       (length (stream-take (integers-from 10) k)))))

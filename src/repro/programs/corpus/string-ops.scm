@@ -1,0 +1,16 @@
+; STRING-OPS — string and symbol plumbing: building, comparing, and
+; measuring strings through the minimal string library.
+(define (repeat-string s k)
+  (if (zero? k)
+      ""
+      (string-append s (repeat-string s (- k 1)))))
+
+(define (digits->string n)
+  (number->string n))
+
+(define (main n)
+  (let ((k (+ 1 (remainder n 10))))
+    (if (string=? (repeat-string "ab" k) (repeat-string "ab" k))
+        (+ (string-length (repeat-string "xy" k))
+           (string-length (digits->string n)))
+        -1)))

@@ -1,0 +1,11 @@
+; TAK — the classic Gabriel benchmark.  Heavy non-tail recursion in
+; the argument positions, with a tail call at every conditional arm.
+(define (tak x y z)
+  (if (not (< y x))
+      z
+      (tak (tak (- x 1) y z)      ; tail call (operands are non-tail)
+           (tak (- y 1) z x)
+           (tak (- z 1) x y))))
+
+(define (main n)
+  (tak (remainder (+ n 18) 19) (remainder (+ n 12) 13) (remainder n 7)))

@@ -1,0 +1,23 @@
+; TAKL — TAK on unary numbers represented as lists (Gabriel).
+; Stresses list traversal in the comparison predicate.
+(define (listn n)
+  (if (zero? n)
+      '()
+      (cons n (listn (- n 1)))))
+
+(define (shorterp x y)
+  (and (not (null? y))
+       (or (null? x)
+           (shorterp (cdr x) (cdr y)))))
+
+(define (mas x y z)
+  (if (not (shorterp y x))
+      z
+      (mas (mas (cdr x) y z)
+           (mas (cdr y) z x)
+           (mas (cdr z) x y))))
+
+(define (main n)
+  (length (mas (listn (+ 4 (remainder n 3)))
+               (listn (+ 2 (remainder n 2)))
+               (listn (remainder n 2)))))

@@ -1,0 +1,37 @@
+; TREESORT — binary search tree insertion and in-order flattening.
+; Non-tail structural recursion with an accumulator-passing walk.
+(define (tree-insert tree x)
+  (if (null? tree)
+      (list x '() '())
+      (let ((v (car tree))
+            (l (cadr tree))
+            (r (caddr tree)))
+        (if (< x v)
+            (list v (tree-insert l x) r)
+            (list v l (tree-insert r x))))))
+
+(define (tree-from-list lst)
+  (define (loop lst tree)
+    (if (null? lst)
+        tree
+        (loop (cdr lst) (tree-insert tree (car lst)))))
+  (loop lst '()))
+
+(define (tree-walk tree acc)
+  (if (null? tree)
+      acc
+      (tree-walk (cadr tree)
+                 (cons (car tree)
+                       (tree-walk (caddr tree) acc)))))
+
+(define (pseudo-random-list n)
+  (define (loop i acc)
+    (if (zero? i)
+        acc
+        (loop (- i 1) (cons (remainder (* i 31) 101) acc))))
+  (loop n '()))
+
+(define (main n)
+  (length (tree-walk (tree-from-list (pseudo-random-list
+                                      (+ 2 (remainder n 30))))
+                     '())))

@@ -1,0 +1,31 @@
+; VECTOR-LOOPS — vector tabulation, mapping, and folding with named
+; lets: the iterative vector idioms of day-to-day Scheme.
+(define (vector-tabulate n f)
+  (let ((v (make-vector n 0)))
+    (let loop ((i 0))
+      (if (= i n)
+          v
+          (begin
+            (vector-set! v i (f i))
+            (loop (+ i 1)))))))
+
+(define (vector-map! v f)
+  (let loop ((i 0))
+    (if (= i (vector-length v))
+        v
+        (begin
+          (vector-set! v i (f (vector-ref v i)))
+          (loop (+ i 1))))))
+
+(define (vector-fold v f init)
+  (let loop ((i 0) (acc init))
+    (if (= i (vector-length v))
+        acc
+        (loop (+ i 1) (f acc (vector-ref v i))))))
+
+(define (main n)
+  (let ((size (+ 1 (remainder n 64))))
+    (vector-fold (vector-map! (vector-tabulate size (lambda (i) (* i i)))
+                              (lambda (x) (+ x 1)))
+                 (lambda (acc x) (+ acc x))
+                 0)))

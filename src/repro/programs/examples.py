@@ -1,0 +1,199 @@
+"""Example programs from the paper's narrative sections.
+
+- section 4's ``find-leftmost`` (Figure 3), with tree builders whose
+  shapes exercise the claim that its space is proportional to the
+  maximal number of left edges on any root-to-leaf path and
+  independent of the number of right edges;
+- pure continuation-passing-style loops (section 4: "it is perfectly
+  feasible to write large programs in which no procedure ever returns,
+  and all calls are tail calls");
+- a mutual tail recursion that a self-tail-call-only implementation
+  (the section 14 'bigloo' machine) cannot run in constant space.
+"""
+
+from __future__ import annotations
+
+#: Figure 3 verbatim (modulo naming the tree accessors): three tail
+#: calls, of which the last is a self-tail call.  Trees are pairs;
+#: leaves are numbers.
+FIND_LEFTMOST_DEFINITIONS = """
+(define (leaf? tree) (number? tree))
+(define (left-child tree) (car tree))
+(define (right-child tree) (cdr tree))
+
+(define (find-leftmost predicate? tree fail)
+  (if (leaf? tree)
+      (if (predicate? tree)
+          tree                         ; return
+          (fail))                      ; tail call
+      (let ((continuation
+             (lambda ()
+               (find-leftmost          ; tail call
+                predicate?
+                (right-child tree)
+                fail))))
+        (find-leftmost predicate?     ; tail call
+                       (left-child tree)
+                       continuation))))
+"""
+
+#: A tree whose every left child is a leaf (a right spine): the paper
+#: says find-leftmost runs in constant space on it, no matter how
+#: large the tree.
+RIGHT_SPINE_TREE = """
+(define (make-right-spine n)
+  (if (zero? n)
+      0
+      (cons 1 (make-right-spine (- n 1)))))
+"""
+
+#: A tree that is one long left spine: the worst case, with n left
+#: edges on the leftmost path.
+LEFT_SPINE_TREE = """
+(define (make-left-spine n)
+  (if (zero? n)
+      0
+      (cons (make-left-spine (- n 1)) 1)))
+"""
+
+
+def find_leftmost_program(shape: str) -> str:
+    """A full program: build a tree of the given *shape* ('right' or
+    'left' spine) of size n, then search it for a negative leaf (which
+    never exists, so the search visits every leaf and finally tail
+    calls the top-level failure continuation)."""
+    if shape == "right":
+        builder = RIGHT_SPINE_TREE
+        build_call = "(make-right-spine n)"
+    elif shape == "left":
+        builder = LEFT_SPINE_TREE
+        build_call = "(make-left-spine n)"
+    else:
+        raise ValueError(f"unknown tree shape: {shape!r}")
+    return (
+        FIND_LEFTMOST_DEFINITIONS
+        + builder
+        + f"""
+; The top-level failure thunk captures no locals: under I_tail a
+; lambda written inside f would close over the whole scope including
+; the tree's root, retaining the consumed prefix and obscuring the
+; space of the search itself.
+(define (search-failed) -1)
+
+(define (f n)
+  (let ((tree {build_call}))
+    (find-leftmost negative? tree search-failed)))
+"""
+    )
+
+
+def tree_build_only_program(shape: str) -> str:
+    """A control program: the same top-level definitions as
+    :func:`find_leftmost_program` (so every saved environment has the
+    same |Dom rho| during the build), but the search is never run.
+    The difference of the two measurements is the space attributable
+    to the search itself."""
+    if shape == "right":
+        builder, build_call = RIGHT_SPINE_TREE, "(make-right-spine n)"
+    elif shape == "left":
+        builder, build_call = LEFT_SPINE_TREE, "(make-left-spine n)"
+    else:
+        raise ValueError(f"unknown tree shape: {shape!r}")
+    # The dead (negative? n) branch keeps the control's free-variable
+    # set identical to the search program's, so the trimmed rho_0 (and
+    # with it every saved |Dom rho| during the build) matches exactly.
+    return (
+        FIND_LEFTMOST_DEFINITIONS
+        + builder
+        + f"""
+(define (search-failed) -1)
+
+(define (f n)
+  (let ((tree {build_call}))
+    (if (negative? n)
+        (find-leftmost negative? tree search-failed)
+        0)))
+"""
+    )
+
+
+#: Pure CPS iteration: every call is a tail call, no procedure ever
+#: returns until the final continuation fires.  Constant space under
+#: proper tail recursion; linear under I_gc and under the 'bigloo'
+#: machine (the calls to k and loop are not self calls).
+CPS_LOOP = """
+(define (loop n k)
+  (if (zero? n)
+      (k 0)
+      (loop (- n 1) k)))
+(define (f n)
+  (loop n (lambda (x) x)))
+"""
+
+#: CPS ping-pong: the iteration alternates between two procedures, so
+#: no call is a *self* call — an implementation that only optimizes
+#: simple self tail recursion (the section 14 'bigloo' machine) pushes
+#: a frame per hop, while proper tail recursion stays constant.
+CPS_PINGPONG = """
+(define (ping n k)
+  (if (zero? n)
+      (k 'ping)
+      (pong (- n 1) k)))
+(define (pong n k)
+  (if (zero? n)
+      (k 'pong)
+      (ping (- n 1) k)))
+(define (f n)
+  (ping n (lambda (x) x)))
+"""
+
+#: CPS factorial: builds a chain of continuation closures — the
+#: "stack" is reified in the heap, so even I_tail needs Theta(n)
+#: space, but it does not need a control stack to do it.
+CPS_FACTORIAL = """
+(define (fact n k)
+  (if (zero? n)
+      (k 1)
+      (fact (- n 1)
+            (lambda (r) (k (* n r))))))
+(define (f n)
+  (fact n (lambda (x) x)))
+"""
+
+#: Mutual tail recursion: even?/odd? ping-pong.  These are tail calls
+#: to *known* procedures but not *self* calls, so the section 14
+#: 'bigloo' machine pushes a frame for every hop while I_tail stays
+#: in constant space.
+MUTUAL_RECURSION = """
+(define (my-even? n)
+  (if (zero? n) #t (my-odd? (- n 1))))
+(define (my-odd? n)
+  (if (zero? n) #f (my-even? (- n 1))))
+(define (f n)
+  (my-even? n))
+"""
+
+#: A state-machine written as mutually tail-calling procedures — the
+#: idiom the Scheme standard's proper-tail-recursion requirement
+#: protects.  Cycles through three states n times.
+STATE_MACHINE = """
+(define (state-a n)
+  (if (zero? n) 0 (state-b (- n 1))))
+(define (state-b n)
+  (if (zero? n) 1 (state-c (- n 1))))
+(define (state-c n)
+  (if (zero? n) 2 (state-a (- n 1))))
+(define (f n)
+  (state-a n))
+"""
+
+#: An iterative accumulator loop (self tail calls only) — the one
+#: shape that even the 'bigloo' machine runs in constant space.
+SELF_TAIL_LOOP = """
+(define (f n)
+  (define (loop i acc)
+    (if (zero? i)
+        acc
+        (loop (- i 1) (+ acc 1))))
+  (loop n 0))
+"""

@@ -1,0 +1,199 @@
+"""The separating programs of Theorems 25 and 26.
+
+Theorem 25 exhibits, for every proper inclusion in Figure 6, a program
+that is quadratic under one reference implementation and linear (or
+constant) under another.  Each :class:`Separator` below records the
+program source, the paper's claimed growth class per machine, and the
+pair(s) of machines it separates.
+
+Theorem 26 exhibits a program *family* P_N (the program text grows
+with N) on which linked environments are asymptotically better than
+flat safe-for-space closures: U_tail(P_N) in O(N log N) versus
+S_sfs(P_N) in Theta(N^2); :func:`theorem26_program` generates P_N.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Theorem 25, first program: shows O(S_stack) not within O(S_gc).
+#: The recursion happens inside make-vector's argument, so each
+#: level's vector is dead the moment it is bound; a collector reclaims
+#: it immediately (S_gc linear), but no deletion set ever contains the
+#: vector's cells, so Algol-like deletion leaks them (S_stack
+#: quadratic).
+STACK_VS_GC = """
+(define (f n)
+  (let ((v (make-vector (if (zero? n)
+                            0
+                            (f (- n 1))))))
+    n))
+"""
+
+#: Theorem 25, second program: shows O(S_gc) not within O(S_tail).
+#: The canonical iterative loop: constant space when properly tail
+#: recursive, linear when every call pushes a return frame.
+GC_VS_TAIL = """
+(define (f n)
+  (if (zero? n)
+      0
+      (f (- n 1))))
+"""
+
+#: Theorem 25, third program: shows O(S_tail) not within O(S_evlis),
+#: O(S_free) not within O(S_evlis), and O(S_free) not within O(S_sfs).
+#: The vector v is dead at the tail call ((g)), but the push
+#: continuation for ((g)) saves the full environment (containing v) in
+#: I_tail and I_free; I_evlis and I_sfs drop/restrict it.
+TAIL_VS_EVLIS = """
+(define (f n)
+  (define (g)
+    (begin (f (- n 1))
+           (lambda () n)))
+  (let ((v (make-vector n)))
+    (if (zero? n)
+        0
+        ((g)))))
+"""
+
+#: Theorem 25, fourth program: shows O(S_tail) not within O(S_free),
+#: O(S_evlis) not within O(S_free), and O(S_evlis) not within
+#: O(S_sfs).  The thunk closes over everything in scope (including the
+#: dead vector v) under I_tail/I_evlis, but only over its free
+#: variables {f, n} under I_free/I_sfs.
+EVLIS_VS_FREE = """
+(define (f n)
+  (let ((v (make-vector n)))
+    (if (zero? n)
+        0
+        ((lambda ()
+           (begin (f (- n 1))
+                  n))))))
+"""
+
+
+@dataclass(frozen=True)
+class Separator:
+    """One Theorem 25 separating program with its expected behaviour.
+
+    ``growth`` maps machine name to the paper's growth class for
+    lambda-N . S_X(P, N) under fixed-precision number accounting (the
+    paper notes bignum arithmetic adds a log factor to the linear
+    entries).  ``separates`` lists (Y, X) pairs meaning the program
+    witnesses O(S_Y) not within O(S_X).
+    """
+
+    name: str
+    source: str
+    growth: Dict[str, str] = field(default_factory=dict)
+    separates: Tuple[Tuple[str, str], ...] = ()
+
+
+SEPARATORS: Tuple[Separator, ...] = (
+    Separator(
+        name="stack-vs-gc",
+        source=STACK_VS_GC,
+        growth={
+            "tail": "O(n)",
+            "gc": "O(n)",
+            "stack": "O(n^2)",
+            "evlis": "O(n)",
+            "free": "O(n)",
+            "sfs": "O(n)",
+        },
+        separates=(("stack", "gc"),),
+    ),
+    Separator(
+        name="gc-vs-tail",
+        source=GC_VS_TAIL,
+        growth={
+            "tail": "O(1)",
+            "gc": "O(n)",
+            "stack": "O(n)",
+            "evlis": "O(1)",
+            "free": "O(1)",
+            "sfs": "O(1)",
+        },
+        separates=(("gc", "tail"),),
+    ),
+    Separator(
+        name="tail-vs-evlis",
+        source=TAIL_VS_EVLIS,
+        growth={
+            "tail": "O(n^2)",
+            "gc": "O(n^2)",
+            "stack": "O(n^2)",
+            "evlis": "O(n)",
+            "free": "O(n^2)",
+            "sfs": "O(n)",
+        },
+        separates=(("tail", "evlis"), ("free", "evlis"), ("free", "sfs")),
+    ),
+    Separator(
+        name="evlis-vs-free",
+        source=EVLIS_VS_FREE,
+        growth={
+            "tail": "O(n^2)",
+            "gc": "O(n^2)",
+            "stack": "O(n^2)",
+            "evlis": "O(n^2)",
+            "free": "O(n)",
+            "sfs": "O(n)",
+        },
+        separates=(("tail", "free"), ("evlis", "free"), ("evlis", "sfs")),
+    ),
+)
+
+SEPARATORS_BY_NAME: Dict[str, Separator] = {s.name: s for s in SEPARATORS}
+
+
+def theorem26_program(k: int) -> str:
+    """The Theorem 26 program P_k: k nested lets around a loop that
+    accumulates thunks closing over x0..xk.
+
+    ::
+
+        (define (f n)
+          (let ((xk (- n k)))
+            ...
+            (let ((x0 n))
+              (define (loop i thunks)
+                (if (zero? i)
+                    ((list-ref thunks (random (length thunks))))
+                    (loop (- i 1)
+                          (cons (lambda () (list i x0 x1 ... xk))
+                                thunks))))
+              (loop n '()))))
+
+    With flat free-variable closures (I_sfs) each of the N thunks
+    copies N+1 bindings: Theta(N^2).  With linked environments
+    (U_tail) the x0..xk bindings are shared: O(N log N) (O(N) with
+    fixed-precision numbers).
+
+    Note the nesting matches the paper's E_{j,k} (x0 innermost), so
+    every x_j is in scope for the thunks.
+    """
+    if k < 0:
+        raise ValueError("k must be nonnegative")
+    xs = [f"x{j}" for j in range(k + 1)]
+    thunk_body = "(list i " + " ".join(xs) + ")"
+    inner = f"""(define (loop i thunks)
+  (if (zero? i)
+      ((list-ref thunks (random (length thunks))))
+      (loop (- i 1)
+            (cons (lambda () {thunk_body})
+                  thunks))))
+(loop n '())"""
+    # x0 binds n in the innermost let; x_j (j > 0) binds (- n j).
+    body = f"(let ((x0 n))\n{inner})"
+    for j in range(1, k + 1):
+        body = f"(let ((x{j} (- n {j})))\n{body})"
+    return f"(define (f n)\n{body})"
+
+
+def theorem26_family(n: int) -> Tuple[str, str]:
+    """(program, input) for the Theorem 26 sweep at size *n*: the
+    program P_n applied to n itself, as in the paper's
+    ``lambda N . U_tail(P_N, (quote N))``."""
+    return theorem26_program(n), str(n)

@@ -1,0 +1,132 @@
+"""External representation of Scheme data read from source text.
+
+The reader (``repro.reader.parser``) produces *datum* trees:
+
+- symbols      -> :class:`Symbol`
+- exact ints   -> ``int``
+- booleans     -> ``bool``
+- strings      -> ``str``
+- characters   -> :class:`Char`
+- proper lists -> ``tuple`` of datums
+- vectors      -> :class:`VectorDatum`
+
+Proper lists are represented as Python tuples so that datum trees are
+hashable and immutable; improper (dotted) lists are rejected by the
+reader because Core Scheme programs in this reproduction never need
+them (section 12 of the paper forbids compound constants anyway).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+
+class Symbol:
+    """An interned Scheme symbol.
+
+    Two symbols with the same name compare equal and share a hash, so
+    they can be used as dictionary keys throughout the front end.
+    """
+
+    __slots__ = ("name",)
+    _interned: dict = {}
+
+    def __new__(cls, name: str) -> "Symbol":
+        existing = cls._interned.get(name)
+        if existing is not None:
+            return existing
+        symbol = super().__new__(cls)
+        object.__setattr__(symbol, "name", name)
+        cls._interned[name] = symbol
+        return symbol
+
+    def __setattr__(self, key, value):  # pragma: no cover - defensive
+        raise AttributeError("Symbol is immutable")
+
+    def __repr__(self) -> str:
+        return f"Symbol({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __reduce__(self):
+        return (Symbol, (self.name,))
+
+
+class Char:
+    """A Scheme character literal such as ``#\\a`` or ``#\\newline``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        if len(value) != 1:
+            raise ValueError(f"Char must wrap a single character: {value!r}")
+        self.value = value
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Char) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("Char", self.value))
+
+    def __repr__(self) -> str:
+        return f"Char({self.value!r})"
+
+
+class VectorDatum:
+    """A vector literal ``#(...)``.
+
+    Vector literals are parsed for completeness but rejected by the
+    program validator, because section 12 of the paper forbids compound
+    constants in programs and inputs (they would share storage).
+    """
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Tuple["Datum", ...]):
+        self.items = tuple(items)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, VectorDatum) and other.items == self.items
+
+    def __hash__(self) -> int:
+        return hash(("VectorDatum", self.items))
+
+    def __repr__(self) -> str:
+        return f"VectorDatum({self.items!r})"
+
+
+Datum = Union[Symbol, int, bool, str, Char, VectorDatum, Tuple]
+
+
+def is_list(datum: Datum) -> bool:
+    """Return True when *datum* is a (possibly empty) proper list."""
+    return isinstance(datum, tuple)
+
+
+def datum_to_string(datum: Datum) -> str:
+    """Render a datum back to external syntax.
+
+    The rendering is canonical: reading it again yields an equal datum,
+    which the property tests rely on.
+    """
+    if isinstance(datum, bool):
+        return "#t" if datum else "#f"
+    if isinstance(datum, int):
+        return str(datum)
+    if isinstance(datum, Symbol):
+        return datum.name
+    if isinstance(datum, str):
+        escaped = datum.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(datum, Char):
+        if datum.value == " ":
+            return "#\\space"
+        if datum.value == "\n":
+            return "#\\newline"
+        return f"#\\{datum.value}"
+    if isinstance(datum, VectorDatum):
+        return "#(" + " ".join(datum_to_string(item) for item in datum.items) + ")"
+    if isinstance(datum, tuple):
+        return "(" + " ".join(datum_to_string(item) for item in datum) + ")"
+    raise TypeError(f"not a datum: {datum!r}")

@@ -1,0 +1,240 @@
+"""Tokenizer for the Scheme surface syntax accepted by this reproduction.
+
+Handles parentheses (round and square), quotation sugar, booleans,
+exact integers (including negative and radix-10 only), strings,
+characters, symbols, ``;`` line comments, ``#|...|#`` block comments,
+and ``#;`` datum comments (the datum-skip itself is handled by the
+parser).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+class LexError(SyntaxError):
+    """Raised when the source text cannot be tokenized."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of: LPAREN, RPAREN, QUOTE, QUASIQUOTE, UNQUOTE,
+    UNQUOTE_SPLICING, VECTOR_OPEN, DATUM_COMMENT, BOOLEAN, NUMBER,
+    STRING, CHAR, SYMBOL, DOT.
+    """
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+_DELIMITERS = set('()[]"; \t\n\r')
+
+_NAMED_CHARS = {
+    "space": " ",
+    "newline": "\n",
+    "tab": "\t",
+    "nul": "\0",
+    "return": "\r",
+}
+
+_STRING_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    '"': '"',
+    "\\": "\\",
+}
+
+
+class Lexer:
+    """A one-pass tokenizer with one token of lookahead."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield every token in the source text."""
+        while True:
+            token = self.next_token()
+            if token is None:
+                return
+            yield token
+
+    def next_token(self) -> Optional[Token]:
+        """Return the next token, or None at end of input."""
+        self._skip_atmosphere()
+        if self._pos >= len(self._text):
+            return None
+        line, column = self._line, self._column
+        ch = self._peek()
+        if ch in "([":
+            self._advance()
+            return Token("LPAREN", ch, line, column)
+        if ch in ")]":
+            self._advance()
+            return Token("RPAREN", ch, line, column)
+        if ch == "'":
+            self._advance()
+            return Token("QUOTE", ch, line, column)
+        if ch == "`":
+            self._advance()
+            return Token("QUASIQUOTE", ch, line, column)
+        if ch == ",":
+            self._advance()
+            if self._peek() == "@":
+                self._advance()
+                return Token("UNQUOTE_SPLICING", ",@", line, column)
+            return Token("UNQUOTE", ",", line, column)
+        if ch == '"':
+            return self._string(line, column)
+        if ch == "#":
+            return self._hash(line, column)
+        return self._atom(line, column)
+
+    # -- internal helpers -------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> str:
+        index = self._pos + ahead
+        if index < len(self._text):
+            return self._text[index]
+        return ""
+
+    def _advance(self) -> str:
+        ch = self._text[self._pos]
+        self._pos += 1
+        if ch == "\n":
+            self._line += 1
+            self._column = 1
+        else:
+            self._column += 1
+        return ch
+
+    def _skip_atmosphere(self) -> None:
+        while self._pos < len(self._text):
+            ch = self._peek()
+            if ch in " \t\n\r":
+                self._advance()
+            elif ch == ";":
+                while self._pos < len(self._text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "#" and self._peek(1) == "|":
+                self._block_comment()
+            else:
+                return
+
+    def _block_comment(self) -> None:
+        line, column = self._line, self._column
+        self._advance()  # '#'
+        self._advance()  # '|'
+        depth = 1
+        while depth > 0:
+            if self._pos >= len(self._text):
+                raise LexError("unterminated block comment", line, column)
+            if self._peek() == "|" and self._peek(1) == "#":
+                self._advance()
+                self._advance()
+                depth -= 1
+            elif self._peek() == "#" and self._peek(1) == "|":
+                self._advance()
+                self._advance()
+                depth += 1
+            else:
+                self._advance()
+
+    def _string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        chars = []
+        while True:
+            if self._pos >= len(self._text):
+                raise LexError("unterminated string", line, column)
+            ch = self._advance()
+            if ch == '"':
+                break
+            if ch == "\\":
+                if self._pos >= len(self._text):
+                    raise LexError("unterminated string escape", line, column)
+                escape = self._advance()
+                if escape not in _STRING_ESCAPES:
+                    raise LexError(f"bad string escape \\{escape}", line, column)
+                chars.append(_STRING_ESCAPES[escape])
+            else:
+                chars.append(ch)
+        return Token("STRING", "".join(chars), line, column)
+
+    def _hash(self, line: int, column: int) -> Token:
+        self._advance()  # '#'
+        ch = self._peek()
+        if ch == "(":
+            self._advance()
+            return Token("VECTOR_OPEN", "#(", line, column)
+        if ch == ";":
+            self._advance()
+            return Token("DATUM_COMMENT", "#;", line, column)
+        if ch in "tT":
+            self._advance()
+            self._require_delimiter(line, column)
+            return Token("BOOLEAN", "#t", line, column)
+        if ch in "fF":
+            self._advance()
+            self._require_delimiter(line, column)
+            return Token("BOOLEAN", "#f", line, column)
+        if ch == "\\":
+            self._advance()
+            return self._char(line, column)
+        raise LexError(f"unsupported # syntax: #{ch}", line, column)
+
+    def _char(self, line: int, column: int) -> Token:
+        if self._pos >= len(self._text):
+            raise LexError("unterminated character literal", line, column)
+        first = self._advance()
+        name = [first]
+        if first.isalpha():
+            while self._peek() and self._peek() not in _DELIMITERS:
+                name.append(self._advance())
+        text = "".join(name)
+        if len(text) == 1:
+            return Token("CHAR", text, line, column)
+        lowered = text.lower()
+        if lowered in _NAMED_CHARS:
+            return Token("CHAR", _NAMED_CHARS[lowered], line, column)
+        raise LexError(f"unknown character name #\\{text}", line, column)
+
+    def _atom(self, line: int, column: int) -> Token:
+        chars = []
+        while self._peek() and self._peek() not in _DELIMITERS:
+            chars.append(self._advance())
+        text = "".join(chars)
+        if not text:
+            raise LexError(f"unexpected character {self._peek()!r}", line, column)
+        if text == ".":
+            return Token("DOT", text, line, column)
+        if _is_integer(text):
+            return Token("NUMBER", text, line, column)
+        return Token("SYMBOL", text, line, column)
+
+    def _require_delimiter(self, line: int, column: int) -> None:
+        if self._peek() and self._peek() not in _DELIMITERS:
+            raise LexError("expected delimiter after literal", line, column)
+
+
+def _is_integer(text: str) -> bool:
+    body = text[1:] if text[0] in "+-" else text
+    return body.isdigit()
+
+
+def tokenize(text: str) -> list:
+    """Tokenize *text* into a list of tokens (convenience wrapper)."""
+    return list(Lexer(text).tokens())

@@ -1,0 +1,155 @@
+"""S-expression reader: token stream -> datum trees.
+
+The reader supports the quotation sugar of full Scheme (``'x`` reads as
+``(quote x)``; quasiquote and unquote read as their canonical list
+forms so that the expander can reject them with a clear error), datum
+comments ``#;``, and vector literals ``#(...)``.
+
+Dotted pairs are rejected: section 12 of the paper forbids compound
+constants, and none of the paper's programs use dotted source syntax.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .datum import Datum, Char, Symbol, VectorDatum
+from .lexer import Lexer, LexError, Token
+
+
+class ParseError(SyntaxError):
+    """Raised when the token stream is not a well-formed datum."""
+
+    def __init__(self, message: str, token: Optional[Token] = None):
+        if token is not None:
+            message = f"{message} at line {token.line}, column {token.column}"
+        super().__init__(message)
+        self.token = token
+
+
+_SUGAR = {
+    "QUOTE": Symbol("quote"),
+    "QUASIQUOTE": Symbol("quasiquote"),
+    "UNQUOTE": Symbol("unquote"),
+    "UNQUOTE_SPLICING": Symbol("unquote-splicing"),
+}
+
+
+class Parser:
+    """A recursive-descent reader over the token stream."""
+
+    def __init__(self, text: str):
+        self._tokens = list(Lexer(text).tokens())
+        self._pos = 0
+
+    def read(self) -> Optional[Datum]:
+        """Read one datum, or return None at end of input."""
+        if self._pos >= len(self._tokens):
+            return None
+        return self._datum()
+
+    def read_all(self) -> List[Datum]:
+        """Read every datum in the input."""
+        data = []
+        while True:
+            datum = self.read()
+            if datum is None:
+                return data
+            data.append(datum)
+
+    # -- internal helpers -------------------------------------------------
+
+    def _next(self) -> Token:
+        if self._pos >= len(self._tokens):
+            raise ParseError("unexpected end of input")
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _peek(self) -> Optional[Token]:
+        if self._pos >= len(self._tokens):
+            return None
+        return self._tokens[self._pos]
+
+    def _datum(self) -> Datum:
+        token = self._next()
+        if token.kind == "DATUM_COMMENT":
+            self._datum()  # discard the next datum
+            return self._datum()
+        if token.kind == "LPAREN":
+            return self._list(token)
+        if token.kind == "VECTOR_OPEN":
+            return VectorDatum(tuple(self._vector_items(token)))
+        if token.kind in _SUGAR:
+            return (_SUGAR[token.kind], self._datum())
+        if token.kind == "BOOLEAN":
+            return token.text == "#t"
+        if token.kind == "NUMBER":
+            return int(token.text)
+        if token.kind == "STRING":
+            return token.text
+        if token.kind == "CHAR":
+            return Char(token.text)
+        if token.kind == "SYMBOL":
+            return Symbol(token.text)
+        if token.kind == "RPAREN":
+            raise ParseError("unexpected closing parenthesis", token)
+        if token.kind == "DOT":
+            raise ParseError("dotted pairs are not supported", token)
+        raise ParseError(f"unexpected token {token.kind}", token)
+
+    def _list(self, opener: Token) -> Datum:
+        items = []
+        while True:
+            token = self._peek()
+            if token is None:
+                raise ParseError("unterminated list", opener)
+            if token.kind == "RPAREN":
+                self._next()
+                self._check_bracket(opener, token)
+                return tuple(items)
+            if token.kind == "DOT":
+                raise ParseError("dotted pairs are not supported", token)
+            items.append(self._datum())
+
+    def _vector_items(self, opener: Token) -> List[Datum]:
+        items = []
+        while True:
+            token = self._peek()
+            if token is None:
+                raise ParseError("unterminated vector", opener)
+            if token.kind == "RPAREN":
+                self._next()
+                return items
+            items.append(self._datum())
+
+    @staticmethod
+    def _check_bracket(opener: Token, closer: Token) -> None:
+        matched = {"(": ")", "[": "]"}
+        if matched[opener.text] != closer.text:
+            raise ParseError(
+                f"mismatched brackets: {opener.text} closed by {closer.text}",
+                closer,
+            )
+
+
+def read(text: str) -> Datum:
+    """Read exactly one datum from *text*.
+
+    Raises ParseError when the text contains zero or multiple datums.
+    """
+    parser = Parser(text)
+    datum = parser.read()
+    if datum is None:
+        raise ParseError("no datum in input")
+    if parser.read() is not None:
+        raise ParseError("more than one datum in input")
+    return datum
+
+
+def read_all(text: str) -> List[Datum]:
+    """Read every datum from *text*."""
+    return Parser(text).read_all()
+
+
+__all__ = ["Parser", "ParseError", "LexError", "read", "read_all"]

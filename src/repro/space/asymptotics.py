@@ -1,0 +1,119 @@
+"""Growth-class fitting for measured space consumption.
+
+The paper's theorems separate space complexity classes: a program
+consumes, say, O(N) space on one reference implementation and Θ(N²) on
+another.  This module classifies a measured (N, space) series into one
+of the growth classes that appear in the paper — constant, logarithmic,
+linear, N log N, quadratic, cubic — by least-squares fitting
+``space = a * f(N) + b`` for each candidate shape and choosing the
+best-fitting shape with a preference for the slowest-growing candidate
+among near-ties (so noise never promotes a linear series to N log N).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+GrowthFunction = Callable[[float], float]
+
+#: Candidate shapes, slowest-growing first (the tie-break order).
+GROWTH_CLASSES: Dict[str, GrowthFunction] = {
+    "O(1)": lambda n: 1.0,
+    "O(log n)": lambda n: math.log2(n + 1.0),
+    "O(n)": lambda n: float(n),
+    "O(n log n)": lambda n: n * math.log2(n + 1.0),
+    "O(n^2)": lambda n: float(n) ** 2,
+    "O(n^3)": lambda n: float(n) ** 3,
+}
+
+#: Relative tolerance within which a slower-growing class wins a tie.
+TIE_TOLERANCE = 0.25
+
+
+@dataclass(frozen=True)
+class Fit:
+    """One candidate's least-squares fit of space = a*f(n) + b."""
+
+    name: str
+    coefficient: float
+    intercept: float
+    relative_error: float
+
+
+@dataclass(frozen=True)
+class Classification:
+    """The chosen growth class plus every candidate's fit."""
+
+    best: Fit
+    fits: Tuple[Fit, ...]
+
+    @property
+    def name(self) -> str:
+        return self.best.name
+
+
+def _least_squares(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Fit y = a*x + b with a clamped to be nonnegative."""
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    if var_x == 0:
+        return 0.0, mean_y
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    a = cov / var_x
+    if a < 0:
+        a = 0.0
+    b = mean_y - a * mean_x
+    return a, b
+
+
+def fit_growth(ns: Sequence[int], spaces: Sequence[int]) -> Classification:
+    """Classify the growth of *spaces* as a function of *ns*.
+
+    Requires at least three sample points spanning a factor of two in
+    N; with fewer the classification would be meaningless.
+    """
+    if len(ns) != len(spaces):
+        raise ValueError("ns and spaces must have equal length")
+    if len(ns) < 3:
+        raise ValueError("need at least 3 samples to classify growth")
+    if max(ns) < 2 * min(ns):
+        raise ValueError("samples should span at least a factor of 2 in N")
+
+    ys = [float(s) for s in spaces]
+    scale = max(abs(y) for y in ys) or 1.0
+    fits: List[Fit] = []
+    for name, shape in GROWTH_CLASSES.items():
+        xs = [shape(float(n)) for n in ns]
+        a, b = _least_squares(xs, ys)
+        residual = math.sqrt(
+            sum((a * x + b - y) ** 2 for x, y in zip(xs, ys)) / len(ys)
+        )
+        fits.append(Fit(name, a, b, residual / scale))
+
+    best = fits[0]
+    for fit in fits[1:]:
+        if fit.relative_error < best.relative_error * (1.0 - TIE_TOLERANCE):
+            best = fit
+    return Classification(best=best, fits=tuple(fits))
+
+
+def growth_name(ns: Sequence[int], spaces: Sequence[int]) -> str:
+    """Convenience wrapper returning only the class name."""
+    return fit_growth(ns, spaces).name
+
+
+def ratio_table(
+    ns: Sequence[int], spaces: Sequence[int]
+) -> List[Tuple[int, int, float]]:
+    """(N, space, space/N) rows — handy for eyeballing linearity."""
+    return [(n, s, s / n if n else float("inf")) for n, s in zip(ns, spaces)]
+
+
+def is_bounded(spaces: Sequence[int], tolerance: float = 1.6) -> bool:
+    """True when the series looks O(1): max within *tolerance* of min."""
+    low, high = min(spaces), max(spaces)
+    return high <= low * tolerance + 8

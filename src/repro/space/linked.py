@@ -1,0 +1,126 @@
+"""Figure 8: the space consumed by a configuration, linked environments.
+
+Section 13: "A definition of space consumption that corresponds to
+linked environments can be obtained by counting each binding (of an
+identifier I to a location a) only once per configuration, regardless
+of how many environments contain that binding."
+
+Concretely, a configuration's space is
+
+- the number of *distinct* (identifier, location) pairs across the
+  register environment, the environments of every continuation frame,
+  and the environments of every closure occurring in the configuration
+  (in the accumulator, parked in push/call frames, stored in sigma, or
+  captured by escape procedures), plus
+- the structural words: 1 per continuation frame (+ m + n for push,
+  + m for call), 1 + space(v) per store cell with closures costing 1
+  (their bindings are counted globally), and the accumulator value.
+
+This realizes the U_X functions of section 13; Theorem 26's benchmark
+(U_tail linear vs S_sfs quadratic on the nested-let program family)
+depends on exactly this sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple, Union
+
+from ..machine.config import Final, State
+from ..machine.continuation import CallK, Kont, Push, chain
+from ..machine.store import Store
+from ..machine.values import Closure, Escape, Num, Pair, Str, Value, Vector
+from .flat import number_space
+
+
+class _LinkedTally:
+    """Accumulates structural words and the global binding set."""
+
+    def __init__(self, fixed_precision: bool):
+        self.fixed_precision = fixed_precision
+        self.structural = 0
+        self.bindings: Set[Tuple[str, int]] = set()
+        self._seen_konts: Set[int] = set()
+
+    def add_env(self, env) -> None:
+        if env is not None:
+            self.bindings |= env.graph()
+
+    def add_value(self, value: Value) -> None:
+        """Structural words of a value under linked accounting."""
+        if isinstance(value, Closure):
+            self.structural += 1
+            self.add_env(value.env)
+        elif isinstance(value, Escape):
+            self.structural += 1
+            self.add_kont(value.kont)
+        elif isinstance(value, Num):
+            self.structural += number_space(value.value, self.fixed_precision)
+        elif isinstance(value, Vector):
+            self.structural += 1 + value.length
+        elif isinstance(value, Pair):
+            self.structural += 3
+        elif isinstance(value, Str):
+            self.structural += 1 + len(value.value)
+        else:
+            self.structural += 1
+
+    def add_kont(self, kont: Kont) -> None:
+        for frame in chain(kont):
+            if id(frame) in self._seen_konts:
+                return
+            self._seen_konts.add(id(frame))
+            if isinstance(frame, Push):
+                self.structural += 1 + len(frame.pending) + len(frame.done)
+                for value in frame.done:
+                    self._note_parked(value)
+            elif isinstance(frame, CallK):
+                self.structural += 1 + len(frame.args)
+                for value in frame.args:
+                    self._note_parked(value)
+            else:
+                self.structural += 1
+            self.add_env(frame.env)
+
+    def _note_parked(self, value: Value) -> None:
+        """Values parked in push/call frames cost exactly the frame's
+        m/n words — the same convention Figure 7 uses for flat
+        accounting, which ignores parked closures' environment tables.
+        Charging their bindings here would make U_X exceed S_X on
+        configurations whose parked closures hold otherwise-uncounted
+        bindings, contradicting section 13's U_X <= S_X."""
+
+    def add_store(self, store: Store) -> None:
+        for _location, value in store.items():
+            self.structural += 1
+            self.add_value(value)
+
+    def total(self) -> int:
+        return self.structural + len(self.bindings)
+
+
+def state_space_linked(state: State, fixed_precision: bool = False) -> int:
+    """Figure 8 space of an intermediate configuration."""
+    tally = _LinkedTally(fixed_precision)
+    tally.add_env(state.env)
+    tally.add_kont(state.kont)
+    if state.is_value:
+        tally.add_value(state.control)
+    tally.add_store(state.store)
+    return tally.total()
+
+
+def final_space_linked(final: Final, fixed_precision: bool = False) -> int:
+    """Figure 8 space of a final configuration (v, sigma)."""
+    tally = _LinkedTally(fixed_precision)
+    tally.add_value(final.value)
+    tally.add_store(final.store)
+    return tally.total()
+
+
+def configuration_space_linked(
+    configuration: Union[State, Final], fixed_precision: bool = False
+) -> int:
+    """Linked space(C) for either configuration shape."""
+    if isinstance(configuration, Final):
+        return final_space_linked(configuration, fixed_precision)
+    return state_space_linked(configuration, fixed_precision)

@@ -1,0 +1,45 @@
+"""Core Scheme syntax: AST, expander, free variables, tail analysis."""
+
+from .ast import (
+    Call,
+    Expr,
+    If,
+    Lambda,
+    Quote,
+    SetBang,
+    Var,
+    ast_size,
+    core_to_string,
+    unparse,
+    walk,
+)
+from .expander import ExpandError, Expander, expand_expression, expand_program
+from .free_vars import free_vars, free_vars_of_all
+from .tail import CallSite, call_sites, tail_calls, tail_expressions
+from .validate import ValidationError, validate
+
+__all__ = [
+    "Call",
+    "Expr",
+    "If",
+    "Lambda",
+    "Quote",
+    "SetBang",
+    "Var",
+    "ast_size",
+    "core_to_string",
+    "unparse",
+    "walk",
+    "ExpandError",
+    "Expander",
+    "expand_expression",
+    "expand_program",
+    "free_vars",
+    "free_vars_of_all",
+    "CallSite",
+    "call_sites",
+    "tail_calls",
+    "tail_expressions",
+    "ValidationError",
+    "validate",
+]

@@ -1,0 +1,584 @@
+"""Macro expander: full-Scheme surface syntax -> Core Scheme.
+
+Section 2 of the paper: "The external syntax of full Scheme can be
+converted into this internal syntax by expanding macros and by
+replacing vector, string, and list constants by references to constant
+storage."  Section 12 instead *forbids* compound constants and notes
+they can be replaced by calls to the standard library procedures that
+allocate fresh structure; this expander follows section 12 and rewrites
+``(quote (a b))`` into ``(list 'a 'b)`` and ``#(1 2)`` into
+``(vector 1 2)``.
+
+Derived forms handled: ``let`` (incl. named let), ``let*``, ``letrec``,
+``letrec*``, ``begin``, ``cond`` (incl. ``else`` and ``=>``), ``case``,
+``and``, ``or``, ``when``, ``unless``, ``do``, and ``define`` (top
+level and internal).  Keywords are reserved words: they cannot be
+shadowed by local bindings.
+
+``begin`` and ``letrec`` expand without any UNDEFINED literal::
+
+    (begin a b ...)       => ((lambda (%t) (begin b ...)) a)
+    (letrec ((x e)) body) => (let ((x '0)) (set! x e) body)
+
+Fresh temporaries are named ``%t0``, ``%t1``, ...; the ``%`` prefix is
+reserved for the expander.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..reader.datum import Char, Datum, Symbol, VectorDatum, datum_to_string
+from ..reader.parser import read_all
+from .ast import Call, Expr, If, Lambda, Quote, SetBang, Var
+
+
+class ExpandError(SyntaxError):
+    """Raised when a surface form cannot be expanded to Core Scheme."""
+
+
+_KEYWORDS = frozenset(
+    [
+        "quote",
+        "lambda",
+        "if",
+        "set!",
+        "begin",
+        "let",
+        "let*",
+        "letrec",
+        "letrec*",
+        "cond",
+        "case",
+        "and",
+        "or",
+        "when",
+        "unless",
+        "do",
+        "define",
+        "else",
+        "=>",
+        "quasiquote",
+        "unquote",
+        "unquote-splicing",
+    ]
+)
+
+_QUOTE = Symbol("quote")
+_DEFINE = Symbol("define")
+_ELSE = Symbol("else")
+_ARROW = Symbol("=>")
+
+
+def _is_form(datum: Datum, keyword: str) -> bool:
+    return (
+        isinstance(datum, tuple)
+        and len(datum) > 0
+        and isinstance(datum[0], Symbol)
+        and datum[0].name == keyword
+    )
+
+
+class Expander:
+    """Expands datum trees into Core Scheme ASTs.
+
+    An Expander instance owns a gensym counter, so temporaries are
+    unique within every program it expands.
+    """
+
+    def __init__(self):
+        self._gensym_counter = 0
+
+    # -- public API --------------------------------------------------------
+
+    def expand(self, datum: Datum) -> Expr:
+        """Expand a single expression datum to Core Scheme."""
+        if isinstance(datum, (bool, int, str, Char)):
+            return Quote(datum)
+        if isinstance(datum, VectorDatum):
+            return self._expand_vector_constant(datum)
+        if isinstance(datum, Symbol):
+            if datum.name in _KEYWORDS:
+                raise ExpandError(f"keyword used as a variable: {datum.name}")
+            return Var(datum.name)
+        if isinstance(datum, tuple):
+            return self._expand_compound(datum)
+        raise ExpandError(f"cannot expand datum: {datum!r}")
+
+    def expand_body(self, forms: Sequence[Datum]) -> Expr:
+        """Expand a lambda/let body: internal defines, implicit begin."""
+        if not forms:
+            raise ExpandError("empty body")
+        defines: List[Tuple[Symbol, Datum]] = []
+        index = 0
+        while index < len(forms) and _is_form(forms[index], "define"):
+            defines.append(self._parse_define(forms[index]))
+            index += 1
+        rest = forms[index:]
+        if not rest:
+            raise ExpandError("body consists only of definitions")
+        if defines:
+            bindings = tuple((name, expr) for name, expr in defines)
+            return self._expand_letrec(bindings, rest)
+        return self._expand_begin(rest)
+
+    def expand_program(self, source: Union[str, Sequence[Datum]]) -> Expr:
+        """Expand a whole program: a sequence of top-level definitions
+        and expressions.
+
+        When the program ends with definitions only, the value of the
+        program is the last defined variable — matching the paper's
+        convention of writing each program as a procedure definition
+        (``(define (f n) ...)`` denotes the program ``f``).
+        """
+        forms = read_all(source) if isinstance(source, str) else list(source)
+        if not forms:
+            raise ExpandError("empty program")
+        defines: List[Tuple[Symbol, Datum]] = []
+        body: List[Datum] = []
+        for form in forms:
+            if _is_form(form, "define"):
+                if body:
+                    raise ExpandError(
+                        "definitions must precede expressions at top level"
+                    )
+                defines.append(self._parse_define(form))
+            else:
+                body.append(form)
+        if not body:
+            if not defines:
+                raise ExpandError("program has no expressions")
+            body = [defines[-1][0]]
+        if defines:
+            return self._expand_letrec(tuple(defines), body)
+        return self._expand_begin(body)
+
+    def fresh(self, hint: str = "t") -> str:
+        """Return a fresh temporary name (reserved ``%`` namespace)."""
+        name = f"%{hint}{self._gensym_counter}"
+        self._gensym_counter += 1
+        return name
+
+    # -- compound forms ----------------------------------------------------
+
+    def _expand_compound(self, datum: tuple) -> Expr:
+        if not datum:
+            raise ExpandError("() is not an expression; did you mean '()?")
+        head = datum[0]
+        if isinstance(head, Symbol) and head.name in _KEYWORDS:
+            method = getattr(self, "_form_" + _method_name(head.name), None)
+            if method is None:
+                raise ExpandError(f"{head.name} is not allowed here")
+            return method(datum)
+        return Call(tuple(self.expand(sub) for sub in datum))
+
+    def _form_quote(self, datum: tuple) -> Expr:
+        if len(datum) != 2:
+            raise ExpandError(f"malformed quote: {datum_to_string(datum)}")
+        return self._expand_quotation(datum[1])
+
+    def _expand_quotation(self, value: Datum) -> Expr:
+        if isinstance(value, (bool, int, str, Char, Symbol)):
+            return Quote(value)
+        if isinstance(value, tuple):
+            if not value:
+                return Quote(())
+            elements = tuple(self._expand_quotation(item) for item in value)
+            return Call((Var("list"),) + elements)
+        if isinstance(value, VectorDatum):
+            return self._expand_vector_constant(value)
+        raise ExpandError(f"cannot quote: {value!r}")
+
+    def _expand_vector_constant(self, vector: VectorDatum) -> Expr:
+        elements = tuple(self._expand_quotation(item) for item in vector.items)
+        return Call((Var("vector"),) + elements)
+
+    def _form_lambda(self, datum: tuple) -> Expr:
+        if len(datum) < 3:
+            raise ExpandError(f"malformed lambda: {datum_to_string(datum)}")
+        params = self._parse_params(datum[1])
+        return Lambda(params, self.expand_body(datum[2:]))
+
+    def _form_if(self, datum: tuple) -> Expr:
+        if len(datum) == 3:
+            return If(self.expand(datum[1]), self.expand(datum[2]), Quote(0))
+        if len(datum) == 4:
+            return If(
+                self.expand(datum[1]), self.expand(datum[2]), self.expand(datum[3])
+            )
+        raise ExpandError(f"malformed if: {datum_to_string(datum)}")
+
+    def _form_set_bang(self, datum: tuple) -> Expr:
+        if len(datum) != 3 or not isinstance(datum[1], Symbol):
+            raise ExpandError(f"malformed set!: {datum_to_string(datum)}")
+        if datum[1].name in _KEYWORDS:
+            raise ExpandError(f"cannot assign keyword: {datum[1].name}")
+        return SetBang(datum[1].name, self.expand(datum[2]))
+
+    def _form_begin(self, datum: tuple) -> Expr:
+        if len(datum) < 2:
+            raise ExpandError("empty begin")
+        return self._expand_begin(datum[1:])
+
+    def _expand_begin(self, forms: Sequence[Datum]) -> Expr:
+        if len(forms) == 1:
+            return self.expand(forms[0])
+        first = self.expand(forms[0])
+        rest = self._expand_begin(forms[1:])
+        return Call((Lambda((self.fresh(),), rest), first))
+
+    def _form_let(self, datum: tuple) -> Expr:
+        if len(datum) >= 3 and isinstance(datum[1], Symbol):
+            return self._expand_named_let(datum)
+        if len(datum) < 3:
+            raise ExpandError(f"malformed let: {datum_to_string(datum)}")
+        names, inits = self._parse_bindings(datum[1])
+        body = self.expand_body(datum[2:])
+        return Call(
+            (Lambda(names, body),) + tuple(self.expand(init) for init in inits)
+        )
+
+    def _expand_named_let(self, datum: tuple) -> Expr:
+        loop = datum[1]
+        if not isinstance(loop, Symbol) or loop.name in _KEYWORDS:
+            raise ExpandError(f"bad named-let name: {loop!r}")
+        names, inits = self._parse_bindings(datum[2])
+        body_forms = datum[3:]
+        lambda_form = (Symbol("lambda"), tuple(Symbol(n) for n in names)) + tuple(
+            body_forms
+        )
+        letrec_form = (
+            Symbol("letrec"),
+            ((loop, lambda_form),),
+            (loop,) + tuple(inits),
+        )
+        return self._form_letrec(letrec_form)
+
+    def _form_let_star(self, datum: tuple) -> Expr:
+        if len(datum) < 3:
+            raise ExpandError(f"malformed let*: {datum_to_string(datum)}")
+        bindings = datum[1]
+        if not isinstance(bindings, tuple):
+            raise ExpandError("let* bindings must be a list")
+        if len(bindings) <= 1:
+            return self._form_let((Symbol("let"),) + datum[1:])
+        inner = (Symbol("let*"), tuple(bindings[1:])) + tuple(datum[2:])
+        outer = (Symbol("let"), (bindings[0],), inner)
+        return self._form_let(outer)
+
+    def _form_letrec(self, datum: tuple) -> Expr:
+        if len(datum) < 3:
+            raise ExpandError(f"malformed letrec: {datum_to_string(datum)}")
+        if not isinstance(datum[1], tuple):
+            raise ExpandError("letrec bindings must be a list")
+        bindings = []
+        for binding in datum[1]:
+            if (
+                not isinstance(binding, tuple)
+                or len(binding) != 2
+                or not isinstance(binding[0], Symbol)
+            ):
+                raise ExpandError(f"bad letrec binding: {binding!r}")
+            bindings.append((binding[0], binding[1]))
+        return self._expand_letrec(tuple(bindings), datum[2:])
+
+    _form_letrec_star = _form_letrec
+
+    def _expand_letrec(
+        self, bindings: Tuple[Tuple[Symbol, Datum], ...], body: Sequence[Datum]
+    ) -> Expr:
+        """(letrec ((x e) ...) body) as dummy-init let + assignments."""
+        names = self._parse_params(tuple(name for name, _ in bindings))
+        inner: Expr = self.expand_body(body)
+        for name, init in reversed(bindings):
+            assignment = SetBang(name.name, self.expand(init))
+            inner = Call((Lambda((self.fresh(),), inner), assignment))
+        return Call((Lambda(names, inner),) + (Quote(0),) * len(names))
+
+    def _form_cond(self, datum: tuple) -> Expr:
+        return self._expand_cond_clauses(datum[1:])
+
+    def _expand_cond_clauses(self, clauses: Sequence[Datum]) -> Expr:
+        if not clauses:
+            return Quote(0)
+        clause = clauses[0]
+        if not isinstance(clause, tuple) or not clause:
+            raise ExpandError(f"bad cond clause: {clause!r}")
+        if isinstance(clause[0], Symbol) and clause[0] is _ELSE:
+            if len(clause) < 2:
+                raise ExpandError("empty else clause")
+            if len(clauses) > 1:
+                raise ExpandError("else clause must be last")
+            return self._expand_begin(clause[1:])
+        test = self.expand(clause[0])
+        rest = self._expand_cond_clauses(clauses[1:])
+        if len(clause) == 1:
+            temp = self.fresh()
+            return Call((Lambda((temp,), If(Var(temp), Var(temp), rest)), test))
+        if len(clause) == 3 and isinstance(clause[1], Symbol) and clause[1] is _ARROW:
+            temp = self.fresh()
+            receiver = self.expand(clause[2])
+            applied = Call((receiver, Var(temp)))
+            return Call((Lambda((temp,), If(Var(temp), applied, rest)), test))
+        return If(test, self._expand_begin(clause[1:]), rest)
+
+    def _form_case(self, datum: tuple) -> Expr:
+        if len(datum) < 3:
+            raise ExpandError(f"malformed case: {datum_to_string(datum)}")
+        temp = self.fresh("key")
+        body = self._expand_case_clauses(temp, datum[2:])
+        return Call((Lambda((temp,), body), self.expand(datum[1])))
+
+    def _expand_case_clauses(self, key: str, clauses: Sequence[Datum]) -> Expr:
+        if not clauses:
+            return Quote(0)
+        clause = clauses[0]
+        if not isinstance(clause, tuple) or len(clause) < 2:
+            raise ExpandError(f"bad case clause: {clause!r}")
+        if isinstance(clause[0], Symbol) and clause[0] is _ELSE:
+            if len(clauses) > 1:
+                raise ExpandError("else clause must be last")
+            return self._expand_begin(clause[1:])
+        if not isinstance(clause[0], tuple):
+            raise ExpandError(f"case clause datums must be a list: {clause!r}")
+        test: Optional[Expr] = None
+        for literal in clause[0]:
+            comparison = Call(
+                (Var("eqv?"), Var(key), self._expand_quotation(literal))
+            )
+            test = comparison if test is None else If(test, Quote(True), comparison)
+        if test is None:
+            test = Quote(False)
+        rest = self._expand_case_clauses(key, clauses[1:])
+        return If(test, self._expand_begin(clause[1:]), rest)
+
+    def _form_and(self, datum: tuple) -> Expr:
+        forms = datum[1:]
+        if not forms:
+            return Quote(True)
+        if len(forms) == 1:
+            return self.expand(forms[0])
+        return If(
+            self.expand(forms[0]),
+            self._form_and((Symbol("and"),) + tuple(forms[1:])),
+            Quote(False),
+        )
+
+    def _form_or(self, datum: tuple) -> Expr:
+        forms = datum[1:]
+        if not forms:
+            return Quote(False)
+        if len(forms) == 1:
+            return self.expand(forms[0])
+        temp = self.fresh()
+        rest = self._form_or((Symbol("or"),) + tuple(forms[1:]))
+        return Call(
+            (Lambda((temp,), If(Var(temp), Var(temp), rest)), self.expand(forms[0]))
+        )
+
+    def _form_when(self, datum: tuple) -> Expr:
+        if len(datum) < 3:
+            raise ExpandError(f"malformed when: {datum_to_string(datum)}")
+        return If(self.expand(datum[1]), self._expand_begin(datum[2:]), Quote(0))
+
+    def _form_unless(self, datum: tuple) -> Expr:
+        if len(datum) < 3:
+            raise ExpandError(f"malformed unless: {datum_to_string(datum)}")
+        return If(self.expand(datum[1]), Quote(0), self._expand_begin(datum[2:]))
+
+    def _form_do(self, datum: tuple) -> Expr:
+        if len(datum) < 3 or not isinstance(datum[1], tuple):
+            raise ExpandError(f"malformed do: {datum_to_string(datum)}")
+        specs = []
+        for spec in datum[1]:
+            if (
+                not isinstance(spec, tuple)
+                or len(spec) not in (2, 3)
+                or not isinstance(spec[0], Symbol)
+            ):
+                raise ExpandError(f"bad do binding: {spec!r}")
+            step = spec[2] if len(spec) == 3 else spec[0]
+            specs.append((spec[0], spec[1], step))
+        exit_clause = datum[2]
+        if not isinstance(exit_clause, tuple) or not exit_clause:
+            raise ExpandError(f"bad do exit clause: {exit_clause!r}")
+        loop = Symbol(self.fresh("do"))
+        test = exit_clause[0]
+        results = exit_clause[1:]
+        result_form: Datum = (
+            ((Symbol("begin"),) + tuple(results)) if results else (_QUOTE, 0)
+        )
+        body = datum[3:]
+        recur = (loop,) + tuple(step for _, _, step in specs)
+        loop_body: Datum = (
+            ((Symbol("begin"),) + tuple(body) + (recur,)) if body else recur
+        )
+        lambda_form = (
+            (Symbol("lambda"), tuple(name for name, _, _ in specs))
+            + ((Symbol("if"), test, result_form, loop_body),)
+        )
+        letrec_form = (
+            Symbol("letrec"),
+            ((loop, lambda_form),),
+            (loop,) + tuple(init for _, init, _ in specs),
+        )
+        return self._form_letrec(letrec_form)
+
+    def _form_define(self, datum: tuple) -> Expr:
+        raise ExpandError("define is only allowed at top level or body head")
+
+    def _form_else(self, datum: tuple) -> Expr:
+        raise ExpandError("else outside cond/case")
+
+    def _form_quasiquote(self, datum: tuple) -> Expr:
+        if len(datum) != 2:
+            raise ExpandError(f"malformed quasiquote: {datum_to_string(datum)}")
+        return self._expand_quasi(datum[1], 1)
+
+    def _expand_quasi(self, template: Datum, depth: int) -> Expr:
+        """Expand a quasiquote template into list/append/vector calls.
+
+        Nested quasiquotes raise the depth; unquotes lower it and
+        splice in evaluated expressions at depth 0, per R5RS section
+        4.2.6 (the common cases; unquote-splicing at vector level and
+        improper templates are not needed by any supported program).
+        """
+        if isinstance(template, tuple) and template:
+            head = template[0]
+            if head is Symbol("unquote"):
+                if len(template) != 2:
+                    raise ExpandError("malformed unquote")
+                if depth == 1:
+                    return self.expand(template[1])
+                inner = self._expand_quasi(template[1], depth - 1)
+                return Call((Var("list"), Quote(Symbol("unquote")), inner))
+            if head is Symbol("quasiquote"):
+                if len(template) != 2:
+                    raise ExpandError("malformed nested quasiquote")
+                inner = self._expand_quasi(template[1], depth + 1)
+                return Call((Var("list"), Quote(Symbol("quasiquote")), inner))
+            # A list template: build it with append so that
+            # unquote-splicing elements splice.
+            segments: List[Expr] = []
+            plain: List[Expr] = []
+            for item in template:
+                if (
+                    isinstance(item, tuple)
+                    and item
+                    and item[0] is Symbol("unquote-splicing")
+                ):
+                    if len(item) != 2:
+                        raise ExpandError("malformed unquote-splicing")
+                    if depth != 1:
+                        plain.append(
+                            Call(
+                                (
+                                    Var("list"),
+                                    Quote(Symbol("unquote-splicing")),
+                                    self._expand_quasi(item[1], depth - 1),
+                                )
+                            )
+                        )
+                        continue
+                    if plain:
+                        segments.append(Call((Var("list"),) + tuple(plain)))
+                        plain = []
+                    segments.append(self.expand(item[1]))
+                else:
+                    plain.append(self._expand_quasi(item, depth))
+            if plain:
+                segments.append(Call((Var("list"),) + tuple(plain)))
+            if not segments:
+                return Quote(())
+            if len(segments) == 1:
+                return segments[0]
+            return Call((Var("append"),) + tuple(segments))
+        if isinstance(template, VectorDatum):
+            elements = tuple(
+                self._expand_quasi(item, depth) for item in template.items
+            )
+            return Call((Var("vector"),) + elements)
+        return self._expand_quotation(template)
+
+    def _form_unquote(self, datum: tuple) -> Expr:
+        raise ExpandError("unquote outside quasiquote")
+
+    _form_unquote_splicing = _form_unquote
+
+    # -- small parsers -----------------------------------------------------
+
+    def _parse_define(self, datum: tuple) -> Tuple[Symbol, Datum]:
+        if len(datum) < 2:
+            raise ExpandError(f"malformed define: {datum_to_string(datum)}")
+        target = datum[1]
+        if isinstance(target, Symbol):
+            if len(datum) != 3:
+                raise ExpandError(f"malformed define: {datum_to_string(datum)}")
+            return target, datum[2]
+        if isinstance(target, tuple) and target and isinstance(target[0], Symbol):
+            name = target[0]
+            lambda_form = (Symbol("lambda"), tuple(target[1:])) + tuple(datum[2:])
+            return name, lambda_form
+        raise ExpandError(f"malformed define: {datum_to_string(datum)}")
+
+    @staticmethod
+    def _parse_params(params: Datum) -> Tuple[str, ...]:
+        if not isinstance(params, tuple):
+            raise ExpandError(f"parameter list expected: {params!r}")
+        names = []
+        for param in params:
+            if not isinstance(param, Symbol):
+                raise ExpandError(f"bad parameter: {param!r}")
+            if param.name in _KEYWORDS:
+                raise ExpandError(f"keyword used as parameter: {param.name}")
+            names.append(param.name)
+        if len(set(names)) != len(names):
+            raise ExpandError(f"duplicate parameter in {names}")
+        return tuple(names)
+
+    def _parse_bindings(
+        self, bindings: Datum
+    ) -> Tuple[Tuple[str, ...], Tuple[Datum, ...]]:
+        if not isinstance(bindings, tuple):
+            raise ExpandError(f"binding list expected: {bindings!r}")
+        names: List[str] = []
+        inits: List[Datum] = []
+        for binding in bindings:
+            if (
+                not isinstance(binding, tuple)
+                or len(binding) != 2
+                or not isinstance(binding[0], Symbol)
+            ):
+                raise ExpandError(f"bad binding: {binding!r}")
+            if binding[0].name in _KEYWORDS:
+                raise ExpandError(f"keyword used as variable: {binding[0].name}")
+            names.append(binding[0].name)
+            inits.append(binding[1])
+        if len(set(names)) != len(names):
+            raise ExpandError(f"duplicate variable in {names}")
+        return tuple(names), tuple(inits)
+
+
+def _method_name(keyword: str) -> str:
+    return (
+        keyword.replace("!", "_bang")
+        .replace("*", "_star")
+        .replace("-", "_")
+        .replace("=>", "arrow")
+    )
+
+
+def expand_expression(source: Union[str, Datum]) -> Expr:
+    """Expand a single expression from source text or a datum."""
+    expander = Expander()
+    if isinstance(source, str):
+        forms = read_all(source)
+        if len(forms) != 1:
+            raise ExpandError("expected exactly one expression")
+        return expander.expand(forms[0])
+    return expander.expand(source)
+
+
+def expand_program(source: Union[str, Sequence[Datum]]) -> Expr:
+    """Expand a whole program (defines + expressions) to Core Scheme."""
+    return Expander().expand_program(source)

@@ -1,0 +1,49 @@
+"""Free-variable computation FV(E) for Core Scheme.
+
+Used by the I_free and I_sfs reference implementations (section 10),
+whose rules restrict environments to the free variables of the
+expressions that remain to be evaluated.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import FrozenSet, Iterable
+
+from .ast import Call, Expr, If, Lambda, Quote, SetBang, Var
+
+
+@lru_cache(maxsize=None)
+def free_vars(expr: Expr) -> FrozenSet[str]:
+    """Return FV(expr) as a frozen set of identifier names.
+
+    The result is cached per AST node (nodes are immutable and compare
+    by identity), so the I_sfs machine pays the traversal only once per
+    program point.
+    """
+    if isinstance(expr, Quote):
+        return frozenset()
+    if isinstance(expr, Var):
+        return frozenset((expr.name,))
+    if isinstance(expr, Lambda):
+        return free_vars(expr.body) - frozenset(expr.params)
+    if isinstance(expr, If):
+        return (
+            free_vars(expr.test)
+            | free_vars(expr.consequent)
+            | free_vars(expr.alternative)
+        )
+    if isinstance(expr, SetBang):
+        return free_vars(expr.expr) | frozenset((expr.name,))
+    if isinstance(expr, Call):
+        return free_vars_of_all(expr.exprs)
+    raise TypeError(f"not a Core Scheme expression: {expr!r}")
+
+
+def free_vars_of_all(exprs: Iterable[Expr]) -> FrozenSet[str]:
+    """Union of FV over several expressions (e.g. the pending operands
+    of a push continuation)."""
+    result: FrozenSet[str] = frozenset()
+    for expr in exprs:
+        result |= free_vars(expr)
+    return result

@@ -1,0 +1,113 @@
+"""Tail expressions and tail calls (Definitions 1 and 2).
+
+Definition 1: the tail expressions of a Core Scheme program are:
+
+1. the body of every lambda expression;
+2. both arms of a conditional that is itself a tail expression;
+3. nothing else.
+
+Definition 2: a tail call is a tail expression that is a procedure
+call.
+
+These analyses feed the Figure 2 reproduction (static frequency of
+tail calls) via :mod:`repro.analysis.frequency`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from .ast import Call, Expr, If, Lambda, Quote, SetBang, Var
+
+
+def tail_expressions(program: Expr, program_is_tail: bool = False) -> FrozenSet[Expr]:
+    """Return the set of tail expressions of *program*.
+
+    By Definition 1 only lambda bodies seed tailness; pass
+    ``program_is_tail=True`` to additionally treat the whole program
+    expression as a tail expression (useful when analysing a body that
+    will be spliced into a lambda).
+    """
+    tails: Set[Expr] = set()
+
+    def visit(expr: Expr, in_tail: bool) -> None:
+        if in_tail:
+            tails.add(expr)
+        if isinstance(expr, (Quote, Var)):
+            return
+        if isinstance(expr, Lambda):
+            visit(expr.body, True)
+            return
+        if isinstance(expr, If):
+            visit(expr.test, False)
+            visit(expr.consequent, in_tail)
+            visit(expr.alternative, in_tail)
+            return
+        if isinstance(expr, SetBang):
+            visit(expr.expr, False)
+            return
+        if isinstance(expr, Call):
+            for sub in expr.exprs:
+                visit(sub, False)
+            return
+        raise TypeError(f"not a Core Scheme expression: {expr!r}")
+
+    visit(program, program_is_tail)
+    return frozenset(tails)
+
+
+def tail_calls(program: Expr, program_is_tail: bool = False) -> FrozenSet[Call]:
+    """Return the set of tail calls of *program* (Definition 2)."""
+    return frozenset(
+        expr
+        for expr in tail_expressions(program, program_is_tail)
+        if isinstance(expr, Call)
+    )
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One procedure-call site, classified for the Figure 2 statistics.
+
+    ``enclosing`` is the innermost lambda containing the call (None for
+    calls outside any lambda).  ``operator_name`` is set when the
+    operator is a plain variable reference.
+    """
+
+    call: Call
+    is_tail: bool
+    enclosing: Optional[Lambda]
+    operator_name: Optional[str]
+
+
+def call_sites(program: Expr) -> Tuple[CallSite, ...]:
+    """Enumerate every call site in *program* with its tail status and
+    enclosing lambda."""
+    sites: List[CallSite] = []
+
+    def visit(expr: Expr, in_tail: bool, enclosing: Optional[Lambda]) -> None:
+        if isinstance(expr, (Quote, Var)):
+            return
+        if isinstance(expr, Lambda):
+            visit(expr.body, True, expr)
+            return
+        if isinstance(expr, If):
+            visit(expr.test, False, enclosing)
+            visit(expr.consequent, in_tail, enclosing)
+            visit(expr.alternative, in_tail, enclosing)
+            return
+        if isinstance(expr, SetBang):
+            visit(expr.expr, False, enclosing)
+            return
+        if isinstance(expr, Call):
+            operator = expr.operator
+            operator_name = operator.name if isinstance(operator, Var) else None
+            sites.append(CallSite(expr, in_tail, enclosing, operator_name))
+            for sub in expr.exprs:
+                visit(sub, False, enclosing)
+            return
+        raise TypeError(f"not a Core Scheme expression: {expr!r}")
+
+    visit(program, False, None)
+    return tuple(sites)

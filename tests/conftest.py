@@ -1,0 +1,27 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import run
+from repro.space.consumption import space_consumption
+
+
+def evaluate(source: str, argument=None, machine: str = "tail", **options):
+    """Run a program and return its answer string."""
+    return run(source, argument, machine=machine, **options).answer
+
+
+def consumption(machine: str, source: str, argument=None, **options) -> int:
+    """S_X(P, D) shorthand."""
+    return space_consumption(machine, source, argument, **options)
+
+
+@pytest.fixture
+def loop_program():
+    """The Theorem 25 tail/gc separator: an iterative loop."""
+    return "(define (f n) (if (zero? n) 0 (f (- n 1))))"
+
+
+ALL_MACHINE_NAMES = ("tail", "gc", "stack", "evlis", "free", "sfs")

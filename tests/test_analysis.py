@@ -1,0 +1,142 @@
+"""Tests for the Figure 2 analyses: known-closure classification and
+static frequency rows."""
+
+import pytest
+
+from repro.analysis.callgraph import classify_calls
+from repro.analysis.frequency import (
+    analyze_program,
+    corpus_frequencies,
+    frequency_table,
+    total_row,
+)
+from repro.syntax.expander import expand_program
+
+
+def classify(source):
+    return classify_calls(expand_program(source))
+
+
+class TestCallClassification:
+    def test_primitive_call(self):
+        calls = classify("(+ 1 2)")
+        kinds = {c.operator_kind for c in calls}
+        assert kinds == {"primitive"}
+
+    def test_direct_application(self):
+        calls = classify("((lambda (x) x) 1)")
+        assert calls[0].operator_kind == "direct"
+
+    def test_known_closure_via_define(self):
+        source = "(define (g x) x) (define (f n) (g n))"
+        calls = classify(source)
+        known = [c for c in calls if c.operator_kind == "known"]
+        assert known, "the call to g should be known"
+
+    def test_unknown_after_reassignment(self):
+        source = """
+        (define (g x) x)
+        (define (f n)
+          (begin (set! g (lambda (x) (+ x 1)))
+                 (g n)))
+        """
+        calls = classify(source)
+        g_calls = [c for c in calls if _operator_name(c) == "g"]
+        assert all(c.operator_kind == "unknown" for c in g_calls)
+
+    def test_parameter_operator_is_unknown(self):
+        calls = classify("(define (f g) (g 1)) (f car)")
+        g_calls = [c for c in calls if _operator_name(c) == "g"]
+        assert g_calls[0].operator_kind == "unknown"
+
+    def test_computed_operator_is_unknown(self):
+        calls = classify("(define (f n) ((if n car cdr) (cons 1 2)))")
+        computed = [c for c in calls if c.operator_kind == "unknown"]
+        assert computed
+
+
+class TestSelfTailCalls:
+    def test_self_tail_loop_detected(self):
+        source = "(define (f n) (if (zero? n) 0 (f (- n 1))))"
+        calls = classify(source)
+        self_tails = [c for c in calls if c.is_self_tail]
+        assert len(self_tails) == 1
+
+    def test_self_call_through_let_body_detected(self):
+        """A self tail call wrapped in let/and/or still counts: the
+        synthetic direct lambdas are not procedure boundaries."""
+        source = """
+        (define (f n)
+          (let ((stop (zero? n)))
+            (if stop 0 (f (- n 1)))))
+        """
+        calls = classify(source)
+        assert any(c.is_self_tail for c in calls)
+
+    def test_non_tail_self_call_not_counted(self):
+        source = "(define (f n) (if (zero? n) 1 (* n (f (- n 1)))))"
+        calls = classify(source)
+        assert not any(c.is_self_tail for c in calls)
+
+    def test_mutual_tail_calls_are_known_but_not_self(self):
+        source = """
+        (define (even2? n) (if (zero? n) #t (odd2? (- n 1))))
+        (define (odd2? n) (if (zero? n) #f (even2? (- n 1))))
+        (define (f n) (even2? n))
+        """
+        calls = classify(source)
+        hops = [
+            c for c in calls if _operator_name(c) in ("even2?", "odd2?")
+            and c.is_tail
+        ]
+        assert hops and all(c.is_known_tail for c in hops)
+        assert not any(c.is_self_tail for c in hops)
+
+
+class TestFrequencyRows:
+    def test_row_arithmetic(self):
+        row = analyze_program(
+            "loop", "(define (f n) (if (zero? n) 0 (f (- n 1))))"
+        )
+        assert row.calls == row.tail + row.non_tail
+        assert 0 <= row.self_tail <= row.known_tail <= row.tail
+
+    def test_percentages(self):
+        row = analyze_program("t", "(define (f n) (f n))")
+        assert row.tail_percent == pytest.approx(
+            100.0 * row.tail / row.calls
+        )
+
+    def test_total_row_sums(self):
+        rows = corpus_frequencies()
+        total = total_row(rows)
+        assert total.calls == sum(r.calls for r in rows)
+        assert total.tail == sum(r.tail for r in rows)
+
+    def test_corpus_covers_many_programs(self):
+        assert len(corpus_frequencies()) >= 12
+
+    def test_figure2_shape_tail_much_more_common_than_self_tail(self):
+        """The paper's headline observation from Figure 2."""
+        total = total_row(corpus_frequencies())
+        assert total.tail_percent > 3 * total.self_tail_percent
+        assert total.tail > 0 and total.self_tail > 0
+
+    def test_cps_program_is_tail_call_heavy(self):
+        from repro.programs.corpus import load_program
+
+        row = analyze_program("cpstak", load_program("cpstak").source)
+        assert row.tail_percent > 35.0
+
+    def test_table_renders(self):
+        table = frequency_table()
+        assert "TOTAL" in table
+        assert "tail%" in table
+        assert len(table.splitlines()) >= 15
+
+
+def _operator_name(classified):
+    from repro.syntax.ast import Var
+
+    operator = classified.call.operator
+    return operator.name if isinstance(operator, Var) else None

@@ -1,0 +1,116 @@
+"""Observable answer tests (Definition 11)."""
+
+from repro.machine.answer import answer_string, answer_tokens
+from repro.machine.config import Final
+from repro.machine.store import Store
+from repro.machine.values import (
+    Char,
+    FALSE,
+    NIL,
+    Num,
+    Pair,
+    Primop,
+    Str,
+    Sym,
+    TRUE,
+    UNSPECIFIED,
+    Vector,
+)
+from repro.harness.runner import run
+
+
+def final_of(value, store=None):
+    return Final(value, store or Store())
+
+
+class TestImmediates:
+    def test_booleans(self):
+        assert answer_string(final_of(TRUE)) == "#t"
+        assert answer_string(final_of(FALSE)) == "#f"
+
+    def test_numbers(self):
+        assert answer_string(final_of(Num(42))) == "42"
+        assert answer_string(final_of(Num(-1))) == "-1"
+
+    def test_symbol(self):
+        assert answer_string(final_of(Sym("abc"))) == "abc"
+
+    def test_nil(self):
+        assert answer_string(final_of(NIL)) == "()"
+
+    def test_string(self):
+        assert answer_string(final_of(Str("hi"))) == '"hi"'
+
+    def test_char(self):
+        assert answer_string(final_of(Char("x"))) == "#\\x"
+
+    def test_unspecified(self):
+        assert answer_string(final_of(UNSPECIFIED)) == "#<UNSPECIFIED>"
+
+    def test_procedures_print_opaquely(self):
+        primop = Primop("car", lambda m, s, a: a)
+        assert answer_string(final_of(primop)) == "#<PROC>"
+
+
+class TestStructures:
+    def test_proper_list(self):
+        store = Store()
+        lst = _list(store, [Num(1), Num(2), Num(3)])
+        assert answer_string(Final(lst, store)) == "(1 2 3)"
+
+    def test_nested_list(self):
+        store = Store()
+        inner = _list(store, [Num(2)])
+        outer = _list(store, [Num(1), inner])
+        assert answer_string(Final(outer, store)) == "(1 (2))"
+
+    def test_improper_list(self):
+        store = Store()
+        pair = Pair(store.alloc(Num(1)), store.alloc(Num(2)))
+        assert answer_string(Final(pair, store)) == "(1 . 2)"
+
+    def test_vector(self):
+        store = Store()
+        vec = Vector(store.alloc_many([Num(1), Num(2)]))
+        assert answer_string(Final(vec, store)) == "#(1 2)"
+
+    def test_empty_vector(self):
+        assert answer_string(final_of(Vector(()))) == "#()"
+
+    def test_vector_of_list(self):
+        store = Store()
+        lst = _list(store, [Sym("a")])
+        vec = Vector((store.alloc(lst),))
+        assert answer_string(Final(vec, store)) == "#((a))"
+
+    def test_deep_list_does_not_overflow(self):
+        store = Store()
+        lst = _list(store, [Num(i) for i in range(5000)])
+        text = answer_string(Final(lst, store), limit=20000)
+        assert text.startswith("(0 1 2")
+
+    def test_cyclic_list_is_bounded_by_limit(self):
+        store = Store()
+        car = store.alloc(Num(1))
+        cdr = store.alloc(NIL)
+        pair = Pair(car, cdr)
+        store.write(cdr, pair)
+        tokens = answer_tokens(Final(pair, store), limit=50)
+        assert len(tokens) == 50  # infinite stream, truncated
+
+
+class TestEndToEnd:
+    def test_answers_from_runs(self):
+        assert run("(cons 1 (cons 2 '()))").answer == "(1 2)"
+        assert run("(vector 'a (list 1))").answer == "#(a (1))"
+
+    def test_shared_structure_printed_twice(self):
+        source = "(let ((x (list 1))) (cons x x))"
+        assert run(source).answer == "((1) 1)"
+
+
+def _list(store, values):
+    result = NIL
+    for value in reversed(values):
+        result = Pair(store.alloc(value), store.alloc(result))
+    return result

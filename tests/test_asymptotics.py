@@ -1,0 +1,90 @@
+"""Growth-class fitting tests."""
+
+import math
+
+import pytest
+
+from repro.space.asymptotics import (
+    Classification,
+    fit_growth,
+    growth_name,
+    is_bounded,
+    ratio_table,
+)
+
+NS = (8, 16, 32, 64, 128)
+
+
+class TestExactShapes:
+    def test_constant(self):
+        assert growth_name(NS, [40] * len(NS)) == "O(1)"
+
+    def test_nearly_constant(self):
+        assert growth_name(NS, [40, 41, 40, 42, 41]) == "O(1)"
+
+    def test_logarithmic(self):
+        ys = [round(10 * math.log2(n)) for n in NS]
+        assert growth_name(NS, ys) == "O(log n)"
+
+    def test_linear(self):
+        assert growth_name(NS, [7 * n + 3 for n in NS]) == "O(n)"
+
+    def test_n_log_n(self):
+        ys = [round(5 * n * math.log2(n)) for n in NS]
+        assert growth_name(NS, ys) == "O(n log n)"
+
+    def test_quadratic(self):
+        assert growth_name(NS, [3 * n * n + 10 for n in NS]) == "O(n^2)"
+
+    def test_cubic(self):
+        assert growth_name(NS, [n ** 3 for n in NS]) == "O(n^3)"
+
+    def test_quadratic_with_large_linear_term(self):
+        ys = [2 * n * n + 50 * n + 300 for n in NS]
+        assert growth_name(NS, ys) == "O(n^2)"
+
+
+class TestNoise:
+    def test_linear_with_noise_stays_linear(self):
+        ys = [7 * n + (n % 5) for n in NS]
+        assert growth_name(NS, ys) == "O(n)"
+
+    def test_slowest_class_wins_ties(self):
+        # Pure linear data also fits n log n with a negative-curvature
+        # residual; the tie-break must keep O(n).
+        ys = [100 * n for n in NS]
+        classification = fit_growth(NS, ys)
+        assert classification.name == "O(n)"
+
+
+class TestValidation:
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError):
+            fit_growth((1, 2), (1, 2))
+
+    def test_needs_spread(self):
+        with pytest.raises(ValueError):
+            fit_growth((10, 11, 12), (1, 2, 3))
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_growth((1, 2, 4), (1, 2))
+
+
+class TestAccessories:
+    def test_classification_carries_all_fits(self):
+        classification = fit_growth(NS, [n for n in NS])
+        assert isinstance(classification, Classification)
+        assert len(classification.fits) == 6
+
+    def test_ratio_table(self):
+        rows = ratio_table((2, 4), (10, 20))
+        assert rows == [(2, 10, 5.0), (4, 20, 5.0)]
+
+    def test_is_bounded(self):
+        assert is_bounded([100, 101, 102])
+        assert not is_bounded([100, 400])
+
+    def test_coefficients_are_sane(self):
+        classification = fit_growth(NS, [7 * n for n in NS])
+        assert classification.best.coefficient == pytest.approx(7, rel=0.01)

@@ -1,0 +1,86 @@
+"""CLI tests (driven in-process through repro.cli.main)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def loop_file(tmp_path):
+    path = tmp_path / "loop.scm"
+    path.write_text("(define (f n) (if (zero? n) 0 (f (- n 1))))\n")
+    return str(path)
+
+
+class TestRunCommand:
+    def test_run_with_argument(self, loop_file, capsys):
+        assert main(["run", loop_file, "--arg", "10"]) == 0
+        assert capsys.readouterr().out.strip() == "0"
+
+    def test_run_expression_only(self, tmp_path, capsys):
+        path = tmp_path / "e.scm"
+        path.write_text("(+ 1 2)\n")
+        main(["run", str(path)])
+        assert capsys.readouterr().out.strip() == "3"
+
+    def test_run_metered_reports_space(self, loop_file, capsys):
+        main(["run", loop_file, "--arg", "5", "--meter"])
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "0"
+        assert "sup-space=" in captured.err
+
+    def test_run_on_other_machine(self, loop_file, capsys):
+        main(["run", loop_file, "--arg", "5", "--machine", "gc"])
+        assert capsys.readouterr().out.strip() == "0"
+
+    def test_run_from_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("(* 3 4)"))
+        main(["run", "-"])
+        assert capsys.readouterr().out.strip() == "12"
+
+
+class TestOtherCommands:
+    def test_machines(self, capsys):
+        main(["machines"])
+        out = capsys.readouterr().out
+        for name in ("tail", "gc", "stack", "evlis", "free", "sfs", "bigloo"):
+            assert name in out
+
+    def test_census_of_corpus(self, capsys):
+        main(["census"])
+        assert "TOTAL" in capsys.readouterr().out
+
+    def test_census_of_file(self, loop_file, capsys):
+        main(["census", loop_file])
+        out = capsys.readouterr().out
+        assert "loop.scm" in out
+
+    def test_dynamic_census_of_file(self, loop_file, capsys):
+        main(["dynamic", loop_file, "--arg", "10"])
+        out = capsys.readouterr().out
+        assert "tail%" in out
+
+    def test_sweep(self, loop_file, capsys):
+        main(["sweep", loop_file, "--ns", "8,16,32", "--machine", "tail,gc"])
+        out = capsys.readouterr().out
+        assert "tail" in out and "gc" in out
+        assert "O(" in out
+
+    def test_corpus_listing(self, capsys):
+        main(["corpus"])
+        out = capsys.readouterr().out
+        assert "tak" in out and "cpstak" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_audit_safe_machine_exits_zero(self, capsys):
+        assert main(["audit", "sfs", "tail"]) == 0
+        assert "SAFE" in capsys.readouterr().out
+
+    def test_audit_unsafe_machine_exits_one(self, capsys):
+        assert main(["audit", "gc", "tail"]) == 1
+        assert "VIOLATION" in capsys.readouterr().out

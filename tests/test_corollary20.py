@@ -1,0 +1,82 @@
+"""Corollary 20: all of the reference implementations compute the
+same answers (and the section 14 'bigloo' machine does too)."""
+
+import pytest
+
+from conftest import ALL_MACHINE_NAMES
+from repro.harness.runner import answers_agree, compare_machines
+from repro.programs.corpus import load_corpus
+from repro.programs.examples import (
+    CPS_FACTORIAL,
+    CPS_LOOP,
+    MUTUAL_RECURSION,
+    SELF_TAIL_LOOP,
+    STATE_MACHINE,
+    find_leftmost_program,
+)
+from repro.programs.separators import SEPARATORS
+
+MACHINES = ALL_MACHINE_NAMES + ("bigloo",)
+
+
+@pytest.mark.parametrize(
+    "program", load_corpus(), ids=lambda p: p.name
+)
+def test_corpus_answers_agree(program):
+    results = compare_machines(
+        program.source, program.default_input, machines=MACHINES
+    )
+    assert answers_agree(results), {
+        name: result.answer for name, result in results.items()
+    }
+
+
+@pytest.mark.parametrize("separator", SEPARATORS, ids=lambda s: s.name)
+def test_separator_answers_agree(separator):
+    results = compare_machines(separator.source, "10", machines=MACHINES)
+    assert answers_agree(results)
+
+
+@pytest.mark.parametrize(
+    "source, argument, expected",
+    [
+        (CPS_LOOP, "100", "0"),
+        (CPS_FACTORIAL, "10", "3628800"),
+        (MUTUAL_RECURSION, "40", "#t"),
+        (MUTUAL_RECURSION, "41", "#f"),
+        (STATE_MACHINE, "7", "1"),
+        (SELF_TAIL_LOOP, "50", "50"),
+        (find_leftmost_program("right"), "20", "-1"),
+        (find_leftmost_program("left"), "20", "-1"),
+    ],
+    ids=[
+        "cps-loop",
+        "cps-factorial",
+        "mutual-even",
+        "mutual-odd",
+        "state-machine",
+        "self-loop",
+        "find-leftmost-right",
+        "find-leftmost-left",
+    ],
+)
+def test_example_answers_agree_and_match(source, argument, expected):
+    results = compare_machines(source, argument, machines=MACHINES)
+    assert answers_agree(results)
+    assert results["tail"].answer == expected
+
+
+def test_theorem26_family_answers_agree():
+    from repro.programs.separators import theorem26_family
+
+    program, argument = theorem26_family(5)
+    results = compare_machines(program, argument, machines=MACHINES)
+    assert answers_agree(results)
+
+
+def test_matched_policies_share_random_choices():
+    """The matched-choices requirement of the equivalence proofs: all
+    machines see the same (random n) draws."""
+    source = "(define (f n) (+ (random 1000) (random 1000)))"
+    results = compare_machines(source, "0", machines=MACHINES)
+    assert answers_agree(results)

@@ -1,0 +1,169 @@
+"""CPS conversion tests: Steele's [Ste78] account of proper tail
+recursion, checked against Clinger's machines."""
+
+import pytest
+
+from repro.analysis.callgraph import classify_calls
+from repro.compiler.cps import CpsError, cps_program
+from repro.harness.runner import run
+from repro.programs.corpus import load_program
+from repro.space.asymptotics import fit_growth, is_bounded
+from repro.space.consumption import space_consumption
+
+LOOP = "(define (f n) (if (zero? n) 0 (f (- n 1))))"
+NS = (16, 32, 64, 128)
+
+
+def cps_series(machine, source, ns=NS):
+    image = cps_program(source)
+    return [
+        space_consumption(machine, image, str(n), fixed_precision=True)
+        for n in ns
+    ]
+
+
+class TestAnswerPreservation:
+    CASES = [
+        (LOOP, "100", "0"),
+        ("(define (fact n) (if (zero? n) 1 (* n (fact (- n 1)))))",
+         "10", "3628800"),
+        ("(define (f n) (+ 1 (call/cc (lambda (k) (+ 10 (k n))))))",
+         "5", "6"),
+        ("(define (f n) (let ((x (* n 2))) (begin (set! x (+ x 1)) x)))",
+         "10", "21"),
+        ("(define (f n) (if (even? n) 'even 'odd))", "7", "odd"),
+        ("(define (build n) (if (zero? n) '() (cons n (build (- n 1)))))"
+         "(define (f n) (length (build n)))", "25", "25"),
+        ("(define (compose g h) (lambda (x) (g (h x))))"
+         "(define (f n) ((compose (lambda (x) (* x x))"
+         "                        (lambda (x) (+ x 1))) n))", "4", "25"),
+    ]
+
+    @pytest.mark.parametrize(
+        "source, argument, expected", CASES,
+        ids=["loop", "fact", "callcc", "set", "case", "list", "compose"],
+    )
+    def test_image_computes_same_answer(self, source, argument, expected):
+        assert run(source, argument).answer == expected
+        assert run(cps_program(source), argument).answer == expected
+
+    @pytest.mark.parametrize(
+        "name", ["tak", "fib", "higher-order", "mergesort", "treesort"]
+    )
+    def test_corpus_images_agree(self, name):
+        program = load_program(name)
+        direct = run(program.source, program.default_input).answer
+        image = run(cps_program(program.source), program.default_input).answer
+        assert direct == image
+
+    def test_effects_keep_left_to_right_order(self):
+        source = """
+        (define (f ignored)
+          (let ((log '()))
+            (define (note! t) (begin (set! log (cons t log)) 0))
+            (begin (+ (note! 'a) (note! 'b)) log)))
+        """
+        assert run(cps_program(source), "0").answer == "(b a)"
+
+
+class TestPurity:
+    """After conversion, every closure call is a tail call."""
+
+    @pytest.mark.parametrize(
+        "source",
+        [LOOP,
+         "(define (fact n) (if (zero? n) 1 (* n (fact (- n 1)))))",
+         load_program("tak").source,
+         load_program("mergesort").source],
+        ids=["loop", "fact", "tak", "mergesort"],
+    )
+    def test_image_is_pure_cps(self, source):
+        image = cps_program(source)
+        offenders = [
+            c
+            for c in classify_calls(image)
+            if not c.is_tail
+            and c.operator_kind != "primitive"
+            and c.enclosing is not None  # top-level driver call exempt
+        ]
+        assert offenders == []
+
+    def test_conversion_is_deterministic(self):
+        from repro.syntax.ast import core_to_string
+
+        assert core_to_string(cps_program(LOOP)) == core_to_string(
+            cps_program(LOOP)
+        )
+
+
+class TestSpaceBehaviour:
+    def test_cps_image_constant_on_tail_machine(self):
+        totals = cps_series("tail", LOOP)
+        assert is_bounded(totals), totals
+
+    def test_cps_image_linear_on_gc_machine(self):
+        """Pure CPS never returns, so I_gc's per-call frames
+        accumulate for the whole run: CPS conversion does not rescue
+        an improperly tail recursive implementation — it needs the
+        space guarantee the standard mandates."""
+        totals = cps_series("gc", LOOP, ns=(8, 16, 32, 64))
+        assert fit_growth((8, 16, 32, 64), totals).name == "O(n)"
+
+    def test_constant_factor_on_tail_machine(self):
+        for n in (32, 128):
+            direct = space_consumption("tail", LOOP, str(n),
+                                       fixed_precision=True)
+            image = space_consumption("tail", cps_program(LOOP), str(n),
+                                      fixed_precision=True)
+            assert image <= 8 * direct
+
+    def test_non_tail_recursion_becomes_heap_chain(self):
+        """Direct-style non-tail recursion keeps its O(n): the control
+        chain becomes a continuation-closure chain in the heap."""
+        fact = "(define (f n) (if (zero? n) 1 (* n (f (- n 1)))))"
+        ns = (8, 16, 32, 64)
+        totals = cps_series("tail", fact, ns=ns)
+        assert fit_growth(ns, totals).name in ("O(n)", "O(n log n)")
+
+
+class TestPrimitivesAsValues:
+    def test_fixed_arity_primitive_is_eta_expanded(self):
+        source = """
+        (define (twice g x) (g (g x)))
+        (define (f n) (twice abs (- 0 n)))
+        """
+        assert run(cps_program(source), "7").answer == "7"
+
+    def test_unary_predicate_as_value(self):
+        source = """
+        (define (count-if keep? lst)
+          (if (null? lst)
+              0
+              (+ (if (keep? (car lst)) 1 0)
+                 (count-if keep? (cdr lst)))))
+        (define (f n) (count-if odd? (list 1 2 3 n)))
+        """
+        assert run(cps_program(source), "5").answer == "3"
+
+    def test_variadic_primitive_as_value_rejected(self):
+        with pytest.raises(CpsError, match="variadic"):
+            cps_program("(define (use g) (g 1 2)) (define (f n) (use +))")
+
+    def test_call_cc_as_value_rejected(self):
+        with pytest.raises(CpsError, match="call"):
+            cps_program("(define (use g) (g car)) "
+                        "(define (f n) (use call/cc))")
+
+
+class TestErrors:
+    def test_apply_rejected(self):
+        with pytest.raises(CpsError, match="apply"):
+            cps_program("(define (f n) (apply + (list n n)))")
+
+    def test_shadowed_primitive_is_treated_as_closure(self):
+        source = """
+        (define (f n)
+          (let ((zero? (lambda (x) #f)))
+            (if (zero? n) 'never 'always)))
+        """
+        assert run(cps_program(source), "0").answer == "always"

@@ -1,0 +1,90 @@
+"""Building a custom machine variant through the documented hooks —
+the workflow the paper prescribes for implementors evaluating an
+optimization ("a formal basis for determining whether potential
+optimizations are safe")."""
+
+import pytest
+
+from repro.machine.environment import Environment
+from repro.machine.variants import ALL_MACHINES, TailMachine
+from repro.space.consumption import prepare_input, prepare_program
+from repro.space.meter import run_metered
+from repro.syntax.free_vars import free_vars
+
+
+class SelectTrimMachine(TailMachine):
+    """A hypothetical optimization: restrict only the environments
+    saved in select (conditional) continuations to the free variables
+    of the branches — one third of I_sfs, bolted onto I_tail."""
+
+    name = "select-trim"
+
+    def select_env(self, env, consequent, alternative):
+        return env.restrict(free_vars(consequent) | free_vars(alternative))
+
+
+class OverAggressiveMachine(TailMachine):
+    """A *broken* optimization: drops the select environment entirely.
+    The machine gets stuck the moment a branch needs a variable."""
+
+    name = "select-drop"
+
+    def select_env(self, env, consequent, alternative):
+        from repro.machine.environment import EMPTY_ENV
+
+        return EMPTY_ENV
+
+
+def measure_with(machine, source, argument):
+    result = run_metered(
+        machine,
+        prepare_program(source),
+        prepare_input(argument),
+        fixed_precision=True,
+    )
+    from repro.machine.answer import answer_string
+
+    return answer_string(result.final), result.consumption
+
+
+LOOP = "(define (f n) (if (zero? n) 0 (f (- n 1))))"
+BRANCHY = """
+(define (f n)
+  (let ((big (make-vector n 1)))
+    (if (zero? n)
+        0
+        (if (even? n)
+            (f (- n 1))
+            (f (- n 1))))))
+"""
+
+
+class TestCustomVariant:
+    def test_same_answers_as_reference(self):
+        for source, argument in ((LOOP, "20"), (BRANCHY, "9")):
+            custom_answer, _ = measure_with(SelectTrimMachine(), source, argument)
+            reference_answer, _ = measure_with(TailMachine(), source, argument)
+            assert custom_answer == reference_answer
+
+    def test_never_uses_more_space_than_tail(self):
+        for source, argument in ((LOOP, "20"), (BRANCHY, "12")):
+            _, custom = measure_with(SelectTrimMachine(), source, argument)
+            _, reference = measure_with(TailMachine(), source, argument)
+            assert custom <= reference
+
+    def test_trims_where_it_should(self):
+        """During the test of the inner conditional, the select frame
+        no longer pins the dead vector, so the custom machine beats
+        I_tail on the branchy program."""
+        _, custom = measure_with(SelectTrimMachine(), BRANCHY, "16")
+        _, reference = measure_with(TailMachine(), BRANCHY, "16")
+        assert custom < reference
+
+    def test_broken_optimization_gets_stuck(self):
+        from repro.machine.errors import StuckError
+
+        with pytest.raises(StuckError):
+            measure_with(OverAggressiveMachine(), LOOP, "5")
+
+    def test_custom_machines_do_not_pollute_registry(self):
+        assert "select-trim" not in ALL_MACHINES

@@ -1,0 +1,104 @@
+"""Section 16 (future work): the denotational semantics computes the
+same answers as the reference implementations."""
+
+import pytest
+
+from repro.denotational import DenotationalEvaluator, denotational_answer
+from repro.harness.runner import run
+from repro.machine.errors import (
+    ArityError,
+    StepLimitExceeded,
+    UnboundVariableError,
+)
+from repro.programs.corpus import load_corpus
+from repro.programs.separators import SEPARATORS
+
+
+class TestBasicMeanings:
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("42", "42"),
+            ("(+ 1 2)", "3"),
+            ("(if #f 1 2)", "2"),
+            ("((lambda (x) (* x x)) 7)", "49"),
+            ("(let ((x 1)) (begin (set! x 9) x))", "9"),
+            ("(cons 1 (cons 2 '()))", "(1 2)"),
+            ("(call/cc (lambda (k) (k 5)))", "5"),
+            ("(+ 1 (call/cc (lambda (k) (+ 10 (k 5)))))", "6"),
+            ("(apply + (list 1 2 3))", "6"),
+            ("(call/cc (lambda (k) (procedure? k)))", "#t"),
+        ],
+    )
+    def test_answer(self, source, expected):
+        assert denotational_answer(source) == expected
+
+    def test_with_argument(self):
+        assert denotational_answer("(define (f x) (* x 2))", "21") == "42"
+
+    def test_unbound_variable(self):
+        from repro.syntax.expander import expand_expression
+
+        with pytest.raises(UnboundVariableError):
+            DenotationalEvaluator().evaluate(expand_expression("(f q)"))
+
+    def test_arity_error(self):
+        from repro.syntax.expander import expand_expression
+
+        with pytest.raises(ArityError):
+            DenotationalEvaluator().evaluate(
+                expand_expression("((lambda (x) x) 1 2)")
+            )
+
+    def test_step_limit(self):
+        from repro.space.consumption import prepare_program
+
+        with pytest.raises(StepLimitExceeded):
+            DenotationalEvaluator().evaluate(
+                prepare_program("(define (f n) (f n))"),
+                prepare_program("0"),
+                step_limit=1000,
+            )
+
+
+class TestTrampolining:
+    def test_deep_tail_recursion_without_python_stack(self):
+        source = "(define (f n) (if (zero? n) 'done (f (- n 1))))"
+        assert denotational_answer(source, "200000") == "done"
+
+    def test_deep_cps(self):
+        from repro.programs.examples import CPS_FACTORIAL
+
+        answer = denotational_answer(CPS_FACTORIAL, "150")
+        assert run(CPS_FACTORIAL, "150").answer == answer
+
+
+class TestSection16Agreement:
+    @pytest.mark.parametrize("program", load_corpus(), ids=lambda p: p.name)
+    def test_corpus_agreement(self, program):
+        denotational = denotational_answer(program.source, program.default_input)
+        operational = run(program.source, program.default_input).answer
+        assert denotational == operational
+
+    @pytest.mark.parametrize("separator", SEPARATORS, ids=lambda s: s.name)
+    def test_separator_agreement(self, separator):
+        assert denotational_answer(separator.source, "8") == run(
+            separator.source, "8"
+        ).answer
+
+    def test_matched_policies_share_randomness(self):
+        source = "(define (f n) (+ (random 100) (random 100)))"
+        assert denotational_answer(source, "0") == run(source, "0").answer
+
+    def test_evaluation_order_respected(self):
+        from repro.machine.policy import RightToLeft
+
+        source = """
+        (define (f ignored)
+          (let ((log '()))
+            (define (note! t) (begin (set! log (cons t log)) 0))
+            (begin (+ (note! 'a) (note! 'b)) log)))
+        """
+        assert denotational_answer(source, "0", policy=RightToLeft()) == (
+            run(source, "0", policy=RightToLeft()).answer
+        )

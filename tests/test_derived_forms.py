@@ -1,0 +1,221 @@
+"""End-to-end behaviour of every derived form the expander supports.
+
+The expander tests check the *shape* of expansions; these check their
+*meaning* on the machine, form by form.
+"""
+
+import pytest
+
+from conftest import evaluate
+
+
+class TestLet:
+    def test_basic(self):
+        assert evaluate("(let ((x 2) (y 3)) (* x y))") == "6"
+
+    def test_inits_see_outer_scope(self):
+        assert evaluate("(let ((x 1)) (let ((x 2) (y x)) y))") == "1"
+
+    def test_empty_bindings(self):
+        assert evaluate("(let () 7)") == "7"
+
+    def test_body_sequence(self):
+        assert evaluate("(let ((x 1)) (set! x 5) x)") == "5"
+
+
+class TestLetStar:
+    def test_sequential_scope(self):
+        assert evaluate("(let* ((x 1) (y (+ x 1)) (z (* y 2))) z)") == "4"
+
+    def test_single_binding(self):
+        assert evaluate("(let* ((x 9)) x)") == "9"
+
+    def test_empty(self):
+        assert evaluate("(let* () 3)") == "3"
+
+
+class TestLetrec:
+    def test_mutual(self):
+        source = """
+        (letrec ((even2? (lambda (n) (if (zero? n) #t (odd2? (- n 1)))))
+                 (odd2? (lambda (n) (if (zero? n) #f (even2? (- n 1))))))
+          (even2? 10))
+        """
+        assert evaluate(source) == "#t"
+
+    def test_self_reference(self):
+        source = """
+        (letrec ((len (lambda (l) (if (null? l) 0 (+ 1 (len (cdr l)))))))
+          (len (list 1 2 3)))
+        """
+        assert evaluate(source) == "3"
+
+    def test_letrec_star_sequential(self):
+        source = "(letrec* ((a 1) (b (+ a 1))) b)"
+        assert evaluate(source) == "2"
+
+
+class TestNamedLet:
+    def test_countdown(self):
+        assert evaluate(
+            "(let loop ((i 5) (acc 1)) (if (zero? i) acc (loop (- i 1) (* acc i))))"
+        ) == "120"
+
+    def test_loop_variable_shadows(self):
+        assert evaluate(
+            "(let ((loop 99)) (let loop ((i 1)) (if (zero? i) 'done (loop 0))))"
+        ) == "done"
+
+
+class TestBegin:
+    def test_returns_last(self):
+        assert evaluate("(begin 1 2 3)") == "3"
+
+    def test_effects_in_order(self):
+        source = """
+        (let ((x 0))
+          (begin (set! x (+ x 1))
+                 (set! x (* x 10))
+                 x))
+        """
+        assert evaluate(source) == "10"
+
+
+class TestCond:
+    def test_first_true_clause(self):
+        assert evaluate("(cond (#f 1) (#t 2) (#t 3))") == "2"
+
+    def test_else(self):
+        assert evaluate("(cond (#f 1) (else 9))") == "9"
+
+    def test_test_only_clause_returns_test(self):
+        assert evaluate("(cond (#f) (7) (else 0))") == "7"
+
+    def test_arrow(self):
+        assert evaluate(
+            "(cond ((assv 2 (list (cons 1 'a) (cons 2 'b))) => cdr) (else 'none))"
+        ) == "b"
+
+    def test_arrow_not_taken(self):
+        assert evaluate("(cond (#f => car) (else 'fine))") == "fine"
+
+    def test_multi_expression_clause(self):
+        assert evaluate("(let ((x 0)) (cond (#t (set! x 5) x)))") == "5"
+
+
+class TestCase:
+    def test_match(self):
+        assert evaluate("(case 3 ((1 2) 'low) ((3 4) 'mid) (else 'high))") == "mid"
+
+    def test_else(self):
+        assert evaluate("(case 9 ((1) 'one) (else 'other))") == "other"
+
+    def test_symbols(self):
+        assert evaluate("(case 'b ((a) 1) ((b) 2) (else 3))") == "2"
+
+    def test_key_evaluated_once(self):
+        source = """
+        (let ((hits 0))
+          (define (key) (begin (set! hits (+ hits 1)) 5))
+          (begin (case (key) ((1) 'a) ((5) 'b) (else 'c))
+                 hits))
+        """
+        assert evaluate(source) == "1"
+
+    def test_no_match_no_else(self):
+        assert evaluate("(case 9 ((1) 'one))") == "0"
+
+
+class TestBooleanForms:
+    def test_and_short_circuits(self):
+        assert evaluate("(let ((x 0)) (begin (and #f (set! x 1)) x))") == "0"
+
+    def test_and_returns_last(self):
+        assert evaluate("(and 1 2 3)") == "3"
+
+    def test_or_short_circuits(self):
+        assert evaluate("(let ((x 0)) (begin (or #t (set! x 1)) x))") == "0"
+
+    def test_or_returns_first_true(self):
+        assert evaluate("(or #f 7 9)") == "7"
+
+    def test_or_evaluates_once(self):
+        source = """
+        (let ((n 0))
+          (define (bump) (begin (set! n (+ n 1)) n))
+          (begin (or (bump) (bump)) n))
+        """
+        assert evaluate(source) == "1"
+
+    def test_when_true(self):
+        assert evaluate("(when #t 1 2)") == "2"
+
+    def test_when_false(self):
+        assert evaluate("(when #f (car 0))") == "0"
+
+    def test_unless(self):
+        assert evaluate("(unless #f 'ran)") == "ran"
+
+
+class TestDo:
+    def test_sum(self):
+        assert evaluate(
+            "(do ((i 0 (+ i 1)) (acc 0 (+ acc i))) ((= i 5) acc))"
+        ) == "10"
+
+    def test_no_step_keeps_value(self):
+        assert evaluate(
+            "(do ((i 0 (+ i 1)) (k 7)) ((= i 3) k))"
+        ) == "7"
+
+    def test_body_side_effects(self):
+        source = """
+        (let ((v (make-vector 3 0)))
+          (do ((i 0 (+ i 1)))
+              ((= i 3) v)
+            (vector-set! v i (* i i))))
+        """
+        assert evaluate(source) == "#(0 1 4)"
+
+    def test_empty_result_is_unspecified_zero(self):
+        assert evaluate("(do ((i 0 (+ i 1))) ((= i 2)))") == "0"
+
+
+class TestInternalDefines:
+    def test_mutually_recursive(self):
+        source = """
+        (define (f n)
+          (define (ev? k) (if (zero? k) #t (od? (- k 1))))
+          (define (od? k) (if (zero? k) #f (ev? (- k 1))))
+          (ev? n))
+        """
+        assert evaluate(source, "8") == "#t"
+
+    def test_define_value(self):
+        source = "(define (f n) (define k 10) (* n k))"
+        assert evaluate(source, "3") == "30"
+
+    def test_defines_in_let_body(self):
+        source = """
+        (let ((base 100))
+          (define (add k) (+ base k))
+          (add 5))
+        """
+        assert evaluate(source) == "105"
+
+
+class TestQuasiquoteBehaviour:
+    def test_static_template(self):
+        assert evaluate("`(1 2 3)") == "(1 2 3)"
+
+    def test_unquote(self):
+        assert evaluate("(let ((x 5)) `(a ,x))") == "(a 5)"
+
+    def test_splice_middle(self):
+        assert evaluate("(let ((xs (list 2 3))) `(1 ,@xs 4))") == "(1 2 3 4)"
+
+    def test_splice_empty(self):
+        assert evaluate("`(1 ,@'() 2)") == "(1 2)"
+
+    def test_nested_structures(self):
+        assert evaluate("(let ((x 1)) `((,x) #(,x)))") == "((1) #(1))"

@@ -1,0 +1,82 @@
+"""Dynamic (runtime) tail-call census tests."""
+
+import pytest
+
+from repro.analysis.dynamic import (
+    DynamicCensus,
+    dynamic_census_table,
+    run_census,
+)
+
+LOOP = "(define (f n) (if (zero? n) 0 (f (- n 1))))"
+
+
+class TestBasicCounting:
+    def test_counts_every_executed_call(self):
+        census = run_census("(+ 1 (+ 2 3))")
+        assert census.calls == 2
+        assert census.primitive_calls == 2
+        assert census.closure_calls == 0
+
+    def test_loop_self_tail_calls(self):
+        census = run_census(LOOP, "50")
+        # 50 recursive self tail calls + the initial (f 50).
+        assert census.self_tail_calls == 50
+        assert census.closure_calls >= 51
+
+    def test_tail_fraction_grows_with_iterations(self):
+        small = run_census(LOOP, "5")
+        large = run_census(LOOP, "500")
+        assert large.tail_percent > small.tail_percent
+
+    def test_escape_calls_counted(self):
+        census = run_census("(call/cc (lambda (k) (k 42)))")
+        assert census.escape_calls == 1
+
+    def test_non_tail_calls(self):
+        census = run_census(
+            "(define (fact n) (if (zero? n) 1 (* n (fact (- n 1)))))", "5"
+        )
+        # The recursive (fact ...) is an operand of *: not a tail call.
+        assert census.non_tail_calls > 0
+        assert census.self_tail_calls == 0
+
+    def test_per_site_counts(self):
+        census = run_census(LOOP, "10")
+        assert max(census.per_site.values()) >= 10
+
+    def test_steps_recorded(self):
+        census = run_census(LOOP, "10")
+        assert census.steps > census.calls
+
+
+class TestAcrossMachines:
+    @pytest.mark.parametrize("machine", ["tail", "gc", "sfs"])
+    def test_same_call_counts_on_every_machine(self, machine):
+        base = run_census(LOOP, "20", machine="tail")
+        other = run_census(LOOP, "20", machine=machine)
+        assert other.calls == base.calls
+        assert other.tail_calls == base.tail_calls
+
+
+class TestCpsIsAllTail:
+    def test_pure_cps_executes_only_tail_closure_calls(self):
+        from repro.programs.examples import CPS_LOOP
+
+        census = run_census(CPS_LOOP, "30")
+        # Every closure call in pure CPS is a tail call; the non-tail
+        # calls are the primitive operand computations (zero?, -).
+        assert census.tail_calls >= 30
+        assert census.closure_calls - census.tail_calls <= 2
+
+
+class TestTable:
+    def test_table_renders(self):
+        rows = [run_census(LOOP, "10", name="loop")]
+        table = dynamic_census_table(rows)
+        assert "loop" in table and "TOTAL" in table
+
+    def test_dataclass_percentages_empty(self):
+        empty = DynamicCensus(name="empty")
+        assert empty.tail_percent == 0.0
+        assert empty.self_tail_percent == 0.0

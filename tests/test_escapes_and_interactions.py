@@ -1,0 +1,163 @@
+"""Cross-cutting interaction tests: escape procedures vs each machine
+variant, assignments vs closures, and deep-structure stress."""
+
+import pytest
+
+from conftest import ALL_MACHINE_NAMES
+from repro.harness.runner import run
+from repro.space.consumption import space_consumption
+
+MACHINES = ALL_MACHINE_NAMES + ("bigloo",)
+
+
+class TestEscapesAcrossMachines:
+    ESCAPE_PROGRAMS = [
+        ("(call/cc (lambda (k) (k 42)))", "42"),
+        ("(+ 1 (call/cc (lambda (k) (+ 10 (k 5)))))", "6"),
+        (
+            "(define (find-first pred lst)"
+            "  (call/cc (lambda (return)"
+            "    (define (scan cell)"
+            "      (cond ((null? cell) (return #f))"
+            "            ((pred (car cell)) (return (car cell)))"
+            "            (else (scan (cdr cell)))))"
+            "    (scan lst))))"
+            "(find-first even? (list 1 3 6 7))",
+            "6",
+        ),
+        (
+            # The escape outlives its creating call: stored in a box,
+            # invoked after the call/cc has already returned once.
+            "(define (f ignored)"
+            "  (let ((resume #f) (count 0))"
+            "    (begin"
+            "      (call/cc (lambda (k) (set! resume k)))"
+            "      (set! count (+ count 1))"
+            "      (if (< count 3) (resume 0) count))))"
+            "(f 0)",
+            "3",
+        ),
+    ]
+
+    @pytest.mark.parametrize("machine", MACHINES)
+    @pytest.mark.parametrize(
+        "source, expected",
+        ESCAPE_PROGRAMS,
+        ids=["direct", "abort", "early-return", "reentrant"],
+    )
+    def test_escape_program(self, machine, source, expected):
+        assert run(source, machine=machine).answer == expected
+
+    def test_escape_discards_improper_frames(self):
+        """Aborting through a deep non-tail recursion discards the
+        I_gc return chain: after the abort, the continuation register
+        is the captured one."""
+        source = """
+        (define (deep n k)
+          (if (zero? n)
+              (k 'bottom)
+              (+ 1 (deep (- n 1) k))))
+        (define (f n)
+          (call/cc (lambda (k) (deep n k))))
+        """
+        for machine in MACHINES:
+            assert run(source, "50", machine=machine).answer == "bottom"
+
+    def test_escape_as_value_in_structures(self):
+        source = """
+        (let ((cell (cons 0 0)))
+          (begin
+            (call/cc (lambda (k) (set-car! cell k)))
+            (procedure? (car cell))))
+        """
+        assert run(source).answer == "#t"
+
+
+class TestEscapeSpaceBehaviour:
+    def test_abort_keeps_tail_machine_constant(self):
+        """Escaping out of a CPS loop is itself a tail call."""
+        source = """
+        (define (loop n k)
+          (if (zero? n) (k 'done) (loop (- n 1) k)))
+        (define (f n)
+          (call/cc (lambda (k) (loop n k))))
+        """
+        small = space_consumption("tail", source, "16", fixed_precision=True)
+        large = space_consumption("tail", source, "128", fixed_precision=True)
+        assert large <= small + 8
+
+    def test_captured_continuation_retains_its_frames(self):
+        """A live escape pins the continuation it captured: the I_gc
+        frames below the capture point cannot be collected while the
+        escape is reachable."""
+        source = """
+        (define (deep n out)
+          (if (zero? n)
+              (call/cc (lambda (k) (begin (set-car! out k) 0)))
+              (+ 1 (deep (- n 1) out))))
+        (define (f n)
+          (let ((out (cons 0 0)))
+            (begin (deep n out) (car out) 0)))
+        """
+        small = space_consumption("gc", source, "8", fixed_precision=True)
+        large = space_consumption("gc", source, "64", fixed_precision=True)
+        assert large > small * 2  # linear retention through the escape
+
+
+class TestMutationAndClosures:
+    def test_counter_factory(self):
+        source = """
+        (define (make-counter)
+          (let ((n 0))
+            (lambda () (begin (set! n (+ n 1)) n))))
+        (define (f ignored)
+          (let ((a (make-counter)) (b (make-counter)))
+            (begin (a) (a) (b)
+                   (list (a) (b)))))
+        (f 0)
+        """
+        for machine in MACHINES:
+            assert run(source, machine=machine).answer == "(3 2)"
+
+    def test_set_through_vector_of_closures(self):
+        source = """
+        (define (f n)
+          (let ((v (make-vector n 0)))
+            (begin
+              (let loop ((i 0))
+                (if (= i n)
+                    0
+                    (begin (vector-set! v i (lambda () i))
+                           (loop (+ i 1)))))
+              ((vector-ref v (- n 1))))))
+        (f 5)
+        """
+        assert run(source).answer == "4"
+
+    def test_shared_mutable_list(self):
+        source = """
+        (let ((xs (list 1 2 3)))
+          (let ((ys (cons 0 xs)))
+            (begin (set-car! xs 99)
+                   (list (car (cdr ys)) (car xs)))))
+        """
+        assert run(source).answer == "(99 99)"
+
+
+class TestDeepStructures:
+    def test_deep_list_through_machine(self):
+        source = """
+        (define (build n) (if (zero? n) '() (cons n (build (- n 1)))))
+        (define (f n) (length (build n)))
+        """
+        assert run(source, "2000").answer == "2000"
+
+    def test_deep_cps_chain(self):
+        from repro.programs.examples import CPS_FACTORIAL
+
+        result = run(CPS_FACTORIAL, "200")
+        assert len(result.answer) > 300  # 200! is a big number
+
+    def test_wide_vector(self):
+        source = "(define (f n) (vector-length (make-vector (* n n) 0)))"
+        assert run(source, "40").answer == "1600"

@@ -1,0 +1,122 @@
+"""Tests for the narrative-section reproductions: section 4
+(find-leftmost), CPS idioms, and the section 14 sanity check."""
+
+import pytest
+
+from repro.programs.examples import (
+    CPS_FACTORIAL,
+    CPS_LOOP,
+    MUTUAL_RECURSION,
+    SELF_TAIL_LOOP,
+    find_leftmost_program,
+    tree_build_only_program,
+)
+from repro.space.asymptotics import fit_growth, is_bounded
+from repro.space.consumption import space_consumption
+
+NS = (8, 16, 32, 64)
+
+
+def series(machine, source, ns=NS, **options):
+    return [
+        space_consumption(machine, source, str(n),
+                          fixed_precision=True, **options)
+        for n in ns
+    ]
+
+
+def search_overhead(machine, shape, ns=NS):
+    """S(build+search) - S(build only): the space attributable to the
+    find-leftmost search itself, with the tree's own storage factored
+    out."""
+    with_search = series(machine, find_leftmost_program(shape), ns)
+    build_only = series(machine, tree_build_only_program(shape), ns)
+    return [max(1, a - b) for a, b in zip(with_search, build_only)]
+
+
+class TestSection4FindLeftmost:
+    """'If every left child is a leaf, then find-leftmost runs in
+    constant space, no matter how large the tree.'"""
+
+    def test_right_spine_search_is_constant_on_tail(self):
+        overhead = search_overhead("tail", "right")
+        assert is_bounded(overhead, tolerance=2.0), overhead
+
+    def test_left_spine_search_grows_linearly_on_tail(self):
+        overhead = search_overhead("tail", "left")
+        assert fit_growth(NS, overhead).name == "O(n)", overhead
+
+    def test_right_spine_search_grows_on_gc(self):
+        """Improper tail recursion destroys the constant-space
+        property even on the friendly tree shape."""
+        overhead = search_overhead("gc", "right")
+        assert not is_bounded(overhead, tolerance=2.0), overhead
+
+    def test_search_finds_matching_leaf(self):
+        from repro.harness.runner import run
+
+        source = find_leftmost_program("right").replace(
+            "negative?", "odd?"
+        )
+        assert run(source, "5").answer == "1"
+
+
+class TestCPS:
+    def test_cps_loop_constant_on_tail(self):
+        totals = series("tail", CPS_LOOP)
+        assert is_bounded(totals), totals
+
+    def test_cps_loop_linear_on_gc(self):
+        totals = series("gc", CPS_LOOP)
+        assert fit_growth(NS, totals).name == "O(n)"
+
+    def test_cps_factorial_linear_everywhere(self):
+        """The continuation chain is reified in the heap: even proper
+        tail recursion needs Theta(n), which is the point — CPS works
+        without any control stack."""
+        totals = series("tail", CPS_FACTORIAL, ns=(6, 12, 24))
+        assert fit_growth((6, 12, 24), totals).name == "O(n)"
+
+
+class TestSection14Bigloo:
+    def test_self_tail_loop_constant_on_bigloo(self):
+        totals = series("bigloo", SELF_TAIL_LOOP)
+        assert is_bounded(totals), totals
+
+    def test_mutual_recursion_linear_on_bigloo(self):
+        totals = series("bigloo", MUTUAL_RECURSION)
+        assert fit_growth(NS, totals).name == "O(n)"
+
+    def test_mutual_recursion_constant_on_tail(self):
+        totals = series("tail", MUTUAL_RECURSION)
+        assert is_bounded(totals), totals
+
+    def test_self_call_cps_loop_is_fine_on_bigloo(self):
+        """'Nevertheless all simple tail recursions are compiled
+        without stack consumption' — the self-call CPS loop is the
+        friendly case."""
+        totals = series("bigloo", CPS_LOOP)
+        assert is_bounded(totals), totals
+
+    def test_cps_pingpong_linear_on_bigloo(self):
+        """'Thus Bigloo and similar implementations fail with
+        continuation-passing style': once the CPS hops are not self
+        calls, every hop pushes a frame."""
+        from repro.programs.examples import CPS_PINGPONG
+
+        totals = series("bigloo", CPS_PINGPONG)
+        assert fit_growth(NS, totals).name == "O(n)"
+        tail_totals = series("tail", CPS_PINGPONG)
+        assert is_bounded(tail_totals), tail_totals
+
+    def test_find_leftmost_overhead_grows_on_bigloo(self):
+        """'...and with the find-leftmost example of Section 4.'"""
+        overhead = search_overhead("bigloo", "right")
+        assert not is_bounded(overhead, tolerance=2.0), overhead
+
+    def test_bigloo_between_tail_and_gc(self):
+        for n in (10, 30):
+            tail = space_consumption("tail", CPS_LOOP, str(n))
+            bigloo = space_consumption("bigloo", CPS_LOOP, str(n))
+            gc = space_consumption("gc", CPS_LOOP, str(n))
+            assert tail <= bigloo <= gc

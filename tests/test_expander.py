@@ -1,0 +1,280 @@
+"""Macro expander tests: surface Scheme -> Core Scheme."""
+
+import pytest
+
+from repro.syntax.ast import Call, If, Lambda, Quote, SetBang, Var, walk
+from repro.syntax.expander import ExpandError, expand_expression, expand_program
+
+
+def expand(text):
+    return expand_expression(text)
+
+
+class TestAtomsAndQuote:
+    def test_number_literal(self):
+        expr = expand("42")
+        assert isinstance(expr, Quote) and expr.value == 42
+
+    def test_boolean_literal(self):
+        assert expand("#t").value is True
+
+    def test_string_literal(self):
+        assert expand('"hi"').value == "hi"
+
+    def test_variable(self):
+        expr = expand("x")
+        assert isinstance(expr, Var) and expr.name == "x"
+
+    def test_quote_symbol(self):
+        expr = expand("'foo")
+        assert isinstance(expr, Quote) and expr.value.name == "foo"
+
+    def test_quote_empty_list(self):
+        assert expand("'()").value == ()
+
+    def test_quote_list_becomes_list_call(self):
+        expr = expand("'(1 2)")
+        assert isinstance(expr, Call)
+        assert expr.operator.name == "list"
+        assert [e.value for e in expr.operands] == [1, 2]
+
+    def test_quote_nested_list(self):
+        expr = expand("'(a (b))")
+        inner = expr.operands[1]
+        assert isinstance(inner, Call) and inner.operator.name == "list"
+
+    def test_vector_literal_becomes_vector_call(self):
+        expr = expand("#(1 2 3)")
+        assert isinstance(expr, Call) and expr.operator.name == "vector"
+
+    def test_keyword_as_variable_rejected(self):
+        with pytest.raises(ExpandError):
+            expand("lambda")
+
+
+class TestLambdaAndCalls:
+    def test_lambda(self):
+        expr = expand("(lambda (x y) x)")
+        assert isinstance(expr, Lambda)
+        assert expr.params == ("x", "y")
+        assert isinstance(expr.body, Var)
+
+    def test_lambda_multi_body_becomes_begin(self):
+        expr = expand("(lambda (x) (f x) x)")
+        assert isinstance(expr.body, Call)  # the begin expansion
+
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(ExpandError):
+            expand("(lambda (x x) x)")
+
+    def test_call(self):
+        expr = expand("(f 1 2)")
+        assert isinstance(expr, Call)
+        assert len(expr.operands) == 2
+
+    def test_nullary_call(self):
+        expr = expand("(f)")
+        assert isinstance(expr, Call) and expr.operands == ()
+
+    def test_empty_call_rejected(self):
+        with pytest.raises(ExpandError):
+            expand("()")
+
+
+class TestIfAndSet:
+    def test_three_armed_if(self):
+        expr = expand("(if a b c)")
+        assert isinstance(expr, If)
+
+    def test_one_armed_if_gets_alternative(self):
+        expr = expand("(if a b)")
+        assert isinstance(expr.alternative, Quote)
+
+    def test_malformed_if(self):
+        with pytest.raises(ExpandError):
+            expand("(if a)")
+
+    def test_set_bang(self):
+        expr = expand("(set! x 1)")
+        assert isinstance(expr, SetBang) and expr.name == "x"
+
+    def test_set_bang_keyword_rejected(self):
+        with pytest.raises(ExpandError):
+            expand("(set! if 1)")
+
+
+class TestDerivedForms:
+    def test_begin_single(self):
+        assert isinstance(expand("(begin x)"), Var)
+
+    def test_begin_sequence_is_application(self):
+        expr = expand("(begin a b)")
+        assert isinstance(expr, Call)
+        assert isinstance(expr.operator, Lambda)
+
+    def test_let_is_application(self):
+        expr = expand("(let ((x 1)) x)")
+        assert isinstance(expr, Call)
+        assert expr.operator.params == ("x",)
+
+    def test_let_multiple_bindings(self):
+        expr = expand("(let ((x 1) (y 2)) y)")
+        assert expr.operator.params == ("x", "y")
+
+    def test_let_duplicate_bindings_rejected(self):
+        with pytest.raises(ExpandError):
+            expand("(let ((x 1) (x 2)) x)")
+
+    def test_let_star_nests(self):
+        expr = expand("(let* ((x 1) (y x)) y)")
+        assert isinstance(expr, Call)
+        inner = expr.operator.body
+        assert isinstance(inner, Call)
+
+    def test_letrec_uses_set(self):
+        expr = expand("(letrec ((f (lambda (x) (f x)))) f)")
+        sets = [e for e in walk(expr) if isinstance(e, SetBang)]
+        assert len(sets) == 1 and sets[0].name == "f"
+
+    def test_named_let(self):
+        expr = expand("(let loop ((i 0)) (if (zero? i) 0 (loop (- i 1))))")
+        assert isinstance(expr, Call)
+
+    def test_cond_else(self):
+        expr = expand("(cond (#f 1) (else 2))")
+        assert isinstance(expr, If)
+
+    def test_cond_no_clauses(self):
+        assert isinstance(expand("(cond)"), Quote)
+
+    def test_cond_test_only_clause(self):
+        expr = expand("(cond (x) (else 2))")
+        assert isinstance(expr, Call)  # binds the test value
+
+    def test_cond_arrow(self):
+        expr = expand("(cond (x => f) (else 2))")
+        assert isinstance(expr, Call)
+
+    def test_cond_else_not_last_rejected(self):
+        with pytest.raises(ExpandError):
+            expand("(cond (else 1) (#t 2))")
+
+    def test_and_empty(self):
+        assert expand("(and)").value is True
+
+    def test_or_empty(self):
+        assert expand("(or)").value is False
+
+    def test_and_chain(self):
+        assert isinstance(expand("(and a b c)"), If)
+
+    def test_or_binds_temp(self):
+        expr = expand("(or a b)")
+        assert isinstance(expr, Call)
+        assert expr.operator.params[0].startswith("%")
+
+    def test_when(self):
+        assert isinstance(expand("(when a b)"), If)
+
+    def test_unless(self):
+        expr = expand("(unless a b)")
+        assert isinstance(expr, If)
+        assert isinstance(expr.consequent, Quote)
+
+    def test_case(self):
+        expr = expand("(case x ((1 2) 'small) (else 'big))")
+        assert isinstance(expr, Call)
+
+    def test_do_loop(self):
+        expr = expand("(do ((i 0 (+ i 1))) ((= i 10) i))")
+        assert isinstance(expr, Call)
+
+    def test_unquote_outside_quasiquote_rejected(self):
+        with pytest.raises(ExpandError):
+            expand(",x")
+
+
+class TestQuasiquote:
+    def test_plain_template_is_constant_list(self):
+        expr = expand("`(a b)")
+        assert isinstance(expr, Call)
+        assert expr.operator.name == "list"
+
+    def test_unquote_splices_expression(self):
+        expr = expand("`(1 ,x)")
+        assert isinstance(expr.operands[1], Var)
+
+    def test_unquote_splicing_uses_append(self):
+        expr = expand("`(1 ,@xs 2)")
+        assert expr.operator.name == "append"
+
+    def test_nested_quasiquote_stays_quoted(self):
+        from repro.syntax.ast import core_to_string
+
+        expr = expand("``(,x)")
+        assert "quasiquote" in core_to_string(expr)
+
+    def test_vector_template(self):
+        expr = expand("`#(1 ,x)")
+        assert expr.operator.name == "vector"
+
+    def test_empty_template(self):
+        expr = expand("`()")
+        assert isinstance(expr, Quote) and expr.value == ()
+
+    def test_malformed_unquote(self):
+        with pytest.raises(ExpandError):
+            expand("`(1 (unquote))")
+
+
+class TestBodiesAndPrograms:
+    def test_internal_define(self):
+        expr = expand("(lambda (n) (define (g) n) (g))")
+        assert isinstance(expr, Lambda)
+
+    def test_body_only_defines_rejected(self):
+        with pytest.raises(ExpandError):
+            expand("(lambda (n) (define g 1))")
+
+    def test_program_single_define_returns_name(self):
+        expr = expand_program("(define (f x) x)")
+        assert isinstance(expr, Call)  # letrec expansion
+
+    def test_program_define_then_expression(self):
+        expr = expand_program("(define (f x) x) (f 1)")
+        assert isinstance(expr, Call)
+
+    def test_program_expression_only(self):
+        expr = expand_program("(+ 1 2)")
+        assert isinstance(expr, Call)
+
+    def test_program_empty_rejected(self):
+        with pytest.raises(ExpandError):
+            expand_program("")
+
+    def test_define_after_expression_rejected(self):
+        with pytest.raises(ExpandError):
+            expand_program("(f 1) (define (f x) x)")
+
+    def test_define_value_form(self):
+        expr = expand_program("(define x 42) x")
+        assert isinstance(expr, Call)
+
+    def test_define_not_in_operand_position(self):
+        with pytest.raises(ExpandError):
+            expand("(f (define x 1))")
+
+
+class TestHygiene:
+    def test_fresh_temporaries_are_distinct(self):
+        expr = expand("(begin a b c)")
+        params = [
+            node.params[0]
+            for node in walk(expr)
+            if isinstance(node, Lambda)
+        ]
+        assert len(params) == len(set(params))
+
+    def test_temps_use_reserved_prefix(self):
+        expr = expand("(or a b)")
+        assert expr.operator.params[0].startswith("%")

@@ -1,0 +1,165 @@
+"""Garbage collection rule tests (Figure 5, section 7)."""
+
+from repro.machine.config import State
+from repro.machine.continuation import Halt, Return
+from repro.machine.environment import EMPTY_ENV
+from repro.machine.gc import collect, reachable_locations
+from repro.machine.machine import Machine
+from repro.machine.store import Store
+from repro.machine.values import (
+    Closure,
+    Escape,
+    NIL,
+    Num,
+    Pair,
+    TRUE,
+    Vector,
+)
+from repro.syntax.ast import Lambda, Var
+
+
+def make_state(store, env=EMPTY_ENV, kont=None, value=None):
+    if value is None:
+        return State(Var("x"), False, env, kont or Halt(), store)
+    return State(value, True, env, kont or Halt(), store)
+
+
+class TestReachability:
+    def test_nothing_reachable_from_empty_roots(self):
+        store = Store()
+        store.alloc(Num(1))
+        assert reachable_locations(store) == set()
+
+    def test_env_roots(self):
+        store = Store()
+        loc = store.alloc(Num(1))
+        env = EMPTY_ENV.extend(("x",), (loc,))
+        assert reachable_locations(store, root_env=env) == {loc}
+
+    def test_transitive_through_pairs(self):
+        store = Store()
+        inner = store.alloc(Num(1))
+        tail = store.alloc(NIL)
+        head = store.alloc(Pair(inner, tail))
+        env = EMPTY_ENV.extend(("lst",), (head,))
+        assert reachable_locations(store, root_env=env) == {inner, tail, head}
+
+    def test_transitive_through_vectors(self):
+        store = Store()
+        a = store.alloc(Num(1))
+        b = store.alloc(Num(2))
+        v = store.alloc(Vector((a, b)))
+        env = EMPTY_ENV.extend(("v",), (v,))
+        assert reachable_locations(store, root_env=env) == {a, b, v}
+
+    def test_closure_env_is_traversed(self):
+        store = Store()
+        captured = store.alloc(Num(9))
+        tag = store.alloc(NIL)
+        closure = Closure(
+            tag,
+            Lambda(("x",), Var("x")),
+            EMPTY_ENV.extend(("y",), (captured,)),
+        )
+        assert reachable_locations(store, (closure,)) == {captured, tag}
+
+    def test_escape_continuation_is_traversed(self):
+        store = Store()
+        saved = store.alloc(Num(1))
+        tag = store.alloc(NIL)
+        kont = Return(EMPTY_ENV.extend(("x",), (saved,)), Halt())
+        escape = Escape(tag, kont)
+        assert reachable_locations(store, (escape,)) == {saved, tag}
+
+    def test_kont_roots(self):
+        store = Store()
+        loc = store.alloc(Num(1))
+        kont = Return(EMPTY_ENV.extend(("x",), (loc,)), Halt())
+        assert reachable_locations(store, root_kont=kont) == {loc}
+
+    def test_cyclic_structure_terminates(self):
+        store = Store()
+        car = store.alloc(Num(1))
+        cdr = store.alloc(NIL)
+        pair = Pair(car, cdr)
+        store.write(cdr, pair)  # cycle: cdr points back to the pair
+        env = EMPTY_ENV.extend(("x",), (car,))
+        store.write(car, pair)
+        assert reachable_locations(store, root_env=env) == {car, cdr}
+
+
+class TestCollect:
+    def test_collect_removes_unreachable(self):
+        store = Store()
+        live = store.alloc(Num(1))
+        store.alloc(Num(2))  # garbage
+        state = make_state(store, EMPTY_ENV.extend(("x",), (live,)))
+        assert collect(state) == 1
+        assert live in store and len(store) == 1
+
+    def test_collect_is_idempotent(self):
+        store = Store()
+        live = store.alloc(Num(1))
+        store.alloc(Num(2))
+        state = make_state(store, EMPTY_ENV.extend(("x",), (live,)))
+        collect(state)
+        assert collect(state) == 0
+
+    def test_collect_never_removes_reachable(self):
+        store = Store()
+        locs = [store.alloc(Num(i)) for i in range(10)]
+        chain_head = store.alloc(NIL)
+        for loc in locs:
+            chain_head = store.alloc(Pair(loc, chain_head))
+        env = EMPTY_ENV.extend(("lst",), (chain_head,))
+        state = make_state(store, env)
+        collect(state)
+        for loc in locs:
+            assert loc in store
+
+    def test_accumulator_value_is_a_root(self):
+        store = Store()
+        loc = store.alloc(Num(5))
+        pair = Pair(loc, store.alloc(NIL))
+        state = make_state(store, value=pair)
+        collect(state)
+        assert loc in store
+
+    def test_gc_during_run_keeps_needed_data(self):
+        """End-to-end: aggressive GC never breaks a list-building run."""
+        from repro.harness.runner import run
+
+        source = """
+        (define (build n acc)
+          (if (zero? n) acc (build (- n 1) (cons n acc))))
+        (define (f n) (length (build n '())))
+        """
+        assert run(source, "50", meter=True).answer == "50"
+
+
+class TestSpaceEfficientComputation:
+    """Definition 21: collecting after every step gives the canonical
+    minimal store; skipping GC can only increase space."""
+
+    def test_gc_interval_only_increases_space(self):
+        from repro.space.consumption import space_consumption
+
+        source = "(define (f n) (if (zero? n) 0 (f (- n 1))))"
+        base = space_consumption("tail", source, "40", gc_interval=1)
+        for interval in (4, 16, 64):
+            relaxed = space_consumption(
+                "tail", source, "40", gc_interval=interval
+            )
+            assert relaxed >= base
+
+    def test_gc_interval_bounded_factor(self):
+        """Section 7: a collector running every k steps costs at most
+        a constant factor R over collecting every step (R <~ 3 for
+        real collectors; allocation here is at most a handful of words
+        per step, so small intervals stay close)."""
+        from repro.space.consumption import space_consumption
+
+        source = "(define (f n) (if (zero? n) 0 (f (- n 1))))"
+        base = space_consumption("tail", source, "60", gc_interval=1)
+        relaxed = space_consumption("tail", source, "60", gc_interval=8)
+        assert relaxed <= 3 * base

@@ -1,0 +1,87 @@
+"""Harness tests: runner options and report rendering."""
+
+import pytest
+
+from repro.harness.report import render_series, render_table, sparkline
+from repro.harness.runner import answers_agree, compare_machines, run
+
+
+class TestRunner:
+    def test_run_defaults_to_tail(self):
+        assert run("(+ 1 2)").machine == "tail"
+
+    def test_run_without_argument(self):
+        assert run("(* 6 7)").answer == "42"
+
+    def test_run_with_argument(self):
+        assert run("(define (f x) (* x x))", "9").answer == "81"
+
+    def test_meter_populates_space_fields(self):
+        result = run("(+ 1 2)", meter=True)
+        assert result.sup_space is not None
+        assert result.consumption is not None
+        assert result.consumption >= result.sup_space
+
+    def test_unmetered_run_has_no_space_fields(self):
+        result = run("(+ 1 2)")
+        assert result.sup_space is None
+
+    def test_str_is_answer(self):
+        assert str(run("(+ 1 2)")) == "3"
+
+    def test_strict_mode_rejects_string_constants(self):
+        from repro.syntax.validate import ValidationError
+
+        with pytest.raises(ValidationError):
+            run('"hello"', strict=True)
+
+    def test_machine_selection(self):
+        assert run("(+ 1 1)", machine="sfs").machine == "sfs"
+
+    def test_compare_machines_and_agreement(self):
+        results = compare_machines("(+ 2 3)", machines=("tail", "gc"))
+        assert set(results) == {"tail", "gc"}
+        assert answers_agree(results)
+
+    def test_answers_agree_detects_divergence(self):
+        results = compare_machines("(+ 2 3)", machines=("tail", "gc"))
+        results["gc"].answer = "999"
+        assert not answers_agree(results)
+
+    def test_linked_metering_through_runner(self):
+        result = run("(+ 1 2)", meter=True, linked=True)
+        assert result.sup_space is not None
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        table = render_table(
+            ["name", "value"], [["a", 1], ["bb", 22]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) == {"-"}
+
+    def test_render_table_floats(self):
+        table = render_table(["x"], [[1.23456]])
+        assert "1.23" in table
+
+    def test_render_series(self):
+        text = render_series(
+            (1, 2), {"tail": [10, 20], "gc": [30, 40]}, n_label="N"
+        )
+        assert "tail" in text and "gc" in text
+        assert "40" in text
+
+    def test_sparkline_monotone(self):
+        line = sparkline([0, 1, 2, 3, 4, 5])
+        assert len(line) == 6
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_sparkline_downsamples(self):
+        line = sparkline(list(range(1000)), width=50)
+        assert len(line) == 50
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""

@@ -1,0 +1,274 @@
+"""Core evaluation semantics, run on the I_tail reference machine.
+
+Each test exercises one behaviour of the Figure 5 rules (or a stuck
+condition) through the public run() API.
+"""
+
+import pytest
+
+from conftest import evaluate
+from repro.machine.errors import (
+    ArityError,
+    NotAProcedureError,
+    PrimitiveError,
+    StepLimitExceeded,
+    StuckError,
+    UnboundVariableError,
+)
+from repro.harness.runner import run
+
+
+class TestLiterals:
+    def test_number(self):
+        assert evaluate("42") == "42"
+
+    def test_negative_number(self):
+        assert evaluate("-3") == "-3"
+
+    def test_true(self):
+        assert evaluate("#t") == "#t"
+
+    def test_false(self):
+        assert evaluate("#f") == "#f"
+
+    def test_symbol(self):
+        assert evaluate("'foo") == "foo"
+
+    def test_empty_list(self):
+        assert evaluate("'()") == "()"
+
+    def test_string(self):
+        assert evaluate('"hi"') == '"hi"'
+
+    def test_char(self):
+        assert evaluate("#\\a") == "#\\a"
+
+
+class TestConditionals:
+    def test_true_branch(self):
+        assert evaluate("(if #t 1 2)") == "1"
+
+    def test_false_branch(self):
+        assert evaluate("(if #f 1 2)") == "2"
+
+    def test_only_false_is_false(self):
+        assert evaluate("(if 0 'yes 'no)") == "yes"
+        assert evaluate("(if '() 'yes 'no)") == "yes"
+        assert evaluate("(if \"\" 'yes 'no)", strict=False) == "yes"
+
+    def test_branch_not_taken_not_evaluated(self):
+        assert evaluate("(if #t 1 (car 0))") == "1"
+
+
+class TestLambdaAndApplication:
+    def test_identity(self):
+        assert evaluate("((lambda (x) x) 42)") == "42"
+
+    def test_two_params(self):
+        assert evaluate("((lambda (x y) y) 1 2)") == "2"
+
+    def test_nullary(self):
+        assert evaluate("((lambda () 7))") == "7"
+
+    def test_closure_captures(self):
+        assert evaluate("(((lambda (x) (lambda (y) (+ x y))) 3) 4)") == "7"
+
+    def test_procedure_prints_opaquely(self):
+        assert evaluate("(lambda (x) x)") == "#<PROC>"
+
+    def test_arity_mismatch_is_stuck(self):
+        with pytest.raises(ArityError):
+            evaluate("((lambda (x) x) 1 2)")
+
+    def test_applying_non_procedure_is_stuck(self):
+        with pytest.raises(NotAProcedureError):
+            evaluate("(1 2)")
+
+    def test_shadowing(self):
+        assert evaluate("((lambda (x) ((lambda (x) x) 2)) 1)") == "2"
+
+    def test_lexical_scope_not_dynamic(self):
+        source = """
+        (define (make-getter x) (lambda () x))
+        (define (call-with-own-x g x) (g))
+        (call-with-own-x (make-getter 1) 99)
+        """
+        assert evaluate(source) == "1"
+
+
+class TestAssignment:
+    def test_set_returns_unspecified(self):
+        assert evaluate("((lambda (x) (set! x 2)) 1)") == "#<UNSPECIFIED>"
+
+    def test_set_changes_value(self):
+        assert evaluate("((lambda (x) (begin (set! x 2) x)) 1)") == "2"
+
+    def test_set_shared_between_closures(self):
+        source = """
+        (define (f ignored)
+          (let ((n 0))
+            (let ((inc (lambda () (set! n (+ n 1))))
+                  (get (lambda () n)))
+              (begin (inc) (inc) (inc) (get)))))
+        (f 0)
+        """
+        assert evaluate(source) == "3"
+
+    def test_set_unbound_is_stuck(self):
+        # The validator rejects free variables first, so drive the
+        # machine directly to reach the stuck transition.
+        from repro.machine.machine import Machine
+        from repro.machine.config import Final
+        from repro.syntax.expander import expand_expression
+
+        machine = Machine()
+        state = machine.inject(expand_expression("(set! nowhere 1)"))
+        with pytest.raises(UnboundVariableError):
+            for _ in range(10):
+                result = machine.step(state)
+                if isinstance(result, Final):
+                    break
+                state = result
+
+
+class TestUnboundVariables:
+    def test_unbound_variable_rejected_by_validator(self):
+        from repro.syntax.validate import ValidationError
+
+        with pytest.raises(ValidationError):
+            evaluate("nowhere")
+
+    def test_undefined_read_is_stuck(self):
+        """The Figure 5 side condition: sigma(rho(I)) = UNDEFINED
+        cannot be read (the rule does not apply; the machine is
+        stuck)."""
+        from repro.machine.config import Final
+        from repro.machine.continuation import Halt
+        from repro.machine.environment import EMPTY_ENV
+        from repro.machine.machine import Machine
+        from repro.machine.config import State
+        from repro.machine.store import Store
+        from repro.machine.values import UNDEFINED
+        from repro.syntax.ast import Var
+
+        store = Store()
+        location = store.alloc(UNDEFINED)
+        env = EMPTY_ENV.extend(("x",), (location,))
+        machine = Machine()
+        state = State(Var("x"), False, env, Halt(), store)
+        with pytest.raises(UnboundVariableError, match="initialization"):
+            machine.step(state)
+
+    def test_letrec_premature_reference_is_stuck(self):
+        # f's dummy starts as '0, so calling it prematurely is a
+        # not-a-procedure stuck state rather than use of UNDEFINED.
+        with pytest.raises(StuckError):
+            evaluate("(letrec ((f (f))) 0)")
+
+
+class TestRecursion:
+    def test_factorial(self):
+        src = "(define (fact n) (if (zero? n) 1 (* n (fact (- n 1)))))"
+        assert evaluate(src, "10") == "3628800"
+
+    def test_deep_tail_recursion(self):
+        src = "(define (f n) (if (zero? n) 'done (f (- n 1))))"
+        assert evaluate(src, "100000") == "done"
+
+    def test_mutual_recursion(self):
+        src = """
+        (define (my-even? n) (if (zero? n) #t (my-odd? (- n 1))))
+        (define (my-odd? n) (if (zero? n) #f (my-even? (- n 1))))
+        (define (f n) (my-even? n))
+        """
+        assert evaluate(src, "101") == "#f"
+
+    def test_named_let_loop(self):
+        src = "(define (f n) (let loop ((i 0) (acc 0)) (if (= i n) acc (loop (+ i 1) (+ acc i)))))"
+        assert evaluate(src, "10") == "45"
+
+    def test_do_loop(self):
+        src = "(define (f n) (do ((i 0 (+ i 1)) (acc 0 (+ acc i))) ((= i n) acc)))"
+        assert evaluate(src, "10") == "45"
+
+
+class TestEvaluationOrderPolicies:
+    def test_right_to_left_same_answer_for_pure_code(self):
+        from repro.machine.policy import RightToLeft
+
+        src = "(define (f n) (+ (* n 2) (* n 3)))"
+        left = run(src, "10").answer
+        right = run(src, "10", policy=RightToLeft()).answer
+        assert left == right == "50"
+
+    def test_order_observable_through_effects(self):
+        from repro.machine.policy import LeftToRight, RightToLeft
+
+        src = """
+        (define (f ignored)
+          (let ((log '()))
+            (define (note! tag) (begin (set! log (cons tag log)) 0))
+            (begin (+ (note! 'a) (note! 'b))
+                   log)))
+        """
+        ltr = run(src, "0", policy=LeftToRight()).answer
+        rtl = run(src, "0", policy=RightToLeft()).answer
+        assert ltr == "(b a)"
+        assert rtl == "(a b)"
+
+    def test_shuffled_policy_is_reproducible(self):
+        from repro.machine.policy import Shuffled
+
+        src = "(define (f n) (+ n (* n 2)))"
+        first = run(src, "5", policy=Shuffled(seed=7)).answer
+        second = run(src, "5", policy=Shuffled(seed=7)).answer
+        assert first == second == "15"
+
+
+class TestStepLimit:
+    def test_infinite_loop_hits_limit(self):
+        src = "(define (f n) (f n))"
+        with pytest.raises(StepLimitExceeded):
+            evaluate(src, "0", step_limit=5000)
+
+
+class TestCallCC:
+    def test_escape_returns_value(self):
+        assert evaluate("(call/cc (lambda (k) (k 42)))") == "42"
+
+    def test_escape_ignores_rest(self):
+        assert evaluate("(+ 1 (call/cc (lambda (k) (+ 10 (k 5)))))") == "6"
+
+    def test_no_escape_returns_normally(self):
+        assert evaluate("(call/cc (lambda (k) 9))") == "9"
+
+    def test_escape_is_procedure(self):
+        assert evaluate("(call/cc (lambda (k) (procedure? k)))") == "#t"
+
+    def test_escape_used_later(self):
+        source = """
+        (define (f n)
+          (+ n (call-with-current-continuation
+                (lambda (k) (if (even? n) (k 100) 1)))))
+        """
+        assert evaluate(source, "4") == "104"
+        assert evaluate(source, "5") == "6"
+
+    def test_escape_wrong_arity_is_stuck(self):
+        with pytest.raises(ArityError):
+            evaluate("(call/cc (lambda (k) (k 1 2)))")
+
+
+class TestApply:
+    def test_apply_list(self):
+        assert evaluate("(apply + (list 1 2 3))") == "6"
+
+    def test_apply_spread_plus_list(self):
+        assert evaluate("(apply + 1 2 (list 3 4))") == "10"
+
+    def test_apply_closure(self):
+        assert evaluate("(apply (lambda (a b) (- a b)) (list 10 4))") == "6"
+
+    def test_apply_improper_is_stuck(self):
+        with pytest.raises(PrimitiveError):
+            evaluate("(apply + 1)")

@@ -1,0 +1,183 @@
+"""Space meter and Definition 23 consumption function tests."""
+
+import pytest
+
+from repro.machine.variants import TailMachine
+from repro.space.consumption import (
+    Consumption,
+    measure,
+    measure_all,
+    prepare_program,
+    space_consumption,
+    sweep,
+)
+from repro.space.meter import run_metered, run_to_final
+from repro.syntax.ast import ast_size
+
+LOOP = "(define (f n) (if (zero? n) 0 (f (- n 1))))"
+
+
+class TestRunMetered:
+    def test_result_fields(self):
+        machine = TailMachine()
+        program = prepare_program(LOOP)
+        from repro.space.consumption import prepare_input
+
+        result = run_metered(machine, program, prepare_input("10"))
+        assert result.machine == "tail"
+        assert result.steps > 0
+        assert result.sup_space > 0
+        assert result.program_size == ast_size(program)
+        assert result.consumption == result.program_size + result.sup_space
+
+    def test_trace_recording(self):
+        machine = TailMachine()
+        program = prepare_program(LOOP)
+        from repro.space.consumption import prepare_input
+
+        result = run_metered(
+            machine, program, prepare_input("10"), trace_every=5
+        )
+        assert len(result.trace) >= 2
+        steps = [s for s, _ in result.trace]
+        assert steps == sorted(steps)
+        assert max(space for _, space in result.trace) <= result.sup_space
+
+    def test_peak_step_consistent_with_trace(self):
+        machine = TailMachine()
+        program = prepare_program(LOOP)
+        from repro.space.consumption import prepare_input
+
+        result = run_metered(machine, program, prepare_input("5"))
+        assert 0 <= result.peak_step <= result.steps
+
+    def test_run_to_final_matches_metered_answer(self):
+        from repro.machine.answer import answer_string
+
+        machine = TailMachine()
+        program = prepare_program("(define (f n) (* n n))")
+        from repro.space.consumption import prepare_input
+
+        metered = run_metered(machine, program, prepare_input("9"))
+        fast, _steps = run_to_final(
+            TailMachine(), program, prepare_input("9")
+        )
+        assert answer_string(metered.final) == answer_string(fast) == "81"
+
+
+class TestConsumptionFunction:
+    def test_includes_program_size(self):
+        program = prepare_program(LOOP)
+        result = measure("tail", program, "0")
+        assert result.program_size == ast_size(program)
+        assert result.total == result.sup_space + result.program_size
+
+    def test_space_consumption_shorthand(self):
+        assert space_consumption("tail", LOOP, "5") == measure(
+            "tail", LOOP, "5"
+        ).total
+
+    def test_deterministic(self):
+        assert space_consumption("gc", LOOP, "20") == space_consumption(
+            "gc", LOOP, "20"
+        )
+
+    def test_fixed_precision_leq_bignum(self):
+        fixed = space_consumption("tail", LOOP, "100", fixed_precision=True)
+        bignum = space_consumption("tail", LOOP, "100")
+        assert fixed <= bignum
+
+    def test_linked_leq_flat(self):
+        """U_X <= S_X (section 13)."""
+        for machine in ("tail", "gc", "evlis"):
+            linked = space_consumption(machine, LOOP, "30", linked=True)
+            flat = space_consumption(machine, LOOP, "30")
+            assert linked <= flat
+
+    def test_measure_all_same_answers(self):
+        results = measure_all(LOOP, "10")
+        answers = {c.answer for c in results.values()}
+        assert answers == {"0"}
+
+    def test_measure_all_machine_set(self):
+        results = measure_all(LOOP, "5", machines=("tail", "gc"))
+        assert set(results) == {"tail", "gc"}
+
+    def test_consumption_dataclass_fields(self):
+        result = measure("sfs", LOOP, "3", linked=False, fixed_precision=True)
+        assert isinstance(result, Consumption)
+        assert result.machine == "sfs"
+        assert result.fixed_precision is True
+        assert result.linked is False
+
+
+class TestSweep:
+    def test_sweep_constant_program(self):
+        ns, totals = sweep("tail", lambda n: LOOP, (5, 10, 20))
+        assert ns == (5, 10, 20)
+        assert len(totals) == 3
+        # I_tail runs the loop in (nearly) constant space.
+        assert max(totals) <= min(totals) + 8
+
+    def test_sweep_growing_program(self):
+        ns, totals = sweep("gc", lambda n: LOOP, (10, 20, 40))
+        assert totals[2] > totals[1] > totals[0]
+
+    def test_sweep_custom_argument(self):
+        ns, totals = sweep(
+            "tail",
+            lambda n: LOOP,
+            (5, 10),
+            argument_for=lambda n: str(2 * n),
+        )
+        assert len(totals) == 2
+
+
+class TestGcWhenAblation:
+    def test_store_change_schedule_close_to_canonical(self):
+        from repro.space.consumption import prepare_input
+
+        machine = TailMachine()
+        program = prepare_program(LOOP)
+        argument = prepare_input("40")
+        always = run_metered(machine, program, argument).sup_space
+        lazy = run_metered(
+            TailMachine(), program, argument, gc_when="store-change"
+        ).sup_space
+        assert always <= lazy <= always + 8
+
+    def test_unknown_schedule_rejected(self):
+        from repro.space.consumption import prepare_input
+
+        with pytest.raises(ValueError, match="gc_when"):
+            run_metered(
+                TailMachine(),
+                prepare_program(LOOP),
+                prepare_input("1"),
+                gc_when="sometimes",
+            )
+
+
+class TestTrimGlobals:
+    def test_trimmed_vs_full_environment(self):
+        trimmed = space_consumption("gc", LOOP, "10")
+        machine_full = None
+        from repro.machine.variants import GcMachine
+        from repro.space.consumption import prepare_input
+
+        machine = GcMachine()
+        state_full = machine.inject(
+            prepare_program(LOOP), prepare_input("10"), trim_globals=False
+        )
+        # The untrimmed initial store holds every standard procedure.
+        assert len(state_full.store) > 50
+
+    def test_trimmed_initial_store_is_small(self):
+        from repro.machine.variants import GcMachine
+        from repro.space.consumption import prepare_input
+
+        machine = GcMachine()
+        state = machine.inject(
+            prepare_program(LOOP), prepare_input("10"), trim_globals=True
+        )
+        assert len(state.store) < 10

@@ -1,0 +1,106 @@
+"""Evaluation-policy tests: the machine's nondeterministic choices."""
+
+import pytest
+
+from repro.machine.policy import (
+    LeftToRight,
+    OperatorLast,
+    Policy,
+    RightToLeft,
+    Shuffled,
+)
+
+
+class TestPermutations:
+    @pytest.mark.parametrize("count", [1, 2, 3, 5])
+    def test_left_to_right(self, count):
+        assert LeftToRight().permutation(count) == tuple(range(count))
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 5])
+    def test_right_to_left(self, count):
+        assert RightToLeft().permutation(count) == tuple(
+            reversed(range(count))
+        )
+
+    def test_operator_last(self):
+        assert OperatorLast().permutation(4) == (1, 2, 3, 0)
+
+    def test_operator_last_single(self):
+        assert OperatorLast().permutation(1) == (0,)
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 8])
+    def test_shuffled_is_a_permutation(self, count):
+        order = Shuffled(seed=3).permutation(count)
+        assert sorted(order) == list(range(count))
+
+    def test_shuffled_reproducible_across_instances(self):
+        a = Shuffled(seed=11)
+        b = Shuffled(seed=11)
+        assert [a.permutation(4) for _ in range(5)] == [
+            b.permutation(4) for _ in range(5)
+        ]
+
+    def test_reset_restores_sequence(self):
+        policy = Shuffled(seed=5)
+        first = [policy.permutation(5) for _ in range(3)]
+        policy.reset()
+        assert [policy.permutation(5) for _ in range(3)] == first
+
+
+class TestRandomIntegers:
+    def test_range(self):
+        policy = LeftToRight(seed=1)
+        for _ in range(50):
+            assert 0 <= policy.random_integer(7) < 7
+
+    def test_seeded(self):
+        a = LeftToRight(seed=9)
+        b = LeftToRight(seed=9)
+        assert [a.random_integer(100) for _ in range(10)] == [
+            b.random_integer(100) for _ in range(10)
+        ]
+
+    def test_reset_restores_randomness(self):
+        policy = LeftToRight(seed=2)
+        first = [policy.random_integer(1000) for _ in range(5)]
+        policy.reset()
+        assert [policy.random_integer(1000) for _ in range(5)] == first
+
+
+class TestMachineRejectsBadPolicy:
+    def test_non_permutation_is_stuck(self):
+        from repro.machine.errors import StuckError
+        from repro.machine.machine import Machine
+        from repro.syntax.expander import expand_expression
+
+        class Broken(Policy):
+            def permutation(self, count):
+                return (0,) * count
+
+        machine = Machine(policy=Broken())
+        state = machine.inject(expand_expression("(+ 1 2)"))
+        with pytest.raises(StuckError, match="non-permutation"):
+            for _ in range(10):
+                result = machine.step(state)
+                from repro.machine.config import Final
+
+                if isinstance(result, Final):
+                    break
+                state = result
+
+    def test_base_policy_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Policy().permutation(2)
+
+
+class TestAnswersUnderAllPolicies:
+    @pytest.mark.parametrize(
+        "policy_factory", [LeftToRight, RightToLeft, OperatorLast,
+                           lambda: Shuffled(seed=4)],
+        ids=["ltr", "rtl", "op-last", "shuffled"],
+    )
+    def test_pure_program_policy_independent(self, policy_factory):
+        from repro.harness.runner import run
+
+        source = "(define (f n) (* (+ n 1) (- n 1)))"
+        assert run(source, "10", policy=policy_factory()).answer == "99"

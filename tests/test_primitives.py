@@ -1,0 +1,287 @@
+"""Standard-library primitive tests, grouped by area."""
+
+import pytest
+
+from conftest import evaluate
+from repro.machine.errors import PrimitiveError
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("(+)", "0"),
+            ("(+ 1 2 3)", "6"),
+            ("(- 5)", "-5"),
+            ("(- 10 3 2)", "5"),
+            ("(*)", "1"),
+            ("(* 2 3 4)", "24"),
+            ("(quotient 7 2)", "3"),
+            ("(quotient -7 2)", "-3"),
+            ("(remainder 7 2)", "1"),
+            ("(remainder -7 2)", "-1"),
+            ("(modulo -7 2)", "1"),
+            ("(modulo 7 -2)", "-1"),
+            ("(abs -4)", "4"),
+            ("(min 3 1 2)", "1"),
+            ("(max 3 1 2)", "3"),
+            ("(expt 2 10)", "1024"),
+            ("(gcd 12 18)", "6"),
+            ("(gcd)", "0"),
+        ],
+    )
+    def test_value(self, source, expected):
+        assert evaluate(source) == expected
+
+    def test_bignum(self):
+        assert evaluate("(expt 2 100)") == str(2 ** 100)
+
+    def test_division_by_zero_is_stuck(self):
+        with pytest.raises(PrimitiveError):
+            evaluate("(quotient 1 0)")
+        with pytest.raises(PrimitiveError):
+            evaluate("(remainder 1 0)")
+        with pytest.raises(PrimitiveError):
+            evaluate("(modulo 1 0)")
+
+    def test_negative_expt_is_stuck(self):
+        with pytest.raises(PrimitiveError):
+            evaluate("(expt 2 -1)")
+
+    def test_type_error_is_stuck(self):
+        with pytest.raises(PrimitiveError):
+            evaluate("(+ 1 'a)")
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("(= 1 1 1)", "#t"),
+            ("(= 1 2)", "#f"),
+            ("(< 1 2 3)", "#t"),
+            ("(< 1 3 2)", "#f"),
+            ("(> 3 2 1)", "#t"),
+            ("(<= 1 1 2)", "#t"),
+            ("(>= 2 2 1)", "#t"),
+            ("(zero? 0)", "#t"),
+            ("(zero? 1)", "#f"),
+            ("(positive? 1)", "#t"),
+            ("(negative? -1)", "#t"),
+            ("(even? 4)", "#t"),
+            ("(odd? 4)", "#f"),
+        ],
+    )
+    def test_value(self, source, expected):
+        assert evaluate(source) == expected
+
+
+class TestPredicatesAndEquivalence:
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("(number? 1)", "#t"),
+            ("(number? 'a)", "#f"),
+            ("(symbol? 'a)", "#t"),
+            ("(boolean? #f)", "#t"),
+            ("(boolean? 0)", "#f"),
+            ("(pair? (cons 1 2))", "#t"),
+            ("(pair? '())", "#f"),
+            ("(null? '())", "#t"),
+            ("(null? (cons 1 2))", "#f"),
+            ("(vector? (vector 1))", "#t"),
+            ("(char? #\\a)", "#t"),
+            ("(procedure? car)", "#t"),
+            ("(procedure? (lambda (x) x))", "#t"),
+            ("(procedure? 3)", "#f"),
+            ("(not #f)", "#t"),
+            ("(not 0)", "#f"),
+        ],
+    )
+    def test_value(self, source, expected):
+        assert evaluate(source) == expected
+
+    def test_string_predicate(self):
+        assert evaluate('(string? "x")', strict=False) == "#t"
+
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("(eqv? 1 1)", "#t"),
+            ("(eqv? 1 2)", "#f"),
+            ("(eqv? 'a 'a)", "#t"),
+            ("(eqv? #\\a #\\a)", "#t"),
+            ("(eqv? '() '())", "#t"),
+            ("(eqv? (cons 1 2) (cons 1 2))", "#f"),
+            ("(let ((p (cons 1 2))) (eqv? p p))", "#t"),
+            ("(let ((f (lambda (x) x))) (eqv? f f))", "#t"),
+            ("(eqv? (lambda (x) x) (lambda (x) x))", "#f"),
+            ("(eq? 'a 'a)", "#t"),
+            ("(equal? (list 1 2) (list 1 2))", "#t"),
+            ("(equal? (list 1 2) (list 1 3))", "#f"),
+            ("(equal? (vector 1 2) (vector 1 2))", "#t"),
+            ("(equal? (vector 1) (vector 1 2))", "#f"),
+            ("(equal? 'a 'a)", "#t"),
+        ],
+    )
+    def test_equivalence(self, source, expected):
+        assert evaluate(source) == expected
+
+    def test_equal_on_shared_structure(self):
+        source = """
+        (let ((x (list 1 2)))
+          (equal? (cons x x) (cons (list 1 2) (list 1 2))))
+        """
+        assert evaluate(source) == "#t"
+
+    def test_equal_on_cyclic_structure_terminates(self):
+        source = """
+        (let ((a (list 1)) (b (list 1)))
+          (begin (set-cdr! a a)
+                 (set-cdr! b b)
+                 (equal? a b)))
+        """
+        assert evaluate(source) == "#t"
+
+
+class TestPairsAndLists:
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("(car (cons 1 2))", "1"),
+            ("(cdr (cons 1 2))", "2"),
+            ("(cadr (list 1 2 3))", "2"),
+            ("(caddr (list 1 2 3))", "3"),
+            ("(cddr (list 1 2 3))", "(3)"),
+            ("(caar (list (list 1)))", "1"),
+            ("(list)", "()"),
+            ("(list 1 2 3)", "(1 2 3)"),
+            ("(length '())", "0"),
+            ("(length (list 1 2 3))", "3"),
+            ("(list-ref (list 'a 'b 'c) 1)", "b"),
+            ("(list-tail (list 1 2 3) 2)", "(3)"),
+            ("(append)", "()"),
+            ("(append (list 1) (list 2 3))", "(1 2 3)"),
+            ("(append '() (list 1))", "(1)"),
+            ("(reverse (list 1 2 3))", "(3 2 1)"),
+            ("(reverse '())", "()"),
+            ("(memq 'b (list 'a 'b 'c))", "(b c)"),
+            ("(memq 'z (list 'a))", "#f"),
+            ("(memv 2 (list 1 2 3))", "(2 3)"),
+            ("(member (list 1) (list (list 1) 2))", "((1) 2)"),
+            ("(assq 'b (list (cons 'a 1) (cons 'b 2)))", "(b . 2)"),
+            ("(assq 'z (list (cons 'a 1)))", "#f"),
+            ("(assv 2 (list (cons 1 'one) (cons 2 'two)))", "(2 . two)"),
+        ],
+    )
+    def test_value(self, source, expected):
+        assert evaluate(source) == expected
+
+    def test_car_of_non_pair_is_stuck(self):
+        with pytest.raises(PrimitiveError):
+            evaluate("(car 1)")
+
+    def test_set_car(self):
+        assert evaluate("(let ((p (cons 1 2))) (begin (set-car! p 9) p))") == "(9 . 2)"
+
+    def test_set_cdr(self):
+        assert evaluate("(let ((p (cons 1 2))) (begin (set-cdr! p 9) p))") == "(1 . 9)"
+
+    def test_list_ref_out_of_range(self):
+        with pytest.raises(PrimitiveError):
+            evaluate("(list-ref (list 1) 5)")
+
+    def test_length_of_improper_list_is_stuck(self):
+        with pytest.raises(PrimitiveError):
+            evaluate("(length (cons 1 2))")
+
+    def test_length_of_cyclic_list_is_stuck(self):
+        with pytest.raises(PrimitiveError):
+            evaluate("(let ((x (list 1))) (begin (set-cdr! x x) (length x)))")
+
+    def test_append_copies_front_shares_back(self):
+        source = """
+        (let ((back (list 3)))
+          (let ((joined (append (list 1 2) back)))
+            (begin (set-car! back 99)
+                   joined)))
+        """
+        assert evaluate(source) == "(1 2 99)"
+
+
+class TestVectors:
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("(vector-length (make-vector 5))", "5"),
+            ("(vector-length (vector))", "0"),
+            ("(vector-ref (make-vector 3 7) 2)", "7"),
+            ("(vector-ref (vector 'a 'b) 0)", "a"),
+            ("(vector 1 2)", "#(1 2)"),
+        ],
+    )
+    def test_value(self, source, expected):
+        assert evaluate(source) == expected
+
+    def test_vector_set(self):
+        assert evaluate("(let ((v (make-vector 2 0))) (begin (vector-set! v 1 9) v))") == "#(0 9)"
+
+    def test_vector_fill(self):
+        assert evaluate("(let ((v (make-vector 3 0))) (begin (vector-fill! v 5) v))") == "#(5 5 5)"
+
+    def test_index_out_of_range(self):
+        with pytest.raises(PrimitiveError):
+            evaluate("(vector-ref (make-vector 2) 2)")
+
+    def test_negative_index(self):
+        with pytest.raises(PrimitiveError):
+            evaluate("(vector-ref (make-vector 2) -1)")
+
+    def test_negative_length(self):
+        with pytest.raises(PrimitiveError):
+            evaluate("(make-vector -1)")
+
+    def test_vectors_do_not_alias_fresh_cells(self):
+        source = """
+        (let ((a (make-vector 2 0)) (b (make-vector 2 0)))
+          (begin (vector-set! a 0 1) (vector-ref b 0)))
+        """
+        assert evaluate(source) == "0"
+
+
+class TestStringsAndConversions:
+    def test_string_length(self):
+        assert evaluate('(string-length "hello")', strict=False) == "5"
+
+    def test_string_append(self):
+        assert evaluate('(string-append "ab" "cd")', strict=False) == '"abcd"'
+
+    def test_string_append_empty(self):
+        assert evaluate("(string-append)", strict=False) == '""'
+
+    def test_string_equal(self):
+        assert evaluate('(string=? "ab" "ab")', strict=False) == "#t"
+        assert evaluate('(string=? "ab" "ba")', strict=False) == "#f"
+
+    def test_symbol_to_string(self):
+        assert evaluate("(symbol->string 'abc)") == '"abc"'
+
+    def test_number_to_string(self):
+        assert evaluate("(number->string 42)") == '"42"'
+
+
+class TestRandomAndError:
+    def test_random_in_range(self):
+        answer = int(evaluate("(random 10)"))
+        assert 0 <= answer < 10
+
+    def test_random_reproducible(self):
+        assert evaluate("(random 1000)") == evaluate("(random 1000)")
+
+    def test_random_bad_bound(self):
+        with pytest.raises(PrimitiveError):
+            evaluate("(random 0)")
+
+    def test_error_is_stuck(self):
+        with pytest.raises(PrimitiveError):
+            evaluate("(error 'boom)")

@@ -1,0 +1,81 @@
+"""Datum utilities: printing, predicates, and edge cases the main
+reader tests do not reach."""
+
+import pytest
+
+from repro.reader.datum import (
+    Char,
+    Symbol,
+    VectorDatum,
+    datum_to_string,
+    is_list,
+)
+from repro.reader.parser import read
+
+
+class TestIsList:
+    def test_tuple_is_list(self):
+        assert is_list(())
+        assert is_list((1, 2))
+
+    def test_atoms_are_not(self):
+        assert not is_list(Symbol("a"))
+        assert not is_list(5)
+        assert not is_list(VectorDatum((1,)))
+
+
+class TestPrinting:
+    def test_boolean_not_printed_as_int(self):
+        # bool is a subclass of int; printing must dispatch on bool
+        # first or #t would print as 1.
+        assert datum_to_string(True) == "#t"
+        assert datum_to_string(False) == "#f"
+
+    def test_string_escapes(self):
+        assert datum_to_string('a"b') == '"a\\"b"'
+        assert datum_to_string("a\\b") == '"a\\\\b"'
+
+    def test_char_names(self):
+        assert datum_to_string(Char(" ")) == "#\\space"
+        assert datum_to_string(Char("\n")) == "#\\newline"
+        assert datum_to_string(Char("z")) == "#\\z"
+
+    def test_vector(self):
+        assert datum_to_string(VectorDatum((1, Symbol("a")))) == "#(1 a)"
+
+    def test_nested(self):
+        datum = (Symbol("a"), (1, 2), ())
+        assert datum_to_string(datum) == "(a (1 2) ())"
+
+    def test_round_trip_escaped_string(self):
+        text = datum_to_string('quote " and \\ slash')
+        assert read(text) == 'quote " and \\ slash'
+
+    def test_unprintable_raises(self):
+        with pytest.raises(TypeError):
+            datum_to_string(object())
+
+
+class TestCharDatum:
+    def test_equality(self):
+        assert Char("a") == Char("a")
+        assert Char("a") != Char("b")
+
+    def test_hashable(self):
+        assert len({Char("a"), Char("a"), Char("b")}) == 2
+
+    def test_single_character_enforced(self):
+        with pytest.raises(ValueError):
+            Char("ab")
+
+
+class TestVectorDatum:
+    def test_equality(self):
+        assert VectorDatum((1, 2)) == VectorDatum((1, 2))
+        assert VectorDatum((1,)) != VectorDatum((2,))
+
+    def test_hashable(self):
+        assert len({VectorDatum((1,)), VectorDatum((1,))}) == 1
+
+    def test_items_are_tuple(self):
+        assert VectorDatum([1, 2]).items == (1, 2)

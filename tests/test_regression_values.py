@@ -1,0 +1,83 @@
+"""Regression pins: exact S_X values for fixed (P, D) pairs.
+
+The space model is fully deterministic (Figure 7 word counts, matched
+policies, forced GC), so these numbers should never drift unless the
+semantics or the accounting deliberately changes.  If a refactor moves
+one of them, the diff is the review artifact: either the change is a
+bug, or DESIGN.md's accounting notes need an update alongside this
+file.
+"""
+
+import pytest
+
+from repro.space.consumption import measure, space_consumption
+
+LOOP = "(define (f n) (if (zero? n) 0 (f (- n 1))))"
+SUM = "(define (f n) (if (zero? n) 0 (+ n (f (- n 1)))))"
+
+
+class TestPinnedConsumption:
+    @pytest.mark.parametrize(
+        "machine, expected",
+        [
+            ("tail", 51),
+            ("gc", 276),
+            ("stack", 280),
+            ("evlis", 49),
+            ("free", 51),
+            ("sfs", 45),
+            ("mta", 54),
+        ],
+    )
+    def test_loop_at_32(self, machine, expected):
+        assert (
+            space_consumption(
+                machine, LOOP, "32", fixed_precision=True
+            )
+            == expected
+        )
+
+    @pytest.mark.parametrize(
+        "machine, expected",
+        [
+            ("tail", 378),
+            ("gc", 574),
+            ("sfs", 149),
+        ],
+    )
+    def test_sum_at_32(self, machine, expected):
+        assert (
+            space_consumption(machine, SUM, "32", fixed_precision=True)
+            == expected
+        )
+
+    def test_bignum_accounting_adds_log_terms(self):
+        fixed = space_consumption("tail", LOOP, "1024", fixed_precision=True)
+        bignum = space_consumption("tail", LOOP, "1024")
+        assert fixed == 51
+        assert bignum > fixed
+        assert bignum - fixed < 64  # a few live numbers of ~11 bits
+
+    def test_program_size_component(self):
+        result = measure("tail", LOOP, "32", fixed_precision=True)
+        # |P| for the expanded loop: stable unless the expander changes.
+        assert result.program_size == 19
+        assert result.total == result.program_size + result.sup_space
+
+
+class TestStepCounts:
+    """Transition counts are part of the deterministic contract too."""
+
+    def test_loop_steps(self):
+        result = measure("tail", LOOP, "32", fixed_precision=True)
+        assert result.steps == 702
+
+    def test_gc_takes_one_extra_step_per_call(self):
+        tail = measure("tail", LOOP, "32", fixed_precision=True)
+        improper = measure("gc", LOOP, "32", fixed_precision=True)
+        # One return transition per executed *closure* call (primitive
+        # applications return directly, without a frame).
+        from repro.analysis.dynamic import run_census
+
+        closure_calls = run_census(LOOP, "32").closure_calls
+        assert improper.steps - tail.steps == closure_calls

@@ -1,0 +1,98 @@
+"""Empirical space-safety checking (Definitions 4-6, operationalized)."""
+
+import pytest
+
+from repro.space.safety import (
+    DEFAULT_PROBES,
+    check_space_safety,
+    is_properly_tail_recursive,
+)
+
+
+class TestDefinition5:
+    """'An implementation is properly tail recursive iff its space
+    consumption is in O(S_tail).'"""
+
+    def test_tail_is_properly_tail_recursive(self):
+        assert is_properly_tail_recursive("tail")
+
+    def test_sfs_is_properly_tail_recursive(self):
+        assert is_properly_tail_recursive("sfs")
+
+    def test_evlis_is_properly_tail_recursive(self):
+        assert is_properly_tail_recursive("evlis")
+
+    def test_free_is_properly_tail_recursive(self):
+        assert is_properly_tail_recursive("free")
+
+    def test_mta_is_properly_tail_recursive(self):
+        """Baker's technique passes the asymptotic definition — the
+        section 14 point that no per-call definition can accommodate."""
+        assert is_properly_tail_recursive("mta")
+
+    def test_gc_is_improperly_tail_recursive(self):
+        report = check_space_safety("gc", "tail")
+        assert not report.safe
+        assert any(v.probe == "gc-vs-tail" for v in report.violations)
+
+    def test_stack_is_improperly_tail_recursive(self):
+        assert not is_properly_tail_recursive("stack")
+
+    def test_bigloo_is_improperly_tail_recursive(self):
+        report = check_space_safety("bigloo", "tail")
+        assert not report.safe
+        assert any(v.probe == "cps-pingpong" for v in report.violations)
+
+
+class TestDefinition4:
+    """'An implementation has no conventional space leaks iff its
+    space consumption is in O(S_stack).'"""
+
+    @pytest.mark.parametrize(
+        "machine", ["tail", "gc", "evlis", "free", "sfs", "mta", "bigloo"]
+    )
+    def test_no_reference_machine_has_conventional_leaks(self, machine):
+        assert check_space_safety(machine, "stack").safe
+
+
+class TestDefinition6:
+    def test_evlis_is_not_safe_for_space(self):
+        report = check_space_safety("evlis", "sfs")
+        assert not report.safe
+        assert any(v.probe == "evlis-vs-free" for v in report.violations)
+
+    def test_free_is_not_evlis_tail_recursive(self):
+        report = check_space_safety("free", "evlis")
+        assert not report.safe
+
+    def test_sfs_is_safe_for_space(self):
+        assert check_space_safety("sfs", "sfs").safe
+
+
+class TestReportShape:
+    def test_summary_text(self):
+        report = check_space_safety("gc", "tail")
+        text = report.summary()
+        assert "NOT SAFE" in text
+        assert "VIOLATION" in text
+
+    def test_custom_probe(self):
+        loop = "(define (f n) (if (zero? n) 0 (f (- n 1))))"
+        report = check_space_safety(
+            "gc", "tail", probes=[("loop", loop)]
+        )
+        assert not report.safe
+        assert report.verdicts[0].candidate_growth == "O(n)"
+        assert report.verdicts[0].reference_growth == "O(1)"
+
+    def test_probe_suite_covers_separators(self):
+        names = {name for name, _ in DEFAULT_PROBES}
+        assert {"stack-vs-gc", "gc-vs-tail",
+                "tail-vs-evlis", "evlis-vs-free"} <= names
+
+    def test_verdict_series_recorded(self):
+        report = check_space_safety(
+            "tail", "tail",
+            probes=[("loop", "(define (f n) (if (zero? n) 0 (f (- n 1))))")],
+        )
+        assert len(report.verdicts[0].candidate_series) == 4

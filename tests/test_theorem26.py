@@ -1,0 +1,113 @@
+"""Theorem 26: O(U_tail) and O(S_sfs) are incomparable.
+
+On the program family P_N (nested lets + a loop accumulating thunks),
+flat safe-for-space closures copy Theta(N) free variables into each of
+the Theta(N) thunks — S_sfs(P_N, N) is Theta(N^2) — while linked full
+environments share the x0..xN bindings — U_tail(P_N, N) is O(N) with
+fixed-precision numbers (O(N log N) with bignums, as the paper notes).
+
+The other half of the incomparability (O(U_evlis) not within
+O(S_free)) is Appel's example; the thunk separator of Theorem 25
+exhibits the same shape: linked-evlis quadratic there, flat-free
+linear.
+"""
+
+import pytest
+
+from repro.programs.separators import theorem26_family, theorem26_program
+from repro.space.asymptotics import fit_growth
+from repro.space.consumption import space_consumption
+
+NS = (12, 24, 48, 96)
+
+
+def family_series(machine, linked):
+    totals = []
+    for n in NS:
+        program, argument = theorem26_family(n)
+        totals.append(
+            space_consumption(
+                machine, program, argument,
+                linked=linked, fixed_precision=True,
+            )
+        )
+    return totals
+
+
+class TestProgramFamily:
+    def test_generator_produces_valid_programs(self):
+        from repro.harness.runner import run
+
+        program, argument = theorem26_family(4)
+        answer = run(program, argument).answer
+        # The chosen thunk returns (i x0 x1 x2 x3 x4) for some i.
+        assert answer.startswith("(") and answer.endswith(")")
+
+    def test_program_size_grows_linearly(self):
+        from repro.space.consumption import prepare_program
+        from repro.syntax.ast import ast_size
+
+        sizes = [ast_size(prepare_program(theorem26_program(k))) for k in NS]
+        growth = fit_growth(NS, sizes)
+        assert growth.name == "O(n)"
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            theorem26_program(-1)
+
+    def test_all_xs_in_scope(self):
+        program = theorem26_program(3)
+        assert "x0" in program and "x3" in program
+
+
+class TestIncomparability:
+    def test_u_tail_is_linear(self):
+        totals = family_series("tail", linked=True)
+        assert fit_growth(NS, totals).name == "O(n)", totals
+
+    def test_s_sfs_is_quadratic(self):
+        totals = family_series("sfs", linked=False)
+        assert fit_growth(NS, totals).name == "O(n^2)", totals
+
+    def test_u_tail_beats_s_sfs_asymptotically(self):
+        linked_tail = family_series("tail", linked=True)
+        flat_sfs = family_series("sfs", linked=False)
+        ratios = [s / u for s, u in zip(flat_sfs, linked_tail)]
+        assert ratios[-1] > 1.5 * ratios[0]
+
+    def test_other_direction_via_appel_style_example(self):
+        """S_free is linear but U_evlis quadratic on the Theorem 25
+        thunk program: flat free-variable closures beat linked
+        environments there, completing the incomparability."""
+        from repro.programs.separators import SEPARATORS_BY_NAME
+
+        source = SEPARATORS_BY_NAME["evlis-vs-free"].source
+        ns = (8, 16, 32, 64)
+        linked_evlis = [
+            space_consumption("evlis", source, str(n),
+                              linked=True, fixed_precision=True)
+            for n in ns
+        ]
+        flat_free = [
+            space_consumption("free", source, str(n),
+                              linked=False, fixed_precision=True)
+            for n in ns
+        ]
+        assert fit_growth(ns, linked_evlis).name == "O(n^2)"
+        assert fit_growth(ns, flat_free).name == "O(n)"
+
+
+class TestFlatVsLinkedGenerally:
+    def test_linked_at_most_flat_on_family(self):
+        for n in (4, 8):
+            program, argument = theorem26_family(n)
+            linked = space_consumption("tail", program, argument, linked=True)
+            flat = space_consumption("tail", program, argument, linked=False)
+            assert linked <= flat
+
+    def test_flat_tail_is_quadratic_on_family(self):
+        """Flat environments copy the whole scope into every closure,
+        so even I_tail is quadratic under flat accounting — the
+        economy is specifically a *linked* one."""
+        totals = family_series("tail", linked=False)
+        assert fit_growth(NS, totals).name == "O(n^2)"

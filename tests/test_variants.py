@@ -1,0 +1,239 @@
+"""Behavioural differences between the reference implementations.
+
+These tests check the *mechanism* (which continuations get created,
+which environments get saved) rather than end-to-end space numbers,
+which live in the theorem tests.
+"""
+
+import pytest
+
+from repro.machine.config import Final, State
+from repro.machine.continuation import Push, Return, ReturnStack
+from repro.machine.variants import (
+    ALL_MACHINES,
+    BiglooMachine,
+    EvlisMachine,
+    FreeMachine,
+    GcMachine,
+    REFERENCE_MACHINES,
+    SfsMachine,
+    StackMachine,
+    TailMachine,
+    make_machine,
+)
+from repro.space.consumption import prepare_input, prepare_program
+from repro.space.meter import run_to_final
+from repro.syntax.expander import expand_expression, expand_program
+
+
+def drive(machine, source, argument=None, steps=10_000):
+    """Run to the final configuration, returning every intermediate
+    state for inspection."""
+    program = prepare_program(source)
+    state = machine.inject(program, prepare_input(argument))
+    seen = [state]
+    for _ in range(steps):
+        result = machine.step(state)
+        if isinstance(result, Final):
+            return seen, result
+        state = result
+        seen.append(state)
+    raise AssertionError("did not finish")
+
+
+LOOP = "(define (f n) (if (zero? n) 0 (f (- n 1))))"
+
+
+class TestRegistry:
+    def test_reference_machines_complete(self):
+        assert set(REFERENCE_MACHINES) == {
+            "tail",
+            "gc",
+            "stack",
+            "evlis",
+            "free",
+            "sfs",
+        }
+
+    def test_all_machines_includes_bigloo(self):
+        assert "bigloo" in ALL_MACHINES
+
+    def test_make_machine(self):
+        assert isinstance(make_machine("tail"), TailMachine)
+        assert isinstance(make_machine("sfs"), SfsMachine)
+
+    def test_make_machine_unknown(self):
+        with pytest.raises(ValueError, match="unknown machine"):
+            make_machine("warp")
+
+    def test_names_match(self):
+        for name, cls in ALL_MACHINES.items():
+            assert cls.name == name
+
+    def test_only_stack_disables_gc(self):
+        assert StackMachine.uses_gc_rule is False
+        for name, cls in ALL_MACHINES.items():
+            if name != "stack":
+                assert cls.uses_gc_rule is True
+
+
+class TestContinuationShapes:
+    def test_tail_machine_never_creates_return(self):
+        machine = TailMachine()
+        seen, _ = drive(machine, LOOP, "5")
+        assert not any(
+            isinstance(k, Return)
+            for state in seen
+            for k in [state.kont]
+        )
+
+    def test_gc_machine_creates_return_frames(self):
+        machine = GcMachine()
+        seen, _ = drive(machine, LOOP, "5")
+        assert any(isinstance(state.kont, Return) for state in seen)
+
+    def test_stack_machine_creates_stack_frames(self):
+        machine = StackMachine()
+        seen, _ = drive(machine, LOOP, "5")
+        frames = [
+            state.kont for state in seen if isinstance(state.kont, ReturnStack)
+        ]
+        assert frames
+        # The deletion set is the whole argument frame.
+        assert all(len(k.frame) >= 1 for k in frames)
+
+    def test_gc_continuation_depth_grows_with_n(self):
+        from repro.machine.continuation import depth
+
+        machine = GcMachine()
+        seen5, _ = drive(machine, LOOP, "5")
+        seen15, _ = drive(machine, LOOP, "15")
+        assert max(depth(s.kont) for s in seen15) > max(
+            depth(s.kont) for s in seen5
+        )
+
+    def test_tail_continuation_depth_bounded(self):
+        from repro.machine.continuation import depth
+
+        machine = TailMachine()
+        seen5, _ = drive(machine, LOOP, "5")
+        seen50, _ = drive(machine, LOOP, "50")
+        assert max(depth(s.kont) for s in seen50) == max(
+            depth(s.kont) for s in seen5
+        )
+
+
+class TestEnvironmentPolicies:
+    def test_tail_closures_capture_everything_in_scope(self):
+        machine = TailMachine()
+        expr = expand_expression("(lambda (x) (lambda (y) y))")
+        env_names = {"a", "b"}
+        lam = expr  # outer lambda
+        env = machine.closure_env(lam, _env_of(env_names))
+        assert set(env.names()) == env_names
+
+    def test_free_closures_capture_free_variables_only(self):
+        machine = FreeMachine()
+        lam = expand_expression("(lambda (x) (+ x a))")
+        env = machine.closure_env(lam, _env_of({"a", "b", "+"}))
+        assert set(env.names()) == {"a", "+"}
+
+    def test_sfs_restricts_select_env(self):
+        machine = SfsMachine()
+        consequent = expand_expression("(f x)")
+        alternative = expand_expression("y")
+        env = machine.select_env(
+            _env_of({"f", "x", "y", "z"}), consequent, alternative
+        )
+        assert set(env.names()) == {"f", "x", "y"}
+
+    def test_sfs_restricts_assign_env_to_target(self):
+        machine = SfsMachine()
+        env = machine.assign_env(_env_of({"x", "y"}), "x")
+        assert set(env.names()) == {"x"}
+
+    def test_evlis_drops_env_for_last_subexpression(self):
+        machine = EvlisMachine()
+        env = _env_of({"x"})
+        assert len(machine.push_env(env, ())) == 0
+        assert machine.push_env(env, (expand_expression("x"),)) is env
+
+    def test_evlis_drops_env_for_single_subexpression_call(self):
+        machine = EvlisMachine()
+        env = _env_of({"x"})
+        assert len(machine.call_env(env, ())) == 0
+
+    def test_tail_keeps_push_env(self):
+        machine = TailMachine()
+        env = _env_of({"x"})
+        assert machine.push_env(env, ()) is env
+
+    def test_sfs_push_env_restricts_to_pending_free_vars(self):
+        machine = SfsMachine()
+        pending = (expand_expression("(g y)"),)
+        env = machine.call_env(_env_of({"g", "y", "z"}), pending)
+        assert set(env.names()) == {"g", "y"}
+
+
+class TestStackDeletion:
+    def test_frame_deleted_after_return(self):
+        machine = StackMachine()
+        source = "(define (g x) x) (define (f n) (+ (g n) 1))"
+        seen, final = drive(machine, source, "5")
+        # After the run, g's argument frame should have been deleted at
+        # its return even though I_stack never garbage collects.
+        leaked_numbers = [
+            value
+            for _loc, value in final.store.items()
+            if getattr(value, "value", None) == 5
+        ]
+        # n=5 is still live in f's own frame chain at the end? No: all
+        # frames returned.  The argument cells for g and f are deleted.
+        assert len(leaked_numbers) == 0
+
+    def test_escaping_value_not_deleted(self):
+        machine = StackMachine()
+        source = "(define (make-box x) (lambda () x)) (define (f n) ((make-box n)))"
+        _seen, final = drive(machine, source, "42")
+        from repro.machine.answer import answer_string
+
+        assert answer_string(final) == "42"
+
+    def test_stack_store_grows_without_gc(self):
+        machine = StackMachine()
+        source = "(define (f n) (if (zero? n) 0 (begin (cons 1 2) (f (- n 1)))))"
+        _seen, final = drive(machine, source, "10")
+        # Each iteration's cons cells leak (no deletion set holds them,
+        # and I_stack has no collector).
+        assert len(final.store) >= 20
+
+
+class TestBiglooMachine:
+    def test_self_tail_call_constant_frames(self):
+        from repro.machine.continuation import depth
+
+        machine = BiglooMachine()
+        source = "(define (f n) (define (loop i) (if (zero? i) 0 (loop (- i 1)))) (loop n))"
+        seen, _ = drive(machine, source, "30")
+        assert max(depth(s.kont) for s in seen) <= 12
+
+    def test_mutual_recursion_grows_frames(self):
+        from repro.machine.continuation import depth
+        from repro.programs.examples import MUTUAL_RECURSION
+
+        machine = BiglooMachine()
+        seen, _ = drive(machine, MUTUAL_RECURSION, "30")
+        assert max(depth(s.kont) for s in seen) > 30
+
+    def test_computes_same_answers(self):
+        from repro.harness.runner import run
+
+        source = "(define (fact n) (if (zero? n) 1 (* n (fact (- n 1)))))"
+        assert run(source, "6", machine="bigloo").answer == "720"
+
+
+def _env_of(names):
+    from repro.machine.environment import EMPTY_ENV
+
+    names = sorted(names)
+    return EMPTY_ENV.extend(tuple(names), tuple(range(len(names))))
