@@ -12,29 +12,40 @@ reproduces every edge of the figure.
 from conftest import once
 
 from repro.harness.report import render_table
+from repro.harness.sweep import (
+    default_jobs,
+    grid_cells,
+    run_grid,
+    series_from_outcomes,
+)
 from repro.programs.separators import SEPARATORS
 from repro.space.asymptotics import fit_growth, is_bounded
-from repro.space.consumption import sweep
 
 NS = (8, 16, 32, 64)
 MACHINES = ("tail", "gc", "stack", "evlis", "free", "sfs")
 
 
-def classify(machine, source):
-    _, totals = sweep(machine, lambda n: source, NS, fixed_precision=True)
+def classify(totals):
     if is_bounded(totals):
         return "O(1)", totals
     return fit_growth(NS, totals).name, totals
 
 
 def build_matrix():
-    matrix = {}
-    for separator in SEPARATORS:
-        for machine in MACHINES:
-            matrix[(separator.name, machine)] = classify(
-                machine, separator.source
-            )
-    return matrix
+    cells = grid_cells(
+        {
+            (separator.name, machine): separator.source
+            for separator in SEPARATORS
+            for machine in MACHINES
+        },
+        NS,
+        fixed_precision=True,
+    )
+    series = series_from_outcomes(run_grid(cells, jobs=default_jobs()))
+    return {
+        key: classify(tuple(by_n[n] for n in NS))
+        for key, by_n in series.items()
+    }
 
 
 def test_bench_fig6_hierarchy(benchmark, artifacts):

@@ -6,23 +6,59 @@ on a fixed workload, timed by pytest-benchmark the conventional way
 The paper's section 14 remark "proper tail recursion is considerably
 faster than improper tail recursion" shows up here too: I_tail takes
 fewer transitions (no return steps) for the same program.
+
+Beyond the unmetered baseline, the metered cases time a full
+Definition 21 space-efficient computation (GC rule after every step)
+under both accountings, and the engine-speedup case records the
+incremental engine's advantage over the seed reference engine on the
+Theorem 25 gc-vs-tail separator at N = 128 — the delta-GC +
+memoized-U_X acceptance number.  A session fixture collects every
+steps/second figure into ``benchmarks/results/BENCH_throughput.json``.
 """
+
+import json
+import os
+import time
 
 import pytest
 
-from repro.programs.corpus import load_program
-from repro.space.consumption import prepare_input, prepare_program
-from repro.space.meter import run_to_final
 from repro.machine.variants import make_machine
+from repro.programs.corpus import load_program
+from repro.programs.separators import SEPARATORS_BY_NAME
+from repro.space.consumption import prepare_input, prepare_program
+from repro.space.meter import run_metered, run_to_final
 
 PROGRAM = prepare_program(load_program("fib").source)
 ARGUMENT = prepare_input("10")
 
 MACHINES = ("tail", "gc", "stack", "evlis", "free", "sfs", "bigloo", "mta")
 
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+THROUGHPUT_JSON = os.path.join(RESULTS_DIR, "BENCH_throughput.json")
+
+SPEEDUP_SEPARATOR = "gc-vs-tail"
+SPEEDUP_MACHINE = "gc"
+SPEEDUP_N = 128
+
+
+@pytest.fixture(scope="session")
+def throughput_log():
+    """Collects steps/second per case; written as BENCH_throughput.json
+    at session end."""
+    log = {"steps_per_second": {}, "engine_speedup": {}}
+    yield log
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(THROUGHPUT_JSON, "w") as handle:
+        json.dump(log, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def record_rate(log, label, steps, seconds):
+    log["steps_per_second"][label] = round(steps / seconds, 1)
+
 
 @pytest.mark.parametrize("name", MACHINES)
-def test_bench_machine_throughput(benchmark, name):
+def test_bench_machine_throughput(benchmark, throughput_log, name):
     machine = make_machine(name)
 
     def run_once():
@@ -31,4 +67,73 @@ def test_bench_machine_throughput(benchmark, name):
 
     steps = benchmark(run_once)
     benchmark.extra_info["transitions"] = steps
+    record_rate(
+        throughput_log, f"unmetered/{name}", steps, benchmark.stats.stats.mean
+    )
     assert steps > 0
+
+
+@pytest.mark.parametrize("accounting", ("flat", "linked"))
+@pytest.mark.parametrize("name", MACHINES)
+def test_bench_metered_throughput(benchmark, throughput_log, name, accounting):
+    """A full metered run (delta engine): GC rule after every step,
+    space measured every step."""
+    machine = make_machine(name)
+    linked = accounting == "linked"
+
+    def run_once():
+        result = run_metered(
+            machine, PROGRAM, ARGUMENT, linked=linked, engine="delta"
+        )
+        return result.steps
+
+    steps = benchmark(run_once)
+    benchmark.extra_info["transitions"] = steps
+    record_rate(
+        throughput_log,
+        f"metered-{accounting}/{name}",
+        steps,
+        benchmark.stats.stats.mean,
+    )
+    assert steps > 0
+
+
+def test_bench_engine_speedup(benchmark, throughput_log):
+    """The incremental engine against the seed reference engine on the
+    Theorem 25 gc-vs-tail separator at N = 128 (the acceptance
+    criterion: >= 5x steps/second, identical measurements)."""
+    source = SEPARATORS_BY_NAME[SPEEDUP_SEPARATOR].source
+    program = prepare_program(source)
+    argument = prepare_input(str(SPEEDUP_N))
+
+    def timed(engine):
+        machine = make_machine(SPEEDUP_MACHINE)
+        start = time.perf_counter()
+        result = run_metered(machine, program, argument, engine=engine)
+        elapsed = time.perf_counter() - start
+        return result, result.steps / elapsed
+
+    def run_once():
+        delta, delta_rate = timed("delta")
+        reference, reference_rate = timed("reference")
+        assert (delta.sup_space, delta.consumption, delta.collected) == (
+            reference.sup_space,
+            reference.consumption,
+            reference.collected,
+        )
+        return delta_rate, reference_rate
+
+    delta_rate, reference_rate = benchmark.pedantic(
+        run_once, rounds=1, iterations=1
+    )
+    speedup = delta_rate / reference_rate
+    throughput_log["engine_speedup"] = {
+        "separator": SPEEDUP_SEPARATOR,
+        "machine": SPEEDUP_MACHINE,
+        "n": SPEEDUP_N,
+        "delta_steps_per_second": round(delta_rate, 1),
+        "reference_steps_per_second": round(reference_rate, 1),
+        "speedup": round(speedup, 2),
+    }
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    assert speedup >= 5.0, speedup

@@ -13,29 +13,39 @@ pointwise U_X <= S_X check.
 from conftest import once
 
 from repro.harness.report import render_table
+from repro.harness.sweep import (
+    default_jobs,
+    grid_cells,
+    run_grid,
+    series_from_outcomes,
+)
 from repro.programs.separators import SEPARATORS
 from repro.space.asymptotics import fit_growth, is_bounded
-from repro.space.consumption import space_consumption, sweep
+from repro.space.consumption import space_consumption
 
 NS = (8, 16, 32, 64)
 MACHINES = ("tail", "gc", "stack", "evlis")
 
 
 def build_matrix():
+    cells = grid_cells(
+        {
+            (separator.name, machine): separator.source
+            for separator in SEPARATORS
+            for machine in MACHINES
+        },
+        NS,
+        fixed_precision=True,
+        linked=True,
+    )
+    series = series_from_outcomes(run_grid(cells, jobs=default_jobs()))
     matrix = {}
-    for separator in SEPARATORS:
-        for machine in MACHINES:
-            _, totals = sweep(
-                machine,
-                lambda n: separator.source,
-                NS,
-                fixed_precision=True,
-                linked=True,
-            )
-            if is_bounded(totals):
-                matrix[(separator.name, machine)] = "O(1)"
-            else:
-                matrix[(separator.name, machine)] = fit_growth(NS, totals).name
+    for key, by_n in series.items():
+        totals = tuple(by_n[n] for n in NS)
+        if is_bounded(totals):
+            matrix[key] = "O(1)"
+        else:
+            matrix[key] = fit_growth(NS, totals).name
     return matrix
 
 

@@ -11,9 +11,14 @@ import pytest
 from conftest import once
 
 from repro.harness.report import render_series
+from repro.harness.sweep import (
+    default_jobs,
+    grid_cells,
+    run_grid,
+    series_from_outcomes,
+)
 from repro.programs.separators import SEPARATORS_BY_NAME
 from repro.space.asymptotics import fit_growth, is_bounded
-from repro.space.consumption import sweep
 
 NS = (8, 16, 32, 64, 96)
 
@@ -21,12 +26,15 @@ NS = (8, 16, 32, 64, 96)
 def run_separation(name):
     separator = SEPARATORS_BY_NAME[name]
     machines = sorted({m for pair in separator.separates for m in pair})
-    series = {}
-    for machine in machines:
-        _, totals = sweep(
-            machine, lambda n: separator.source, NS, fixed_precision=True
-        )
-        series[machine] = list(totals)
+    cells = grid_cells(
+        {(machine,): separator.source for machine in machines},
+        NS,
+        fixed_precision=True,
+    )
+    totals = series_from_outcomes(run_grid(cells, jobs=default_jobs()))
+    series = {
+        machine: [totals[(machine,)][n] for n in NS] for machine in machines
+    }
     return separator, machines, series
 
 

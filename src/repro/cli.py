@@ -6,7 +6,7 @@
     python -m repro machines
     python -m repro census program.scm ...       # Figure 2 statistics
     python -m repro dynamic program.scm --arg 10 # runtime census
-    python -m repro sweep program.scm --ns 8,16,32,64 --machine gc
+    python -m repro sweep program.scm --ns 8,16,32,64 --machine gc --jobs 4
     python -m repro corpus                       # bundled benchmarks
 """
 
@@ -20,10 +20,11 @@ from .analysis.dynamic import dynamic_census_table, run_census
 from .analysis.frequency import analyze_program, frequency_table
 from .harness.report import render_series, render_table
 from .harness.runner import run
+from .harness.sweep import grid_cells, run_grid, series_from_outcomes
 from .machine.variants import ALL_MACHINES
 from .programs.corpus import load_corpus
 from .space.asymptotics import fit_growth, is_bounded
-from .space.consumption import sweep as sweep_fn
+from .space.meter import ENGINES
 
 
 def _read_source(path: str) -> str:
@@ -88,15 +89,19 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     source = _read_source(args.program)
     ns = tuple(int(n) for n in args.ns.split(","))
+    machines = args.machine.split(",")
+    cells = grid_cells(
+        {(machine,): source for machine in machines},
+        ns,
+        fixed_precision=args.fixed_precision,
+        linked=args.linked,
+        engine=args.engine,
+    )
+    outcomes = run_grid(cells, jobs=args.jobs, timeout=args.timeout)
+    by_machine = series_from_outcomes(outcomes)
     series = {}
-    for machine in args.machine.split(","):
-        _, totals = sweep_fn(
-            machine,
-            lambda n: source,
-            ns,
-            fixed_precision=args.fixed_precision,
-            linked=args.linked,
-        )
+    for machine in machines:
+        totals = tuple(by_machine[(machine,)][n] for n in ns)
         label = machine
         if len(ns) >= 3 and max(ns) >= 2 * min(ns):
             if is_bounded(totals):
@@ -188,6 +193,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--linked", action="store_true")
     sweep_parser.add_argument(
         "--fixed-precision", action="store_true", default=True
+    )
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the measurement grid (default serial)",
+    )
+    sweep_parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-cell timeout in seconds (parallel runs only)",
+    )
+    sweep_parser.add_argument(
+        "--engine", default="delta", choices=ENGINES,
+        help="metering engine (both report identical numbers)",
     )
     sweep_parser.set_defaults(handler=_cmd_sweep)
 

@@ -2,6 +2,15 @@
 
 from .report import render_series, render_table, sparkline
 from .runner import RunResult, answers_agree, compare_machines, run
+from .sweep import (
+    SweepCell,
+    SweepOutcome,
+    default_jobs,
+    grid_cells,
+    run_grid,
+    series_from_outcomes,
+    sweep_series,
+)
 
 __all__ = [
     "render_series",
@@ -11,4 +20,11 @@ __all__ = [
     "answers_agree",
     "compare_machines",
     "run",
+    "SweepCell",
+    "SweepOutcome",
+    "default_jobs",
+    "grid_cells",
+    "run_grid",
+    "series_from_outcomes",
+    "sweep_series",
 ]

@@ -1,0 +1,219 @@
+"""Parallel sweep harness: fan a (machine x N x accounting) grid of
+space measurements over worker processes.
+
+The drivers behind Figure 6, Theorem 25/26, and the section 13 tables
+all evaluate the same shape of work: a grid of independent
+S_X/U_X measurements, each a full metered run.  A :class:`SweepCell`
+freezes one grid point as plain picklable data (program *source*, not
+AST — workers re-expand), :func:`run_grid` executes the cells either
+serially or on a ``multiprocessing`` pool, and :func:`sweep_series`
+mirrors :func:`repro.space.consumption.sweep` for the common
+one-machine-over-N series.
+
+Degradation is graceful and result-identical: a cell whose submission
+or worker fails (pickling, a dead worker process) is re-run serially
+in the parent; a cell that exceeds ``timeout`` seconds reports a
+``timeout`` error outcome.  ``python -m repro sweep --jobs N`` and the
+benchmark drivers (via ``REPRO_SWEEP_JOBS``) go through this module,
+and a harness test holds parallel output byte-identical to serial.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..space.consumption import Consumption, measure
+from ..space.meter import DEFAULT_STEP_LIMIT
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point: everything a worker needs, all picklable."""
+
+    key: Tuple
+    machine: str
+    program: str
+    argument: Optional[str] = None
+    linked: bool = False
+    fixed_precision: bool = False
+    engine: str = "delta"
+    gc_interval: int = 1
+    step_limit: int = DEFAULT_STEP_LIMIT
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """A cell's measurement, or the error that prevented it."""
+
+    cell: SweepCell
+    result: Optional[Consumption] = None
+    error: Optional[str] = None
+
+    @property
+    def total(self) -> int:
+        if self.result is None:
+            raise RuntimeError(
+                f"sweep cell {self.cell.key} failed: {self.error}"
+            )
+        return self.result.total
+
+
+def run_cell(cell: SweepCell) -> SweepOutcome:
+    """Execute one cell (module-level so worker processes can import
+    it by reference).  Exceptions become error outcomes: they must
+    travel back over the pickle channel."""
+    try:
+        result = measure(
+            cell.machine,
+            cell.program,
+            cell.argument,
+            linked=cell.linked,
+            fixed_precision=cell.fixed_precision,
+            engine=cell.engine,
+            gc_interval=cell.gc_interval,
+            step_limit=cell.step_limit,
+        )
+    except Exception as error:  # noqa: BLE001 - reported, not hidden
+        return SweepOutcome(cell=cell, error=f"{type(error).__name__}: {error}")
+    return SweepOutcome(cell=cell, result=result)
+
+
+def default_jobs() -> int:
+    """Worker count for drivers that do not take a flag: the
+    ``REPRO_SWEEP_JOBS`` environment variable, default 1 (serial)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_SWEEP_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def run_grid(
+    cells: Sequence[SweepCell],
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+) -> List[SweepOutcome]:
+    """Run every cell; outcomes come back in cell order.
+
+    ``jobs`` > 1 fans the cells over a process pool.  A cell whose
+    worker dies (or cannot be pickled) is re-run serially; a cell
+    still running after ``timeout`` seconds yields a ``timeout``
+    error outcome.  Serial and parallel runs produce identical
+    measurements — the cells share nothing.
+    """
+    cells = list(cells)
+    if jobs <= 1 or len(cells) <= 1:
+        return [run_cell(cell) for cell in cells]
+    try:
+        import multiprocessing
+
+        pool = multiprocessing.Pool(processes=min(jobs, len(cells)))
+    except (ImportError, OSError):
+        return [run_cell(cell) for cell in cells]
+    outcomes: List[Optional[SweepOutcome]] = [None] * len(cells)
+    try:
+        try:
+            pending = [
+                (index, pool.apply_async(run_cell, (cell,)))
+                for index, cell in enumerate(cells)
+            ]
+        except Exception:  # submission failed (e.g. unpicklable cell)
+            pool.terminate()
+            return [run_cell(cell) for cell in cells]
+        for index, handle in pending:
+            try:
+                outcomes[index] = handle.get(timeout)
+            except multiprocessing.TimeoutError:
+                outcomes[index] = SweepOutcome(
+                    cell=cells[index],
+                    error=f"timeout: exceeded {timeout}s",
+                )
+            except Exception:
+                # The worker died or the result did not survive the
+                # channel; the measurement itself may be fine — retry
+                # in-process.
+                outcomes[index] = run_cell(cells[index])
+    finally:
+        pool.terminate()
+        pool.join()
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+def sweep_series(
+    machine: str,
+    program_for: Callable[[int], str],
+    ns: Iterable[int],
+    argument_for: Optional[Callable[[int], Optional[str]]] = None,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    **options,
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Parallel counterpart of :func:`repro.space.consumption.sweep`:
+    S_X(P_n, n) totals over a family, errors raised."""
+    ns = tuple(ns)
+    cells = [
+        SweepCell(
+            key=(machine, n),
+            machine=machine,
+            program=program_for(n),
+            argument=(
+                argument_for(n) if argument_for is not None else str(n)
+            ),
+            **options,
+        )
+        for n in ns
+    ]
+    outcomes = run_grid(cells, jobs=jobs, timeout=timeout)
+    return ns, tuple(outcome.total for outcome in outcomes)
+
+
+def grid_cells(
+    sources: Dict[Tuple, str],
+    ns: Iterable[int],
+    argument_for: Optional[Callable[[int], Optional[str]]] = None,
+    **options,
+) -> List[SweepCell]:
+    """Cells for a labelled grid: ``sources`` maps (label..., machine)
+    keys to program source; each is swept over ``ns``.  The cell key
+    is the source key plus n."""
+    ns = tuple(ns)
+    cells = []
+    for key, source in sources.items():
+        machine = key[-1]
+        for n in ns:
+            cells.append(
+                SweepCell(
+                    key=tuple(key) + (n,),
+                    machine=machine,
+                    program=source,
+                    argument=(
+                        argument_for(n) if argument_for is not None else str(n)
+                    ),
+                    **options,
+                )
+            )
+    return cells
+
+
+def series_from_outcomes(
+    outcomes: Iterable[SweepOutcome],
+) -> Dict[Tuple, Dict[int, int]]:
+    """Group grid outcomes back into {key-without-n: {n: total}}."""
+    series: Dict[Tuple, Dict[int, int]] = {}
+    for outcome in outcomes:
+        *key, n = outcome.cell.key
+        series.setdefault(tuple(key), {})[n] = outcome.total
+    return series
+
+
+__all__ = [
+    "SweepCell",
+    "SweepOutcome",
+    "default_jobs",
+    "grid_cells",
+    "run_cell",
+    "run_grid",
+    "series_from_outcomes",
+    "sweep_series",
+]

@@ -13,7 +13,11 @@
 Continuations are immutable.  Each caches its Figure 7 flat space at
 construction (space is defined structurally, so the child adds O(1) to
 the cached space of its parent), making per-step metering O(1) in the
-continuation component.
+continuation component.  The same construction-time caching covers the
+Figure 8 *structural* words (``linked_space`` — bindings are counted
+globally by the meter) and the chain ``depth``, which lets the
+incremental meter diff two continuations in time proportional to their
+divergence rather than their length.
 
 Note Figure 7 counts values parked in push/call continuations as one
 word each (the ``m`` and ``n`` of ``1 + m + n + |Dom rho| + space(kappa)``);
@@ -33,16 +37,18 @@ from .values import Location, Value
 class Kont:
     """Base class for continuations."""
 
-    __slots__ = ("parent", "env", "flat_space")
+    __slots__ = ("parent", "env", "flat_space", "linked_space", "depth")
 
     parent: Optional["Kont"]
     env: Optional[Environment]
     flat_space: int
+    linked_space: int
+    depth: int
 
     def direct_locations(self) -> Tuple[Location, ...]:
         """Locations held directly by this frame (excluding parents)."""
         if self.env is not None:
-            return tuple(self.env.location_values())
+            return self.env.location_tuple()
         return ()
 
     def direct_values(self) -> Tuple[Value, ...]:
@@ -59,6 +65,8 @@ class Halt(Kont):
         self.parent = None
         self.env = None
         self.flat_space = 1
+        self.linked_space = 1
+        self.depth = 0
 
     def __repr__(self) -> str:
         return "halt"
@@ -77,6 +85,8 @@ class Select(Kont):
         self.env = env
         self.parent = parent
         self.flat_space = 1 + len(env) + parent.flat_space
+        self.linked_space = 1 + parent.linked_space
+        self.depth = parent.depth + 1
 
     def __repr__(self) -> str:
         return f"select:(|rho|={len(self.env)}, {self.parent!r})"
@@ -92,6 +102,8 @@ class Assign(Kont):
         self.env = env
         self.parent = parent
         self.flat_space = 1 + len(env) + parent.flat_space
+        self.linked_space = 1 + parent.linked_space
+        self.depth = parent.depth + 1
 
     def __repr__(self) -> str:
         return f"assign:({self.name}, {self.parent!r})"
@@ -131,6 +143,10 @@ class Push(Kont):
         self.flat_space = (
             1 + len(pending) + len(done) + len(env) + parent.flat_space
         )
+        self.linked_space = (
+            1 + len(pending) + len(done) + parent.linked_space
+        )
+        self.depth = parent.depth + 1
 
     def direct_values(self) -> Tuple[Value, ...]:
         return self.done
@@ -156,6 +172,8 @@ class CallK(Kont):
         self.parent = parent
         self.site = site
         self.flat_space = 1 + len(args) + parent.flat_space
+        self.linked_space = 1 + len(args) + parent.linked_space
+        self.depth = parent.depth + 1
 
     def direct_values(self) -> Tuple[Value, ...]:
         return self.args
@@ -173,6 +191,8 @@ class Return(Kont):
         self.env = env
         self.parent = parent
         self.flat_space = 1 + len(env) + parent.flat_space
+        self.linked_space = 1 + parent.linked_space
+        self.depth = parent.depth + 1
 
     def __repr__(self) -> str:
         return f"return:(|rho|={len(self.env)}, {self.parent!r})"
@@ -196,9 +216,11 @@ class ReturnStack(Kont):
         self.env = env
         self.parent = parent
         self.flat_space = 1 + len(env) + parent.flat_space
+        self.linked_space = 1 + parent.linked_space
+        self.depth = parent.depth + 1
 
     def direct_locations(self) -> Tuple[Location, ...]:
-        env_locations = tuple(self.env.location_values()) if self.env else ()
+        env_locations = self.env.location_tuple() if self.env else ()
         return env_locations + self.frame
 
     def __repr__(self) -> str:

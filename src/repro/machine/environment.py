@@ -16,11 +16,12 @@ from .values import Location
 class Environment:
     """An immutable finite map Identifier -> Location."""
 
-    __slots__ = ("_bindings", "_graph")
+    __slots__ = ("_bindings", "_graph", "_location_tuple")
 
     def __init__(self, bindings: Optional[Dict[str, Location]] = None):
         self._bindings: Dict[str, Location] = dict(bindings) if bindings else {}
         self._graph: Optional[FrozenSet[Tuple[str, Location]]] = None
+        self._location_tuple: Optional[Tuple[Location, ...]] = None
 
     # -- lookups ------------------------------------------------------------
 
@@ -43,6 +44,14 @@ class Environment:
     def location_values(self) -> Iterable[Location]:
         """All locations in the range of the environment (GC roots)."""
         return self._bindings.values()
+
+    def location_tuple(self) -> Tuple[Location, ...]:
+        """The range as a tuple *with multiplicity* (one entry per
+        binding), cached — the incremental meter diffs root sets by
+        counting each binding's location separately."""
+        if self._location_tuple is None:
+            self._location_tuple = tuple(self._bindings.values())
+        return self._location_tuple
 
     def graph(self) -> FrozenSet[Tuple[str, Location]]:
         """graph(rho): the environment as a set of bindings (section 13)."""

@@ -1,4 +1,4 @@
-"""The garbage collection rule (Figure 5).
+"""The garbage collection rule (Figure 5), canonical and incremental.
 
     (v, rho, kappa, sigma[b -> v', ...]) -> (v, rho, kappa, sigma)
         if {b, ...} is nonempty and b, ... do not occur within
@@ -7,11 +7,53 @@
 Reachability is computed iteratively (no Python recursion) because CPS
 programs build continuation chains and list structures far deeper than
 the interpreter stack.
+
+Two collectors implement the rule:
+
+- :func:`collect` / :func:`collect_final` — the canonical full-heap
+  tracing collection, O(live heap) per application.  This is the
+  specification and the verification oracle.
+- :class:`RefTracker` — the *delta* collector used by the incremental
+  meter.  It maintains per-location incoming-reference counts (store
+  edges via the :class:`~repro.machine.store.Store` mutation hooks,
+  root edges via the meter's per-step configuration diffs).  Because
+  Definition 21 applies the GC rule after every step, the only garbage
+  creatable by one step is reachable from references that step dropped
+  — exactly the locations whose count hit zero — so each application
+  is a decrement cascade over the dropped-reference candidate set,
+  O(garbage) instead of O(live heap).
+
+  Reference counting alone cannot reclaim cycles.  Absent mutation the
+  store's reference graph is acyclic (a fresh location is greater than
+  every location its value mentions), so cycles require a ``write``
+  that installs a *forward* edge (a reference to a location >= the
+  written cell), and every cycle passes through such a written cell —
+  an *anchor*.  The tracker maintains the anchor set (letrec-style
+  ``define`` initializations are the ubiquitous source: the recursive
+  closure's environment mentions its own cell) and counts root and
+  heap references separately.  A decrement that leaves a location with
+  heap references but no roots is a cycle *suspect*; at the next
+  application of the GC rule the tracker resolves suspects cheaply:
+
+  * if every live anchor still has a root reference, every cycle is
+    rooted, hence live — the suspects are cleared in O(|anchors|);
+  * otherwise each unrooted anchor's reachable subgraph gets a bounded
+    trial deletion (the dying letrec cluster is typically a handful of
+    cells), reclaiming garbage cycles exactly when they arise;
+  * only if the subgraph exceeds the budget, or the local analysis
+    cannot decide, does that one application fall back to the
+    canonical trace — after which delta collection resumes with the
+    counts still consistent.
+
+  Escape procedures (captured continuations) root entire continuation
+  chains; rather than reference-count frames the tracker raises
+  :attr:`RefTracker.saw_escape` and the meter falls back to the
+  canonical collector for the rest of the run.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from .config import Final, State
 from .continuation import Kont, chain
@@ -95,3 +137,343 @@ def collect_final(final: Final) -> int:
     if garbage:
         final.store.delete_many(garbage)
     return len(garbage)
+
+
+# ---------------------------------------------------------------------------
+# The delta collector
+# ---------------------------------------------------------------------------
+
+
+class RefTracker:
+    """Per-location incoming-reference counts for the delta collector.
+
+    A location's count is the number of references to it from (a) the
+    values held in store cells — the *heap* references, maintained by
+    the store mutation hooks — and (b) the configuration roots — the
+    register environment's range (with multiplicity), each continuation
+    frame's direct locations and parked values, and the accumulator —
+    maintained by the meter's per-step diffs.  The total is zero
+    exactly when the location is unreferenced, which for an acyclic
+    store implies every garbage location is reached by the
+    zero-candidate cascade.  Root counts are additionally kept in a
+    separate map because cycle detection needs them: a location whose
+    roots are gone but whose heap count survives is the only candidate
+    for membership in (or retention by) a garbage cycle.
+    """
+
+    #: Node limit for one trial deletion; a subgraph larger than this
+    #: falls back to the canonical trace for that application.
+    TRIAL_BUDGET = 256
+
+    __slots__ = ("rc", "root_rc", "zeros", "suspects", "anchors", "saw_escape")
+
+    def __init__(self):
+        #: Total (heap + root) reference count per location.
+        self.rc: Dict[Location, int] = {}
+        #: Root-only reference count per location.
+        self.root_rc: Dict[Location, int] = {}
+        #: Locations whose count is (or transiently was) zero since the
+        #: last collection — the candidate set for the next sweep.
+        self.zeros: Set[Location] = set()
+        #: Locations decremented to a nonzero count with no remaining
+        #: root references while a cycle is possible: a garbage cycle's
+        #: orphaning always flags a member or retained straggler here.
+        self.suspects: Set[Location] = set()
+        #: Cells whose *current* value holds a forward (or self) edge —
+        #: every store cycle passes through one (alloc-time edges point
+        #: strictly backward), so anchors index all possible cycles.
+        self.anchors: Set[Location] = set()
+        self.saw_escape = False
+
+    # -- reference-count primitives ----------------------------------------
+
+    def inc_heap(self, location: Location) -> None:
+        self.rc[location] = self.rc.get(location, 0) + 1
+
+    def dec_heap(self, location: Location) -> None:
+        count = self.rc[location] - 1
+        self.rc[location] = count
+        if count == 0:
+            self.zeros.add(location)
+        elif self.anchors and self.root_rc.get(location, 0) == 0:
+            self.suspects.add(location)
+
+    def inc_root(self, location: Location) -> None:
+        self.rc[location] = self.rc.get(location, 0) + 1
+        self.root_rc[location] = self.root_rc.get(location, 0) + 1
+
+    def dec_root(self, location: Location) -> None:
+        count = self.rc[location] - 1
+        self.rc[location] = count
+        roots = self.root_rc[location] - 1
+        if roots:
+            self.root_rc[location] = roots
+        else:
+            del self.root_rc[location]
+            if count == 0:
+                self.zeros.add(location)
+            elif self.anchors:
+                self.suspects.add(location)
+            return
+        if count == 0:
+            self.zeros.add(location)
+
+    def inc_value_root(self, value: Value) -> None:
+        """Count the references held directly by a root-held *value*."""
+        if isinstance(value, Escape):
+            self.saw_escape = True
+        for location in value.locations():
+            self.inc_root(location)
+
+    def dec_value_root(self, value: Value) -> None:
+        for location in value.locations():
+            self.dec_root(location)
+
+    def _dec_value_heap(self, value: Value) -> None:
+        for location in value.locations():
+            self.dec_heap(location)
+
+    # -- store mutation hooks ----------------------------------------------
+
+    def on_alloc(self, location: Location, value: Value) -> None:
+        self.rc[location] = 0
+        self.zeros.add(location)
+        if isinstance(value, Escape):
+            self.saw_escape = True
+        for reference in value.locations():
+            self.inc_heap(reference)
+        # A freshly built value can only mention older locations, so an
+        # alloc never creates a forward edge (no anchor bookkeeping).
+
+    def on_write(self, location: Location, old: Value, new: Value) -> None:
+        self._dec_value_heap(old)
+        if isinstance(new, Escape):
+            self.saw_escape = True
+        forward = False
+        for reference in new.locations():
+            self.inc_heap(reference)
+            if reference >= location:
+                forward = True
+        if forward:
+            # A forward (or self) edge: any cycle through this cell is
+            # now possible.  The canonical case is letrec/define
+            # initialization writing a recursive closure over its own
+            # binding cell.
+            self.anchors.add(location)
+        else:
+            self.anchors.discard(location)
+
+    def on_delete(self, location: Location, value: Value) -> None:
+        self._dec_value_heap(value)
+        if self.anchors:
+            self.anchors.discard(location)
+
+    # -- priming and sweeping ----------------------------------------------
+
+    def prime(self, store: Store) -> None:
+        """Count the store-internal references from scratch (the root
+        references are added by the meter as it registers the initial
+        configuration's components)."""
+        self.rc = {location: 0 for location in store.locations()}
+        self.root_rc = {}
+        self.zeros = set(self.rc)
+        for location, value in store.items():
+            if isinstance(value, Escape):
+                self.saw_escape = True
+            for reference in value.locations():
+                self.inc_heap(reference)
+                if reference >= location:
+                    self.anchors.add(location)
+
+    def sweep(self, store: Store) -> int:
+        """Apply the GC rule via the decrement cascade: delete every
+        candidate whose count is zero, transitively.  Returns the
+        number of locations collected."""
+        collected = 0
+        zeros = self.zeros
+        rc = self.rc
+        while zeros:
+            batch: List[Location] = []
+            for location in zeros:
+                if rc.get(location, 0) == 0:
+                    if location in store:
+                        batch.append(location)
+                    else:
+                        rc.pop(location, None)
+                        self.root_rc.pop(location, None)
+            zeros.clear()
+            if not batch:
+                break
+            # delete_many fires on_delete per location, decrementing the
+            # deleted values' references and refilling ``zeros``.
+            store.delete_many(batch)
+            collected += len(batch)
+        return collected
+
+    def _trial_reclaim(self, store: Store, anchor: Location) -> Optional[int]:
+        """Bounded trial deletion of the subgraph reachable from an
+        unrooted *anchor*.  Any garbage cycle through the anchor lies
+        inside that subgraph; a member is externally referenced exactly
+        when its total count exceeds its subgraph-internal in-degree.
+        Members neither externally referenced nor reachable from one
+        are garbage and are deleted.  Returns the number reclaimed, or
+        None when the subgraph exceeds the budget."""
+        budget = self.TRIAL_BUDGET
+        subgraph: Dict[Location, Tuple[Location, ...]] = {}
+        stack: List[Location] = [anchor]
+        while stack:
+            location = stack.pop()
+            if location in subgraph or location not in store:
+                continue
+            if len(subgraph) >= budget:
+                return None
+            references = store.read(location).locations()
+            subgraph[location] = references
+            stack.extend(references)
+        internal: Dict[Location, int] = dict.fromkeys(subgraph, 0)
+        for references in subgraph.values():
+            for reference in references:
+                if reference in internal:
+                    internal[reference] += 1
+        rc = self.rc
+        live = [loc for loc in subgraph if rc.get(loc, 0) > internal[loc]]
+        alive: Set[Location] = set(live)
+        while live:
+            for reference in subgraph[live.pop()]:
+                if reference in internal and reference not in alive:
+                    alive.add(reference)
+                    live.append(reference)
+        garbage = [loc for loc in subgraph if loc not in alive]
+        if garbage:
+            # Every reference into the garbage comes from the garbage
+            # itself, so the deletion hooks drive those counts to zero
+            # and the next sweep purges the entries.
+            store.delete_many(garbage)
+        return len(garbage)
+
+    def reclaim(self, store: Store) -> Tuple[int, bool]:
+        """One application of the GC rule: sweep the zero candidates,
+        then resolve cycle suspects.  Returns (locations collected,
+        canonical trace still required)."""
+        collected = self.sweep(store)
+        while self.suspects:
+            unrooted = [
+                anchor
+                for anchor in self.anchors
+                if anchor in store and anchor not in self.root_rc
+            ]
+            if not unrooted:
+                # Every cycle passes through an anchor and every live
+                # anchor is rooted, so every cycle is live: the
+                # suspects are refcount-exact leftovers.
+                self.suspects.clear()
+                return collected, False
+            progress = 0
+            for anchor in unrooted:
+                freed = self._trial_reclaim(store, anchor)
+                if freed is None:
+                    return collected, True
+                progress += freed
+            if not progress:
+                # Unrooted anchors kept alive through heap references
+                # the local analysis cannot rule on: trace once.
+                return collected, True
+            collected += progress + self.sweep(store)
+        return collected, False
+
+    def note_canonical(self, store: Store) -> None:
+        """Reconcile after a canonical collection ran: every remaining
+        candidate is either live (count > 0) or already deleted."""
+        for location in self.zeros:
+            if self.rc.get(location, 0) == 0 and location not in store:
+                self.rc.pop(location, None)
+                self.root_rc.pop(location, None)
+        self.zeros.clear()
+        self.suspects.clear()
+        if self.anchors:
+            self.anchors.intersection_update(store.locations())
+
+    # -- integrity audit ----------------------------------------------------
+
+    def expected_counts(
+        self,
+        store: Store,
+        root_values: Iterable[Value] = (),
+        root_env: Optional[Environment] = None,
+        root_kont: Optional[Kont] = None,
+    ) -> Tuple[Dict[Location, int], Dict[Location, int]]:
+        """Recompute (total, root-only) counts from scratch
+        (checkpoint_spaces-style audit).  Only valid while no escape
+        has been seen."""
+        counts: Dict[Location, int] = {location: 0 for location in store.locations()}
+        roots: Dict[Location, int] = {}
+
+        def add_root(location: Location) -> None:
+            counts[location] = counts.get(location, 0) + 1
+            roots[location] = roots.get(location, 0) + 1
+
+        for _location, value in store.items():
+            for reference in value.locations():
+                counts[reference] = counts.get(reference, 0) + 1
+        for value in root_values:
+            for reference in value.locations():
+                add_root(reference)
+        if root_env is not None:
+            for location in root_env.location_tuple():
+                add_root(location)
+        if root_kont is not None:
+            for frame in chain(root_kont):
+                for location in frame.direct_locations():
+                    add_root(location)
+                for value in frame.direct_values():
+                    for reference in value.locations():
+                        add_root(reference)
+        return counts, roots
+
+    def audit(
+        self,
+        store: Store,
+        root_values: Iterable[Value] = (),
+        root_env: Optional[Environment] = None,
+        root_kont: Optional[Kont] = None,
+    ) -> None:
+        """Raise AssertionError when the maintained counts, root
+        counts, or anchors disagree with a from-scratch recount, or
+        when the store still holds a location unreachable from the
+        given roots (i.e. the last reclaim failed to apply the GC rule
+        exhaustively)."""
+        expected, expected_roots = self.expected_counts(
+            store, root_values, root_env, root_kont
+        )
+        actual = {loc: n for loc, n in self.rc.items() if n or loc in store}
+        expected = {loc: n for loc, n in expected.items() if n or loc in store}
+        if actual != expected:
+            diff = {
+                loc: (expected.get(loc), actual.get(loc))
+                for loc in set(expected) | set(actual)
+                if expected.get(loc) != actual.get(loc)
+            }
+            raise AssertionError(f"refcount drift (expected, actual): {diff}")
+        actual_roots = {loc: n for loc, n in self.root_rc.items() if n}
+        if actual_roots != expected_roots:
+            diff = {
+                loc: (expected_roots.get(loc), actual_roots.get(loc))
+                for loc in set(expected_roots) | set(actual_roots)
+                if expected_roots.get(loc) != actual_roots.get(loc)
+            }
+            raise AssertionError(f"root-count drift (expected, actual): {diff}")
+        expected_anchors = {
+            location
+            for location, value in store.items()
+            if any(ref >= location for ref in value.locations())
+        }
+        live_anchors = {loc for loc in self.anchors if loc in store}
+        if live_anchors != expected_anchors:
+            raise AssertionError(
+                f"anchor drift: expected={expected_anchors} "
+                f"actual={live_anchors}"
+            )
+        live = reachable_locations(store, root_values, root_env, root_kont)
+        garbage = [loc for loc in store.locations() if loc not in live]
+        if garbage:
+            raise AssertionError(f"unreclaimed garbage after sweep: {garbage}")

@@ -4,14 +4,36 @@ Locations are allocated from a countably infinite supply (section 11
 requires one); the store tracks running Figure 7 space totals —
 ``sum(1 + space(sigma(a)))`` over its domain — under both bignum and
 fixed-precision number accounting, so the space meter reads
-``space(sigma)`` in O(1) per step.
+``space(sigma)`` in O(1) per step.  The analogous Figure 8 *structural*
+totals (closures and escapes cost one word; their bindings are counted
+globally by the meter's binding ledger) are maintained the same way
+for linked accounting.
+
+A :class:`Store` may carry a *tracker* — the incremental metering
+engine (``repro.space.meter``) — which is notified of every mutation
+so it can maintain per-location reference counts and the linked
+binding ledger without rescanning the heap.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
-from .values import Location, Value
+from .values import Closure, Escape, Location, Value
+
+#: Bound lazily on first use: ``repro.space.flat`` imports
+#: ``repro.machine.config`` which imports this module, so the import
+#: cannot run at module scope; doing it inside ``_add_space`` would put
+#: import machinery on the alloc/write/delete hot path instead.
+_value_space = None
+
+
+def _bind_value_space():
+    global _value_space
+    from ..space.flat import value_space
+
+    _value_space = value_space
+    return value_space
 
 
 class StoreError(KeyError):
@@ -26,7 +48,10 @@ class Store:
         "_next_location",
         "_space_bignum",
         "_space_fixed",
+        "_linked_bignum",
+        "_linked_fixed",
         "version",
+        "tracker",
     )
 
     def __init__(self):
@@ -34,7 +59,10 @@ class Store:
         self._next_location: Location = 0
         self._space_bignum: int = 0
         self._space_fixed: int = 0
+        self._linked_bignum: int = 0
+        self._linked_fixed: int = 0
         self.version: int = 0
+        self.tracker = None
 
     # -- allocation and access ------------------------------------------------
 
@@ -45,6 +73,8 @@ class Store:
         self._cells[location] = value
         self._add_space(value, 1)
         self.version += 1
+        if self.tracker is not None:
+            self.tracker.on_alloc(location, value)
         return location
 
     def alloc_many(self, values: Iterable[Value]) -> Tuple[Location, ...]:
@@ -66,13 +96,18 @@ class Store:
         self._cells[location] = value
         self._add_space(value, 1)
         self.version += 1
+        if self.tracker is not None:
+            self.tracker.on_write(location, old, value)
 
     def delete_many(self, locations: Iterable[Location]) -> None:
         """Remove locations from the active store (GC / stack deletion)."""
+        tracker = self.tracker
         for location in locations:
             value = self._cells.pop(location, None)
             if value is not None:
                 self._add_space(value, -1)
+                if tracker is not None:
+                    tracker.on_delete(location, value)
         self.version += 1
 
     def __contains__(self, location: Location) -> bool:
@@ -99,20 +134,51 @@ class Store:
         """space(sigma) under fixed-precision number accounting."""
         return self._space_fixed
 
-    def _add_space(self, value: Value, sign: int) -> None:
-        from ..space.flat import value_space
+    def linked_structural(self, fixed_precision: bool = False) -> int:
+        """Figure 8 structural words of the store: 1 per cell plus the
+        value's structural cost (closures and escapes cost one word;
+        their bindings/frames are accounted globally)."""
+        return self._linked_fixed if fixed_precision else self._linked_bignum
 
-        self._space_bignum += sign * (1 + value_space(value, fixed_precision=False))
-        self._space_fixed += sign * (1 + value_space(value, fixed_precision=True))
+    def _add_space(self, value: Value, sign: int) -> None:
+        vs = _value_space
+        if vs is None:
+            vs = _bind_value_space()
+        bignum = vs(value, fixed_precision=False)
+        fixed = vs(value, fixed_precision=True)
+        self._space_bignum += sign * (1 + bignum)
+        self._space_fixed += sign * (1 + fixed)
+        if isinstance(value, (Closure, Escape)):
+            # Linked accounting charges closures/escapes one word; the
+            # environment table / captured frames are counted globally.
+            bignum = fixed = 1
+        self._linked_bignum += sign * (1 + bignum)
+        self._linked_fixed += sign * (1 + fixed)
 
     def checkpoint_spaces(self) -> Tuple[int, int]:
-        """Recompute both totals from scratch (used by integrity tests)."""
-        from ..space.flat import value_space
-
+        """Recompute both flat totals from scratch (integrity tests)."""
+        vs = _value_space
+        if vs is None:
+            vs = _bind_value_space()
         bignum = sum(
-            1 + value_space(v, fixed_precision=False) for v in self._cells.values()
+            1 + vs(v, fixed_precision=False) for v in self._cells.values()
         )
         fixed = sum(
-            1 + value_space(v, fixed_precision=True) for v in self._cells.values()
+            1 + vs(v, fixed_precision=True) for v in self._cells.values()
         )
+        return bignum, fixed
+
+    def checkpoint_linked_structural(self) -> Tuple[int, int]:
+        """Recompute both linked structural totals from scratch."""
+        vs = _value_space
+        if vs is None:
+            vs = _bind_value_space()
+
+        def one(value: Value, fixed_precision: bool) -> int:
+            if isinstance(value, (Closure, Escape)):
+                return 1
+            return vs(value, fixed_precision=fixed_precision)
+
+        bignum = sum(1 + one(v, False) for v in self._cells.values())
+        fixed = sum(1 + one(v, True) for v in self._cells.values())
         return bignum, fixed

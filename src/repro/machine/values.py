@@ -159,15 +159,19 @@ class Closure(Value):
     procedures observable).
     """
 
-    __slots__ = ("tag", "lam", "env")
+    __slots__ = ("tag", "lam", "env", "_locs")
 
     def __init__(self, tag: Location, lam: "Lambda", env: "Environment"):
         self.tag = tag
         self.lam = lam
         self.env = env
+        self._locs: Optional[Tuple[Location, ...]] = None
 
     def locations(self) -> Tuple[Location, ...]:
-        return (self.tag,) + tuple(self.env.location_values())
+        locs = self._locs
+        if locs is None:
+            locs = self._locs = (self.tag,) + self.env.location_tuple()
+        return locs
 
     def __repr__(self) -> str:
         return f"CLOSURE:(tag={self.tag}, params={self.lam.params})"

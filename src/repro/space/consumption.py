@@ -66,6 +66,7 @@ def measure(
     gc_when: str = "always",
     step_limit: int = DEFAULT_STEP_LIMIT,
     answer_limit: int = 200,
+    engine: str = "delta",
 ) -> Consumption:
     """Measure the Definition 23 space consumption of running
     *program* on *argument* under the named reference implementation."""
@@ -83,6 +84,7 @@ def measure(
         gc_interval=gc_interval,
         gc_when=gc_when,
         step_limit=step_limit,
+        engine=engine,
     )
     return Consumption(
         machine=machine_name,

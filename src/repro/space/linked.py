@@ -19,11 +19,29 @@ Concretely, a configuration's space is
 This realizes the U_X functions of section 13; Theorem 26's benchmark
 (U_tail linear vs S_sfs quadratic on the nested-let program family)
 depends on exactly this sharing.
+
+Two implementations compute it:
+
+- :class:`_LinkedTally` + :func:`configuration_space_linked` — the
+  specification: re-walk the whole configuration, O(configuration) per
+  call.  This is the verification oracle.
+- :class:`BindingLedger` — the incremental form used by the meter.  A
+  multiset counter over (identifier, location) pairs tracks how many
+  configuration components (register environment, continuation-frame
+  environments, stored closures, the accumulator's closure) currently
+  contribute each binding; ``distinct`` — the U_X binding term — is
+  the number of pairs with a positive count, maintained in O(delta)
+  per step.  The structural words are cached elsewhere: per
+  continuation frame (``Kont.linked_space``), per store cell
+  (``Store.linked_structural``), leaving :func:`value_structural` for
+  the accumulator.  The ledger does not model escape procedures
+  (which root whole continuation chains); it flags them and the meter
+  falls back to the oracle.
 """
 
 from __future__ import annotations
 
-from typing import Set, Tuple, Union
+from typing import Dict, Set, Tuple, Union
 
 from ..machine.config import Final, State
 from ..machine.continuation import CallK, Kont, Push, chain
@@ -124,3 +142,109 @@ def configuration_space_linked(
     if isinstance(configuration, Final):
         return final_space_linked(configuration, fixed_precision)
     return state_space_linked(configuration, fixed_precision)
+
+
+# ---------------------------------------------------------------------------
+# Incremental (memoized) linked accounting
+# ---------------------------------------------------------------------------
+
+
+def value_structural(value: Value, fixed_precision: bool = False) -> int:
+    """Structural words of a value under linked accounting — exactly
+    what :meth:`_LinkedTally.add_value` charges, bindings excluded.
+    Escapes are not supported here (the meter falls back before any
+    escape is measured incrementally)."""
+    if isinstance(value, (Closure, Escape)):
+        return 1
+    if isinstance(value, Num):
+        return number_space(value.value, fixed_precision)
+    if isinstance(value, Vector):
+        return 1 + value.length
+    if isinstance(value, Pair):
+        return 3
+    if isinstance(value, Str):
+        return 1 + len(value.value)
+    return 1
+
+
+class BindingLedger:
+    """The global (identifier, location) binding multiset.
+
+    Each configuration component that contributes an environment graph
+    registers it with :meth:`add_graph` when it enters the
+    configuration and :meth:`remove_graph` when it leaves; ``distinct``
+    is the section 13 binding term, read in O(1)."""
+
+    __slots__ = ("_counts", "distinct", "saw_escape")
+
+    def __init__(self):
+        self._counts: Dict[Tuple[str, int], int] = {}
+        self.distinct = 0
+        self.saw_escape = False
+
+    def add_graph(self, graph) -> None:
+        counts = self._counts
+        for binding in graph:
+            count = counts.get(binding, 0)
+            counts[binding] = count + 1
+            if count == 0:
+                self.distinct += 1
+
+    def remove_graph(self, graph) -> None:
+        counts = self._counts
+        for binding in graph:
+            count = counts[binding] - 1
+            if count:
+                counts[binding] = count
+            else:
+                del counts[binding]
+                self.distinct -= 1
+
+    def add_value(self, value: Value) -> None:
+        """Register a value entering the store or the accumulator: only
+        closures contribute bindings (their captured environment)."""
+        if isinstance(value, Closure):
+            self.add_graph(value.env.graph())
+        elif isinstance(value, Escape):
+            self.saw_escape = True
+
+    def remove_value(self, value: Value) -> None:
+        if isinstance(value, Closure):
+            self.remove_graph(value.env.graph())
+
+    # -- store mutation hooks (same interface as RefTracker) ---------------
+
+    def on_alloc(self, location, value: Value) -> None:
+        self.add_value(value)
+
+    def on_write(self, location, old: Value, new: Value) -> None:
+        self.remove_value(old)
+        self.add_value(new)
+
+    def on_delete(self, location, value: Value) -> None:
+        self.remove_value(value)
+
+    # -- integrity audit ----------------------------------------------------
+
+    def audit(self, configuration: Union[State, Final]) -> None:
+        """Raise AssertionError when ``distinct`` disagrees with the
+        oracle tally of the same configuration."""
+        tally = _LinkedTally(fixed_precision=False)
+        if isinstance(configuration, Final):
+            tally.add_value(configuration.value)
+        else:
+            tally.add_env(configuration.env)
+            for frame in chain(configuration.kont):
+                tally.add_env(frame.env)
+            if configuration.is_value:
+                tally.add_value(configuration.control)
+        for _location, value in configuration.store.items():
+            if isinstance(value, Closure):
+                tally.add_env(value.env)
+        if len(tally.bindings) != self.distinct:
+            missing = tally.bindings - set(self._counts)
+            extra = set(self._counts) - tally.bindings
+            raise AssertionError(
+                f"binding ledger drift: oracle={len(tally.bindings)} "
+                f"ledger={self.distinct} missing={missing} extra={extra}"
+            )

@@ -10,22 +10,50 @@ so allocation spikes are charged exactly as the paper requires.
 step); this exists for the section 7 experiment showing that a real
 collector running less often costs at most a small constant factor R
 over collecting after every step.
+
+Two metering engines drive the same loop:
+
+- ``engine="delta"`` (the default) — the incremental engine.  It keeps
+  a :class:`~repro.machine.gc.RefTracker` (per-location reference
+  counts fed by the store's mutation hooks and by per-step
+  configuration diffs) so each application of the GC rule is a
+  decrement cascade over the references the step dropped, O(delta)
+  instead of O(live heap); and, under linked accounting, a
+  :class:`~repro.space.linked.BindingLedger` plus the cached
+  ``Kont.linked_space`` / ``Store.linked_structural`` totals so each
+  U_X measurement is O(1) instead of a configuration re-walk.  Cycle
+  suspects are resolved locally (rooted-anchor check, bounded trial
+  deletion — see the ``gc`` module docstring); the engine degrades to
+  the canonical trace only per-application when that analysis cannot
+  decide, and permanently when an escape procedure enters the
+  configuration (reference counts do not model the continuation
+  chains it retains).  Either way the measured numbers are
+  *identical* to the reference engine on every program.
+- ``engine="reference"`` — the seed behaviour: canonical full-heap
+  trace per application, direct configuration re-walk per measurement.
+  Kept as the verification oracle; the agreement tests in
+  ``tests/test_delta_meter.py`` hold the two engines equal over the
+  corpus, the separator families, and random programs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
-from ..machine.config import Final
+from ..machine.config import Configuration, Final, State
+from ..machine.continuation import Kont
 from ..machine.errors import StepLimitExceeded
-from ..machine.gc import collect, collect_final
+from ..machine.gc import RefTracker, collect, collect_final
 from ..machine.machine import Machine
+from ..machine.values import Value
 from ..syntax.ast import Expr, ast_size
 from .flat import configuration_space
-from .linked import configuration_space_linked
+from .linked import BindingLedger, configuration_space_linked, value_structural
 
 DEFAULT_STEP_LIMIT = 5_000_000
+
+ENGINES = ("delta", "reference")
 
 
 @dataclass
@@ -47,6 +75,306 @@ class MeterResult:
         return self.program_size + self.sup_space
 
 
+class ReferenceMeter:
+    """The canonical engine: trace per collection, re-walk per measure."""
+
+    def __init__(self, machine: Machine, linked: bool, fixed_precision: bool):
+        self.uses_gc = machine.uses_gc_rule
+        self.fixed_precision = fixed_precision
+        self._measure = (
+            configuration_space_linked if linked else configuration_space
+        )
+
+    def prime(self, state: State) -> int:
+        return collect(state) if self.uses_gc else 0
+
+    def transition(self, configuration: Configuration) -> None:
+        pass
+
+    def measure(self, configuration: Configuration) -> int:
+        return self._measure(configuration, self.fixed_precision)
+
+    def collect(self, state: State) -> int:
+        return collect(state)
+
+    def collect_final(self, final: Final) -> int:
+        return collect_final(final)
+
+    def detach(self, store) -> None:
+        pass
+
+
+class DeltaMeter:
+    """The incremental engine: refcount delta-GC + memoized U_X.
+
+    Implements the store tracker interface (``on_alloc`` / ``on_write``
+    / ``on_delete``) by fanning each event to the reference-count
+    tracker and (under linked accounting) the binding ledger, and
+    tracks the configuration's root components — register environment,
+    continuation, accumulator — by diffing them across steps.
+    """
+
+    def __init__(self, machine: Machine, linked: bool, fixed_precision: bool):
+        self.uses_gc = machine.uses_gc_rule
+        self.linked = linked
+        self.fixed_precision = fixed_precision
+        self.tracker: Optional[RefTracker] = RefTracker() if self.uses_gc else None
+        self.ledger: Optional[BindingLedger] = BindingLedger() if linked else None
+        self.fallback = False
+        self._fallback_measure = (
+            configuration_space_linked if linked else configuration_space
+        )
+        # Last-seen root components (None until primed).
+        self._env = None
+        self._kont: Optional[Kont] = None
+        self._acc: Optional[Value] = None
+        self._store = None
+
+    # -- store tracker interface -------------------------------------------
+
+    def on_alloc(self, location, value) -> None:
+        if self.tracker is not None:
+            self.tracker.on_alloc(location, value)
+        if self.ledger is not None:
+            self.ledger.on_alloc(location, value)
+
+    def on_write(self, location, old, new) -> None:
+        if self.tracker is not None:
+            self.tracker.on_write(location, old, new)
+        if self.ledger is not None:
+            self.ledger.on_write(location, old, new)
+
+    def on_delete(self, location, value) -> None:
+        if self.tracker is not None:
+            self.tracker.on_delete(location, value)
+        if self.ledger is not None:
+            self.ledger.on_delete(location, value)
+
+    # -- root component bookkeeping ----------------------------------------
+
+    def _add_frame(self, frame: Kont) -> None:
+        tracker = self.tracker
+        if tracker is not None:
+            for location in frame.direct_locations():
+                tracker.inc_root(location)
+            for value in frame.direct_values():
+                tracker.inc_value_root(value)
+        ledger = self.ledger
+        if ledger is not None and frame.env is not None:
+            ledger.add_graph(frame.env.graph())
+
+    def _remove_frame(self, frame: Kont) -> None:
+        tracker = self.tracker
+        if tracker is not None:
+            for location in frame.direct_locations():
+                tracker.dec_root(location)
+            for value in frame.direct_values():
+                tracker.dec_value_root(value)
+        ledger = self.ledger
+        if ledger is not None and frame.env is not None:
+            ledger.remove_graph(frame.env.graph())
+
+    def _set_env(self, env) -> None:
+        if env is self._env:
+            return
+        tracker, ledger = self.tracker, self.ledger
+        old = self._env
+        if old is not None:
+            if tracker is not None:
+                for location in old.location_tuple():
+                    tracker.dec_root(location)
+            if ledger is not None:
+                ledger.remove_graph(old.graph())
+        if env is not None:
+            if tracker is not None:
+                for location in env.location_tuple():
+                    tracker.inc_root(location)
+            if ledger is not None:
+                ledger.add_graph(env.graph())
+        self._env = env
+
+    def _set_acc(self, acc: Optional[Value]) -> None:
+        if acc is self._acc:
+            return
+        tracker, ledger = self.tracker, self.ledger
+        old = self._acc
+        if old is not None:
+            if tracker is not None:
+                tracker.dec_value_root(old)
+            if ledger is not None:
+                ledger.remove_value(old)
+        if acc is not None:
+            if tracker is not None:
+                tracker.inc_value_root(acc)
+            if ledger is not None:
+                ledger.add_value(acc)
+        self._acc = acc
+
+    def _set_kont(self, kont: Optional[Kont]) -> None:
+        old = self._kont
+        if kont is old:
+            return
+        # Immutable frames share their ancestry: walk both chains to
+        # the deepest common frame (O(divergence) via cached depths)
+        # and add/remove only the frames above it.
+        if kont is None:
+            frame = old
+            while frame is not None:
+                self._remove_frame(frame)
+                frame = frame.parent
+        elif old is None:
+            frame = kont
+            while frame is not None:
+                self._add_frame(frame)
+                frame = frame.parent
+        else:
+            a, b = old, kont
+            while a.depth > b.depth:
+                self._remove_frame(a)
+                a = a.parent
+            while b.depth > a.depth:
+                self._add_frame(b)
+                b = b.parent
+            while a is not b:
+                self._remove_frame(a)
+                self._add_frame(b)
+                a = a.parent
+                b = b.parent
+        self._kont = kont
+
+    def _polluted(self) -> bool:
+        if self.tracker is not None and self.tracker.saw_escape:
+            return True
+        if self.ledger is not None and self.ledger.saw_escape:
+            return True
+        return False
+
+    def _enter_fallback(self) -> None:
+        """Permanently degrade to the canonical engine (an escape
+        procedure has entered the configuration; reference counts no
+        longer model the continuation chains it retains)."""
+        self.fallback = True
+        if self._store is not None:
+            self._store.tracker = None
+        self.tracker = None
+        self.ledger = None
+
+    # -- engine interface ----------------------------------------------------
+
+    def prime(self, state: State) -> int:
+        collected = collect(state) if self.uses_gc else 0
+        self._store = state.store
+        if self.tracker is not None:
+            self.tracker.prime(state.store)
+        if self.ledger is not None:
+            for _location, value in state.store.items():
+                self.ledger.add_value(value)
+        if self.tracker is not None or self.ledger is not None:
+            state.store.tracker = self
+        self._set_env(state.env)
+        self._set_kont(state.kont)
+        self._set_acc(state.control if state.is_value else None)
+        if self._polluted():
+            self._enter_fallback()
+        return collected
+
+    def transition(self, configuration: Configuration) -> None:
+        if self.fallback:
+            return
+        if isinstance(configuration, Final):
+            self._set_acc(configuration.value)
+            self._set_env(None)
+            self._set_kont(None)
+        else:
+            self._set_acc(
+                configuration.control if configuration.is_value else None
+            )
+            self._set_env(configuration.env)
+            self._set_kont(configuration.kont)
+        if self._polluted():
+            self._enter_fallback()
+
+    def measure(self, configuration: Configuration) -> int:
+        if not self.linked:
+            return configuration_space(configuration, self.fixed_precision)
+        if self.fallback:
+            return self._fallback_measure(configuration, self.fixed_precision)
+        total = configuration.store.linked_structural(self.fixed_precision)
+        total += self.ledger.distinct
+        if isinstance(configuration, Final):
+            total += value_structural(configuration.value, self.fixed_precision)
+        else:
+            total += configuration.kont.linked_space
+            if configuration.is_value:
+                total += value_structural(
+                    configuration.control, self.fixed_precision
+                )
+        return total
+
+    def collect(self, state: State) -> int:
+        if self.fallback:
+            return collect(state)
+        tracker = self.tracker
+        collected, need_canonical = tracker.reclaim(state.store)
+        if need_canonical:
+            collected += collect(state)
+            tracker.note_canonical(state.store)
+        return collected
+
+    def collect_final(self, final: Final) -> int:
+        if self.fallback:
+            return collect_final(final)
+        tracker = self.tracker
+        collected, need_canonical = tracker.reclaim(final.store)
+        if need_canonical:
+            collected += collect_final(final)
+            tracker.note_canonical(final.store)
+        return collected
+
+    def detach(self, store) -> None:
+        if store is not None and store.tracker is self:
+            store.tracker = None
+
+    # -- integrity audit ----------------------------------------------------
+
+    def audit(self, configuration: Configuration) -> None:
+        """checkpoint_spaces-style integrity audit: recompute the
+        reference counts and the binding ledger from scratch and
+        compare (no-op once the engine has fallen back)."""
+        if self.fallback:
+            return
+        if self.tracker is not None:
+            if isinstance(configuration, Final):
+                self.tracker.audit(
+                    configuration.store, (configuration.value,)
+                )
+            else:
+                values = (
+                    (configuration.control,) if configuration.is_value else ()
+                )
+                self.tracker.audit(
+                    configuration.store,
+                    values,
+                    configuration.env,
+                    configuration.kont,
+                )
+        if self.ledger is not None:
+            self.ledger.audit(configuration)
+
+
+def make_meter(
+    machine: Machine,
+    linked: bool = False,
+    fixed_precision: bool = False,
+    engine: str = "delta",
+) -> Union[DeltaMeter, ReferenceMeter]:
+    if engine == "delta":
+        return DeltaMeter(machine, linked, fixed_precision)
+    if engine == "reference":
+        return ReferenceMeter(machine, linked, fixed_precision)
+    raise ValueError(f"unknown metering engine: {engine!r} (want {ENGINES})")
+
+
 def run_metered(
     machine: Machine,
     program: Expr,
@@ -58,6 +386,8 @@ def run_metered(
     gc_when: str = "always",
     step_limit: int = DEFAULT_STEP_LIMIT,
     trace_every: int = 0,
+    engine: str = "delta",
+    audit_every: int = 0,
 ) -> MeterResult:
     """Run *program* (applied to *argument* if given) to a final
     configuration, measuring the supremum of configuration space.
@@ -73,61 +403,75 @@ def run_metered(
     steps, so the sup can only grow, and in practice it rarely does
     (a verification test checks this on the corpus).  The default
     ``"always"`` is the canonical Definition 21 schedule.
+
+    ``engine`` selects the metering engine (see the module docstring);
+    both report identical numbers.  ``audit_every`` > 0 re-derives the
+    delta engine's reference counts and binding ledger from scratch
+    every that many collections and raises on drift (testing only).
     """
     if gc_when not in ("always", "store-change"):
         raise ValueError(f"unknown gc_when: {gc_when!r}")
-    measure = configuration_space_linked if linked else configuration_space
+    # |P| counts the program only, not the input (Definition 23).
     program_size = ast_size(program)
-    if argument is not None:
-        program_size += 0  # |P| counts the program only (Definition 23)
 
+    meter = make_meter(machine, linked, fixed_precision, engine)
     state = machine.inject(program, argument)
-    collected = 0
-    if machine.uses_gc_rule:
-        collected += collect(state)
-    last_gc_version = state.store.version
-    sup_space = measure(state, fixed_precision)
-    peak_step = 0
-    trace: List[Tuple[int, int]] = []
-    if trace_every:
-        trace.append((0, sup_space))
+    try:
+        collected = meter.prime(state)
+        last_gc_version = state.store.version
+        sup_space = meter.measure(state)
+        peak_step = 0
+        trace: List[Tuple[int, int]] = []
+        if trace_every:
+            trace.append((0, sup_space))
 
-    steps = 0
-    while True:
-        configuration = machine.step(state)
-        steps += 1
-        if isinstance(configuration, Final):
-            space = measure(configuration, fixed_precision)
+        steps = 0
+        while True:
+            configuration = machine.step(state)
+            steps += 1
+            meter.transition(configuration)
+            if isinstance(configuration, Final):
+                # Measure once pre-GC for the sup (the allocation spike
+                # is charged), once post-GC for the trace sample.
+                space = meter.measure(configuration)
+                if space > sup_space:
+                    sup_space, peak_step = space, steps
+                if machine.uses_gc_rule:
+                    collected += meter.collect_final(configuration)
+                    if audit_every:
+                        meter.audit(configuration)
+                if trace_every:
+                    trace.append((steps, meter.measure(configuration)))
+                return MeterResult(
+                    machine=machine.name,
+                    sup_space=sup_space,
+                    program_size=program_size,
+                    steps=steps,
+                    final=configuration,
+                    collected=collected,
+                    peak_step=peak_step,
+                    trace=trace,
+                )
+            state = configuration
+            space = meter.measure(state)
             if space > sup_space:
                 sup_space, peak_step = space, steps
-            if machine.uses_gc_rule:
-                collected += collect_final(configuration)
-            space = measure(configuration, fixed_precision)
-            if trace_every:
+            if trace_every and steps % trace_every == 0:
                 trace.append((steps, space))
-            return MeterResult(
-                machine=machine.name,
-                sup_space=sup_space,
-                program_size=program_size,
-                steps=steps,
-                final=configuration,
-                collected=collected,
-                peak_step=peak_step,
-                trace=trace,
-            )
-        state = configuration
-        space = measure(state, fixed_precision)
-        if space > sup_space:
-            sup_space, peak_step = space, steps
-        if trace_every and steps % trace_every == 0:
-            trace.append((steps, space))
-        if machine.uses_gc_rule and steps % gc_interval == 0:
-            state = machine.compact(state)
-            if gc_when == "always" or state.store.version != last_gc_version:
-                collected += collect(state)
-                last_gc_version = state.store.version
-        if steps >= step_limit:
-            raise StepLimitExceeded(steps)
+            if machine.uses_gc_rule and steps % gc_interval == 0:
+                compacted = machine.compact(state)
+                if compacted is not state:
+                    meter.transition(compacted)
+                    state = compacted
+                if gc_when == "always" or state.store.version != last_gc_version:
+                    collected += meter.collect(state)
+                    last_gc_version = state.store.version
+                    if audit_every and steps % audit_every == 0:
+                        meter.audit(state)
+            if steps >= step_limit:
+                raise StepLimitExceeded(steps)
+    finally:
+        meter.detach(state.store)
 
 
 def run_to_final(

@@ -1,0 +1,292 @@
+"""The incremental metering engine against the reference oracle.
+
+The delta engine (refcount delta-GC + memoized U_X accounting) must
+report numbers *identical* to the seed reference engine — sup_space,
+consumption, collected, peak_step — on every program, machine, and
+accounting.  These tests hold that equality over the corpus, the
+separator families, cycle- and escape-heavy programs, and random
+terminating programs, and audit the engine's internal bookkeeping
+(reference counts, root counts, anchors, binding ledger) against
+from-scratch recomputation.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.variants import ALL_MACHINES, make_machine
+from repro.programs.corpus import load_corpus
+from repro.programs.separators import SEPARATORS, theorem26_program
+from repro.space.consumption import prepare_input, prepare_program
+from repro.space.meter import make_meter, run_metered
+
+ALL_MACHINE_NAMES = tuple(sorted(ALL_MACHINES))
+
+#: Programs exercising the paths the incremental bookkeeping handles
+#: specially: letrec/define self-reference (anchors), set!-created
+#: cycles, accumulators rebound by assignment, inner defines whose
+#: recursive cluster dies every iteration, and escape procedures
+#: (permanent canonical fallback).
+TRICKY_PROGRAMS = {
+    "inner-define": """
+        (define (f n)
+          (define (g k) (if (zero? k) 0 (g (- k 1))))
+          (if (zero? n) (g 3) (f (- n 1))))
+        """,
+    "set-accumulator": """
+        (define (count n acc)
+          (if (zero? n) acc (count (- n 1) (cons n acc))))
+        (define acc '())
+        (define (go n) (set! acc (count n acc)) (length acc))
+        (go 7)
+        """,
+    "set-cdr-cycle": """
+        (define (f n)
+          (let ((p (cons 1 2)))
+            (set-cdr! p p)
+            (if (zero? n) 0 (f (- n 1)))))
+        (f 6)
+        """,
+    "mutual-recursion": """
+        (define (even? n) (if (zero? n) 1 (odd? (- n 1))))
+        (define (odd? n) (if (zero? n) 0 (even? (- n 1))))
+        (even? 9)
+        """,
+    "escape": """
+        (define (f n k)
+          (if (zero? n) (k 99) (f (- n 1) k)))
+        (call-with-current-continuation (lambda (k) (f 6 k)))
+        """,
+}
+
+
+def meter_both(machine_name, program, argument, **options):
+    """Run both engines on the same prepared (P, D); return results."""
+    program = prepare_program(program)
+    argument = prepare_input(argument)
+    results = {}
+    for engine in ("delta", "reference"):
+        machine = make_machine(machine_name)
+        results[engine] = run_metered(
+            machine, program, argument, engine=engine, **options
+        )
+    return results["delta"], results["reference"]
+
+
+def assert_engines_agree(machine_name, program, argument, **options):
+    delta, reference = meter_both(machine_name, program, argument, **options)
+    observed = (
+        delta.sup_space,
+        delta.consumption,
+        delta.collected,
+        delta.peak_step,
+        delta.steps,
+    )
+    expected = (
+        reference.sup_space,
+        reference.consumption,
+        reference.collected,
+        reference.peak_step,
+        reference.steps,
+    )
+    assert observed == expected, (machine_name, options)
+
+
+# ---------------------------------------------------------------------------
+# Oracle agreement
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("program", load_corpus(), ids=lambda p: p.name)
+@pytest.mark.parametrize("machine_name", ALL_MACHINE_NAMES)
+def test_engines_agree_on_corpus(machine_name, program):
+    for linked in (False, True):
+        assert_engines_agree(
+            machine_name, program.source, program.default_input, linked=linked
+        )
+
+
+@pytest.mark.parametrize("separator", SEPARATORS, ids=lambda s: s.name)
+@pytest.mark.parametrize("machine_name", ALL_MACHINE_NAMES)
+def test_engines_agree_on_separators(machine_name, separator):
+    for linked in (False, True):
+        assert_engines_agree(
+            machine_name,
+            separator.source,
+            "12",
+            linked=linked,
+            fixed_precision=True,
+        )
+
+
+@pytest.mark.parametrize("machine_name", ("tail", "gc", "sfs"))
+def test_engines_agree_on_theorem26_family(machine_name):
+    assert_engines_agree(
+        machine_name, theorem26_program(5), "5", linked=True,
+        fixed_precision=True,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(TRICKY_PROGRAMS), ids=str)
+@pytest.mark.parametrize("machine_name", ALL_MACHINE_NAMES)
+def test_engines_agree_on_tricky_programs(machine_name, name):
+    for linked in (False, True):
+        assert_engines_agree(
+            machine_name, TRICKY_PROGRAMS[name], None, linked=linked
+        )
+
+
+@pytest.mark.parametrize("gc_interval", (2, 5))
+def test_engines_agree_on_relaxed_gc_schedule(gc_interval):
+    source = TRICKY_PROGRAMS["set-accumulator"]
+    for machine_name in ("gc", "tail"):
+        assert_engines_agree(
+            machine_name, source, None, gc_interval=gc_interval
+        )
+
+
+def test_engines_agree_under_store_change_schedule():
+    for machine_name in ("gc", "tail"):
+        assert_engines_agree(
+            machine_name,
+            TRICKY_PROGRAMS["inner-define"],
+            None,
+            gc_when="store-change",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Internal bookkeeping audits
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(TRICKY_PROGRAMS), ids=str)
+@pytest.mark.parametrize("machine_name", ("tail", "gc", "stack", "evlis", "free", "sfs"))
+def test_delta_bookkeeping_audit(machine_name, name):
+    """Re-derive the reference counts, root counts, anchors, and
+    binding ledger from scratch after every collection and require
+    exact agreement (RefTracker.audit / BindingLedger.audit raise on
+    drift)."""
+    program = prepare_program(TRICKY_PROGRAMS[name])
+    for linked in (False, True):
+        machine = make_machine(machine_name)
+        run_metered(
+            machine, program, None, linked=linked, engine="delta",
+            audit_every=1,
+        )
+
+
+def test_store_linked_structural_checkpoint():
+    """Store.linked_structural's incremental totals equal a
+    from-scratch recomputation mid-run."""
+    from repro.machine.store import Store
+
+    program = prepare_program(TRICKY_PROGRAMS["set-accumulator"])
+    machine = make_machine("gc")
+    state = machine.inject(program, None)
+    for _ in range(60):
+        configuration = machine.step(state)
+        if not hasattr(configuration, "store"):
+            break
+        state = configuration
+        expected_bignum, expected_fixed = state.store.checkpoint_linked_structural()
+        assert state.store.linked_structural(False) == expected_bignum
+        assert state.store.linked_structural(True) == expected_fixed
+
+
+def test_escape_triggers_permanent_fallback():
+    """An escape procedure entering the configuration must flip the
+    delta meter into canonical fallback before any measurement uses
+    the polluted counts."""
+    from repro.machine.config import Final
+
+    program = prepare_program(TRICKY_PROGRAMS["escape"])
+    machine = make_machine("gc")
+    meter = make_meter(machine)
+    state = machine.inject(program, None)
+    meter.prime(state)
+    try:
+        for _ in range(500):
+            configuration = machine.step(state)
+            meter.transition(configuration)
+            if meter.fallback or isinstance(configuration, Final):
+                break
+            state = configuration
+            meter.collect(state)
+    finally:
+        meter.detach(state.store)
+    assert meter.fallback
+    assert meter.tracker is None and meter.ledger is None
+    assert state.store.tracker is None
+
+
+# ---------------------------------------------------------------------------
+# Random terminating programs (hypothesis)
+# ---------------------------------------------------------------------------
+
+# Structurally-decreasing recursion only, so every program terminates;
+# assignments, cycle-building pairs, and escapes are all reachable.
+
+
+def _exprs(depth):
+    leaf = st.one_of(
+        st.integers(min_value=-9, max_value=9).map(str),
+        st.sampled_from(("a", "b")),
+    )
+    if depth == 0:
+        return leaf
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(st.sampled_from(["+", "-", "*"]), sub, sub).map(
+            lambda t: f"({t[0]} {t[1]} {t[2]})"
+        ),
+        st.tuples(sub, sub, sub).map(
+            lambda t: f"(if (zero? {t[0]}) {t[1]} {t[2]})"
+        ),
+        st.tuples(sub, sub).map(lambda t: f"(let ((a {t[0]})) {t[1]})"),
+        st.tuples(sub, sub).map(lambda t: f"((lambda (b) {t[1]}) {t[0]})"),
+        sub.map(lambda e: f"(car (cons {e} '0))"),
+        st.tuples(sub, sub).map(
+            lambda t: f"(begin (set! a {t[0]}) {t[1]})"
+        ),
+        # A self-referential pair: builds a store cycle, then leaves it.
+        sub.map(
+            lambda e: f"(let ((a (cons {e} '0))) (begin (set-cdr! a a) (car a)))"
+        ),
+        # An escape used as a plain exit: exercises the fallback path.
+        # The continuation is bound to a fresh name (k) so the escape
+        # value never shadows a numeric variable inside {e}.
+        sub.map(
+            lambda e:
+            "(call-with-current-continuation (lambda (k) (k {})))".format(e)
+        ),
+    )
+
+
+random_bodies = _exprs(3)
+
+
+@given(random_bodies, st.sampled_from(("tail", "gc", "sfs")))
+@settings(max_examples=60, deadline=None)
+def test_engines_agree_on_random_programs(body, machine_name):
+    program = f"(define (f n) (let ((a n) (b 1)) {body}))"
+    for linked in (False, True):
+        assert_engines_agree(machine_name, program, "3", linked=linked)
+
+
+@given(random_bodies)
+@settings(max_examples=40, deadline=None)
+def test_delta_audit_on_random_programs(body):
+    program = prepare_program(
+        f"(define (f n) (let ((a n) (b 1)) {body}))"
+    )
+    argument = prepare_input("3")
+    for machine_name in ("gc", "tail"):
+        machine = make_machine(machine_name)
+        run_metered(
+            machine, program, argument, linked=True, engine="delta",
+            audit_every=1,
+        )

@@ -1,0 +1,120 @@
+"""The parallel sweep harness: serial/parallel identity, graceful
+degradation, and the CLI ``--jobs`` path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.harness.sweep import (
+    SweepCell,
+    grid_cells,
+    run_cell,
+    run_grid,
+    series_from_outcomes,
+    sweep_series,
+)
+from repro.space.consumption import sweep as serial_sweep
+
+LOOP = "(define (f n) (if (zero? n) 0 (f (- n 1))))"
+NS = (4, 8, 16)
+
+
+def make_cells():
+    return grid_cells(
+        {("tail",): LOOP, ("gc",): LOOP}, NS, fixed_precision=True
+    )
+
+
+def test_serial_and_parallel_grids_identical():
+    cells = make_cells()
+    serial = run_grid(cells, jobs=1)
+    parallel = run_grid(cells, jobs=4)
+    assert [o.cell.key for o in serial] == [o.cell.key for o in parallel]
+    assert [o.total for o in serial] == [o.total for o in parallel]
+    assert all(o.error is None for o in parallel)
+
+
+def test_grid_matches_consumption_sweep():
+    cells = make_cells()
+    series = series_from_outcomes(run_grid(cells, jobs=2))
+    for machine in ("tail", "gc"):
+        _, expected = serial_sweep(
+            machine, lambda n: LOOP, NS, fixed_precision=True
+        )
+        assert tuple(series[(machine,)][n] for n in NS) == expected
+
+
+def test_sweep_series_parallel_matches_serial():
+    ns, totals = sweep_series(
+        "gc", lambda n: LOOP, NS, jobs=3, fixed_precision=True
+    )
+    _, expected = serial_sweep("gc", lambda n: LOOP, NS, fixed_precision=True)
+    assert ns == NS
+    assert totals == expected
+
+
+def test_failed_cell_reports_error_outcome():
+    cell = SweepCell(
+        key=("bad", 1),
+        machine="tail",
+        program="(undefined-procedure 1)",
+        argument=None,
+    )
+    outcome = run_cell(cell)
+    assert outcome.result is None
+    assert outcome.error
+    with pytest.raises(RuntimeError):
+        outcome.total
+
+
+def test_failed_cell_in_parallel_grid():
+    cells = [
+        SweepCell(key=("ok",), machine="tail", program=LOOP, argument="4"),
+        SweepCell(
+            key=("bad",),
+            machine="tail",
+            program="(undefined-procedure 1)",
+            argument=None,
+        ),
+    ]
+    outcomes = run_grid(cells, jobs=2)
+    assert outcomes[0].error is None
+    assert outcomes[1].error is not None
+
+
+def test_engine_choice_is_identical(tmp_path):
+    for engine in ("delta", "reference"):
+        ns, totals = sweep_series(
+            "gc", lambda n: LOOP, (4, 8), engine=engine, fixed_precision=True
+        )
+        assert ns == (4, 8)
+        if engine == "delta":
+            delta_totals = totals
+        else:
+            assert totals == delta_totals
+
+
+def test_cli_sweep_jobs_identical(tmp_path, capsys):
+    path = tmp_path / "loop.scm"
+    path.write_text(LOOP)
+    assert main(["sweep", str(path), "--ns", "4,8,16", "--machine", "tail,gc"]) == 0
+    serial_out = capsys.readouterr().out
+    assert (
+        main(
+            [
+                "sweep",
+                str(path),
+                "--ns",
+                "4,8,16",
+                "--machine",
+                "tail,gc",
+                "--jobs",
+                "4",
+            ]
+        )
+        == 0
+    )
+    parallel_out = capsys.readouterr().out
+    assert serial_out == parallel_out
+    assert "tail" in serial_out and "gc" in serial_out
