@@ -22,8 +22,10 @@ import time
 
 import pytest
 
+from repro.machine.reference_step import make_seed_stepper
 from repro.machine.variants import make_machine
 from repro.programs.corpus import load_program
+from repro.programs.examples import find_leftmost_program
 from repro.programs.separators import SEPARATORS_BY_NAME
 from repro.space.consumption import prepare_input, prepare_program
 from repro.space.meter import run_metered, run_to_final
@@ -35,6 +37,7 @@ MACHINES = ("tail", "gc", "stack", "evlis", "free", "sfs", "bigloo", "mta")
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 THROUGHPUT_JSON = os.path.join(RESULTS_DIR, "BENCH_throughput.json")
+STEP_RATE_JSON = os.path.join(RESULTS_DIR, "BENCH_step_rate.json")
 
 SPEEDUP_SEPARATOR = "gc-vs-tail"
 SPEEDUP_MACHINE = "gc"
@@ -137,3 +140,101 @@ def test_bench_engine_speedup(benchmark, throughput_log):
     }
     benchmark.extra_info["speedup"] = round(speedup, 2)
     assert speedup >= 5.0, speedup
+
+
+# ---------------------------------------------------------------------------
+# Compile-once stepper step rate: the preserved seed stepper (before)
+# against the annotated dispatch-table stepper with the fused run loop
+# (after), identical transitions verified per measurement.
+# ---------------------------------------------------------------------------
+
+STEP_RATE_ROUNDS = 5
+STEP_RATE_ARGUMENT = prepare_input("13")
+
+FIND_LEFTMOST = prepare_program(find_leftmost_program("right"))
+FIND_LEFTMOST_ARGUMENT = prepare_input("256")
+
+SFS_FIND_LEFTMOST_TARGET = 3.0
+TAIL_FIB_TARGET = 1.5
+
+
+@pytest.fixture(scope="session")
+def step_rate_log():
+    """Collects before/after steps-per-second figures; written as
+    BENCH_step_rate.json at session end."""
+    log = {
+        "before": "seed stepper (repro.machine.reference_step)",
+        "after": "annotated stepper (prepass + dispatch tables + fused run loop)",
+        "machines": {},
+        "acceptance": {},
+    }
+    yield log
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(STEP_RATE_JSON, "w") as handle:
+        json.dump(log, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _best_step_rate(factory, name, program, argument):
+    """Best-of-N steps/second for one stepper on one workload."""
+    best = 0.0
+    steps = None
+    answer = None
+    for _ in range(STEP_RATE_ROUNDS):
+        stepper = factory(name)
+        start = time.perf_counter()
+        final, taken = run_to_final(stepper, program, argument)
+        elapsed = time.perf_counter() - start
+        best = max(best, taken / elapsed)
+        steps, answer = taken, repr(final.value)
+    return best, steps, answer
+
+
+def _step_rate_entry(name, workload, program, argument):
+    before, seed_steps, seed_answer = _best_step_rate(
+        make_seed_stepper, name, program, argument
+    )
+    after, steps, answer = _best_step_rate(
+        make_machine, name, program, argument
+    )
+    # The two steppers must run the identical computation.
+    assert (steps, answer) == (seed_steps, seed_answer)
+    return {
+        "workload": workload,
+        "transitions": steps,
+        "before_steps_per_second": round(before, 1),
+        "after_steps_per_second": round(after, 1),
+        "speedup": round(after / before, 2),
+    }
+
+
+@pytest.mark.step_rate
+@pytest.mark.parametrize("name", MACHINES)
+def test_bench_step_rate(step_rate_log, name):
+    """Before/after step rate for every machine on fib(13); the
+    annotated stepper must never be slower than the seed."""
+    entry = _step_rate_entry(name, "fib(13)", PROGRAM, STEP_RATE_ARGUMENT)
+    step_rate_log["machines"][name] = entry
+    assert entry["speedup"] > 1.0, entry
+
+
+@pytest.mark.step_rate
+def test_bench_step_rate_sfs_find_leftmost(step_rate_log):
+    """Acceptance: >= 3x steps/second on I_sfs running the section 4
+    find-leftmost example over a right-spine tree of 256 leaves."""
+    entry = _step_rate_entry(
+        "sfs", "find-leftmost(right, 256)",
+        FIND_LEFTMOST, FIND_LEFTMOST_ARGUMENT,
+    )
+    entry["target"] = SFS_FIND_LEFTMOST_TARGET
+    step_rate_log["acceptance"]["sfs_find_leftmost"] = entry
+    assert entry["speedup"] >= SFS_FIND_LEFTMOST_TARGET, entry
+
+
+@pytest.mark.step_rate
+def test_bench_step_rate_tail_fib(step_rate_log):
+    """Acceptance: >= 1.5x steps/second on I_tail throughput (fib)."""
+    entry = _step_rate_entry("tail", "fib(13)", PROGRAM, STEP_RATE_ARGUMENT)
+    entry["target"] = TAIL_FIB_TARGET
+    step_rate_log["acceptance"]["tail_fib"] = entry
+    assert entry["speedup"] >= TAIL_FIB_TARGET, entry

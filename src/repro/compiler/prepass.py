@@ -1,0 +1,193 @@
+"""The compile-once static pre-pass for the CEKS stepper.
+
+Everything the transition function of Figure 5 needs that depends only
+on the *program text* is computed here, once per program, instead of
+once per step:
+
+- the free-variable frozenset of every ``Lambda``, every ``If`` branch
+  pair, and every ``set!`` target (interned in
+  :mod:`repro.syntax.free_vars`, so the I_free/I_sfs restriction hooks
+  become dict lookups);
+- a :class:`CallPlan` per (call site, evaluation order): the validated
+  permutation, the first expression to evaluate, the interned
+  pending-suffix tuples, and the free variables of every pending
+  suffix — so the push rules neither re-slice tuples nor re-walk
+  subtrees, and the ``sorted(order) != range(n)`` permutation check of
+  the call rule runs once per (site, order) instead of once per step;
+- the runtime value of every ``quote`` whose constant is immutable
+  (numbers, booleans, symbols, characters, the empty list), interned
+  per node.  String constants are *not* interned: ``eqv?`` on strings
+  is identity, so a fresh ``Str`` per evaluation — the seed behaviour
+  — is observable.
+
+The invariant that keeps this safe: annotations are **derived, never
+authoritative**.  They cache pure functions of the immutable AST (and
+of the machine's value constructors), so a stepper consulting them is
+extensionally identical to one recomputing them — the lockstep
+differential suite (``tests/test_prepass_lockstep.py``) holds the
+annotated stepper equal to the preserved seed stepper
+(:mod:`repro.machine.reference_step`) on answers, step counts, and
+Definition 21/23 space numbers for all eight machines.
+
+:func:`annotate` is invoked by :meth:`Machine.inject`; every cache
+also fills lazily, so states built by hand (tests, the denotational
+semantics) step correctly without a pre-pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..machine.errors import StuckError
+from ..syntax.ast import Call, Expr, If, Lambda, Quote, SetBang, Var, walk
+from ..syntax.free_vars import (
+    branch_free_vars,
+    free_vars,
+    free_vars_of_all,
+    name_set,
+)
+from ..machine.policy import identity_permutation
+
+#: Bound lazily on first quote interning: ``repro.machine.machine``
+#: imports this module, so the reverse import cannot run at module
+#: scope (same pattern as ``repro.machine.store``).
+_constant_value = None
+
+
+def _bind_constant_value():
+    global _constant_value
+    from ..machine.machine import constant_value
+
+    _constant_value = constant_value
+    return constant_value
+
+
+class CallPlan:
+    """Everything static about one (call site, evaluation order) pair.
+
+    ``suffixes[j]`` is the tuple of expressions still pending after the
+    first ``j`` of them have been evaluated (``suffixes[0]`` is the
+    whole pending sequence, the last entry is ``()``), and
+    ``suffix_fvs[j]`` is the interned union of their free variables —
+    exactly the sets the I_sfs push restriction consumes.  All suffix
+    tuples are interned here, so the push rule threads identical tuple
+    objects through the continuation instead of slicing fresh ones.
+    """
+
+    __slots__ = (
+        "site",
+        "order",
+        "first",
+        "pending",
+        "suffixes",
+        "suffix_fvs",
+        "is_identity",
+        "kinds",
+    )
+
+    def __init__(self, site: Call, order: Tuple[int, ...]):
+        exprs = site.exprs
+        count = len(exprs)
+        if len(order) != count or sorted(order) != list(range(count)):
+            raise StuckError(f"policy returned a non-permutation: {order}")
+        self.site = site
+        self.order = order
+        self.first: Expr = exprs[order[0]]
+        pending: Tuple[Expr, ...] = tuple(exprs[i] for i in order[1:])
+        self.pending = pending
+        self.suffixes: Tuple[Tuple[Expr, ...], ...] = tuple(
+            pending[j:] for j in range(len(pending) + 1)
+        )
+        self.suffix_fvs: Tuple[FrozenSet[str], ...] = tuple(
+            free_vars_of_all(suffix) for suffix in self.suffixes
+        )
+        self.is_identity = order == identity_permutation(count)
+        # Expression-class codes in evaluation order (first, then the
+        # pending sequence): 1 = Var, 2 = Quote, 3 = Lambda, 0 = other.
+        # These are the "simple" expressions — a single transition with
+        # no continuation inspection — which the fused run loop may
+        # evaluate inline without materializing intermediate frames.
+        # Exact-class codes only: AST subclasses take the generic path.
+        self.kinds: Tuple[int, ...] = tuple(
+            _EXPR_KIND.get(type(expr), 0)
+            for expr in (self.first,) + pending
+        )
+
+    def __repr__(self) -> str:
+        return f"CallPlan(|exprs|={len(self.site.exprs)}, order={self.order})"
+
+
+#: Simple-expression codes for :attr:`CallPlan.kinds`.
+_EXPR_KIND = {Var: 1, Quote: 2, Lambda: 3}
+
+
+#: site -> order -> CallPlan.  Keyed by node identity (AST nodes hash
+#: by identity); retained for the process lifetime like the free_vars
+#: cache.  Non-default policies add one entry per distinct order seen
+#: at a site (Shuffled adds at most |site|! of them).
+_SITE_PLANS: Dict[Call, Dict[Tuple[int, ...], CallPlan]] = {}
+
+#: Quote node -> interned runtime value.  ``eqv?`` compares numbers,
+#: booleans, symbols, and characters by content, so interning their
+#: values is unobservable; ``str`` constants are excluded (Str eqv? is
+#: identity, so the seed's fresh Str per evaluation is observable).
+_QUOTE_VALUES: Dict[Quote, object] = {}
+
+
+def call_plan(site: Call, order: Tuple[int, ...]) -> CallPlan:
+    """The interned :class:`CallPlan` for *site* under *order*,
+    validating the permutation on first sight only."""
+    plans = _SITE_PLANS.get(site)
+    if plans is None:
+        plans = _SITE_PLANS[site] = {}
+    plan = plans.get(order)
+    if plan is None:
+        plan = plans[order] = CallPlan(site, order)
+    return plan
+
+
+def quote_value(node: Quote):
+    """The runtime value of ``(quote c)``, interned when immutable."""
+    value = _QUOTE_VALUES.get(node)
+    if value is None:
+        make = _constant_value or _bind_constant_value()
+        value = make(node.value)
+        if type(node.value) is not str:
+            _QUOTE_VALUES[node] = value
+    return value
+
+
+def annotate(expr: Expr) -> Expr:
+    """Run the static pre-pass over *expr* (one preorder walk).
+
+    Interns, per node: Lambda/If/set! free-variable sets, the
+    identity-order :class:`CallPlan` of every call site (the default
+    left-to-right policy's order; other orders fill lazily at first
+    execution), and immutable quote values.  Returns *expr* unchanged —
+    annotations live in side caches, never in the tree.
+    """
+    for node in walk(expr):
+        cls = node.__class__
+        if cls is Call:
+            call_plan(node, identity_permutation(len(node.exprs)))
+        elif cls is Lambda:
+            free_vars(node)
+        elif cls is If:
+            branch_free_vars(node.consequent, node.alternative)
+        elif cls is SetBang:
+            name_set(node.name)
+            free_vars(node)
+        elif cls is Quote:
+            quote_value(node)
+    return expr
+
+
+def clear_prepass_caches() -> None:
+    """Drop all interned plans and quote values (testing hygiene)."""
+    _SITE_PLANS.clear()
+    _QUOTE_VALUES.clear()
+
+
+def plan_count() -> int:
+    """Number of interned (site, order) plans (introspection/tests)."""
+    return sum(len(plans) for plans in _SITE_PLANS.values())

@@ -13,6 +13,7 @@ from typing import Dict, Iterable, Optional, Union
 from ..machine.answer import answer_string
 from ..machine.policy import Policy
 from ..machine.primitives import primitive_names
+from ..machine.reference_step import make_seed_stepper
 from ..machine.values import Value
 from ..machine.variants import REFERENCE_MACHINES, make_machine
 from ..space.consumption import prepare_input, prepare_program
@@ -56,6 +57,7 @@ def run(
     gc_interval: int = 1,
     step_limit: int = DEFAULT_STEP_LIMIT,
     answer_limit: int = 10000,
+    stepper: str = "annotated",
 ) -> RunResult:
     """Run *program* (optionally applied to *argument*).
 
@@ -66,7 +68,16 @@ def run(
     ``strict=True`` enforces the full section 12 Program/Input
     conditions (atomic constants only, free variables bound in rho_0);
     by default only the free-variable condition is enforced.
+
+    ``stepper`` selects the transition function: ``"annotated"`` (the
+    compiled-once live stepper) or ``"seed"`` (the preserved seed
+    stepper of :mod:`repro.machine.reference_step`).  Both compute
+    identical answers, step counts, and space numbers — the lockstep
+    suite holds them equal — so this knob exists for differential
+    testing and before/after benchmarking, not for semantics.
     """
+    if stepper not in ("annotated", "seed"):
+        raise ValueError(f"unknown stepper: {stepper!r}")
     program_expr = prepare_program(program)
     argument_expr = prepare_input(argument)
     names = primitive_names()
@@ -74,10 +85,11 @@ def run(
     if argument_expr is not None:
         validate(argument_expr, names, strict=strict)
 
+    factory = make_seed_stepper if stepper == "seed" else make_machine
     engine = (
-        make_machine(machine, policy=policy)
+        factory(machine, policy=policy)
         if policy is not None
-        else make_machine(machine)
+        else factory(machine)
     )
     if meter:
         result: MeterResult = run_metered(

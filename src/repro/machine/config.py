@@ -26,6 +26,11 @@ class State:
 
     __slots__ = ("control", "is_value", "env", "kont", "store")
 
+    #: Class tag letting the run loops and the meter distinguish the
+    #: two configuration shapes with one attribute load instead of an
+    #: ``isinstance`` call per step.
+    is_final = False
+
     def __init__(
         self,
         control: Union[Expr, Value],
@@ -58,6 +63,8 @@ class Final:
     """A final configuration (v, sigma)."""
 
     __slots__ = ("value", "store")
+
+    is_final = True
 
     def __init__(self, value: Value, store: Store):
         self.value = value

@@ -84,7 +84,7 @@ class Select(Kont):
         self.alternative = alternative
         self.env = env
         self.parent = parent
-        self.flat_space = 1 + len(env) + parent.flat_space
+        self.flat_space = 1 + len(env._bindings) + parent.flat_space
         self.linked_space = 1 + parent.linked_space
         self.depth = parent.depth + 1
 
@@ -101,7 +101,7 @@ class Assign(Kont):
         self.name = name
         self.env = env
         self.parent = parent
-        self.flat_space = 1 + len(env) + parent.flat_space
+        self.flat_space = 1 + len(env._bindings) + parent.flat_space
         self.linked_space = 1 + parent.linked_space
         self.depth = parent.depth + 1
 
@@ -120,10 +120,14 @@ class Push(Kont):
     ``site`` is the Call expression this push belongs to.  It is a
     code pointer (like the expressions already in the frame), costs no
     space under Figure 7, and exists so the dynamic tail-call census
-    can attribute each runtime call to its syntactic site.
+    can attribute each runtime call to its syntactic site.  ``plan``
+    is the interned :class:`~repro.compiler.prepass.CallPlan` of
+    (site, order) — another code pointer, letting the push rule read
+    precomputed pending suffixes and their free variables instead of
+    re-slicing; it is derived data and never affects the semantics.
     """
 
-    __slots__ = ("pending", "done", "order", "site")
+    __slots__ = ("pending", "done", "order", "site", "plan")
 
     def __init__(
         self,
@@ -133,6 +137,7 @@ class Push(Kont):
         env: Environment,
         parent: Kont,
         site=None,
+        plan=None,
     ):
         self.pending = pending
         self.done = done
@@ -140,8 +145,9 @@ class Push(Kont):
         self.env = env
         self.parent = parent
         self.site = site
+        self.plan = plan
         self.flat_space = (
-            1 + len(pending) + len(done) + len(env) + parent.flat_space
+            1 + len(pending) + len(done) + len(env._bindings) + parent.flat_space
         )
         self.linked_space = (
             1 + len(pending) + len(done) + parent.linked_space
@@ -190,7 +196,7 @@ class Return(Kont):
     def __init__(self, env: Environment, parent: Kont):
         self.env = env
         self.parent = parent
-        self.flat_space = 1 + len(env) + parent.flat_space
+        self.flat_space = 1 + len(env._bindings) + parent.flat_space
         self.linked_space = 1 + parent.linked_space
         self.depth = parent.depth + 1
 
@@ -215,7 +221,7 @@ class ReturnStack(Kont):
         self.frame = frame
         self.env = env
         self.parent = parent
-        self.flat_space = 1 + len(env) + parent.flat_space
+        self.flat_space = 1 + len(env._bindings) + parent.flat_space
         self.linked_space = 1 + parent.linked_space
         self.depth = parent.depth + 1
 

@@ -16,12 +16,25 @@ from .values import Location
 class Environment:
     """An immutable finite map Identifier -> Location."""
 
-    __slots__ = ("_bindings", "_graph", "_location_tuple")
+    __slots__ = ("_bindings", "_graph", "_location_tuple", "_restrict_cache")
 
     def __init__(self, bindings: Optional[Dict[str, Location]] = None):
         self._bindings: Dict[str, Location] = dict(bindings) if bindings else {}
         self._graph: Optional[FrozenSet[Tuple[str, Location]]] = None
         self._location_tuple: Optional[Tuple[Location, ...]] = None
+        self._restrict_cache: Optional[Dict[FrozenSet[str], "Environment"]] = None
+
+    @staticmethod
+    def _owned(bindings: Dict[str, Location]) -> "Environment":
+        """Wrap a freshly built dict without re-copying it (private to
+        ``extend``/``restrict``, whose comprehension results are never
+        aliased elsewhere)."""
+        env = Environment.__new__(Environment)
+        env._bindings = bindings
+        env._graph = None
+        env._location_tuple = None
+        env._restrict_cache = None
+        return env
 
     # -- lookups ------------------------------------------------------------
 
@@ -69,21 +82,42 @@ class Environment:
             raise ValueError("names and locations must have equal length")
         bindings = dict(self._bindings)
         bindings.update(zip(names, locations))
-        return Environment(bindings)
+        return Environment._owned(bindings)
 
     def restrict(self, names: Iterable[str]) -> "Environment":
-        """rho | names — keep only the bindings whose name is in *names*."""
-        wanted = names if isinstance(names, (set, frozenset)) else frozenset(names)
-        if len(wanted) >= len(self._bindings):
-            kept = {
-                name: loc for name, loc in self._bindings.items() if name in wanted
-            }
-            if len(kept) == len(self._bindings):
-                return self
-            return Environment(kept)
-        return Environment(
-            {name: self._bindings[name] for name in wanted if name in self._bindings}
-        )
+        """rho | names — keep only the bindings whose name is in *names*.
+
+        Memoized per (environment, name set): the stepper's restriction
+        hooks pass interned frozensets (one per program point), so the
+        hot loop's restrictions hit this cache whenever the same
+        environment object recurs.  When *names* covers every binding
+        the environment itself is returned without building a probe
+        dict first (frozensets cache their hash, so repeated lookups
+        cost O(1) after the first)."""
+        bindings = self._bindings
+        if not bindings:
+            return self
+        wanted = names if type(names) is frozenset else frozenset(names)
+        cache = self._restrict_cache
+        if cache is None:
+            cache = self._restrict_cache = {}
+        else:
+            result = cache.get(wanted)
+            if result is not None:
+                return result
+        if len(wanted) >= len(bindings):
+            if wanted.issuperset(bindings):
+                result = self
+            else:
+                result = Environment._owned(
+                    {name: loc for name, loc in bindings.items() if name in wanted}
+                )
+        else:
+            result = Environment._owned(
+                {name: bindings[name] for name in wanted if name in bindings}
+            )
+        cache[wanted] = result
+        return result
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}->{v}" for k, v in sorted(self._bindings.items()))

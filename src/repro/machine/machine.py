@@ -21,6 +21,18 @@ hook                      paper rule it parameterizes
                           return:(rho, kappa); I_stack creates
                           return:(A, rho, kappa))
 ========================  =====================================================
+
+The transition function is *compiled once*: :meth:`Machine.inject`
+runs the static pre-pass (:mod:`repro.compiler.prepass`), and stepping
+dispatches through class-keyed tables — one handler per expression
+class and per continuation class — instead of isinstance ladders.
+Handlers read interned :class:`~repro.compiler.prepass.CallPlan`
+suffixes rather than slicing tuples, and machines that keep a hook at
+its I_tail default (identity) skip the hook call entirely.  None of
+this changes a single transition: the preserved seed stepper
+(:mod:`repro.machine.reference_step`) is held equal to this one —
+answers, step counts, Definition 21/23 space — by the lockstep
+differential suite.
 """
 
 from __future__ import annotations
@@ -28,6 +40,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from ..syntax.ast import Call, Expr, If, Lambda, Quote, SetBang, Var
+from ..syntax.free_vars import free_vars
 from .config import Configuration, Final, State
 from .continuation import (
     Assign,
@@ -48,6 +61,7 @@ from .errors import (
 )
 from .gc import reachable_locations
 from .policy import LeftToRight, Policy
+from .primitives import make_initial_environment
 from .store import Store
 from .values import (
     Char as CharValue,
@@ -68,11 +82,239 @@ from .values import (
 )
 from ..reader.datum import Char as CharDatum, Symbol
 
+# Imported late in the module (after constant_value is defined) to
+# close the machine <-> prepass knot; see the bottom of this file.
+annotate = None
+call_plan = None
+quote_value = None
+
+
+def _hook_kind(cls, hook_name: str, kind_name: str) -> str:
+    """The declared kind of a variant hook, trusted only when the class
+    that defines the hook also declares the kind (see
+    ``Machine.call_env_kind``)."""
+    for klass in cls.__mro__:
+        if hook_name in klass.__dict__:
+            if klass is Machine:
+                return "identity"
+            return klass.__dict__.get(kind_name, "custom")
+    return "identity"
+
+
+def _saved_env(machine, base, plan, j):
+    """The environment saved in the *j*-th push frame of *plan*, rebuilt
+    directly from *base* (the environment the call reduced in, or the
+    frame environment fusion started from).
+
+    Content-identical to the seed's chained hooks: the suffix
+    free-variable sets shrink monotonically, so
+    ``restrict(restrict(e, A), B) == restrict(e, B)`` whenever
+    ``B <= A`` — restricting *base* once equals restricting each
+    intermediate saved environment in turn.  Only called for machines
+    whose hook kinds are declared (``Machine._fusable``).
+    """
+    if j == 0:
+        if machine._default_call_env:
+            return base
+        if machine._call_env_fv:
+            fvs = plan.suffix_fvs[0]
+            return base.restrict(fvs) if fvs else EMPTY_ENV
+        return base if plan.pending else EMPTY_ENV  # drop-empty
+    if machine._default_push_env:
+        return base
+    if machine._push_env_fv:
+        fvs = plan.suffix_fvs[j]
+        return base.restrict(fvs) if fvs else EMPTY_ENV
+    return base if plan.suffixes[j] else EMPTY_ENV  # drop-empty
+
+
+def _fuse_call(machine, store, plan, vals, i, base, parent, steps, limit):
+    """Inline-evaluate the run of *simple* subexpressions of a call
+    starting at evaluation index *i*, without materializing the
+    intermediate push frames the per-step rules would thread through.
+
+    Simple expressions (Var, Quote, Lambda — see ``CallPlan.kinds``)
+    complete in one transition that inspects neither the continuation
+    nor (beyond a lookup) the environment, so the eval and advance
+    steps can be counted without being individually materialized; the
+    store effects (the lambda rule's tag allocation) happen in exactly
+    the seed order.  Returns the registers
+    ``(control, is_value, env, kont, steps)`` at the first point the
+    generic loop must resume: a compound subexpression (its push frame
+    is then built, content-identical to the seed's), the step budget
+    running out, or the completed call (unpermuted, with its call
+    continuation, ready for the application step).
+    """
+    kinds = plan.kinds
+    pending = plan.pending
+    last = len(pending)
+    start = i
+    fuse_lambda = machine._fuse_lambda
+    closure_fv = machine._closure_env_fv
+    bindings = base._bindings
+    cells_get = store._cells.get
+    while True:
+        expr = plan.first if i == 0 else pending[i - 1]
+        kind = kinds[i]
+        if kind == 0 or (kind == 3 and not fuse_lambda) or steps >= limit:
+            # Hand the expression to the generic loop (compound, an
+            # unfusable lambda, or the batch boundary): materialize the
+            # configuration the per-step rules would be in.
+            return (
+                expr,
+                False,
+                base if i == start else _saved_env(machine, base, plan, i - 1),
+                Push(
+                    plan.suffixes[i], tuple(vals), plan.order,
+                    _saved_env(machine, base, plan, i), parent,
+                    site=plan.site, plan=plan,
+                ),
+                steps,
+            )
+        steps += 1  # the evaluation step of expression i
+        if kind == 1:  # Var
+            name = expr.name
+            location = bindings.get(name)
+            if location is None:
+                raise UnboundVariableError(f"unbound variable: {name}")
+            value = cells_get(location)
+            if value is None:
+                raise UnboundVariableError(
+                    f"variable {name} refers to an unmapped location"
+                )
+            if value is UNDEFINED:
+                raise UnboundVariableError(
+                    f"variable {name} read before initialization"
+                )
+        elif kind == 2:  # Quote
+            value = quote_value(expr)
+        else:  # Lambda
+            closed = base.restrict(free_vars(expr)) if closure_fv else base
+            value = Closure(store.alloc(UNSPECIFIED), expr, closed)
+        vals.append(value)
+        if steps >= limit:
+            # Batch boundary holding the value at frame i.
+            return (
+                value,
+                True,
+                base if i == start else _saved_env(machine, base, plan, i - 1),
+                Push(
+                    plan.suffixes[i], tuple(vals[:-1]), plan.order,
+                    _saved_env(machine, base, plan, i), parent,
+                    site=plan.site, plan=plan,
+                ),
+                steps,
+            )
+        steps += 1  # the advance step (i < last) or the complete step
+        if i < last:
+            i += 1
+            continue
+        # Complete: unpermute and form the call.
+        if plan.is_identity:
+            operator = vals[0]
+            args = tuple(vals[1:])
+        else:
+            original = [None] * len(vals)
+            for position, evaluated in zip(plan.order, vals):
+                original[position] = evaluated
+            operator = original[0]
+            args = tuple(original[1:])
+        if steps < limit and machine._default_apply:
+            # Fuse the application step too for the common operators,
+            # mirroring the generic loop's call-continuation rule.
+            ocls = operator.__class__
+            if ocls is Closure:
+                lam = operator.lam
+                params = lam.params
+                if len(params) != len(args):
+                    raise ArityError(
+                        f"procedure expects {len(params)} arguments, "
+                        f"got {len(args)}"
+                    )
+                steps += 1  # the application step
+                locations = store.alloc_many(args)
+                body_env = operator.env.extend(params, locations)
+                if not machine._default_call_frame:
+                    parent = machine.call_frame(
+                        locations,
+                        _saved_env(machine, base, plan, last),
+                        parent,
+                    )
+                return (lam.body, False, body_env, parent, steps)
+            if ocls is Primop and not operator.controls:
+                arity = operator.arity
+                if arity is not None:
+                    low, high = arity
+                    if len(args) < low or (
+                        high is not None and len(args) > high
+                    ):
+                        raise ArityError(
+                            f"{operator.name} expects "
+                            f"{_arity_text(low, high)} arguments, "
+                            f"got {len(args)}"
+                        )
+                steps += 1  # the application step
+                return (
+                    operator.proc(machine, store, args),
+                    True,
+                    _saved_env(machine, base, plan, last),
+                    parent,
+                    steps,
+                )
+        # Escapes, control primops, overridden application (Bigloo),
+        # errors, or the batch boundary: the call continuation is
+        # materialized and the generic loop applies it.
+        return (
+            operator,
+            True,
+            _saved_env(machine, base, plan, last),
+            CallK(args, parent, site=plan.site),
+            steps,
+        )
+
 
 class Machine:
     """The properly tail recursive reference implementation I_tail."""
 
+    __slots__ = (
+        "policy",
+        "_default_closure_env",
+        "_default_select_env",
+        "_default_assign_env",
+        "_default_call_env",
+        "_default_push_env",
+        "_default_call_frame",
+        "_default_apply",
+        "_call_env_fv",
+        "_call_env_drop",
+        "_push_env_fv",
+        "_push_env_drop",
+        "_closure_env_fv",
+        "_fusable",
+        "_fuse_lambda",
+    )
+
     name = "tail"
+
+    #: Declared shape of the ``call_env`` / ``push_env`` overrides, so
+    #: the fused run loop can specialize them: ``"identity"`` (the
+    #: I_tail default), ``"restrict-fv"`` (restrict to the free
+    #: variables of the pending expressions — I_sfs; the loop then
+    #: reads the interned set off the call plan instead of re-deriving
+    #: it), ``"drop-empty"`` (the environment is dropped exactly when
+    #: nothing is pending — I_evlis), or ``"custom"`` (always call the
+    #: hook).  A declaration is honoured only when it appears in the
+    #: same class body as the override it describes (checked against
+    #: the MRO), so a subclass overriding a hook without re-declaring
+    #: its kind safely degrades to ``"custom"``.
+    call_env_kind = "identity"
+    push_env_kind = "identity"
+
+    #: Declared shape of the ``closure_env`` override, same trust model
+    #: as above: ``"identity"`` (I_tail), ``"restrict-free-vars"``
+    #: (close over the lambda's free variables — I_free, I_sfs), or
+    #: ``"custom"``.
+    closure_env_kind = "identity"
 
     #: Whether the semantics includes the garbage collection rule of
     #: Figure 5.  I_stack (a pure deletion strategy, section 5) sets
@@ -81,6 +323,43 @@ class Machine:
 
     def __init__(self, policy: Optional[Policy] = None):
         self.policy = policy if policy is not None else LeftToRight()
+        # A hook still at its I_tail default is the identity on the
+        # environment (or the caller's kappa): the dispatch handlers
+        # skip the call entirely then.  Computed once per instance so
+        # subclass overrides — including overrides added by further
+        # subclasses — are always honoured.
+        cls = type(self)
+        self._default_closure_env = cls.closure_env is Machine.closure_env
+        self._default_select_env = cls.select_env is Machine.select_env
+        self._default_assign_env = cls.assign_env is Machine.assign_env
+        self._default_call_env = cls.call_env is Machine.call_env
+        self._default_push_env = cls.push_env is Machine.push_env
+        self._default_call_frame = cls.call_frame is Machine.call_frame
+        self._default_apply = (
+            cls.apply_procedure is Machine.apply_procedure
+            and cls._apply_closure is Machine._apply_closure
+        )
+        call_kind = _hook_kind(cls, "call_env", "call_env_kind")
+        push_kind = _hook_kind(cls, "push_env", "push_env_kind")
+        closure_kind = _hook_kind(cls, "closure_env", "closure_env_kind")
+        self._call_env_fv = call_kind == "restrict-fv"
+        self._call_env_drop = call_kind == "drop-empty"
+        self._push_env_fv = push_kind == "restrict-fv"
+        self._push_env_drop = push_kind == "drop-empty"
+        self._closure_env_fv = closure_kind == "restrict-free-vars"
+        # Argument fusion (see _fuse_call) needs both saved-environment
+        # hooks to have a declared kind; a lambda operand may be fused
+        # only when its captured environment is reconstructible from
+        # the unrestricted base environment.
+        self._fusable = (
+            self._default_call_env or self._call_env_fv or self._call_env_drop
+        ) and (
+            self._default_push_env or self._push_env_fv or self._push_env_drop
+        )
+        self._fuse_lambda = self._closure_env_fv or (
+            self._default_closure_env
+            and not (self._call_env_fv or self._push_env_fv)
+        )
 
     # ------------------------------------------------------------------
     # Injection
@@ -102,10 +381,11 @@ class Machine:
         rho_0 to the free variables of the program and argument (a
         per-program constant change to S_X; pass False for the full
         fixed rho_0 of section 12).
-        """
-        from ..syntax.free_vars import free_vars
-        from .primitives import make_initial_environment
 
+        Injection runs the static pre-pass over the injected
+        expression, interning free-variable sets, call plans, and
+        constant values once so the step handlers only do lookups.
+        """
         if store is None:
             store = Store()
         if global_env is None:
@@ -116,6 +396,7 @@ class Machine:
                     names |= free_vars(argument)
             global_env = make_initial_environment(store, names)
         expr = Call((program, argument)) if argument is not None else program
+        annotate(expr)
         self.policy.reset()
         return State(expr, False, global_env, Halt(), store)
 
@@ -125,100 +406,311 @@ class Machine:
 
     def step(self, state: State) -> Configuration:
         """One transition of Figure 5 (plus variant rules)."""
+        control = state.control
         if state.is_value:
-            return self._step_value(state)
-        return self._step_expr(state)
+            kont = state.kont
+            handler = _VALUE_DISPATCH.get(kont.__class__)
+            if handler is None:
+                handler = _resolve_value_handler(kont)
+            return handler(self, state, control, kont)
+        handler = _EXPR_DISPATCH.get(control.__class__)
+        if handler is None:
+            handler = _resolve_expr_handler(control)
+        return handler(self, state, control)
 
     def _step_expr(self, state: State) -> Configuration:
         expr = state.control
-        env = state.env
-        store = state.store
-        if isinstance(expr, Quote):
-            return state.with_value(constant_value(expr.value), env, state.kont)
-        if isinstance(expr, Var):
-            location = env.lookup(expr.name)
-            if location is None:
-                raise UnboundVariableError(f"unbound variable: {expr.name}")
-            if location not in store:
-                raise UnboundVariableError(
-                    f"variable {expr.name} refers to an unmapped location"
-                )
-            value = store.read(location)
-            if value is UNDEFINED:
-                raise UnboundVariableError(
-                    f"variable {expr.name} read before initialization"
-                )
-            return state.with_value(value, env, state.kont)
-        if isinstance(expr, Lambda):
-            closed = self.closure_env(expr, env)
-            tag = store.alloc(UNSPECIFIED)
-            return state.with_value(Closure(tag, expr, closed), env, state.kont)
-        if isinstance(expr, If):
-            saved = self.select_env(env, expr.consequent, expr.alternative)
-            kont = Select(expr.consequent, expr.alternative, saved, state.kont)
-            return state.with_expr(expr.test, env, kont)
-        if isinstance(expr, SetBang):
-            saved = self.assign_env(env, expr.name)
-            kont = Assign(expr.name, saved, state.kont)
-            return state.with_expr(expr.expr, env, kont)
-        if isinstance(expr, Call):
-            order = self.policy.permutation(len(expr.exprs))
-            if sorted(order) != list(range(len(expr.exprs))):
-                raise StuckError(f"policy returned a non-permutation: {order}")
-            first = expr.exprs[order[0]]
-            pending = tuple(expr.exprs[i] for i in order[1:])
-            saved = self.call_env(env, pending)
-            kont = Push(pending, (), order, saved, state.kont, site=expr)
-            return state.with_expr(first, env, kont)
-        raise StuckError(f"not a Core Scheme expression: {expr!r}")
+        handler = _EXPR_DISPATCH.get(expr.__class__)
+        if handler is None:
+            handler = _resolve_expr_handler(expr)
+        return handler(self, state, expr)
 
     def _step_value(self, state: State) -> Configuration:
-        value = state.control
         kont = state.kont
-        if isinstance(kont, Halt):
-            return Final(value, state.store)
-        if isinstance(kont, Select):
-            branch = kont.consequent if is_true(value) else kont.alternative
-            return state.with_expr(branch, kont.env, kont.parent)
-        if isinstance(kont, Assign):
-            location = kont.env.lookup(kont.name)
-            if location is None or location not in state.store:
-                raise UnboundVariableError(
-                    f"assignment to unbound variable: {kont.name}"
-                )
-            state.store.write(location, value)
-            return state.with_value(UNSPECIFIED, kont.env, kont.parent)
-        if isinstance(kont, Push):
-            return self._step_push(state, value, kont)
-        if isinstance(kont, CallK):
-            return self.apply_procedure(state, value, kont.args, kont.parent)
-        if isinstance(kont, ReturnStack):
-            self._delete_frame(state, value, kont)
-            return state.with_value(value, kont.env, kont.parent)
-        if isinstance(kont, Return):
-            return state.with_value(value, kont.env, kont.parent)
-        raise StuckError(f"unknown continuation: {kont!r}")
+        handler = _VALUE_DISPATCH.get(kont.__class__)
+        if handler is None:
+            handler = _resolve_value_handler(kont)
+        return handler(self, state, state.control, kont)
 
-    def _step_push(self, state: State, value: Value, kont: Push) -> Configuration:
-        if kont.pending:
-            next_expr = kont.pending[0]
-            rest = kont.pending[1:]
-            saved = self.push_env(kont.env, rest)
-            new_kont = Push(
-                rest, kont.done + (value,), kont.order, saved, kont.parent,
-                site=kont.site,
+    # ------------------------------------------------------------------
+    # The fused run loop
+    # ------------------------------------------------------------------
+
+    def run_steps(self, state: State, limit: int):
+        """Execute up to *limit* transitions of :meth:`step` in one
+        Python frame; return ``(configuration, steps_taken)``.
+
+        The registers (control, value flag, environment, continuation)
+        live in local variables, so intermediate :class:`State` objects
+        are never constructed — one is materialized only when the batch
+        is exhausted, the computation halts, or a rare rule (an escape,
+        a control primop, a variant-overridden application, an error
+        path) delegates to :meth:`step`.  Every transition taken, every
+        store effect, and the step count are *identical* to ``limit``
+        consecutive ``step`` calls — this is batching, not a different
+        semantics — which the differential suite checks by holding the
+        fused driver equal to the preserved seed stepper run-for-run.
+
+        Drivers that must observe every configuration (the space meter,
+        the lockstep tests) call :meth:`step` directly instead.
+        """
+        control = state.control
+        is_value = state.is_value
+        env = state.env
+        kont = state.kont
+        store = state.store
+        if limit <= 0:
+            return state, 0
+        # Hot globals and flags as locals (CPython: LOAD_FAST).
+        permutation = self.policy.permutation
+        cells_get = store._cells.get
+        d_closure = self._default_closure_env
+        d_select = self._default_select_env
+        d_assign = self._default_assign_env
+        d_call = self._default_call_env
+        d_push = self._default_push_env
+        d_frame = self._default_call_frame
+        d_apply = self._default_apply
+        call_fv = self._call_env_fv
+        call_drop = self._call_env_drop
+        push_fv = self._push_env_fv
+        push_drop = self._push_env_drop
+        fuse = self._fusable
+        steps = 0
+        while steps < limit:
+            steps += 1
+            if is_value:
+                kcls = kont.__class__
+                if kcls is Push:
+                    pending = kont.pending
+                    if pending:
+                        plan = kont.plan
+                        done = kont.done
+                        if (
+                            fuse
+                            and plan is not None
+                            and plan.suffixes[len(done)] is pending
+                        ):
+                            # Fuse the advance with the run of simple
+                            # subexpressions that follows it.
+                            vals = list(done)
+                            vals.append(control)
+                            control, is_value, env, kont, steps = _fuse_call(
+                                self, store, plan, vals, len(vals),
+                                kont.env, kont.parent, steps, limit,
+                            )
+                            continue
+                        done = done + (control,)
+                        planned = (
+                            plan is not None
+                            and plan.suffixes[len(done) - 1] is pending
+                        )
+                        rest = (
+                            plan.suffixes[len(done)] if planned
+                            else pending[1:]
+                        )
+                        if d_push:
+                            saved = kont.env
+                        elif push_fv and planned:
+                            saved = kont.env.restrict(
+                                plan.suffix_fvs[len(done)]
+                            )
+                        elif push_drop:
+                            saved = kont.env if rest else EMPTY_ENV
+                        else:
+                            saved = self.push_env(kont.env, rest)
+                        control = pending[0]
+                        is_value = False
+                        env = kont.env
+                        kont = Push(
+                            rest, done, kont.order, saved, kont.parent,
+                            site=kont.site, plan=plan,
+                        )
+                        continue
+                    values_in_order = kont.done + (control,)
+                    plan = kont.plan
+                    if plan is not None and plan.is_identity:
+                        control = values_in_order[0]
+                        args = values_in_order[1:]
+                    else:
+                        original: list = [None] * len(values_in_order)
+                        for position, evaluated in zip(
+                            kont.order, values_in_order
+                        ):
+                            original[position] = evaluated
+                        control = original[0]
+                        args = tuple(original[1:])
+                    env = kont.env
+                    kont = CallK(args, kont.parent, site=kont.site)
+                    continue
+                if kcls is CallK:
+                    args = kont.args
+                    parent = kont.parent
+                    if d_apply:
+                        ocls = control.__class__
+                        if ocls is Closure:
+                            lam = control.lam
+                            params = lam.params
+                            if len(params) != len(args):
+                                raise ArityError(
+                                    f"procedure expects {len(params)} "
+                                    f"arguments, got {len(args)}"
+                                )
+                            locations = store.alloc_many(args)
+                            body_env = control.env.extend(params, locations)
+                            if not d_frame:
+                                parent = self.call_frame(
+                                    locations, env, parent
+                                )
+                            control = lam.body
+                            is_value = False
+                            env = body_env
+                            kont = parent
+                            continue
+                        if ocls is Primop and not control.controls:
+                            arity = control.arity
+                            if arity is not None:
+                                low, high = arity
+                                if len(args) < low or (
+                                    high is not None and len(args) > high
+                                ):
+                                    raise ArityError(
+                                        f"{control.name} expects "
+                                        f"{_arity_text(low, high)} arguments, "
+                                        f"got {len(args)}"
+                                    )
+                            control = control.proc(self, store, args)
+                            kont = parent
+                            continue
+                    # Escapes, control primops, overridden application
+                    # (Bigloo), and the not-a-procedure error: take the
+                    # exact step-path.
+                    configuration = self.apply_procedure(
+                        State(control, True, env, kont, store),
+                        control,
+                        args,
+                        parent,
+                    )
+                    control = configuration.control
+                    is_value = configuration.is_value
+                    env = configuration.env
+                    kont = configuration.kont
+                    continue
+                if kcls is Select:
+                    control = (
+                        kont.consequent if is_true(control)
+                        else kont.alternative
+                    )
+                    is_value = False
+                    env = kont.env
+                    kont = kont.parent
+                    continue
+                if kcls is Return:
+                    env = kont.env
+                    kont = kont.parent
+                    continue
+                if kcls is Halt:
+                    return Final(control, store), steps
+                if kcls is Assign:
+                    location = kont.env.lookup(kont.name)
+                    if location is None or location not in store:
+                        raise UnboundVariableError(
+                            f"assignment to unbound variable: {kont.name}"
+                        )
+                    store.write(location, control)
+                    control = UNSPECIFIED
+                    env = kont.env
+                    kont = kont.parent
+                    continue
+                # ReturnStack, TaggedReturn, unknown: the exact step-path.
+                configuration = self._step_value(
+                    State(control, True, env, kont, store)
+                )
+                if configuration.is_final:
+                    return configuration, steps
+                control = configuration.control
+                is_value = configuration.is_value
+                env = configuration.env
+                kont = configuration.kont
+                continue
+            cls = control.__class__
+            if cls is Var:
+                name = control.name
+                location = env._bindings.get(name)
+                if location is None:
+                    raise UnboundVariableError(f"unbound variable: {name}")
+                value = cells_get(location)
+                if value is None:
+                    raise UnboundVariableError(
+                        f"variable {name} refers to an unmapped location"
+                    )
+                if value is UNDEFINED:
+                    raise UnboundVariableError(
+                        f"variable {name} read before initialization"
+                    )
+                control = value
+                is_value = True
+                continue
+            if cls is Call:
+                order = permutation(len(control.exprs))
+                plan = call_plan(control, order)
+                if fuse:
+                    control, is_value, env, kont, steps = _fuse_call(
+                        self, store, plan, [], 0, env, kont, steps, limit,
+                    )
+                    continue
+                pending = plan.pending
+                if d_call:
+                    saved = env
+                elif call_fv:
+                    saved = env.restrict(plan.suffix_fvs[0])
+                elif call_drop:
+                    saved = env if pending else EMPTY_ENV
+                else:
+                    saved = self.call_env(env, pending)
+                kont = Push(
+                    pending, (), plan.order, saved, kont,
+                    site=control, plan=plan,
+                )
+                control = plan.first
+                continue
+            if cls is Quote:
+                control = quote_value(control)
+                is_value = True
+                continue
+            if cls is If:
+                saved = (
+                    env if d_select
+                    else self.select_env(
+                        env, control.consequent, control.alternative
+                    )
+                )
+                kont = Select(
+                    control.consequent, control.alternative, saved, kont
+                )
+                control = control.test
+                continue
+            if cls is Lambda:
+                closed = env if d_closure else self.closure_env(control, env)
+                tag = store.alloc(UNSPECIFIED)
+                control = Closure(tag, control, closed)
+                is_value = True
+                continue
+            if cls is SetBang:
+                saved = env if d_assign else self.assign_env(env, control.name)
+                kont = Assign(control.name, saved, kont)
+                control = control.expr
+                continue
+            # Unknown expression class: the exact step-path (MRO
+            # fallback or the seed's StuckError).
+            configuration = self._step_expr(
+                State(control, False, env, kont, store)
             )
-            return state.with_expr(next_expr, kont.env, new_kont)
-        # All subexpressions evaluated: unpermute and form the call.
-        values_in_order = kont.done + (value,)
-        original: list = [None] * len(values_in_order)
-        for position, evaluated in zip(kont.order, values_in_order):
-            original[position] = evaluated
-        operator = original[0]
-        args = tuple(original[1:])
-        return state.with_value(
-            operator, kont.env, CallK(args, kont.parent, site=kont.site)
-        )
+            control = configuration.control
+            is_value = configuration.is_value
+            env = configuration.env
+            kont = configuration.kont
+        return State(control, is_value, env, kont, store), steps
 
     # ------------------------------------------------------------------
     # Procedure application
@@ -237,21 +729,25 @@ class Machine:
                 raise ArityError(
                     f"escape procedure expects 1 argument, got {len(args)}"
                 )
-            return state.with_value(args[0], EMPTY_ENV, operator.kont)
+            return State(args[0], True, EMPTY_ENV, operator.kont, state.store)
         raise NotAProcedureError(f"not a procedure: {operator!r}")
 
     def _apply_closure(
         self, state: State, closure: Closure, args: Tuple[Value, ...], kont: Kont
     ) -> Configuration:
-        params = closure.lam.params
+        lam = closure.lam
+        params = lam.params
         if len(params) != len(args):
             raise ArityError(
                 f"procedure expects {len(params)} arguments, got {len(args)}"
             )
         locations = state.store.alloc_many(args)
         body_env = closure.env.extend(params, locations)
-        body_kont = self.call_frame(locations, state.env, kont)
-        return state.with_expr(closure.lam.body, body_env, body_kont)
+        if self._default_call_frame:
+            body_kont = kont
+        else:
+            body_kont = self.call_frame(locations, state.env, kont)
+        return State(lam.body, False, body_env, body_kont, state.store)
 
     def _apply_primop(
         self, state: State, primop: Primop, args: Tuple[Value, ...], kont: Kont
@@ -266,7 +762,7 @@ class Machine:
         if primop.controls:
             return primop.proc(self, state, args, kont)
         result = primop.proc(self, state.store, args)
-        return state.with_value(result, state.env, kont)
+        return State(result, True, state.env, kont, state.store)
 
     # ------------------------------------------------------------------
     # Variant hooks (I_tail defaults)
@@ -329,6 +825,192 @@ class Machine:
         return f"<{type(self).__name__} policy={self.policy!r}>"
 
 
+# ---------------------------------------------------------------------------
+# Expression handlers (the left column of Figure 5), one per class.
+# ---------------------------------------------------------------------------
+
+
+def _expr_quote(machine: Machine, state: State, expr: Quote) -> State:
+    return State(quote_value(expr), True, state.env, state.kont, state.store)
+
+
+def _expr_var(machine: Machine, state: State, expr: Var) -> State:
+    env = state.env
+    location = env.lookup(expr.name)
+    if location is None:
+        raise UnboundVariableError(f"unbound variable: {expr.name}")
+    value = state.store.get(location)
+    if value is None:
+        raise UnboundVariableError(
+            f"variable {expr.name} refers to an unmapped location"
+        )
+    if value is UNDEFINED:
+        raise UnboundVariableError(
+            f"variable {expr.name} read before initialization"
+        )
+    return State(value, True, env, state.kont, state.store)
+
+
+def _expr_lambda(machine: Machine, state: State, expr: Lambda) -> State:
+    env = state.env
+    if machine._default_closure_env:
+        closed = env
+    else:
+        closed = machine.closure_env(expr, env)
+    tag = state.store.alloc(UNSPECIFIED)
+    return State(Closure(tag, expr, closed), True, env, state.kont, state.store)
+
+
+def _expr_if(machine: Machine, state: State, expr: If) -> State:
+    env = state.env
+    if machine._default_select_env:
+        saved = env
+    else:
+        saved = machine.select_env(env, expr.consequent, expr.alternative)
+    kont = Select(expr.consequent, expr.alternative, saved, state.kont)
+    return State(expr.test, False, env, kont, state.store)
+
+
+def _expr_set(machine: Machine, state: State, expr: SetBang) -> State:
+    env = state.env
+    if machine._default_assign_env:
+        saved = env
+    else:
+        saved = machine.assign_env(env, expr.name)
+    kont = Assign(expr.name, saved, state.kont)
+    return State(expr.expr, False, env, kont, state.store)
+
+
+def _expr_call(machine: Machine, state: State, expr: Call) -> State:
+    order = machine.policy.permutation(len(expr.exprs))
+    plan = call_plan(expr, order)  # validates the permutation once
+    env = state.env
+    pending = plan.pending
+    if machine._default_call_env:
+        saved = env
+    else:
+        saved = machine.call_env(env, pending)
+    kont = Push(pending, (), plan.order, saved, state.kont, site=expr, plan=plan)
+    return State(plan.first, False, env, kont, state.store)
+
+
+_EXPR_DISPATCH = {
+    Quote: _expr_quote,
+    Var: _expr_var,
+    Lambda: _expr_lambda,
+    If: _expr_if,
+    SetBang: _expr_set,
+    Call: _expr_call,
+}
+
+
+def _resolve_expr_handler(expr):
+    """MRO fallback for Expr subclasses, cached; stuck otherwise."""
+    for base in expr.__class__.__mro__[1:]:
+        handler = _EXPR_DISPATCH.get(base)
+        if handler is not None:
+            _EXPR_DISPATCH[expr.__class__] = handler
+            return handler
+    raise StuckError(f"not a Core Scheme expression: {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# Value handlers (the right column of Figure 5), one per continuation.
+# ---------------------------------------------------------------------------
+
+
+def _value_halt(machine: Machine, state: State, value, kont: Halt):
+    return Final(value, state.store)
+
+
+def _value_select(machine: Machine, state: State, value, kont: Select) -> State:
+    branch = kont.consequent if is_true(value) else kont.alternative
+    return State(branch, False, kont.env, kont.parent, state.store)
+
+
+def _value_assign(machine: Machine, state: State, value, kont: Assign) -> State:
+    location = kont.env.lookup(kont.name)
+    if location is None or location not in state.store:
+        raise UnboundVariableError(
+            f"assignment to unbound variable: {kont.name}"
+        )
+    state.store.write(location, value)
+    return State(UNSPECIFIED, True, kont.env, kont.parent, state.store)
+
+
+def _value_push(machine: Machine, state: State, value, kont: Push):
+    pending = kont.pending
+    if pending:
+        plan = kont.plan
+        done = kont.done
+        if plan is not None and plan.suffixes[len(done)] is pending:
+            rest = plan.suffixes[len(done) + 1]
+        else:  # hand-built frame: fall back to slicing
+            rest = pending[1:]
+        if machine._default_push_env:
+            saved = kont.env
+        else:
+            saved = machine.push_env(kont.env, rest)
+        new_kont = Push(
+            rest, done + (value,), kont.order, saved, kont.parent,
+            site=kont.site, plan=plan,
+        )
+        return State(pending[0], False, kont.env, new_kont, state.store)
+    # All subexpressions evaluated: unpermute and form the call.
+    values_in_order = kont.done + (value,)
+    plan = kont.plan
+    if plan is not None and plan.is_identity:
+        operator = values_in_order[0]
+        args = values_in_order[1:]
+    else:
+        original: list = [None] * len(values_in_order)
+        for position, evaluated in zip(kont.order, values_in_order):
+            original[position] = evaluated
+        operator = original[0]
+        args = tuple(original[1:])
+    return State(
+        operator, True, kont.env,
+        CallK(args, kont.parent, site=kont.site), state.store,
+    )
+
+
+def _value_call(machine: Machine, state: State, value, kont: CallK):
+    return machine.apply_procedure(state, value, kont.args, kont.parent)
+
+
+def _value_return(machine: Machine, state: State, value, kont: Return) -> State:
+    return State(value, True, kont.env, kont.parent, state.store)
+
+
+def _value_return_stack(
+    machine: Machine, state: State, value, kont: ReturnStack
+) -> State:
+    machine._delete_frame(state, value, kont)
+    return State(value, True, kont.env, kont.parent, state.store)
+
+
+_VALUE_DISPATCH = {
+    Halt: _value_halt,
+    Select: _value_select,
+    Assign: _value_assign,
+    Push: _value_push,
+    CallK: _value_call,
+    Return: _value_return,
+    ReturnStack: _value_return_stack,
+}
+
+
+def _resolve_value_handler(kont):
+    """MRO fallback for Kont subclasses (e.g. the Bigloo TaggedReturn),
+    cached under the concrete class; stuck otherwise."""
+    for base in kont.__class__.__mro__[1:]:
+        handler = _VALUE_DISPATCH.get(base)
+        if handler is not None:
+            _VALUE_DISPATCH[kont.__class__] = handler
+            return handler
+    raise StuckError(f"unknown continuation: {kont!r}")
+
+
 def constant_value(constant) -> Value:
     """Map a quoted constant datum to a runtime value."""
     if isinstance(constant, bool):
@@ -352,3 +1034,9 @@ def _arity_text(low: int, high: Optional[int]) -> str:
     if low == high:
         return str(low)
     return f"{low} to {high}"
+
+
+# The prepass imports constant_value from this module (lazily, for the
+# quote-value cache); importing it here at the bottom keeps a single
+# import-time ordering for both directions of the knot.
+from ..compiler.prepass import annotate, call_plan, quote_value  # noqa: E402

@@ -16,11 +16,36 @@ machines, as the proofs of Theorems 19 and 24 require.
 from __future__ import annotations
 
 import random
+from functools import lru_cache
 from typing import Tuple
+
+
+@lru_cache(maxsize=None)
+def identity_permutation(count: int) -> Tuple[int, ...]:
+    """(0, 1, ..., count-1), interned — the left-to-right order.
+
+    Deterministic policies return interned permutations so the per-call
+    plan lookup of the stepper's pre-pass hashes an already-seen tuple
+    and the call rule allocates nothing."""
+    return tuple(range(count))
+
+
+@lru_cache(maxsize=None)
+def reversed_permutation(count: int) -> Tuple[int, ...]:
+    """(count-1, ..., 1, 0), interned — the right-to-left order."""
+    return tuple(reversed(range(count)))
+
+
+@lru_cache(maxsize=None)
+def operator_last_permutation(count: int) -> Tuple[int, ...]:
+    """(1, ..., count-1, 0), interned — the SML-like order."""
+    return tuple(range(1, count)) + (0,)
 
 
 class Policy:
     """Deterministic realization of the machine's nondeterminism."""
+
+    __slots__ = ("seed", "_rng")
 
     name = "abstract"
 
@@ -49,32 +74,40 @@ class Policy:
 class LeftToRight(Policy):
     """Evaluate operator first, then operands left to right."""
 
+    __slots__ = ()
+
     name = "left-to-right"
 
     def permutation(self, count: int) -> Tuple[int, ...]:
-        return tuple(range(count))
+        return identity_permutation(count)
 
 
 class RightToLeft(Policy):
     """Evaluate operands right to left, operator last."""
 
+    __slots__ = ()
+
     name = "right-to-left"
 
     def permutation(self, count: int) -> Tuple[int, ...]:
-        return tuple(reversed(range(count)))
+        return reversed_permutation(count)
 
 
 class OperatorLast(Policy):
     """Operands left to right, operator last (SML-like)."""
 
+    __slots__ = ()
+
     name = "operator-last"
 
     def permutation(self, count: int) -> Tuple[int, ...]:
-        return tuple(range(1, count)) + (0,)
+        return operator_last_permutation(count)
 
 
 class Shuffled(Policy):
     """A seeded random permutation per call site occurrence."""
+
+    __slots__ = ()
 
     name = "shuffled"
 

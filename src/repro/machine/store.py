@@ -19,7 +19,19 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, Optional, Tuple
 
-from .values import Closure, Escape, Location, Value
+from .values import (
+    Boolean,
+    Char,
+    Closure,
+    Escape,
+    Location,
+    Num,
+    Pair,
+    Primop,
+    Sym,
+    Value,
+    _Singleton,
+)
 
 #: Bound lazily on first use: ``repro.space.flat`` imports
 #: ``repro.machine.config`` which imports this module, so the import
@@ -34,6 +46,19 @@ def _bind_value_space():
 
     _value_space = value_space
     return value_space
+
+
+#: 1 + space(v) for exact value classes whose Figure 7 space is a
+#: class constant under both number accountings (and whose Figure 8
+#: structural cost coincides): immediates cost one word, pairs three.
+_CELL_WORDS = {
+    Boolean: 2,
+    Sym: 2,
+    Char: 2,
+    Pair: 4,
+    Primop: 2,
+    _Singleton: 2,
+}
 
 
 class StoreError(KeyError):
@@ -78,14 +103,35 @@ class Store:
         return location
 
     def alloc_many(self, values: Iterable[Value]) -> Tuple[Location, ...]:
-        """Allocate fresh locations for several values at once."""
-        return tuple(self.alloc(value) for value in values)
+        """Allocate fresh locations for several values at once (the
+        same mutations as repeated :meth:`alloc`, without the per-value
+        method call)."""
+        cells = self._cells
+        add = self._add_space
+        tracker = self.tracker
+        location = self._next_location
+        out = []
+        for value in values:
+            self._next_location = location + 1
+            cells[location] = value
+            add(value, 1)
+            self.version += 1
+            if tracker is not None:
+                tracker.on_alloc(location, value)
+            out.append(location)
+            location += 1
+        return tuple(out)
 
     def read(self, location: Location) -> Value:
         try:
             return self._cells[location]
         except KeyError:
             raise StoreError(f"read of unmapped location {location}") from None
+
+    def get(self, location: Location) -> Optional[Value]:
+        """The value at *location*, or None when unmapped (the hot-path
+        read: one dict probe, caller decides stuck)."""
+        return self._cells.get(location)
 
     def write(self, location: Location, value: Value) -> None:
         """sigma[a -> v] for an already-mapped location."""
@@ -141,6 +187,34 @@ class Store:
         return self._linked_fixed if fixed_precision else self._linked_bignum
 
     def _add_space(self, value: Value, sign: int) -> None:
+        # Exact-class fast paths for the values the hot loop allocates
+        # (numbers, closures and their tags, pairs, immediates); each
+        # adds the same four totals the generic path below computes.
+        cls = value.__class__
+        if cls is Num:
+            bits = abs(value.value).bit_length()
+            bignum = sign * (2 + (bits if bits > 1 else 1))
+            fixed = 2 * sign
+            self._space_bignum += bignum
+            self._space_fixed += fixed
+            self._linked_bignum += bignum
+            self._linked_fixed += fixed
+            return
+        if cls is Closure:
+            flat = sign * (2 + len(value.env._bindings))
+            self._space_bignum += flat
+            self._space_fixed += flat
+            self._linked_bignum += 2 * sign
+            self._linked_fixed += 2 * sign
+            return
+        words = _CELL_WORDS.get(cls)
+        if words is not None:
+            delta = sign * words
+            self._space_bignum += delta
+            self._space_fixed += delta
+            self._linked_bignum += delta
+            self._linked_fixed += delta
+            return
         vs = _value_space
         if vs is None:
             vs = _bind_value_space()

@@ -19,16 +19,23 @@ from __future__ import annotations
 from typing import Dict, Tuple, Type
 
 from ..syntax.ast import Expr, Lambda
-from ..syntax.free_vars import free_vars, free_vars_of_all
+from ..syntax.free_vars import (
+    branch_free_vars,
+    free_vars,
+    free_vars_of_all,
+    name_set,
+)
 from .config import State
 from .continuation import Kont, Return, ReturnStack
 from .environment import EMPTY_ENV, Environment
 from .machine import Machine
-from .values import Location
+from .values import Closure, Location
 
 
 class TailMachine(Machine):
     """I_tail: Figure 5 verbatim — an alias of the base machine."""
+
+    __slots__ = ()
 
     name = "tail"
 
@@ -39,6 +46,8 @@ class GcMachine(Machine):
     "By creating a continuation for every procedure call, these rules
     waste space for no reason."
     """
+
+    __slots__ = ()
 
     name = "gc"
 
@@ -76,6 +85,8 @@ class StackMachine(Machine):
     never, because no deletion set ever contains it.
     """
 
+    __slots__ = ()
+
     name = "stack"
     uses_gc_rule = False
 
@@ -103,7 +114,11 @@ class EvlisMachine(Machine):
     of Wand [Wan80] and Queinnec [Que96].)
     """
 
+    __slots__ = ()
+
     name = "evlis"
+    call_env_kind = "drop-empty"
+    push_env_kind = "drop-empty"
 
     def call_env(self, env: Environment, pending: Tuple[Expr, ...]) -> Environment:
         if not pending:
@@ -120,7 +135,10 @@ class FreeMachine(Machine):
     """I_free: closures capture only their free variables (section 10),
     everything else as I_tail."""
 
+    __slots__ = ()
+
     name = "free"
+    closure_env_kind = "restrict-free-vars"
 
     def closure_env(self, lam: Lambda, env: Environment) -> Environment:
         return env.restrict(free_vars(lam))
@@ -136,16 +154,21 @@ class SfsMachine(Machine):
     remain, FV() = {} and the saved environment is empty.
     """
 
+    __slots__ = ()
+
     name = "sfs"
+    call_env_kind = "restrict-fv"
+    push_env_kind = "restrict-fv"
+    closure_env_kind = "restrict-free-vars"
 
     def closure_env(self, lam: Lambda, env: Environment) -> Environment:
         return env.restrict(free_vars(lam))
 
     def select_env(self, env: Environment, consequent: Expr, alternative: Expr):
-        return env.restrict(free_vars(consequent) | free_vars(alternative))
+        return env.restrict(branch_free_vars(consequent, alternative))
 
     def assign_env(self, env: Environment, name: str) -> Environment:
-        return env.restrict((name,))
+        return env.restrict(name_set(name))
 
     def call_env(self, env: Environment, pending: Tuple[Expr, ...]) -> Environment:
         return env.restrict(free_vars_of_all(pending))
@@ -179,11 +202,11 @@ class BiglooMachine(GcMachine):
     example of section 4, exactly as the paper describes.
     """
 
+    __slots__ = ()
+
     name = "bigloo"
 
     def apply_procedure(self, state, operator, args, kont):
-        from .values import Closure
-
         if (
             isinstance(operator, Closure)
             and isinstance(kont, TaggedReturn)
@@ -227,6 +250,8 @@ class MtaMachine(GcMachine):
     recursive by Definition 5 even though every call "pushes stack".
     """
 
+    __slots__ = ()
+
     name = "mta"
 
     def compact(self, state):
@@ -264,7 +289,7 @@ def _rebuild_frame(frame: Kont, parent: Kont) -> Kont:
     if type(frame) is Push:
         return Push(
             frame.pending, frame.done, frame.order, frame.env, parent,
-            site=frame.site,
+            site=frame.site, plan=frame.plan,
         )
     if type(frame) is CallK:
         return CallK(frame.args, parent, site=frame.site)

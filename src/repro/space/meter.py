@@ -78,6 +78,8 @@ class MeterResult:
 class ReferenceMeter:
     """The canonical engine: trace per collection, re-walk per measure."""
 
+    __slots__ = ("uses_gc", "fixed_precision", "_measure")
+
     def __init__(self, machine: Machine, linked: bool, fixed_precision: bool):
         self.uses_gc = machine.uses_gc_rule
         self.fixed_precision = fixed_precision
@@ -113,6 +115,20 @@ class DeltaMeter:
     tracks the configuration's root components — register environment,
     continuation, accumulator — by diffing them across steps.
     """
+
+    __slots__ = (
+        "uses_gc",
+        "linked",
+        "fixed_precision",
+        "tracker",
+        "ledger",
+        "fallback",
+        "_fallback_measure",
+        "_env",
+        "_kont",
+        "_acc",
+        "_store",
+    )
 
     def __init__(self, machine: Machine, linked: bool, fixed_precision: bool):
         self.uses_gc = machine.uses_gc_rule
@@ -426,22 +442,26 @@ def run_metered(
             trace.append((0, sup_space))
 
         steps = 0
+        step = machine.step
+        transition = meter.transition
+        measure = meter.measure
+        uses_gc = machine.uses_gc_rule
         while True:
-            configuration = machine.step(state)
+            configuration = step(state)
             steps += 1
-            meter.transition(configuration)
-            if isinstance(configuration, Final):
+            transition(configuration)
+            if configuration.is_final:
                 # Measure once pre-GC for the sup (the allocation spike
                 # is charged), once post-GC for the trace sample.
-                space = meter.measure(configuration)
+                space = measure(configuration)
                 if space > sup_space:
                     sup_space, peak_step = space, steps
-                if machine.uses_gc_rule:
+                if uses_gc:
                     collected += meter.collect_final(configuration)
                     if audit_every:
                         meter.audit(configuration)
                 if trace_every:
-                    trace.append((steps, meter.measure(configuration)))
+                    trace.append((steps, measure(configuration)))
                 return MeterResult(
                     machine=machine.name,
                     sup_space=sup_space,
@@ -453,15 +473,15 @@ def run_metered(
                     trace=trace,
                 )
             state = configuration
-            space = meter.measure(state)
+            space = measure(state)
             if space > sup_space:
                 sup_space, peak_step = space, steps
             if trace_every and steps % trace_every == 0:
                 trace.append((steps, space))
-            if machine.uses_gc_rule and steps % gc_interval == 0:
+            if uses_gc and steps % gc_interval == 0:
                 compacted = machine.compact(state)
                 if compacted is not state:
-                    meter.transition(compacted)
+                    transition(compacted)
                     state = compacted
                 if gc_when == "always" or state.store.version != last_gc_version:
                     collected += meter.collect(state)
@@ -486,13 +506,20 @@ def run_to_final(
 
     ``gc_interval=0`` disables collection entirely (the store only
     grows); any positive value collects that often.
+
+    The machine is driven in batches through ``run_steps`` (the fused
+    register loop of the live stepper; the per-step loop of the seed
+    stepper), sized so collection and compaction still happen exactly
+    every ``gc_interval`` transitions.
     """
     state = machine.inject(program, argument)
     steps = 0
+    run_steps = machine.run_steps
+    batch = gc_interval if gc_interval else step_limit
     while True:
-        configuration = machine.step(state)
-        steps += 1
-        if isinstance(configuration, Final):
+        configuration, taken = run_steps(state, min(batch, step_limit - steps))
+        steps += taken
+        if configuration.is_final:
             return configuration, steps
         state = configuration
         if gc_interval and steps % gc_interval == 0:

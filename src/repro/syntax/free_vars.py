@@ -3,12 +3,20 @@
 Used by the I_free and I_sfs reference implementations (section 10),
 whose rules restrict environments to the free variables of the
 expressions that remain to be evaluated.
+
+Every function here interns its result: identical queries return the
+*same* frozenset object (nodes are immutable and compare by identity,
+tuples of nodes hash by those identities).  The stepper's pre-pass
+(``repro.compiler.prepass``) warms these caches once per program so
+the per-step restriction rules of I_free/I_sfs reduce to cache hits,
+and the interned sets carry their cached frozenset hashes into the
+memoized :meth:`Environment.restrict`.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import FrozenSet, Iterable
+from typing import FrozenSet, Iterable, Tuple
 
 from .ast import Call, Expr, If, Lambda, Quote, SetBang, Var
 
@@ -40,10 +48,30 @@ def free_vars(expr: Expr) -> FrozenSet[str]:
     raise TypeError(f"not a Core Scheme expression: {expr!r}")
 
 
-def free_vars_of_all(exprs: Iterable[Expr]) -> FrozenSet[str]:
-    """Union of FV over several expressions (e.g. the pending operands
-    of a push continuation)."""
+@lru_cache(maxsize=None)
+def _free_vars_of_tuple(exprs: Tuple[Expr, ...]) -> FrozenSet[str]:
     result: FrozenSet[str] = frozenset()
     for expr in exprs:
         result |= free_vars(expr)
     return result
+
+
+def free_vars_of_all(exprs: Iterable[Expr]) -> FrozenSet[str]:
+    """Union of FV over several expressions (e.g. the pending operands
+    of a push continuation), interned per expression tuple."""
+    if type(exprs) is not tuple:
+        exprs = tuple(exprs)
+    return _free_vars_of_tuple(exprs)
+
+
+@lru_cache(maxsize=None)
+def branch_free_vars(consequent: Expr, alternative: Expr) -> FrozenSet[str]:
+    """FV(consequent) | FV(alternative), interned per branch pair —
+    the name set I_sfs's select rule restricts to."""
+    return free_vars(consequent) | free_vars(alternative)
+
+
+@lru_cache(maxsize=None)
+def name_set(name: str) -> FrozenSet[str]:
+    """The singleton {name}, interned — I_sfs's assign restriction."""
+    return frozenset((name,))

@@ -1,0 +1,418 @@
+"""The compiled-once stepper against the preserved seed stepper.
+
+The live stepper (:mod:`repro.machine.machine`) annotates the program
+at inject time and dispatches through class-keyed tables; the seed
+transition function is preserved verbatim in
+:mod:`repro.machine.reference_step`.  The pre-pass invariant is that
+annotations are derived, never authoritative — so the two steppers
+must agree *exactly*: state by state on the configuration sequence,
+and number by number on answers, step counts, and the Definition 21/23
+space measurements (S_X and U_X, both precisions), on every machine.
+
+These tests hold that equality over the corpus, the separator
+families, escape/cycle/assignment-heavy programs, random terminating
+programs, and non-default evaluation orders, and unit-test the
+pre-pass caches themselves (plan interning, suffix identity, quote
+interning, memoized restriction).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.prepass import (
+    annotate,
+    call_plan,
+    plan_count,
+    quote_value,
+)
+from repro.machine.config import State
+from repro.machine.continuation import Assign, Push, ReturnStack, Select
+from repro.machine.errors import StuckError
+from repro.machine.policy import (
+    LeftToRight,
+    OperatorLast,
+    RightToLeft,
+    Shuffled,
+    identity_permutation,
+)
+from repro.machine.reference_step import SEED_STEPPERS, make_seed_stepper
+from repro.machine.variants import ALL_MACHINES, make_machine
+from repro.programs.corpus import load_corpus
+from repro.programs.separators import SEPARATORS
+from repro.space.consumption import prepare_input, prepare_program
+from repro.space.meter import run_metered
+from repro.syntax.ast import Call, Quote, Var
+from repro.syntax.free_vars import free_vars
+
+ALL_MACHINE_NAMES = tuple(sorted(ALL_MACHINES))
+
+
+def test_seed_steppers_cover_all_machines():
+    assert set(SEED_STEPPERS) == set(ALL_MACHINES)
+
+
+# ---------------------------------------------------------------------------
+# Pre-pass unit tests
+# ---------------------------------------------------------------------------
+
+
+def _parse(source):
+    return prepare_program(source)
+
+
+def test_call_plan_is_interned_per_site_and_order():
+    call = _parse("(f 1 2)")
+    assert isinstance(call, Call)
+    identity = identity_permutation(3)
+    plan = call_plan(call, identity)
+    assert call_plan(call, identity) is plan
+    reverse = (2, 1, 0)
+    other = call_plan(call, reverse)
+    assert other is not plan
+    assert call_plan(call, reverse) is other
+
+
+def test_call_plan_suffixes_chain_by_identity():
+    call = _parse("(f 1 2 3)")
+    plan = call_plan(call, identity_permutation(4))
+    assert plan.first is call.exprs[0]
+    assert plan.pending == call.exprs[1:]
+    assert len(plan.suffixes) == len(plan.pending) + 1
+    assert plan.suffixes[0] is plan.pending
+    assert plan.suffixes[-1] == ()
+    for j, suffix in enumerate(plan.suffixes):
+        assert suffix == plan.pending[j:]
+        expected = frozenset().union(*(free_vars(e) for e in suffix)) \
+            if suffix else frozenset()
+        assert plan.suffix_fvs[j] == expected
+    assert plan.is_identity
+
+
+def test_call_plan_rejects_non_permutations():
+    call = _parse("(f 1)")
+    for bad in ((0,), (0, 0), (0, 2), (1, 0, 2)):
+        if sorted(bad) == list(range(len(call.exprs))):
+            continue
+        with pytest.raises(StuckError, match="non-permutation"):
+            call_plan(call, bad)
+
+
+def test_annotate_warms_identity_plans():
+    expr = _parse("((lambda (x) (if x (f x '1) (g x))) '2)")
+    before = plan_count()
+    annotate(expr)
+    assert plan_count() >= before  # sites interned (idempotent on rerun)
+    for node in _walk_calls(expr):
+        assert call_plan(node, identity_permutation(len(node.exprs))) is \
+            call_plan(node, identity_permutation(len(node.exprs)))
+
+
+def _walk_calls(expr):
+    from repro.syntax.ast import walk
+
+    return [node for node in walk(expr) if isinstance(node, Call)]
+
+
+def test_quote_values_interned_except_strings():
+    program = _parse("(f '7 'sym \"abc\" \"abc\")")
+    num_node = program.exprs[1]
+    sym_node = program.exprs[2]
+    str_node = program.exprs[3]
+    assert isinstance(num_node, Quote)
+    assert quote_value(num_node) is quote_value(num_node)
+    assert quote_value(sym_node) is quote_value(sym_node)
+    # eqv? on strings is identity: each evaluation must yield a fresh Str.
+    first = quote_value(str_node)
+    second = quote_value(str_node)
+    assert first is not second
+    assert first.value == second.value
+
+
+def test_restrict_is_memoized_and_superset_returns_self():
+    from repro.machine.environment import Environment
+
+    env = Environment({"a": 1, "b": 2, "c": 3})
+    small = frozenset(("a", "c"))
+    once = env.restrict(small)
+    assert env.restrict(small) is once
+    assert sorted(once.names()) == ["a", "c"]
+    assert once.lookup("a") == 1 and once.lookup("c") == 3
+    assert env.restrict(frozenset(("a", "b", "c", "zzz"))) is env
+    assert env.restrict(frozenset()).location_tuple() == ()
+    # Non-frozenset iterables still work (direct hook calls in tests).
+    assert sorted(env.restrict(("b",)).names()) == ["b"]
+
+
+def test_policies_return_interned_permutations():
+    assert LeftToRight().permutation(3) is identity_permutation(3)
+    assert LeftToRight().permutation(3) is LeftToRight().permutation(3)
+    assert RightToLeft().permutation(4) is RightToLeft().permutation(4)
+    assert OperatorLast().permutation(4) == (1, 2, 3, 0)
+    assert sorted(Shuffled(seed=7).permutation(5)) == [0, 1, 2, 3, 4]
+
+
+def test_hand_built_push_frame_without_plan_still_steps():
+    """States built by hand (no pre-pass, no plan) must step through
+    the fallback slicing path to the same answer."""
+    machine = make_machine("tail")
+    program = _parse("(+ '1 (+ '2 '3))")
+    state = machine.inject(program)
+    first = machine.step(state)
+    planned = first.kont
+    assert isinstance(planned, Push) and planned.plan is not None
+    bare = Push(
+        planned.pending, planned.done, planned.order, planned.env,
+        planned.parent, site=planned.site,
+    )
+    alt = State(first.control, first.is_value, first.env, bare, first.store)
+    answers = []
+    for current in (first, alt):
+        for _ in range(100):
+            current = machine.step(current)
+            if current.is_final:
+                break
+        assert current.is_final
+        answers.append(repr(current.value))
+    assert answers[0] == answers[1] == "NUM:6"
+
+
+# ---------------------------------------------------------------------------
+# State-by-state lockstep
+# ---------------------------------------------------------------------------
+
+
+def _kont_signature(kont):
+    signature = []
+    while kont is not None:
+        entry = [type(kont).__name__]
+        if kont.env is not None:
+            entry.append(tuple(sorted(kont.env.graph())))
+        values = kont.direct_values()
+        if values:
+            entry.append(tuple(repr(value) for value in values))
+        if isinstance(kont, Push):
+            entry.append(tuple(id(expr) for expr in kont.pending))
+            entry.append(kont.order)
+        elif isinstance(kont, Select):
+            entry.append((id(kont.consequent), id(kont.alternative)))
+        elif isinstance(kont, Assign):
+            entry.append(kont.name)
+        elif isinstance(kont, ReturnStack):
+            entry.append(kont.frame)
+        signature.append(tuple(entry))
+        kont = kont.parent
+    return tuple(signature)
+
+
+def _fingerprint(configuration):
+    """Everything observable about a configuration, identity-free for
+    values (repr) and identity-based for code (the two steppers share
+    the same AST objects)."""
+    store = configuration.store
+    store_sig = (len(store), store.space_bignum, store.space_fixed)
+    if configuration.is_final:
+        return ("final", repr(configuration.value), store_sig)
+    control = (
+        repr(configuration.control)
+        if configuration.is_value
+        else id(configuration.control)
+    )
+    return (
+        control,
+        tuple(sorted(configuration.env.graph())),
+        _kont_signature(configuration.kont),
+        store_sig,
+    )
+
+
+LOCKSTEP_PROGRAMS = {
+    "tail-loop": "(define (f n) (if (zero? n) 'done (f (- n 1)))) (f 25)",
+    "nontail-sum": "(define (f n) (if (zero? n) 0 (+ n (f (- n 1))))) (f 12)",
+    "closures": """
+        (define (adder k) (lambda (x) (+ x k)))
+        (define (go n acc)
+          (if (zero? n) acc (go (- n 1) ((adder n) acc))))
+        (go 8 0)
+        """,
+    "assignment": """
+        (define acc '())
+        (define (f n)
+          (if (zero? n) (length acc)
+              (begin (set! acc (cons n acc)) (f (- n 1)))))
+        (f 9)
+        """,
+    "escape": """
+        (define (f n k) (if (zero? n) (k 99) (f (- n 1) k)))
+        (call-with-current-continuation (lambda (k) (f 6 k)))
+        """,
+    "higher-order": """
+        (define (map1 f xs)
+          (if (null? xs) '() (cons (f (car xs)) (map1 f (cdr xs)))))
+        (map1 (lambda (x) (* x x)) (cons 1 (cons 2 (cons 3 '()))))
+        """,
+}
+
+LOCKSTEP_LIMIT = 50_000
+
+
+def _lockstep(machine_name, source, argument=None, policy_factory=None):
+    program = prepare_program(source)
+    argument = prepare_input(argument)
+    if argument is not None:
+        # inject() builds a fresh (P D) Call wrapper per stepper; wrap
+        # once here so both steppers share every AST node (the
+        # identity-based parts of the fingerprint rely on that).
+        program = Call((program, argument))
+        argument = None
+    annotated = (
+        make_machine(machine_name, policy=policy_factory())
+        if policy_factory is not None
+        else make_machine(machine_name)
+    )
+    seed = (
+        make_seed_stepper(machine_name, policy=policy_factory())
+        if policy_factory is not None
+        else make_seed_stepper(machine_name)
+    )
+    a_state = annotated.inject(program, argument)
+    s_state = seed.inject(program, argument)
+    assert _fingerprint(a_state) == _fingerprint(s_state)
+    for step_index in range(LOCKSTEP_LIMIT):
+        a_state = annotated.step(a_state)
+        s_state = seed.step(s_state)
+        assert _fingerprint(a_state) == _fingerprint(s_state), (
+            machine_name,
+            step_index,
+        )
+        if a_state.is_final:
+            assert s_state.is_final
+            return step_index + 1
+    raise AssertionError(f"no final configuration in {LOCKSTEP_LIMIT} steps")
+
+
+@pytest.mark.parametrize("name", sorted(LOCKSTEP_PROGRAMS), ids=str)
+@pytest.mark.parametrize("machine_name", ALL_MACHINE_NAMES)
+def test_lockstep_state_by_state(machine_name, name):
+    _lockstep(machine_name, LOCKSTEP_PROGRAMS[name])
+
+
+@pytest.mark.parametrize("machine_name", ("tail", "sfs", "bigloo"))
+@pytest.mark.parametrize(
+    "policy_factory", (RightToLeft, OperatorLast, lambda: Shuffled(seed=13)),
+    ids=("right-to-left", "operator-last", "shuffled"),
+)
+def test_lockstep_under_nondefault_orders(machine_name, policy_factory):
+    _lockstep(
+        machine_name,
+        LOCKSTEP_PROGRAMS["nontail-sum"],
+        policy_factory=policy_factory,
+    )
+    _lockstep(
+        machine_name,
+        LOCKSTEP_PROGRAMS["closures"],
+        policy_factory=policy_factory,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Run-level equality: answers, steps, and every space number
+# ---------------------------------------------------------------------------
+
+
+def _meter_numbers(result):
+    return (
+        result.steps,
+        result.sup_space,
+        result.consumption,
+        result.collected,
+        result.peak_step,
+        repr(result.final.value),
+    )
+
+
+def assert_steppers_agree(machine_name, program, argument, **options):
+    program = prepare_program(program)
+    argument = prepare_input(argument)
+    annotated = run_metered(
+        make_machine(machine_name), program, argument, **options
+    )
+    seed = run_metered(
+        make_seed_stepper(machine_name), program, argument, **options
+    )
+    assert _meter_numbers(annotated) == _meter_numbers(seed), (
+        machine_name,
+        options,
+    )
+
+
+@pytest.mark.parametrize("program", load_corpus(), ids=lambda p: p.name)
+@pytest.mark.parametrize("machine_name", ALL_MACHINE_NAMES)
+def test_steppers_agree_on_corpus(machine_name, program):
+    for linked in (False, True):
+        assert_steppers_agree(
+            machine_name, program.source, program.default_input, linked=linked
+        )
+
+
+@pytest.mark.parametrize("separator", SEPARATORS, ids=lambda s: s.name)
+@pytest.mark.parametrize("machine_name", ALL_MACHINE_NAMES)
+def test_steppers_agree_on_separators(machine_name, separator):
+    for linked in (False, True):
+        assert_steppers_agree(
+            machine_name,
+            separator.source,
+            "12",
+            linked=linked,
+            fixed_precision=True,
+        )
+
+
+@pytest.mark.parametrize("machine_name", ALL_MACHINE_NAMES)
+def test_steppers_agree_on_lockstep_programs_metered(machine_name):
+    for name in sorted(LOCKSTEP_PROGRAMS):
+        assert_steppers_agree(
+            machine_name, LOCKSTEP_PROGRAMS[name], None, linked=True
+        )
+
+
+def test_runner_stepper_knob():
+    from repro.harness.runner import run
+
+    source = LOCKSTEP_PROGRAMS["nontail-sum"]
+    annotated = run(source, meter=True, machine="sfs")
+    seed = run(source, meter=True, machine="sfs", stepper="seed")
+    assert annotated.answer == seed.answer
+    assert annotated.steps == seed.steps
+    assert annotated.sup_space == seed.sup_space
+    assert annotated.consumption == seed.consumption
+    with pytest.raises(ValueError, match="unknown stepper"):
+        run(source, stepper="compiled")
+
+
+# ---------------------------------------------------------------------------
+# Random terminating programs (hypothesis)
+# ---------------------------------------------------------------------------
+
+# The same structurally-decreasing strategy the metering-engine oracle
+# tests use: assignments, cycle-building pairs, and escapes are all
+# reachable, and every program terminates.
+from test_delta_meter import random_bodies  # noqa: E402
+
+
+@given(random_bodies, st.sampled_from(("tail", "gc", "sfs", "bigloo")))
+@settings(max_examples=50, deadline=None)
+def test_steppers_agree_on_random_programs(body, machine_name):
+    program = f"(define (f n) (let ((a n) (b 1)) {body}))"
+    for linked in (False, True):
+        assert_steppers_agree(machine_name, program, "3", linked=linked)
+
+
+@given(random_bodies)
+@settings(max_examples=25, deadline=None)
+def test_lockstep_on_random_programs(body):
+    program = f"(define (f n) (let ((a n) (b 1)) {body}))"
+    for machine_name in ("sfs", "mta"):
+        _lockstep(machine_name, program, "3")
