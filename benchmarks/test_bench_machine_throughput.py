@@ -36,8 +36,19 @@ ARGUMENT = prepare_input("10")
 MACHINES = ("tail", "gc", "stack", "evlis", "free", "sfs", "bigloo", "mta")
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
-THROUGHPUT_JSON = os.path.join(RESULTS_DIR, "BENCH_throughput.json")
-STEP_RATE_JSON = os.path.join(RESULTS_DIR, "BENCH_step_rate.json")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+THROUGHPUT_JSON = "BENCH_throughput.json"
+STEP_RATE_JSON = "BENCH_step_rate.json"
+
+
+def _write_summary(name, log):
+    """One copy under benchmarks/results/ (the citable artifact) and
+    one at the repo root (the at-a-glance summary)."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    for directory in (RESULTS_DIR, REPO_ROOT):
+        with open(os.path.join(directory, name), "w") as handle:
+            json.dump(log, handle, indent=2, sort_keys=True)
+            handle.write("\n")
 
 SPEEDUP_SEPARATOR = "gc-vs-tail"
 SPEEDUP_MACHINE = "gc"
@@ -50,10 +61,7 @@ def throughput_log():
     at session end."""
     log = {"steps_per_second": {}, "engine_speedup": {}}
     yield log
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(THROUGHPUT_JSON, "w") as handle:
-        json.dump(log, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    _write_summary(THROUGHPUT_JSON, log)
 
 
 def record_rate(log, label, steps, seconds):
@@ -169,10 +177,7 @@ def step_rate_log():
         "acceptance": {},
     }
     yield log
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(STEP_RATE_JSON, "w") as handle:
-        json.dump(log, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    _write_summary(STEP_RATE_JSON, log)
 
 
 def _best_step_rate(factory, name, program, argument):

@@ -1,0 +1,193 @@
+"""Telemetry overhead — the zero-cost-when-disabled contract.
+
+The trace bus hangs off every machine as a ``trace`` attribute that
+the fused run loop checks once per batch; the metrics and blame hooks
+live behind ``is None`` tests in the meter.  The acceptance criterion
+for the telemetry stack is that a machine with telemetry *disabled*
+(the only state tier-1 runs ever see) keeps at least 90% of the
+steps/second recorded in ``BENCH_step_rate.json``'s
+``after_steps_per_second`` baselines on the same workload.
+
+The telemetry-*on* ratio is recorded for the record (it is allowed to
+be expensive — the traced path steps configuration-by-configuration),
+and the whole summary lands in ``BENCH_telemetry_overhead.json`` both
+under ``benchmarks/results/`` and at the repo root.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks -m telemetry_overhead
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.machine.variants import make_machine
+from repro.programs.corpus import load_program
+from repro.space.consumption import prepare_input, prepare_program
+from repro.space.meter import run_metered, run_to_final
+from repro.telemetry.bus import TraceBus
+
+PROGRAM = prepare_program(load_program("fib").source)
+ARGUMENT = prepare_input("13")
+
+MACHINES = ("tail", "gc", "stack", "evlis", "free", "sfs", "bigloo", "mta")
+
+ROUNDS = 7
+MAX_OVERHEAD = 0.10  # disabled telemetry may cost at most 10%
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OVERHEAD_JSON = "BENCH_telemetry_overhead.json"
+STEP_RATE_JSON = os.path.join(RESULTS_DIR, "BENCH_step_rate.json")
+
+
+def _baseline_rates():
+    """after_steps_per_second per machine from the step-rate bench;
+    regenerate with ``pytest benchmarks -m step_rate`` when moving to
+    new hardware."""
+    if not os.path.exists(STEP_RATE_JSON):
+        pytest.skip(
+            "no BENCH_step_rate.json baseline; run the step_rate "
+            "benchmarks first"
+        )
+    with open(STEP_RATE_JSON) as handle:
+        payload = json.load(handle)
+    return {
+        name: entry["after_steps_per_second"]
+        for name, entry in payload["machines"].items()
+    }
+
+
+def _best_rate(run_once):
+    best = 0.0
+    steps = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        steps = run_once()
+        elapsed = time.perf_counter() - start
+        best = max(best, steps / elapsed)
+    return best, steps
+
+
+@pytest.fixture(scope="session")
+def overhead_log():
+    log = {
+        "workload": "fib(13)",
+        "max_overhead": MAX_OVERHEAD,
+        "baseline": "BENCH_step_rate.json after_steps_per_second",
+        "machines": {},
+        "traced": {},
+    }
+    yield log
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    for directory in (RESULTS_DIR, REPO_ROOT):
+        with open(os.path.join(directory, OVERHEAD_JSON), "w") as handle:
+            json.dump(log, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+@pytest.mark.telemetry_overhead
+@pytest.mark.parametrize("name", MACHINES)
+def test_bench_telemetry_off_overhead(overhead_log, name):
+    """Telemetry disabled (trace attribute None) keeps >= 90% of the
+    recorded fused-loop step rate."""
+    rates = _baseline_rates()
+    if name not in rates:
+        pytest.skip(
+            f"no {name} entry in BENCH_step_rate.json (partial baseline "
+            "run); regenerate with pytest benchmarks -m step_rate"
+        )
+    baseline = rates[name]
+    machine = make_machine(name)
+    assert machine.trace is None  # the tier-1 default
+
+    def run_once():
+        _final, steps = run_to_final(machine, PROGRAM, ARGUMENT)
+        return steps
+
+    rate, steps = _best_rate(run_once)
+    ratio = rate / baseline
+    overhead_log["machines"][name] = {
+        "transitions": steps,
+        "baseline_steps_per_second": baseline,
+        "telemetry_off_steps_per_second": round(rate, 1),
+        "ratio": round(ratio, 3),
+    }
+    assert ratio >= 1.0 - MAX_OVERHEAD, (
+        f"{name}: telemetry-off rate {rate:.0f}/s is "
+        f"{(1 - ratio) * 100:.1f}% below the {baseline:.0f}/s baseline"
+    )
+
+
+@pytest.mark.telemetry_overhead
+def test_bench_telemetry_on_ratio(overhead_log):
+    """For the record: the cost of actually tracing (unmetered, step
+    events only, against the same machine with the bus detached).
+    No ceiling asserted — the traced path is allowed to be slow — but
+    the trace must see every transition."""
+    machine = make_machine("tail")
+
+    def run_once():
+        _final, steps = run_to_final(machine, PROGRAM, ARGUMENT)
+        return steps
+
+    off_rate, steps = _best_rate(run_once)
+
+    def run_traced():
+        machine.trace = TraceBus(capacity=4096, sample={"step": 64})
+        try:
+            _final, steps = run_to_final(machine, PROGRAM, ARGUMENT)
+        finally:
+            bus, machine.trace = machine.trace, None
+        assert bus.steps == steps
+        return steps
+
+    on_rate, _ = _best_rate(run_traced)
+    overhead_log["traced"] = {
+        "machine": "tail",
+        "transitions": steps,
+        "telemetry_off_steps_per_second": round(off_rate, 1),
+        "telemetry_on_steps_per_second": round(on_rate, 1),
+        "slowdown": round(off_rate / on_rate, 2),
+    }
+    assert on_rate > 0
+
+
+@pytest.mark.telemetry_overhead
+def test_bench_metered_telemetry_ratio(overhead_log):
+    """The full stack (bus + metrics + blame) on a metered run, against
+    the bare meter — recorded, and the numbers must agree exactly."""
+    from repro.telemetry.blame import BlameProfiler
+    from repro.telemetry.metrics import MetricsRegistry
+
+    def bare():
+        machine = make_machine("gc")
+        result = run_metered(machine, PROGRAM, ARGUMENT)
+        return result
+
+    def stacked():
+        machine = make_machine("gc")
+        bus = TraceBus()
+        result = run_metered(
+            machine, PROGRAM, ARGUMENT,
+            trace=bus, metrics=MetricsRegistry(),
+            blame=BlameProfiler(every=64),
+        )
+        return result
+
+    bare_rate, _ = _best_rate(lambda: bare().steps)
+    bare_result = bare()
+    stacked_result = stacked()
+    stacked_rate, _ = _best_rate(lambda: stacked().steps)
+    assert (bare_result.sup_space, bare_result.steps) == (
+        stacked_result.sup_space, stacked_result.steps
+    )
+    overhead_log["metered"] = {
+        "machine": "gc",
+        "bare_steps_per_second": round(bare_rate, 1),
+        "full_stack_steps_per_second": round(stacked_rate, 1),
+        "slowdown": round(bare_rate / stacked_rate, 2),
+    }

@@ -26,7 +26,9 @@ The package layers:
 - :mod:`repro.programs` — the paper's example and separator programs
   plus a classic-benchmark corpus;
 - :mod:`repro.harness` — one-call run/compare/sweep drivers and table
-  rendering.
+  rendering;
+- :mod:`repro.telemetry` — structured trace bus, metrics registry,
+  space-blame profiler, and JSONL/Chrome-trace exporters.
 """
 
 import sys as _sys
@@ -56,6 +58,14 @@ from .space.safety import (  # noqa: E402
     is_properly_tail_recursive,
 )
 from .syntax.expander import expand_expression, expand_program  # noqa: E402
+from .telemetry import (  # noqa: E402
+    BlameProfiler,
+    MetricsRegistry,
+    TraceBus,
+    blame_configuration,
+    replay,
+    trace_run,
+)
 
 __version__ = "1.0.0"
 
@@ -78,5 +88,11 @@ __all__ = [
     "is_properly_tail_recursive",
     "expand_expression",
     "expand_program",
+    "BlameProfiler",
+    "MetricsRegistry",
+    "TraceBus",
+    "blame_configuration",
+    "replay",
+    "trace_run",
     "__version__",
 ]

@@ -18,9 +18,19 @@ from typing import List, Optional
 
 from .analysis.dynamic import dynamic_census_table, run_census
 from .analysis.frequency import analyze_program, frequency_table
-from .harness.report import render_series, render_table
+from .harness.report import (
+    render_blame_table,
+    render_series,
+    render_step_mix,
+    render_table,
+)
 from .harness.runner import run
-from .harness.sweep import grid_cells, run_grid, series_from_outcomes
+from .harness.sweep import (
+    aggregate_metrics,
+    grid_cells,
+    run_grid,
+    series_from_outcomes,
+)
 from .machine.variants import ALL_MACHINES
 from .programs.corpus import load_corpus
 from .space.asymptotics import fit_growth, is_bounded
@@ -34,8 +44,38 @@ def _read_source(path: str) -> str:
         return handle.read()
 
 
+def _trace_paths(base: str) -> "tuple":
+    """(jsonl, chrome) output paths for a ``--trace-out`` base: the
+    JSONL log goes to the base itself, the Chrome/Perfetto trace next
+    to it with a ``.chrome.json`` suffix."""
+    stem = base[:-6] if base.endswith(".jsonl") else base
+    return base, f"{stem}.chrome.json"
+
+
+def _export_trace(bus, base: str) -> None:
+    from .telemetry.export import write_chrome_trace, write_jsonl
+
+    jsonl_path, chrome_path = _trace_paths(base)
+    events = write_jsonl(bus, jsonl_path)
+    write_chrome_trace(bus, chrome_path)
+    print(
+        f"; trace: {events} events -> {jsonl_path} (+ {chrome_path})",
+        file=sys.stderr,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     source = _read_source(args.program)
+    bus = None
+    registry = None
+    if args.trace_out:
+        from .telemetry.bus import TraceBus
+
+        bus = TraceBus()
+    if args.metrics:
+        from .telemetry.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
     result = run(
         source,
         args.arg,
@@ -44,6 +84,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         linked=args.linked,
         fixed_precision=args.fixed_precision,
         step_limit=args.step_limit,
+        stepper=args.stepper,
+        gc_interval=args.gc_interval,
+        trace=bus,
+        metrics=registry,
     )
     print(result.answer)
     if args.meter:
@@ -52,6 +96,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"S_{args.machine}={result.consumption}",
             file=sys.stderr,
         )
+    if bus is not None:
+        _export_trace(bus, args.trace_out)
+    if registry is not None:
+        from .telemetry.export import write_metrics
+
+        write_metrics(registry, args.metrics, machine=args.machine)
+        print(f"; metrics -> {args.metrics}", file=sys.stderr)
     return 0
 
 
@@ -96,6 +147,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         fixed_precision=args.fixed_precision,
         linked=args.linked,
         engine=args.engine,
+        metrics=bool(args.metrics),
     )
     outcomes = run_grid(cells, jobs=args.jobs, timeout=args.timeout)
     by_machine = series_from_outcomes(outcomes)
@@ -110,6 +162,109 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 label = f"{machine} [{fit_growth(ns, totals).name}]"
         series[label] = list(totals)
     print(render_series(ns, series, title=f"S_X({args.program}, N)"))
+    if args.metrics:
+        from .telemetry.export import write_metrics
+
+        merged = aggregate_metrics(outcomes)
+        write_metrics(
+            merged,
+            args.metrics,
+            program=args.program,
+            machines=machines,
+            ns=list(ns),
+        )
+        print(f"; metrics ({len(outcomes)} cells) -> {args.metrics}",
+              file=sys.stderr)
+    if args.trace_out:
+        from .telemetry.bus import TraceBus
+
+        bus = TraceBus()
+        bus.meta.update(program=args.program, grid=len(outcomes))
+        for outcome in outcomes:
+            key = ":".join(str(part) for part in outcome.cell.key)
+            if outcome.result is not None:
+                bus.emit_cell(f"total:{key}", outcome.result.total)
+                bus.emit_cell(f"steps:{key}", outcome.result.steps)
+        _export_trace(bus, args.trace_out)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .telemetry.blame import trace_run
+    from .telemetry.export import write_chrome_trace, write_jsonl, write_metrics
+    from .telemetry.metrics import step_mix
+
+    source = _read_source(args.program)
+    machines = args.machine.split(",")
+    for name in machines:
+        if name not in ALL_MACHINES:
+            raise SystemExit(f"unknown machine: {name!r}")
+    accounting = "U" if args.linked else "S"
+    for name in machines:
+        session = trace_run(
+            name,
+            source,
+            args.arg,
+            linked=args.linked,
+            fixed_precision=args.fixed_precision,
+            stepper=args.stepper,
+            engine=args.engine,
+            gc_interval=args.gc_interval,
+            step_limit=args.step_limit,
+            sample=(
+                {"step": args.sample, "apply": args.sample}
+                if args.sample > 1 else None
+            ),
+            capacity=args.capacity,
+            blame_every=args.blame_every,
+        )
+        result = session.result
+        print(
+            f"{name}: answer={session.extra['answer']} "
+            f"steps={result.steps} sup-space={result.sup_space} "
+            f"(at step {result.peak_step}) "
+            f"{accounting}_{name}={result.consumption}"
+        )
+        mix = step_mix(session.metrics, machine=name)
+        print(render_step_mix(mix, title=f"step mix [{name}]"))
+        blame = session.blame
+        print(render_blame_table(
+            dict(blame.at_peak),
+            total=blame.peak_space,
+            title=(
+                f"space blame at peak [{name}, "
+                f"step {blame.peak_step}]"
+            ),
+            limit=args.top,
+        ))
+        if args.trace_out:
+            suffix = f".{name}" if len(machines) > 1 else ""
+            base, chrome = _trace_paths(args.trace_out)
+            stem = base[:-6] if base.endswith(".jsonl") else base
+            jsonl_path = (
+                f"{stem}{suffix}.jsonl" if suffix else base
+            )
+            chrome_path = (
+                f"{stem}{suffix}.chrome.json" if suffix else chrome
+            )
+            events = write_jsonl(session.bus, jsonl_path)
+            write_chrome_trace(session.bus, chrome_path)
+            print(
+                f"; trace: {events} events -> {jsonl_path} "
+                f"(+ {chrome_path})",
+                file=sys.stderr,
+            )
+        if args.metrics:
+            suffix = f".{name}" if len(machines) > 1 else ""
+            stem = (
+                args.metrics[:-5]
+                if args.metrics.endswith(".json") else args.metrics
+            )
+            metrics_path = (
+                f"{stem}{suffix}.json" if suffix else args.metrics
+            )
+            write_metrics(session.metrics, metrics_path, machine=name)
+            print(f"; metrics -> {metrics_path}", file=sys.stderr)
     return 0
 
 
@@ -156,6 +311,24 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--fixed-precision", action="store_true",
                             help="charge every number one word")
     run_parser.add_argument("--step-limit", type=int, default=5_000_000)
+    run_parser.add_argument(
+        "--stepper", default="annotated", choices=("annotated", "seed"),
+        help="transition function: compiled-once live stepper or the "
+        "preserved seed stepper (identical semantics)",
+    )
+    run_parser.add_argument(
+        "--gc-interval", type=int, default=1,
+        help="collect every k-th step on metered runs (default 1)",
+    )
+    run_parser.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the run's event stream to PATH (JSONL) and "
+        "PATH-stem.chrome.json (Chrome/Perfetto trace)",
+    )
+    run_parser.add_argument(
+        "--metrics", metavar="PATH",
+        help="write a metrics registry dump (JSON) to PATH",
+    )
     run_parser.set_defaults(handler=_cmd_run)
 
     machines_parser = commands.add_parser(
@@ -206,7 +379,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", default="delta", choices=ENGINES,
         help="metering engine (both report identical numbers)",
     )
+    sweep_parser.add_argument(
+        "--metrics", metavar="PATH",
+        help="collect per-cell metrics in the workers, aggregate them "
+        "across the grid, and write the merged dump (JSON) to PATH",
+    )
+    sweep_parser.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write one summary event per grid cell to PATH (JSONL) "
+        "and PATH-stem.chrome.json",
+    )
     sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    trace_parser = commands.add_parser(
+        "trace",
+        help="run with the full telemetry stack: step mix, space "
+        "blame at the peak, exported trace/metrics",
+    )
+    trace_parser.add_argument("program", help="path to a .scm file, or -")
+    trace_parser.add_argument("--arg", help="input expression D for (P D)")
+    trace_parser.add_argument(
+        "--machine", default="tail",
+        help="comma-separated machine names",
+    )
+    trace_parser.add_argument("--linked", action="store_true",
+                              help="Figure 8 (linked) accounting")
+    trace_parser.add_argument("--fixed-precision", action="store_true")
+    trace_parser.add_argument(
+        "--stepper", default="annotated", choices=("annotated", "seed")
+    )
+    trace_parser.add_argument("--engine", default="delta", choices=ENGINES)
+    trace_parser.add_argument("--gc-interval", type=int, default=1)
+    trace_parser.add_argument("--step-limit", type=int, default=5_000_000)
+    trace_parser.add_argument(
+        "--sample", type=int, default=1,
+        help="keep every k-th step/apply event (space, gc, and phase "
+        "events are never sampled away)",
+    )
+    trace_parser.add_argument(
+        "--capacity", type=int, default=None,
+        help="bound the event buffer (ring semantics: oldest dropped)",
+    )
+    trace_parser.add_argument(
+        "--blame-every", type=int, default=1,
+        help="decompose every k-th measured configuration",
+    )
+    trace_parser.add_argument(
+        "--top", type=int, default=12,
+        help="blame table rows before folding into '(other)'",
+    )
+    trace_parser.add_argument("--trace-out", metavar="PATH")
+    trace_parser.add_argument("--metrics", metavar="PATH")
+    trace_parser.set_defaults(handler=_cmd_trace)
 
     corpus_parser = commands.add_parser(
         "corpus", help="list the bundled benchmark corpus"

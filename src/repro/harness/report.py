@@ -59,6 +59,51 @@ def render_series(
     return render_table(headers, rows, title=title)
 
 
+def render_blame_table(
+    blame: dict,
+    total: Optional[int] = None,
+    title: Optional[str] = None,
+    limit: Optional[int] = None,
+) -> str:
+    """Render a space-blame attribution ({label: words}) as a ranked
+    "who holds the space" table, largest holder first, with each row's
+    share of the total.  ``total`` defaults to the sum of the blame
+    (they coincide for an exact decomposition); ``limit`` keeps the top
+    rows and folds the rest into one "(other)" line."""
+    entries = sorted(blame.items(), key=lambda item: (-item[1], item[0]))
+    grand = total if total is not None else sum(blame.values())
+    if limit is not None and len(entries) > limit:
+        rest = sum(words for _label, words in entries[limit:])
+        folded = len(entries) - limit
+        entries = entries[:limit]
+        entries.append((f"(other: {folded} labels)", rest))
+    denominator = grand or 1
+    rows: List[Sequence[Cell]] = [
+        [label, words, f"{100.0 * words / denominator:.1f}%"]
+        for label, words in entries
+    ]
+    rows.append(["TOTAL", grand, "100.0%" if grand else "-"])
+    return render_table(["holder", "words", "share"], rows, title=title)
+
+
+def render_step_mix(
+    counts: dict,
+    title: Optional[str] = None,
+) -> str:
+    """Render a step-kind mix ({kind label: steps}) as a ranked table
+    with per-kind shares — the shape of the metrics registry's
+    ``step_mix``."""
+    entries = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    total = sum(counts.values())
+    denominator = total or 1
+    rows: List[Sequence[Cell]] = [
+        [kind, steps, f"{100.0 * steps / denominator:.1f}%"]
+        for kind, steps in entries
+    ]
+    rows.append(["TOTAL", total, "100.0%" if total else "-"])
+    return render_table(["step kind", "steps", "share"], rows, title=title)
+
+
 def sparkline(values: Sequence[float], width: int = 60) -> str:
     """A coarse text sparkline of a space trace (for examples)."""
     if not values:

@@ -58,6 +58,9 @@ def run(
     step_limit: int = DEFAULT_STEP_LIMIT,
     answer_limit: int = 10000,
     stepper: str = "annotated",
+    trace=None,
+    metrics=None,
+    blame=None,
 ) -> RunResult:
     """Run *program* (optionally applied to *argument*).
 
@@ -75,9 +78,20 @@ def run(
     identical answers, step counts, and space numbers — the lockstep
     suite holds them equal — so this knob exists for differential
     testing and before/after benchmarking, not for semantics.
+
+    ``trace``/``metrics``/``blame`` attach the telemetry stack (a
+    :class:`~repro.telemetry.bus.TraceBus`, a
+    :class:`~repro.telemetry.metrics.MetricsRegistry`, a
+    :class:`~repro.telemetry.blame.BlameProfiler`).  With ``meter=True``
+    they ride the metered loop and observe every transition, space
+    measurement, and reclamation; without it the bus is attached to
+    the machine's run driver (step/apply events only — space is not
+    measured on unmetered runs, and ``blame`` requires the meter).
     """
     if stepper not in ("annotated", "seed"):
         raise ValueError(f"unknown stepper: {stepper!r}")
+    if blame is not None and not meter:
+        raise ValueError("blame profiling requires meter=True")
     program_expr = prepare_program(program)
     argument_expr = prepare_input(argument)
     names = primitive_names()
@@ -100,6 +114,9 @@ def run(
             fixed_precision=fixed_precision,
             gc_interval=gc_interval,
             step_limit=step_limit,
+            trace=trace,
+            metrics=metrics,
+            blame=blame,
         )
         return RunResult(
             machine=machine,
@@ -109,13 +126,24 @@ def run(
             sup_space=result.sup_space,
             consumption=result.consumption,
         )
-    final, steps = run_to_final(
-        engine,
-        program_expr,
-        argument_expr,
-        gc_interval=1024,
-        step_limit=step_limit,
-    )
+    if trace is not None:
+        trace.meta.update(machine=machine, metered=False)
+        trace.emit_phase("run", True)
+        engine.trace = trace
+    try:
+        final, steps = run_to_final(
+            engine,
+            program_expr,
+            argument_expr,
+            gc_interval=1024,
+            step_limit=step_limit,
+        )
+    finally:
+        if trace is not None:
+            engine.trace = None
+            trace.emit_phase("run", False)
+    if metrics is not None:
+        metrics.counter("steps_total", machine=machine).inc(steps)
     return RunResult(
         machine=machine,
         answer=answer_string(final, answer_limit),

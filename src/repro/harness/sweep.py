@@ -41,6 +41,7 @@ class SweepCell:
     engine: str = "delta"
     gc_interval: int = 1
     step_limit: int = DEFAULT_STEP_LIMIT
+    metrics: bool = False
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,7 @@ class SweepOutcome:
     cell: SweepCell
     result: Optional[Consumption] = None
     error: Optional[str] = None
+    metrics: Optional[dict] = None
 
     @property
     def total(self) -> int:
@@ -63,7 +65,17 @@ class SweepOutcome:
 def run_cell(cell: SweepCell) -> SweepOutcome:
     """Execute one cell (module-level so worker processes can import
     it by reference).  Exceptions become error outcomes: they must
-    travel back over the pickle channel."""
+    travel back over the pickle channel.
+
+    With ``cell.metrics`` a fresh :class:`MetricsRegistry` rides the
+    metered run and comes back serialized (``as_dict``) on the outcome
+    — plain data, so it survives the pickle channel, and the parent can
+    fold worker registries together with :func:`aggregate_metrics`."""
+    registry = None
+    if cell.metrics:
+        from ..telemetry.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
     try:
         result = measure(
             cell.machine,
@@ -74,10 +86,15 @@ def run_cell(cell: SweepCell) -> SweepOutcome:
             engine=cell.engine,
             gc_interval=cell.gc_interval,
             step_limit=cell.step_limit,
+            metrics=registry,
         )
     except Exception as error:  # noqa: BLE001 - reported, not hidden
         return SweepOutcome(cell=cell, error=f"{type(error).__name__}: {error}")
-    return SweepOutcome(cell=cell, result=result)
+    return SweepOutcome(
+        cell=cell,
+        result=result,
+        metrics=registry.as_dict() if registry is not None else None,
+    )
 
 
 def default_jobs() -> int:
@@ -196,6 +213,19 @@ def grid_cells(
     return cells
 
 
+def aggregate_metrics(outcomes: Iterable[SweepOutcome]) -> Dict:
+    """Fold the per-cell metric dumps of a grid into one serialized
+    registry (counters and histograms sum, gauges take the max) —
+    the cross-worker aggregation of ``python -m repro sweep --metrics``.
+    Cells that failed or ran without metrics contribute nothing."""
+    from ..telemetry.metrics import MetricsRegistry
+
+    dumps = [
+        outcome.metrics for outcome in outcomes if outcome.metrics is not None
+    ]
+    return MetricsRegistry.merge(dumps)
+
+
 def series_from_outcomes(
     outcomes: Iterable[SweepOutcome],
 ) -> Dict[Tuple, Dict[int, int]]:
@@ -210,6 +240,7 @@ def series_from_outcomes(
 __all__ = [
     "SweepCell",
     "SweepOutcome",
+    "aggregate_metrics",
     "default_jobs",
     "grid_cells",
     "run_cell",

@@ -12,6 +12,30 @@ from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
 
 from .values import Location
 
+#: Restrict-memoization statistics, enabled by the metrics layer: None
+#: (the default — one global load + is-None check per restrict call)
+#: or a ``[calls, hits, previous]`` list.  ``previous`` lets enabling
+#: nest: the innermost collector wins, and popping restores the outer
+#: one.
+_restrict_stats = None
+
+
+def push_restrict_stats():
+    """Start counting restrict calls/hits; returns the token to pass
+    to :func:`pop_restrict_stats`."""
+    global _restrict_stats
+    stats = [0, 0, _restrict_stats]
+    _restrict_stats = stats
+    return stats
+
+
+def pop_restrict_stats(stats):
+    """Stop counting for *stats*; returns ``(calls, hits)``."""
+    global _restrict_stats
+    if _restrict_stats is stats:
+        _restrict_stats = stats[2]
+    return stats[0], stats[1]
+
 
 class Environment:
     """An immutable finite map Identifier -> Location."""
@@ -94,8 +118,13 @@ class Environment:
         the environment itself is returned without building a probe
         dict first (frozensets cache their hash, so repeated lookups
         cost O(1) after the first)."""
+        stats = _restrict_stats
+        if stats is not None:
+            stats[0] += 1
         bindings = self._bindings
         if not bindings:
+            if stats is not None:
+                stats[1] += 1  # the trivial short-circuit counts as a hit
             return self
         wanted = names if type(names) is frozenset else frozenset(names)
         cache = self._restrict_cache
@@ -104,6 +133,8 @@ class Environment:
         else:
             result = cache.get(wanted)
             if result is not None:
+                if stats is not None:
+                    stats[1] += 1
                 return result
         if len(wanted) >= len(bindings):
             if wanted.issuperset(bindings):

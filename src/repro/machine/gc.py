@@ -119,23 +119,29 @@ def state_roots(state: State):
     return values, state.env, state.kont
 
 
-def collect(state: State) -> int:
+def collect(state: State, bus=None) -> int:
     """Apply the GC rule exhaustively: remove every unreachable
-    location.  Returns the number of locations collected."""
+    location.  Returns the number of locations collected.  *bus* is an
+    optional trace bus; nonzero reclamations are published to it as
+    ``gc``/``canonical`` events."""
     values, env, kont = state_roots(state)
     live = reachable_locations(state.store, values, env, kont)
     garbage = [loc for loc in state.store.locations() if loc not in live]
     if garbage:
         state.store.delete_many(garbage)
+        if bus is not None:
+            bus.emit_gc("canonical", len(garbage))
     return len(garbage)
 
 
-def collect_final(final: Final) -> int:
+def collect_final(final: Final, bus=None) -> int:
     """GC a final configuration (v, sigma): roots are v alone."""
     live = reachable_locations(final.store, (final.value,))
     garbage = [loc for loc in final.store.locations() if loc not in live]
     if garbage:
         final.store.delete_many(garbage)
+        if bus is not None:
+            bus.emit_gc("canonical", len(garbage))
     return len(garbage)
 
 
@@ -165,7 +171,15 @@ class RefTracker:
     #: falls back to the canonical trace for that application.
     TRIAL_BUDGET = 256
 
-    __slots__ = ("rc", "root_rc", "zeros", "suspects", "anchors", "saw_escape")
+    __slots__ = (
+        "rc",
+        "root_rc",
+        "zeros",
+        "suspects",
+        "anchors",
+        "saw_escape",
+        "bus",
+    )
 
     def __init__(self):
         #: Total (heap + root) reference count per location.
@@ -184,6 +198,10 @@ class RefTracker:
         #: strictly backward), so anchors index all possible cycles.
         self.anchors: Set[Location] = set()
         self.saw_escape = False
+        #: Optional trace bus; each nonzero reclamation is published as
+        #: a ``gc`` event labelled ``delta`` (sweeps) or ``trial``
+        #: (cycle trial deletions), partitioning the collected total.
+        self.bus = None
 
     # -- reference-count primitives ----------------------------------------
 
@@ -354,8 +372,17 @@ class RefTracker:
     def reclaim(self, store: Store) -> Tuple[int, bool]:
         """One application of the GC rule: sweep the zero candidates,
         then resolve cycle suspects.  Returns (locations collected,
-        canonical trace still required)."""
+        canonical trace still required).
+
+        Trace events mirror the *counted* reclamations exactly — a
+        trial batch abandoned to the canonical path is not published,
+        because its locations are not added to the returned count —
+        so the values of a stream's ``gc`` events sum to the meter's
+        ``collected`` total."""
+        bus = self.bus
         collected = self.sweep(store)
+        if bus is not None and collected:
+            bus.emit_gc("delta", collected)
         while self.suspects:
             unrooted = [
                 anchor
@@ -378,7 +405,12 @@ class RefTracker:
                 # Unrooted anchors kept alive through heap references
                 # the local analysis cannot rule on: trace once.
                 return collected, True
-            collected += progress + self.sweep(store)
+            swept = self.sweep(store)
+            if bus is not None:
+                bus.emit_gc("trial", progress)
+                if swept:
+                    bus.emit_gc("delta", swept)
+            collected += progress + swept
         return collected, False
 
     def note_canonical(self, store: Store) -> None:

@@ -67,9 +67,15 @@ def measure(
     step_limit: int = DEFAULT_STEP_LIMIT,
     answer_limit: int = 200,
     engine: str = "delta",
+    trace=None,
+    metrics=None,
+    blame=None,
 ) -> Consumption:
     """Measure the Definition 23 space consumption of running
-    *program* on *argument* under the named reference implementation."""
+    *program* on *argument* under the named reference implementation.
+
+    ``trace``/``metrics``/``blame`` attach the telemetry stack to the
+    metered run (see :func:`repro.space.meter.run_metered`)."""
     machine = (
         make_machine(machine_name, policy=policy)
         if policy is not None
@@ -85,6 +91,9 @@ def measure(
         gc_when=gc_when,
         step_limit=step_limit,
         engine=engine,
+        trace=trace,
+        metrics=metrics,
+        blame=blame,
     )
     return Consumption(
         machine=machine_name,

@@ -78,7 +78,13 @@ class MeterResult:
 class ReferenceMeter:
     """The canonical engine: trace per collection, re-walk per measure."""
 
-    __slots__ = ("uses_gc", "fixed_precision", "_measure")
+    __slots__ = ("uses_gc", "fixed_precision", "_measure", "bus")
+
+    #: The canonical engine never *falls back* (it is the fallback);
+    #: kept as a class constant so telemetry reads one attribute on
+    #: either engine.
+    canonical_fallbacks = 0
+    fallback = False
 
     def __init__(self, machine: Machine, linked: bool, fixed_precision: bool):
         self.uses_gc = machine.uses_gc_rule
@@ -86,9 +92,14 @@ class ReferenceMeter:
         self._measure = (
             configuration_space_linked if linked else configuration_space
         )
+        self.bus = None
+
+    def attach_bus(self, bus) -> None:
+        """Publish this engine's reclamations to a trace bus."""
+        self.bus = bus
 
     def prime(self, state: State) -> int:
-        return collect(state) if self.uses_gc else 0
+        return collect(state, self.bus) if self.uses_gc else 0
 
     def transition(self, configuration: Configuration) -> None:
         pass
@@ -97,10 +108,10 @@ class ReferenceMeter:
         return self._measure(configuration, self.fixed_precision)
 
     def collect(self, state: State) -> int:
-        return collect(state)
+        return collect(state, self.bus)
 
     def collect_final(self, final: Final) -> int:
-        return collect_final(final)
+        return collect_final(final, self.bus)
 
     def detach(self, store) -> None:
         pass
@@ -128,6 +139,8 @@ class DeltaMeter:
         "_kont",
         "_acc",
         "_store",
+        "bus",
+        "canonical_fallbacks",
     )
 
     def __init__(self, machine: Machine, linked: bool, fixed_precision: bool):
@@ -137,6 +150,10 @@ class DeltaMeter:
         self.tracker: Optional[RefTracker] = RefTracker() if self.uses_gc else None
         self.ledger: Optional[BindingLedger] = BindingLedger() if linked else None
         self.fallback = False
+        self.bus = None
+        #: GC-rule applications where the local cycle analysis could
+        #: not decide and the canonical trace ran (telemetry).
+        self.canonical_fallbacks = 0
         self._fallback_measure = (
             configuration_space_linked if linked else configuration_space
         )
@@ -277,8 +294,14 @@ class DeltaMeter:
 
     # -- engine interface ----------------------------------------------------
 
+    def attach_bus(self, bus) -> None:
+        """Publish this engine's reclamations to a trace bus."""
+        self.bus = bus
+        if self.tracker is not None:
+            self.tracker.bus = bus
+
     def prime(self, state: State) -> int:
-        collected = collect(state) if self.uses_gc else 0
+        collected = collect(state, self.bus) if self.uses_gc else 0
         self._store = state.store
         if self.tracker is not None:
             self.tracker.prime(state.store)
@@ -329,21 +352,23 @@ class DeltaMeter:
 
     def collect(self, state: State) -> int:
         if self.fallback:
-            return collect(state)
+            return collect(state, self.bus)
         tracker = self.tracker
         collected, need_canonical = tracker.reclaim(state.store)
         if need_canonical:
-            collected += collect(state)
+            self.canonical_fallbacks += 1
+            collected += collect(state, self.bus)
             tracker.note_canonical(state.store)
         return collected
 
     def collect_final(self, final: Final) -> int:
         if self.fallback:
-            return collect_final(final)
+            return collect_final(final, self.bus)
         tracker = self.tracker
         collected, need_canonical = tracker.reclaim(final.store)
         if need_canonical:
-            collected += collect_final(final)
+            self.canonical_fallbacks += 1
+            collected += collect_final(final, self.bus)
             tracker.note_canonical(final.store)
         return collected
 
@@ -391,6 +416,25 @@ def make_meter(
     raise ValueError(f"unknown metering engine: {engine!r} (want {ENGINES})")
 
 
+def _finalize_metrics(
+    metrics, name, accounting, meter, sup_space, steps, restrict_token
+):
+    from ..machine.environment import pop_restrict_stats
+
+    calls, hits = pop_restrict_stats(restrict_token)
+    metrics.counter("restrict_calls", machine=name).inc(calls)
+    metrics.counter("restrict_hits", machine=name).inc(hits)
+    metrics.counter("engine_canonical_fallbacks", machine=name).inc(
+        meter.canonical_fallbacks
+    )
+    if meter.fallback:
+        metrics.counter("engine_escape_fallback", machine=name).inc()
+    metrics.gauge("sup_space", machine=name, accounting=accounting).set(
+        sup_space
+    )
+    metrics.counter("steps_total", machine=name).inc(steps)
+
+
 def run_metered(
     machine: Machine,
     program: Expr,
@@ -404,6 +448,9 @@ def run_metered(
     trace_every: int = 0,
     engine: str = "delta",
     audit_every: int = 0,
+    trace=None,
+    metrics=None,
+    blame=None,
 ) -> MeterResult:
     """Run *program* (applied to *argument* if given) to a final
     configuration, measuring the supremum of configuration space.
@@ -424,6 +471,22 @@ def run_metered(
     both report identical numbers.  ``audit_every`` > 0 re-derives the
     delta engine's reference counts and binding ledger from scratch
     every that many collections and raises on drift (testing only).
+
+    Telemetry (all optional, all observation-only — none changes a
+    transition or a measured number):
+
+    - ``trace`` — a :class:`repro.telemetry.bus.TraceBus`; the loop
+      publishes every transition, every space measurement, and (via
+      the collectors) every reclamation, so an unsampled stream replays
+      to exactly this function's reported steps / sup_space /
+      collected.
+    - ``metrics`` — a :class:`repro.telemetry.metrics.MetricsRegistry`;
+      the loop maintains the step mix, kont-depth histogram, GC
+      reclaim counters, environment-restrict hit rate, and engine
+      fallback counts.
+    - ``blame`` — a :class:`repro.telemetry.blame.BlameProfiler`;
+      called at every measure point with the configuration and its
+      measured space.
     """
     if gc_when not in ("always", "store-change"):
         raise ValueError(f"unknown gc_when: {gc_when!r}")
@@ -431,22 +494,83 @@ def run_metered(
     program_size = ast_size(program)
 
     meter = make_meter(machine, linked, fixed_precision, engine)
+    bus = trace
+    accounting = "linked" if linked else "flat"
+    telemetry = bus is not None or metrics is not None or blame is not None
+    if telemetry:
+        from ..telemetry.bus import step_kind_label
+    if bus is not None:
+        meter.attach_bus(bus)
+        bus.meta.update(
+            machine=machine.name,
+            accounting=accounting,
+            engine=engine,
+            fixed_precision=fixed_precision,
+            gc_interval=gc_interval,
+        )
+    if blame is not None:
+        blame.bind(machine.name, linked, fixed_precision)
+    restrict_token = None
+    if metrics is not None:
+        from ..machine.environment import (
+            pop_restrict_stats,
+            push_restrict_stats,
+        )
+
+        restrict_token = push_restrict_stats()
+        step_counters: dict = {}
+        depth_hist = metrics.histogram("kont_depth", machine=machine.name)
+        gc_collections = metrics.counter("gc_collections", machine=machine.name)
+        gc_locations = metrics.counter(
+            "gc_reclaimed_locations", machine=machine.name
+        )
+        gc_words = metrics.counter("gc_reclaimed_words", machine=machine.name)
+
     state = machine.inject(program, argument)
     try:
+        if bus is not None:
+            bus.emit_phase("prime", True)
+        if metrics is not None:
+            words_before = state.store.space_bignum
         collected = meter.prime(state)
+        if metrics is not None and collected:
+            gc_collections.inc()
+            gc_locations.inc(collected)
+            gc_words.inc(words_before - state.store.space_bignum)
+        if bus is not None:
+            bus.emit_phase("prime", False)
         last_gc_version = state.store.version
         sup_space = meter.measure(state)
         peak_step = 0
-        trace: List[Tuple[int, int]] = []
+        if bus is not None:
+            bus.emit_space(accounting, sup_space, 0)
+        if blame is not None:
+            blame.observe(state, sup_space, 0)
+        samples: List[Tuple[int, int]] = []
         if trace_every:
-            trace.append((0, sup_space))
+            samples.append((0, sup_space))
 
         steps = 0
         step = machine.step
         transition = meter.transition
         measure = meter.measure
         uses_gc = machine.uses_gc_rule
+        if bus is not None:
+            bus.emit_phase("run", True)
         while True:
+            if telemetry:
+                if bus is not None:
+                    label = bus.emit_step_state(state)
+                elif metrics is not None:
+                    label = step_kind_label(state)
+                if metrics is not None:
+                    counter = step_counters.get(label)
+                    if counter is None:
+                        counter = step_counters[label] = metrics.counter(
+                            "steps", machine=machine.name, kind=label
+                        )
+                    counter.inc()
+                    depth_hist.observe(state.kont.depth)
             configuration = step(state)
             steps += 1
             transition(configuration)
@@ -454,14 +578,40 @@ def run_metered(
                 # Measure once pre-GC for the sup (the allocation spike
                 # is charged), once post-GC for the trace sample.
                 space = measure(configuration)
+                if bus is not None:
+                    bus.emit_space(accounting, space, steps)
+                if blame is not None:
+                    blame.observe(configuration, space, steps)
                 if space > sup_space:
                     sup_space, peak_step = space, steps
                 if uses_gc:
-                    collected += meter.collect_final(configuration)
+                    if metrics is not None:
+                        words_before = configuration.store.space_bignum
+                    freed = meter.collect_final(configuration)
+                    collected += freed
+                    if metrics is not None and freed:
+                        gc_collections.inc()
+                        gc_locations.inc(freed)
+                        gc_words.inc(
+                            words_before - configuration.store.space_bignum
+                        )
                     if audit_every:
                         meter.audit(configuration)
                 if trace_every:
-                    trace.append((steps, measure(configuration)))
+                    samples.append((steps, measure(configuration)))
+                if bus is not None:
+                    bus.emit_phase("run", False)
+                if metrics is not None:
+                    _finalize_metrics(
+                        metrics,
+                        machine.name,
+                        accounting,
+                        meter,
+                        sup_space,
+                        steps,
+                        restrict_token,
+                    )
+                    restrict_token = None
                 return MeterResult(
                     machine=machine.name,
                     sup_space=sup_space,
@@ -470,21 +620,32 @@ def run_metered(
                     final=configuration,
                     collected=collected,
                     peak_step=peak_step,
-                    trace=trace,
+                    trace=samples,
                 )
             state = configuration
             space = measure(state)
+            if bus is not None:
+                bus.emit_space(accounting, space, steps)
+            if blame is not None:
+                blame.observe(state, space, steps)
             if space > sup_space:
                 sup_space, peak_step = space, steps
             if trace_every and steps % trace_every == 0:
-                trace.append((steps, space))
+                samples.append((steps, space))
             if uses_gc and steps % gc_interval == 0:
                 compacted = machine.compact(state)
                 if compacted is not state:
                     transition(compacted)
                     state = compacted
                 if gc_when == "always" or state.store.version != last_gc_version:
-                    collected += meter.collect(state)
+                    if metrics is not None:
+                        words_before = state.store.space_bignum
+                    freed = meter.collect(state)
+                    collected += freed
+                    if metrics is not None and freed:
+                        gc_collections.inc()
+                        gc_locations.inc(freed)
+                        gc_words.inc(words_before - state.store.space_bignum)
                     last_gc_version = state.store.version
                     if audit_every and steps % audit_every == 0:
                         meter.audit(state)
@@ -492,6 +653,8 @@ def run_metered(
                 raise StepLimitExceeded(steps)
     finally:
         meter.detach(state.store)
+        if restrict_token is not None:
+            pop_restrict_stats(restrict_token)
 
 
 def run_to_final(

@@ -1,0 +1,62 @@
+"""Machine telemetry: trace bus, metrics registry, space-blame profiler.
+
+Extension (observability layer): the repo can *measure* space
+(Definition 21/23, the incremental meter) and *step fast* (the fused
+compile-once stepper), and this package explains both.  It has four
+parts, none of which may perturb the semantics or — when disabled —
+the step rate:
+
+- :mod:`repro.telemetry.bus` — a zero-overhead-when-disabled event
+  sink (step, apply, GC-sweep, space-sample, phase events) with
+  per-kind sampling rates and a bounded ring buffer, threaded through
+  the fused run loop, the preserved seed stepper, the collectors, and
+  the space meter;
+- :mod:`repro.telemetry.metrics` — counters/gauges/histograms keyed by
+  machine x step-kind x continuation class (step mix, kont depth,
+  environment-restrict hit rate, GC reclaim, engine fallbacks);
+- :mod:`repro.telemetry.blame` — the space-blame profiler: an exact
+  decomposition of every S_X/U_X measurement over AST nodes and
+  continuation classes, so separators print a ranked "who holds the
+  space" table;
+- :mod:`repro.telemetry.export` — JSONL event logs, Chrome
+  ``trace_event`` files (loadable in Perfetto), and machine-readable
+  metrics dumps.
+
+The honesty contract mirrors the meter and the stepper: telemetry is
+*derived, never authoritative*.  The trace-fidelity suite
+(``tests/test_telemetry.py``) replays captured event streams and holds
+them equal to the meter's own step counts, sup-space, and collection
+totals; the blame suite (``tests/test_blame.py``) holds every blame
+table's sum equal to the configuration space it decomposes.
+"""
+
+from .blame import BlameProfiler, TraceSession, blame_configuration, trace_run
+from .bus import ReplaySummary, TraceBus, replay, step_kind_label
+from .export import (
+    read_jsonl,
+    validate_chrome_trace,
+    validate_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
+)
+from .metrics import MetricsRegistry, step_mix
+
+__all__ = [
+    "BlameProfiler",
+    "MetricsRegistry",
+    "ReplaySummary",
+    "TraceBus",
+    "TraceSession",
+    "blame_configuration",
+    "read_jsonl",
+    "replay",
+    "step_kind_label",
+    "step_mix",
+    "trace_run",
+    "validate_chrome_trace",
+    "validate_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics",
+]

@@ -1,0 +1,336 @@
+"""The space-blame profiler: who holds the words of an S_X/U_X measurement.
+
+:func:`blame_configuration` decomposes one configuration's Figure 7
+(flat) or Figure 8 (linked) space over named holders — AST nodes
+(lambdas whose closures populate the store, call sites whose push/call
+frames populate the continuation) and continuation classes — and the
+decomposition is *exact*: the blame values sum to precisely the space
+the meter reports for that configuration, under either accounting and
+either number precision.  This is a theorem about the implementation,
+enforced by a property-based test (``tests/test_blame.py``), not a
+sampling approximation.
+
+Holder keys:
+
+``env:register``       the register environment (|Dom rho|, flat only)
+``kont:<Class>``       a continuation frame's own words; push/call
+                       frames carry their call site:
+                       ``kont:Push@(f (- n 1))``
+``closure@<lambda>``   a closure value (accumulator or store cell),
+                       keyed by the lambda that created it
+``store:<Class>``      a non-closure store cell (its 1 + space(v))
+``acc:<Class>``        a non-closure accumulator value
+``escape``             an escape procedure (flat: plus the frames of
+                       the continuation it retains)
+``binding:<name>``     linked accounting only: one word per distinct
+                       (identifier, location) binding, keyed by the
+                       identifier
+
+The flat decomposition leans on the construction-time caches: a
+frame's own contribution is ``frame.flat_space - parent.flat_space``
+and a store cell's is ``1 + value_space(v)``, the same quantities the
+incremental totals are built from.  The linked decomposition replays
+the oracle tally's walk (:class:`repro.space.linked._LinkedTally`) —
+same frame dedup, same parked-value convention — attributing each
+structural word and each distinct binding as it is counted.
+
+:class:`BlameProfiler` samples :func:`blame_configuration` over a
+metered run (the meter calls :meth:`BlameProfiler.observe` at every
+point it measures) and keeps the decomposition at the peak — the
+configuration that *is* the sup — plus running totals for an
+average-shape profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..machine.config import Final
+from ..machine.continuation import CallK, Push, chain
+from ..machine.values import Closure, Escape
+from ..space.flat import value_space
+from ..space.linked import value_structural
+from ..syntax.ast import core_to_string
+
+#: Rendered node labels, cached per AST node (nodes hash by identity).
+_NODE_LABELS: Dict[object, str] = {}
+
+NODE_LABEL_LIMIT = 48
+
+
+def node_label(expr, limit: int = NODE_LABEL_LIMIT) -> str:
+    """A compact external-syntax label for an AST node."""
+    label = _NODE_LABELS.get(expr)
+    if label is None:
+        text = core_to_string(expr)
+        label = text if len(text) <= limit else text[: limit - 3] + "..."
+        _NODE_LABELS[expr] = label
+    return label
+
+
+def _kont_label(frame) -> str:
+    cls = frame.__class__.__name__
+    site = getattr(frame, "site", None)
+    if site is not None:
+        return f"kont:{cls}@{node_label(site)}"
+    return f"kont:{cls}"
+
+
+def _value_label(value, where: str) -> str:
+    if isinstance(value, Closure):
+        return f"closure@{node_label(value.lam)}"
+    if isinstance(value, Escape):
+        return "escape"
+    return f"{where}:{value.__class__.__name__}"
+
+
+def _blame_flat(configuration, fixed_precision: bool) -> Dict[str, int]:
+    blame: Dict[str, int] = {}
+
+    def add(key: str, words: int) -> None:
+        if words:
+            blame[key] = blame.get(key, 0) + words
+
+    if isinstance(configuration, Final):
+        add(
+            _value_label(configuration.value, "acc"),
+            value_space(configuration.value, fixed_precision),
+        )
+    else:
+        add("env:register", len(configuration.env))
+        frame = configuration.kont
+        while frame is not None:
+            parent = frame.parent
+            own = frame.flat_space - (parent.flat_space if parent else 0)
+            add(_kont_label(frame), own)
+            frame = parent
+        if configuration.is_value:
+            add(
+                _value_label(configuration.control, "acc"),
+                value_space(configuration.control, fixed_precision),
+            )
+    for _location, value in configuration.store.items():
+        add(
+            _value_label(value, "store"),
+            1 + value_space(value, fixed_precision),
+        )
+    return blame
+
+
+def _blame_linked(configuration, fixed_precision: bool) -> Dict[str, int]:
+    # Mirrors _LinkedTally's walk word for word: same frame dedup (a
+    # shared ancestor ends the whole chain walk), same parked-value
+    # convention (m/n words on the frame, no binding charge), same
+    # global binding set.
+    blame: Dict[str, int] = {}
+    bindings: set = set()
+    seen_konts: set = set()
+
+    def add(key: str, words: int) -> None:
+        if words:
+            blame[key] = blame.get(key, 0) + words
+
+    def add_env(env) -> None:
+        if env is not None:
+            bindings.update(env.graph())
+
+    def add_kont(kont) -> None:
+        for frame in chain(kont):
+            if id(frame) in seen_konts:
+                return
+            seen_konts.add(id(frame))
+            if isinstance(frame, Push):
+                words = 1 + len(frame.pending) + len(frame.done)
+            elif isinstance(frame, CallK):
+                words = 1 + len(frame.args)
+            else:
+                words = 1
+            add(_kont_label(frame), words)
+            add_env(frame.env)
+
+    def add_value(value, where: str, cell: int = 0) -> None:
+        label = _value_label(value, where)
+        if isinstance(value, Closure):
+            add(label, cell + 1)
+            add_env(value.env)
+        elif isinstance(value, Escape):
+            add(label, cell + 1)
+            add_kont(value.kont)
+        else:
+            add(label, cell + value_structural(value, fixed_precision))
+
+    if isinstance(configuration, Final):
+        add_value(configuration.value, "acc")
+    else:
+        add_env(configuration.env)
+        add_kont(configuration.kont)
+        if configuration.is_value:
+            add_value(configuration.control, "acc")
+    for _location, value in configuration.store.items():
+        add_value(value, "store", cell=1)
+    for name, _location in bindings:
+        add(f"binding:{name}", 1)
+    return blame
+
+
+def blame_configuration(
+    configuration,
+    linked: bool = False,
+    fixed_precision: bool = False,
+) -> Dict[str, int]:
+    """Decompose space(C) over named holders; the values sum exactly
+    to ``configuration_space(C)`` (or ``configuration_space_linked``)."""
+    if linked:
+        return _blame_linked(configuration, fixed_precision)
+    return _blame_flat(configuration, fixed_precision)
+
+
+class BlameProfiler:
+    """Samples blame decompositions over a metered run.
+
+    ``every=k`` decomposes every k-th measured configuration (1 =
+    all); the peak snapshot is taken over the *sampled* configurations,
+    so with the default it is exactly the configuration attaining the
+    sup.  ``history`` keeps one (step, space, blame-sum) triple per
+    sample — the property tests' receipt that every decomposition
+    summed to the meter's own measurement.
+    """
+
+    def __init__(self, every: int = 1):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.every = every
+        self.machine: Optional[str] = None
+        self.linked = False
+        self.fixed_precision = False
+        self.observed = 0
+        self.sampled = 0
+        self.peak_space = -1
+        self.peak_step = 0
+        self.at_peak: Dict[str, int] = {}
+        self.totals: Dict[str, int] = {}
+        self.history: List[Tuple[int, int, int]] = []
+
+    def bind(self, machine: str, linked: bool, fixed_precision: bool) -> None:
+        """Called by the meter before the run starts."""
+        self.machine = machine
+        self.linked = linked
+        self.fixed_precision = fixed_precision
+
+    def observe(self, configuration, space: int, step: int) -> None:
+        """One measured configuration; called by ``run_metered`` at
+        every measure point (step 0, each transition, the pre-GC
+        final)."""
+        count = self.observed
+        self.observed = count + 1
+        if count % self.every:
+            return
+        blame = blame_configuration(
+            configuration, self.linked, self.fixed_precision
+        )
+        self.sampled += 1
+        totals = self.totals
+        total = 0
+        for key, words in blame.items():
+            totals[key] = totals.get(key, 0) + words
+            total += words
+        self.history.append((step, space, total))
+        if space > self.peak_space:
+            self.peak_space = space
+            self.peak_step = step
+            self.at_peak = blame
+
+    def mean(self) -> Dict[str, float]:
+        """The average blame profile over the sampled configurations."""
+        if not self.sampled:
+            return {}
+        return {key: words / self.sampled for key, words in self.totals.items()}
+
+
+@dataclass
+class TraceSession:
+    """Everything one traced-and-profiled run produced."""
+
+    result: object  # MeterResult
+    bus: object  # TraceBus
+    metrics: object  # MetricsRegistry
+    blame: BlameProfiler
+    machine: str = ""
+    linked: bool = False
+    extra: dict = field(default_factory=dict)
+
+
+def trace_run(
+    machine_name: str,
+    program,
+    argument=None,
+    *,
+    linked: bool = False,
+    fixed_precision: bool = False,
+    stepper: str = "annotated",
+    engine: str = "delta",
+    gc_interval: int = 1,
+    step_limit: Optional[int] = None,
+    sample: Optional[Dict[str, int]] = None,
+    capacity: Optional[int] = None,
+    blame_every: int = 1,
+) -> TraceSession:
+    """Run one program on one machine with the full telemetry stack
+    attached — trace bus, metrics registry, blame profiler — and
+    return all four artifacts.  This is what ``python -m repro trace``
+    drives."""
+    # Deferred so importing the telemetry package never drags in the
+    # meter/harness stack (which imports telemetry lazily in turn).
+    from ..machine.answer import answer_string
+    from ..machine.reference_step import make_seed_stepper
+    from ..machine.variants import make_machine
+    from ..space.consumption import prepare_input, prepare_program
+    from ..space.meter import DEFAULT_STEP_LIMIT, run_metered
+    from .bus import TraceBus
+    from .metrics import MetricsRegistry
+
+    if stepper == "seed":
+        machine = make_seed_stepper(machine_name)
+    elif stepper == "annotated":
+        machine = make_machine(machine_name)
+    else:
+        raise ValueError(f"unknown stepper {stepper!r}")
+    bus = TraceBus(capacity=capacity, sample=sample)
+    metrics = MetricsRegistry()
+    blame = BlameProfiler(every=blame_every)
+    result = run_metered(
+        machine,
+        prepare_program(program),
+        prepare_input(argument),
+        linked=linked,
+        fixed_precision=fixed_precision,
+        gc_interval=gc_interval,
+        step_limit=step_limit if step_limit is not None else DEFAULT_STEP_LIMIT,
+        engine=engine,
+        trace=bus,
+        metrics=metrics,
+        blame=blame,
+    )
+    return TraceSession(
+        result=result,
+        bus=bus,
+        metrics=metrics,
+        blame=blame,
+        machine=machine_name,
+        linked=linked,
+        extra={
+            "answer": answer_string(result.final, 200),
+            "engine": engine,
+            "stepper": stepper,
+        },
+    )
+
+
+__all__ = [
+    "BlameProfiler",
+    "TraceSession",
+    "blame_configuration",
+    "node_label",
+    "trace_run",
+]

@@ -1,0 +1,275 @@
+"""Exporters: JSONL event logs, Chrome trace files, metrics dumps.
+
+Three on-disk formats, all plain JSON so downstream tooling needs no
+schema library:
+
+- :func:`write_jsonl` — one JSON object per line; the first line is a
+  ``meta`` record (the bus's run description plus drop/sample
+  accounting), each following line one event.  :func:`read_jsonl`
+  inverts it and :func:`replay` (from the bus module) runs on the
+  result, so a trace file is a complete, machine-checkable receipt of
+  the run.
+- :func:`write_chrome_trace` — the Chrome ``trace_event`` JSON object
+  format (``{"traceEvents": [...]}``), loadable in Perfetto /
+  ``chrome://tracing``: phases become duration (B/E) events, space
+  samples become counter (C) tracks, GC and apply events become
+  instants.
+- :func:`write_metrics` — a :meth:`MetricsRegistry.as_dict` dump (or
+  a pre-merged dict) with a small envelope.
+
+The ``validate_*`` functions are the schema checks CI's telemetry
+smoke step runs against the artifacts it uploads.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .bus import EVENT_KINDS, Event, TraceBus
+from .metrics import MetricsRegistry
+
+JSONL_VERSION = 1
+
+
+def write_jsonl(bus: TraceBus, path: str) -> int:
+    """Write the bus's retained events as JSON lines (meta line first).
+    Returns the number of event lines written."""
+    with open(path, "w", encoding="utf-8") as handle:
+        meta = {
+            "kind": "meta",
+            "version": JSONL_VERSION,
+            "events": len(bus.events),
+            "offered": bus.counts(),
+            "dropped": bus.dropped,
+            "steps": bus.steps,
+        }
+        meta.update(bus.meta)
+        handle.write(json.dumps(meta) + "\n")
+        count = 0
+        for event in bus.events:
+            handle.write(
+                json.dumps(
+                    {
+                        "kind": event.kind,
+                        "ts": event.ts,
+                        "step": event.step,
+                        "label": event.label,
+                        "value": event.value,
+                    }
+                )
+                + "\n"
+            )
+            count += 1
+    return count
+
+
+def read_jsonl(path: str) -> List[Event]:
+    """Read the events back (meta line skipped)."""
+    events: List[Event] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("kind") == "meta":
+                continue
+            events.append(
+                Event(
+                    record["kind"],
+                    record["ts"],
+                    record["step"],
+                    record["label"],
+                    record["value"],
+                )
+            )
+    return events
+
+
+def validate_jsonl(path: str) -> dict:
+    """Schema-check a JSONL trace file; returns a summary dict or
+    raises ValueError naming the first offending line."""
+    kinds = set(EVENT_KINDS)
+    events = 0
+    meta = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{lineno}: not JSON ({error})")
+            if not isinstance(record, dict):
+                raise ValueError(f"{path}:{lineno}: not a JSON object")
+            kind = record.get("kind")
+            if lineno == 1:
+                if kind != "meta":
+                    raise ValueError(f"{path}:1: first line must be the meta record")
+                meta = record
+                continue
+            if kind not in kinds:
+                raise ValueError(f"{path}:{lineno}: unknown event kind {kind!r}")
+            for field_name, field_type in (
+                ("ts", (int, float)),
+                ("step", int),
+                ("label", str),
+                ("value", (int, float)),
+            ):
+                if not isinstance(record.get(field_name), field_type):
+                    raise ValueError(
+                        f"{path}:{lineno}: bad {field_name!r} in {kind} event"
+                    )
+            events += 1
+    if meta is None:
+        raise ValueError(f"{path}: empty trace file")
+    return {"events": events, "meta": meta}
+
+
+def chrome_trace_events(bus: TraceBus) -> List[dict]:
+    """The bus's events in Chrome ``trace_event`` form."""
+    out: List[dict] = []
+    events = list(bus.events)
+    t0 = events[0].ts if events else 0.0
+    name = str(bus.meta.get("machine", "machine"))
+    out.append(
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": f"repro:{name}"},
+        }
+    )
+    for event in events:
+        ts = (event.ts - t0) * 1e6
+        kind = event.kind
+        if kind == "phase":
+            label, _, edge = event.label.rpartition(":")
+            out.append(
+                {
+                    "ph": "B" if edge == "begin" else "E",
+                    "name": label,
+                    "cat": "phase",
+                    "ts": ts,
+                    "pid": 1,
+                    "tid": 1,
+                }
+            )
+        elif kind == "space":
+            out.append(
+                {
+                    "ph": "C",
+                    "name": f"space:{event.label}",
+                    "cat": "space",
+                    "ts": ts,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {"words": event.value},
+                }
+            )
+        elif kind == "gc":
+            out.append(
+                {
+                    "ph": "i",
+                    "name": f"gc:{event.label}",
+                    "cat": "gc",
+                    "s": "t",
+                    "ts": ts,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {"collected": event.value, "step": event.step},
+                }
+            )
+        elif kind == "apply":
+            out.append(
+                {
+                    "ph": "i",
+                    "name": f"apply:{event.label}",
+                    "cat": "apply",
+                    "s": "t",
+                    "ts": ts,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {"args": event.value, "step": event.step},
+                }
+            )
+        else:  # step, cell
+            out.append(
+                {
+                    "ph": "C",
+                    "name": kind,
+                    "cat": kind,
+                    "ts": ts,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {event.label: event.value, "step": event.step},
+                }
+            )
+    return out
+
+
+def write_chrome_trace(bus: TraceBus, path: str) -> int:
+    """Write a Perfetto-loadable trace file; returns the event count."""
+    trace_events = chrome_trace_events(bus)
+    document = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {str(k): str(v) for k, v in bus.meta.items()},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return len(trace_events)
+
+
+def validate_chrome_trace(path: str) -> dict:
+    """Schema-check a Chrome trace file; returns a summary dict or
+    raises ValueError."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ValueError(f"{path}: missing traceEvents")
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: traceEvents is not a list")
+    phases = {"B", "E", "C", "i", "M"}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"{path}: traceEvents[{i}] is not an object")
+        if event.get("ph") not in phases:
+            raise ValueError(f"{path}: traceEvents[{i}] bad ph {event.get('ph')!r}")
+        if not isinstance(event.get("name"), str):
+            raise ValueError(f"{path}: traceEvents[{i}] missing name")
+        if not isinstance(event.get("pid"), int) or not isinstance(
+            event.get("tid"), int
+        ):
+            raise ValueError(f"{path}: traceEvents[{i}] missing pid/tid")
+        if event["ph"] != "M" and not isinstance(event.get("ts"), (int, float)):
+            raise ValueError(f"{path}: traceEvents[{i}] missing ts")
+    begins = sum(1 for e in events if e.get("ph") == "B")
+    ends = sum(1 for e in events if e.get("ph") == "E")
+    if begins != ends:
+        raise ValueError(f"{path}: unbalanced phase events (B={begins}, E={ends})")
+    return {"events": len(events)}
+
+
+def write_metrics(metrics, path: str, **meta) -> None:
+    """Write a metrics dump (a registry or a pre-merged dict) as JSON."""
+    dump = metrics.as_dict() if isinstance(metrics, MetricsRegistry) else metrics
+    document = dict(meta)
+    document["metrics"] = dump
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+
+
+__all__ = [
+    "chrome_trace_events",
+    "read_jsonl",
+    "validate_chrome_trace",
+    "validate_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics",
+]

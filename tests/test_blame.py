@@ -1,0 +1,184 @@
+"""The space-blame profiler's exactness contract.
+
+:func:`blame_configuration` claims an *exact* decomposition: the blame
+values sum to precisely ``configuration_space`` (Figure 7) or
+``configuration_space_linked`` (Figure 8) for every configuration the
+meter measures, under either number precision.  These tests hold that
+sum pointwise over random programs (hypothesis) and over the corpus,
+and check that the profiler's peak snapshot is the sup itself.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.machine.variants import make_machine
+from repro.space.consumption import prepare_program
+from repro.space.flat import configuration_space
+from repro.space.linked import configuration_space_linked
+from repro.telemetry.blame import (
+    BlameProfiler,
+    blame_configuration,
+    node_label,
+    trace_run,
+)
+
+from test_properties import as_program, program_bodies
+
+LOOP = "(define (f n) (if (zero? n) 0 (f (- n 1))))"
+BUILD = (
+    "(define (build n) (if (zero? n) '() (cons n (build (- n 1)))))"
+    "(define (main n) (length (build n)))"
+)
+ESCAPE = (
+    "(define (main n)"
+    "  (call-with-current-continuation"
+    "    (lambda (k) (+ 1 (if (zero? n) (k 42) n)))))"
+)
+
+
+def walk_blaming(machine_name, source, arg, linked, fixed_precision=False):
+    """Step a machine by hand, asserting the exact-sum property at
+    every configuration along the way (no GC — raw reachability)."""
+    space = configuration_space_linked if linked else configuration_space
+    machine = make_machine(machine_name)
+    configuration = machine.inject(prepare_program(source), arg and
+                                   prepare_program(arg))
+    for _ in range(400):
+        blame = blame_configuration(configuration, linked, fixed_precision)
+        assert sum(blame.values()) == space(configuration, fixed_precision)
+        if configuration.is_final:
+            break
+        configuration = machine.step(configuration)
+    else:
+        pytest.fail("program did not finish in 400 steps")
+
+
+# ---------------------------------------------------------------------------
+# Property: blame sums to the measured space, pointwise
+# ---------------------------------------------------------------------------
+
+
+@given(program_bodies)
+@settings(max_examples=25, deadline=None)
+def test_blame_is_exact_on_random_programs_flat(body):
+    session = trace_run("gc", as_program(body), "3")
+    for _step, space, total in session.blame.history:
+        assert total == space, as_program(body)
+
+
+@given(program_bodies)
+@settings(max_examples=25, deadline=None)
+def test_blame_is_exact_on_random_programs_linked(body):
+    session = trace_run("sfs", as_program(body), "3", linked=True)
+    for _step, space, total in session.blame.history:
+        assert total == space, as_program(body)
+
+
+@pytest.mark.parametrize("machine", [
+    "tail", "gc", "stack", "evlis", "free", "sfs", "bigloo", "mta",
+])
+@pytest.mark.parametrize("linked", [False, True], ids=["flat", "linked"])
+def test_blame_is_exact_along_a_raw_walk(machine, linked):
+    walk_blaming(machine, LOOP, None, linked)
+    walk_blaming(machine, BUILD, None, linked)
+
+
+@pytest.mark.parametrize("linked", [False, True], ids=["flat", "linked"])
+def test_blame_is_exact_with_escapes_and_fixed_precision(linked):
+    walk_blaming("tail", ESCAPE, None, linked, fixed_precision=True)
+
+
+@pytest.mark.parametrize("fixed_precision", [False, True])
+def test_blame_is_exact_under_gc_over_a_full_metered_run(fixed_precision):
+    for machine, linked in [("gc", False), ("stack", False),
+                            ("evlis", True), ("mta", True)]:
+        session = trace_run(
+            machine, BUILD, "7", linked=linked,
+            fixed_precision=fixed_precision,
+        )
+        assert session.blame.history, "meter never called the profiler"
+        for _step, space, total in session.blame.history:
+            assert total == space
+
+
+# ---------------------------------------------------------------------------
+# The peak snapshot
+# ---------------------------------------------------------------------------
+
+
+def test_profiler_peak_is_the_sup():
+    session = trace_run("gc", BUILD, "9")
+    blame = session.blame
+    assert blame.peak_space == session.result.sup_space
+    assert blame.peak_step == session.result.peak_step
+    assert sum(blame.at_peak.values()) == session.result.sup_space
+
+
+def test_gc_machine_blames_return_frames():
+    # The gc machine's non-tail self-call stacks Return frames; at the
+    # peak they should be a named, dominant holder — the "who holds
+    # the space" question the profiler exists to answer.
+    session = trace_run("gc", LOOP, "30")
+    assert session.blame.at_peak.get("kont:Return", 0) > 0
+    tail = trace_run("tail", LOOP, "30")
+    assert "kont:Return" not in tail.blame.at_peak
+
+
+def test_blame_keys_carry_call_sites_and_lambdas():
+    session = trace_run("tail", LOOP, "10")
+    keys = set(session.blame.totals)
+    assert any(key.startswith("kont:Push@") for key in keys)
+    assert any(key.startswith("closure@(lambda") for key in keys)
+
+
+def test_linked_blame_charges_bindings_once():
+    session = trace_run("sfs", LOOP, "10", linked=True)
+    binding_keys = [
+        key for key in session.blame.at_peak if key.startswith("binding:")
+    ]
+    assert binding_keys, "linked blame should name bindings"
+    # Each (name, location) pair costs exactly one word; no holder of
+    # a single binding name can exceed the store's location count.
+    for key in binding_keys:
+        assert session.blame.at_peak[key] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Profiler mechanics
+# ---------------------------------------------------------------------------
+
+
+def test_profiler_sampling_every_k():
+    dense = trace_run("gc", LOOP, "20", blame_every=1)
+    sparse = trace_run("gc", LOOP, "20", blame_every=5)
+    assert dense.blame.observed == sparse.blame.observed
+    assert sparse.blame.sampled < dense.blame.sampled
+    # Sampled peaks still satisfy the exactness receipt.
+    for _step, space, total in sparse.blame.history:
+        assert total == space
+
+
+def test_profiler_mean_and_empty():
+    empty = BlameProfiler()
+    assert empty.mean() == {}
+    session = trace_run("tail", LOOP, "5")
+    mean = session.blame.mean()
+    assert mean
+    assert sum(mean.values()) == pytest.approx(
+        sum(space for _s, space, _t in session.blame.history)
+        / session.blame.sampled
+    )
+
+
+def test_profiler_rejects_bad_stride():
+    with pytest.raises(ValueError):
+        BlameProfiler(every=0)
+
+
+def test_node_labels_are_truncated_and_cached():
+    expr = prepare_program(
+        "(define (f) (+ 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18))"
+    )
+    label = node_label(expr)
+    assert len(label) <= 48
+    assert node_label(expr) is label

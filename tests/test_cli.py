@@ -40,6 +40,38 @@ class TestRunCommand:
         main(["run", "-"])
         assert capsys.readouterr().out.strip() == "12"
 
+    def test_run_stepper_and_gc_interval_knobs(self, loop_file, capsys):
+        main(["run", loop_file, "--arg", "5", "--meter",
+              "--stepper", "seed", "--gc-interval", "2"])
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "0"
+        assert "sup-space=" in captured.err
+
+    def test_run_trace_out_writes_both_formats(
+        self, loop_file, tmp_path, capsys
+    ):
+        from repro.telemetry.export import (
+            validate_chrome_trace,
+            validate_jsonl,
+        )
+
+        out = tmp_path / "run.jsonl"
+        main(["run", loop_file, "--arg", "5", "--meter",
+              "--trace-out", str(out)])
+        assert validate_jsonl(out)["events"] > 0
+        assert validate_chrome_trace(tmp_path / "run.chrome.json")[
+            "events"] > 0
+        assert "trace:" in capsys.readouterr().err
+
+    def test_run_metrics_dump(self, loop_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "metrics.json"
+        main(["run", loop_file, "--arg", "5", "--meter",
+              "--metrics", str(out)])
+        payload = json.loads(out.read_text())
+        assert "steps_total{machine=tail}" in payload["metrics"]["counters"]
+
 
 class TestOtherCommands:
     def test_machines(self, capsys):
@@ -68,6 +100,16 @@ class TestOtherCommands:
         assert "tail" in out and "gc" in out
         assert "O(" in out
 
+    def test_sweep_metrics_aggregation(self, loop_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "sweep-metrics.json"
+        main(["sweep", loop_file, "--ns", "5,10", "--machine", "gc",
+              "--metrics", str(out)])
+        payload = json.loads(out.read_text())
+        assert payload["machines"] == ["gc"]
+        assert payload["metrics"]["counters"]["gc_collections{machine=gc}"] > 0
+
     def test_corpus_listing(self, capsys):
         main(["corpus"])
         out = capsys.readouterr().out
@@ -84,3 +126,34 @@ class TestOtherCommands:
     def test_audit_unsafe_machine_exits_one(self, capsys):
         assert main(["audit", "gc", "tail"]) == 1
         assert "VIOLATION" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_trace_prints_mix_and_blame(self, loop_file, capsys):
+        assert main(["trace", loop_file, "--arg", "10",
+                     "--machine", "gc"]) == 0
+        out = capsys.readouterr().out
+        assert "step mix [gc]" in out
+        assert "space blame at peak [gc" in out
+        assert "kont:Return" in out
+        assert "TOTAL" in out
+
+    def test_trace_exports_per_machine(self, loop_file, tmp_path, capsys):
+        from repro.telemetry.export import validate_jsonl
+
+        out = tmp_path / "t.jsonl"
+        main(["trace", loop_file, "--arg", "5",
+              "--machine", "tail,gc", "--trace-out", str(out)])
+        assert validate_jsonl(tmp_path / "t.tail.jsonl")["events"] > 0
+        assert validate_jsonl(tmp_path / "t.gc.jsonl")["events"] > 0
+
+    def test_trace_rejects_unknown_machine(self, loop_file):
+        with pytest.raises(SystemExit):
+            main(["trace", loop_file, "--machine", "nope"])
+
+    def test_trace_sampling_and_linked(self, loop_file, capsys):
+        assert main(["trace", loop_file, "--arg", "8", "--machine", "sfs",
+                     "--linked", "--sample", "4", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "U_sfs=" in out
+        assert "(other:" in out

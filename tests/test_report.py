@@ -1,0 +1,168 @@
+"""Report rendering: tables, series, sparklines, and the telemetry
+renderers (blame table, step mix)."""
+
+from repro.harness.report import (
+    format_cell,
+    render_blame_table,
+    render_series,
+    render_step_mix,
+    render_table,
+    sparkline,
+)
+
+
+# ---------------------------------------------------------------------------
+# render_table / render_series
+# ---------------------------------------------------------------------------
+
+
+def test_format_cell():
+    assert format_cell(3) == "3"
+    assert format_cell(2.5) == "2.50"
+    assert format_cell("x") == "x"
+
+
+def test_render_table_alignment_and_title():
+    text = render_table(
+        ["name", "n"], [["tail", 1], ["gc", 100]], title="machines"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "machines"
+    assert lines[1].startswith("name")
+    assert set(lines[2]) == {"-"}
+    # Right-justified data under the widest cell.
+    assert lines[-1].endswith("100")
+    assert all(len(line) <= len(lines[2]) for line in lines[3:])
+
+
+def test_render_table_empty_rows():
+    text = render_table(["a", "b"], [])
+    lines = text.splitlines()
+    assert len(lines) == 2  # header + rule, nothing else
+    assert lines[0].split() == ["a", "b"]
+
+
+def test_render_series_shapes_columns():
+    text = render_series(
+        [8, 16], {"tail": [76, 76], "gc": [148, 212]}, title="S_X"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "S_X"
+    assert "tail" in lines[1] and "gc" in lines[1]
+    assert lines[-1].split() == ["16", "76", "212"]
+
+
+# ---------------------------------------------------------------------------
+# sparkline
+# ---------------------------------------------------------------------------
+
+
+def test_sparkline_empty_and_single():
+    assert sparkline([]) == ""
+    single = sparkline([5])
+    assert len(single) == 1
+
+
+def test_sparkline_peaks_at_the_peak():
+    blocks = " .:-=+*#%@"
+    line = sparkline([0, 1, 2, 10])
+    assert len(line) == 4
+    assert line[-1] == blocks[-1]
+    assert line[0] == blocks[0]
+
+
+def test_sparkline_downsamples_to_width():
+    line = sparkline(list(range(1000)), width=40)
+    assert len(line) == 40
+
+
+def test_sparkline_all_zero():
+    assert sparkline([0, 0, 0]) == "   "
+
+
+# ---------------------------------------------------------------------------
+# render_blame_table
+# ---------------------------------------------------------------------------
+
+
+def test_blame_table_ranks_and_shares():
+    text = render_blame_table(
+        {"kont:Return": 250, "store:Num": 274, "env:register": 5},
+        total=529,
+        title="who holds the space",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "who holds the space"
+    rows = [line.split() for line in lines[3:]]
+    assert rows[0][0] == "store:Num"  # largest first
+    assert rows[1][0] == "kont:Return"
+    assert rows[-1][0] == "TOTAL"
+    assert rows[-1][1] == "529"
+    assert rows[-1][2] == "100.0%"
+    assert rows[0][2] == "51.8%"
+
+
+def test_blame_table_defaults_total_to_the_sum():
+    text = render_blame_table({"a": 3, "b": 1})
+    assert text.splitlines()[-1].split()[1] == "4"
+
+
+def test_blame_table_folds_the_tail():
+    blame = {f"holder{i}": 10 - i for i in range(10)}
+    text = render_blame_table(blame, limit=3)
+    lines = text.splitlines()
+    assert len(lines) == 2 + 3 + 1 + 1  # header, rule, top 3, other, total
+    assert "(other: 7 labels)" in text
+    # The fold preserves the total.
+    assert lines[-1].split()[-2] == str(sum(blame.values()))
+
+
+def test_blame_table_empty():
+    text = render_blame_table({})
+    lines = text.splitlines()
+    assert lines[-1].split()[0] == "TOTAL"
+    assert lines[-1].split()[1] == "0"
+    assert lines[-1].split()[2] == "-"
+
+
+def test_blame_table_single_holder():
+    text = render_blame_table({"kont:Halt": 1})
+    rows = [line.split() for line in text.splitlines()[2:]]
+    assert rows[0] == ["kont:Halt", "1", "100.0%"]
+    assert rows[1] == ["TOTAL", "1", "100.0%"]
+
+
+# ---------------------------------------------------------------------------
+# render_step_mix
+# ---------------------------------------------------------------------------
+
+
+def test_step_mix_ranks_kinds():
+    text = render_step_mix(
+        {"expr:Var": 10, "kont:Push": 30, "expr:Call": 10},
+        title="mix",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "mix"
+    rows = [line.split() for line in lines[3:]]
+    assert rows[0][0] == "kont:Push"
+    # Ties broken alphabetically.
+    assert [row[0] for row in rows[1:3]] == ["expr:Call", "expr:Var"]
+    assert rows[-1] == ["TOTAL", "50", "100.0%"]
+
+
+def test_step_mix_empty():
+    text = render_step_mix({})
+    assert text.splitlines()[-1].split() == ["TOTAL", "0", "-"]
+
+
+def test_step_mix_from_a_real_run():
+    from repro.telemetry.blame import trace_run
+    from repro.telemetry.metrics import step_mix
+
+    session = trace_run(
+        "tail", "(define (f n) (if (zero? n) 0 (f (- n 1))))", "5"
+    )
+    mix = step_mix(session.metrics, machine="tail")
+    text = render_step_mix(mix)
+    assert text.splitlines()[-1].split()[1] == str(session.result.steps)
