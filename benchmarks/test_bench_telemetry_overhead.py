@@ -82,11 +82,16 @@ def overhead_log():
         "traced": {},
     }
     yield log
+    # Deterministic (sorted keys) and atomic (staged + renamed), like
+    # the step-rate summary writer.
     os.makedirs(RESULTS_DIR, exist_ok=True)
     for directory in (RESULTS_DIR, REPO_ROOT):
-        with open(os.path.join(directory, OVERHEAD_JSON), "w") as handle:
+        target = os.path.join(directory, OVERHEAD_JSON)
+        staging = f"{target}.tmp.{os.getpid()}"
+        with open(staging, "w") as handle:
             json.dump(log, handle, indent=2, sort_keys=True)
             handle.write("\n")
+        os.replace(staging, target)
 
 
 @pytest.mark.telemetry_overhead

@@ -189,11 +189,53 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_fusion_suggestions(source, machine=None, top=None) -> None:
+    """Rank the gen-2 fusion candidates over a recorded step mix."""
+    from .telemetry.metrics import suggest_fusions
+
+    scope = f" [{machine}]" if machine else ""
+    suggestions = suggest_fusions(source, machine=machine, top=top)
+    if not suggestions:
+        print(f"no recorded steps to rank fusion candidates over{scope}")
+        return
+    rows = [
+        [
+            entry["fusion"],
+            f"{100.0 * entry['share']:.1f}%",
+            entry["steps"],
+            "+".join(entry["kinds"]),
+        ]
+        for entry in suggestions
+    ]
+    print(render_table(
+        ["fusion", "share", "steps", "covers"],
+        rows,
+        title=f"suggested fusions by corpus share{scope}",
+    ))
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .telemetry.blame import trace_run
     from .telemetry.export import write_chrome_trace, write_jsonl, write_metrics
     from .telemetry.metrics import step_mix
 
+    if args.metrics_in:
+        # Feedback-loop mode: rank fusion candidates over a previously
+        # recorded metrics dump instead of tracing a fresh run.  The
+        # dump may hold several machines' counters; rank the aggregate.
+        import json
+
+        with open(args.metrics_in) as handle:
+            document = json.load(handle)
+        # write_metrics wraps the registry dump under "metrics" next to
+        # run metadata; accept a bare registry dump too.
+        dump = document.get("metrics", document)
+        _print_fusion_suggestions(dump, top=args.top)
+        return 0
+    if not args.program:
+        raise SystemExit(
+            "trace: a program is required unless --metrics-in is given"
+        )
     source = _read_source(args.program)
     machines = args.machine.split(",")
     for name in machines:
@@ -227,6 +269,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         )
         mix = step_mix(session.metrics, machine=name)
         print(render_step_mix(mix, title=f"step mix [{name}]"))
+        if args.suggest_fusions:
+            _print_fusion_suggestions(
+                session.metrics, machine=name, top=args.top
+            )
         blame = session.blame
         print(render_blame_table(
             dict(blame.at_peak),
@@ -396,7 +442,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="run with the full telemetry stack: step mix, space "
         "blame at the peak, exported trace/metrics",
     )
-    trace_parser.add_argument("program", help="path to a .scm file, or -")
+    trace_parser.add_argument(
+        "program", nargs="?",
+        help="path to a .scm file, or - (optional with --metrics-in)",
+    )
     trace_parser.add_argument("--arg", help="input expression D for (P D)")
     trace_parser.add_argument(
         "--machine", default="tail",
@@ -430,6 +479,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_parser.add_argument("--trace-out", metavar="PATH")
     trace_parser.add_argument("--metrics", metavar="PATH")
+    trace_parser.add_argument(
+        "--suggest-fusions", action="store_true",
+        help="rank candidate superinstructions by their share of the "
+        "recorded step mix (the gen-2 stepper feedback loop)",
+    )
+    trace_parser.add_argument(
+        "--metrics-in", metavar="PATH",
+        help="rank fusion candidates over a previously written "
+        "--metrics dump instead of tracing a fresh run",
+    )
     trace_parser.set_defaults(handler=_cmd_trace)
 
     corpus_parser = commands.add_parser(

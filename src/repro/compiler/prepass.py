@@ -18,7 +18,23 @@ once per step:
   (numbers, booleans, symbols, characters, the empty list), interned
   per node.  String constants are *not* interned: ``eqv?`` on strings
   is identity, so a fresh ``Str`` per evaluation — the seed behaviour
-  — is observable.
+  — is observable;
+- a gen-2 *lexical address* per ``Var`` (telemetry-guided: the corpus
+  step mix is dominated by ``expr:Var``/``kont:Push`` transitions): the
+  slot of the binding parameter plus the chain of enclosing lambdas'
+  parameter tuples, so the fused run loop can read the binding off the
+  runtime frame chain without a hash lookup.  No address is assigned to
+  ``set!``-mutable names or to free (global) variables — those always
+  take the named-lookup path — and the runtime read *verifies* the
+  frame chain (parameter-tuple identity per level) before trusting a
+  slot, so dynamically-restricted frames fall back to named lookup too;
+- gen-2 *superinstruction* codes per call site: operands that are
+  themselves all-simple calls (every subexpression a ``Var`` or
+  ``Quote``) are marked as nested-primop candidates (kind 4), with the
+  inner identity-order plan interned alongside, and ``If`` tests of the
+  same shape get an interned test plan — the fused loop uses these to
+  collapse the whole ``push -> eval -> call`` cycle of the inner call
+  into one batched transition.
 
 The invariant that keeps this safe: annotations are **derived, never
 authoritative**.  They cache pure functions of the immutable AST (and
@@ -82,7 +98,15 @@ class CallPlan:
         "suffixes",
         "suffix_fvs",
         "is_identity",
+        "in_order",
         "kinds",
+        "simple_all",
+        "fuse_cost",
+        "addrs",
+        "consts",
+        "nested",
+        "speculate",
+        "beta_only",
     )
 
     def __init__(self, site: Call, order: Tuple[int, ...]):
@@ -103,15 +127,62 @@ class CallPlan:
         )
         self.is_identity = order == identity_permutation(count)
         # Expression-class codes in evaluation order (first, then the
-        # pending sequence): 1 = Var, 2 = Quote, 3 = Lambda, 0 = other.
-        # These are the "simple" expressions — a single transition with
-        # no continuation inspection — which the fused run loop may
-        # evaluate inline without materializing intermediate frames.
-        # Exact-class codes only: AST subclasses take the generic path.
+        # pending sequence): 1 = Var, 2 = Quote, 3 = Lambda,
+        # 4 = all-simple nested call (a gen-2 superinstruction
+        # candidate), 0 = other.  Kinds 1-3 are the "simple"
+        # expressions — a single transition with no continuation
+        # inspection — which the fused run loop may evaluate inline
+        # without materializing intermediate frames; kind 4 marks a
+        # call whose every subexpression is a Var or Quote, which the
+        # gen-2 loop may evaluate as one batched transition when the
+        # operator turns out to be a non-control primop.  Exact-class
+        # codes only: AST subclasses take the generic path.
+        in_order = (self.first,) + pending
+        self.in_order = in_order
         self.kinds: Tuple[int, ...] = tuple(
-            _EXPR_KIND.get(type(expr), 0)
-            for expr in (self.first,) + pending
+            _expr_kind(expr) for expr in in_order
         )
+        #: True when every subexpression is a Var or Quote — the shape
+        #: whose whole evaluation is pure (no store effects before the
+        #: application step), so it may be speculated.
+        self.simple_all = all(kind in (1, 2) for kind in self.kinds)
+        #: Transitions a full inline evaluation of this call consumes:
+        #: the call reduction, one eval and one advance/complete step
+        #: per subexpression, and the application step.
+        self.fuse_cost = 2 * count + 2
+        #: Per-position gen-2 annotations, aligned with ``kinds``:
+        #: the lexical address of a Var operand (or None), the interned
+        #: constant of a Quote operand (None for strings — those must
+        #: stay fresh per evaluation), and the inner identity plan of a
+        #: kind-4 operand.
+        self.addrs = tuple(
+            _VAR_ADDRS.get(expr) if kind == 1 else None
+            for expr, kind in zip(in_order, self.kinds)
+        )
+        self.consts = tuple(
+            quote_value(expr)
+            if kind == 2 and type(expr.value) is not str else None
+            for expr, kind in zip(in_order, self.kinds)
+        )
+        self.nested = tuple(
+            call_plan(expr, identity_permutation(len(expr.exprs)))
+            if kind == 4 else None
+            for expr, kind in zip(in_order, self.kinds)
+        )
+        #: Whole-call speculation hints.  ``speculate`` is cleared the
+        #: first time the operator turns out unfusable for *every*
+        #: machine (neither a non-control primop nor a beta-shaped
+        #: closure — a site tends to keep its operator kind, and
+        #: re-speculating every visit would pay the failed operator
+        #: read per step).  ``beta_only`` is set when the operator is a
+        #: closure, so machines whose call frame rules out the beta
+        #: superinstruction stop probing the site while beta-capable
+        #: machines keep fusing it — plans are interned per site, and a
+        #: machine-dependent decline must not poison the plan globally.
+        #: Both are purely performance hints: fusion is optional, so a
+        #: stale value only means the generic — exact — path.
+        self.speculate = True
+        self.beta_only = False
 
     def __repr__(self) -> str:
         return f"CallPlan(|exprs|={len(self.site.exprs)}, order={self.order})"
@@ -121,17 +192,144 @@ class CallPlan:
 _EXPR_KIND = {Var: 1, Quote: 2, Lambda: 3}
 
 
+def _expr_kind(expr: Expr) -> int:
+    """The :attr:`CallPlan.kinds` code of one subexpression."""
+    kind = _EXPR_KIND.get(type(expr), 0)
+    if kind == 0 and type(expr) is Call and expr.exprs and all(
+        _EXPR_KIND.get(type(sub), 0) in (1, 2) for sub in expr.exprs
+    ):
+        return 4
+    return kind
+
+
 #: site -> order -> CallPlan.  Keyed by node identity (AST nodes hash
 #: by identity); retained for the process lifetime like the free_vars
 #: cache.  Non-default policies add one entry per distinct order seen
 #: at a site (Shuffled adds at most |site|! of them).
 _SITE_PLANS: Dict[Call, Dict[Tuple[int, ...], CallPlan]] = {}
 
+#: site -> its identity-order CallPlan (a single-lookup shortcut for
+#: the left-to-right fused loop; filled by :func:`call_plan`).
+_IDENTITY_PLANS: Dict[Call, CallPlan] = {}
+
 #: Quote node -> interned runtime value.  ``eqv?`` compares numbers,
 #: booleans, symbols, and characters by content, so interning their
 #: values is unobservable; ``str`` constants are excluded (Str eqv? is
 #: identity, so the seed's fresh Str per evaluation is observable).
 _QUOTE_VALUES: Dict[Quote, object] = {}
+
+#: Var node -> gen-2 lexical address ``(slot, path)``: *path* is the
+#: tuple of enclosing lambdas' parameter tuples from the innermost out
+#: to (and including) the binding lambda, and *slot* indexes the name
+#: in the last of them.  Runtime frames record the parameter tuple they
+#: were extended with, so a lookup walks the frame chain checking tuple
+#: *identity* per level and trusts the slot only when every level
+#: matches — restricted or hand-built frames never match and fall back
+#: to named lookup.  ``set!``-target names and free (global) variables
+#: get no entry at all.
+_VAR_ADDRS: Dict[Var, Tuple[int, Tuple[Tuple[str, ...], ...]]] = {}
+
+#: If node -> inner identity CallPlan of its test when the test is an
+#: all-simple call (the gen-2 if/select fusion candidate), else None.
+_IF_TESTS: Dict[If, Optional[CallPlan]] = {}
+
+_ABSENT = object()
+
+
+def var_addr(node: Var):
+    """The gen-2 lexical address of *node*, or None (named lookup)."""
+    return _VAR_ADDRS.get(node)
+
+
+def if_test_plan(node: If) -> Optional[CallPlan]:
+    """The interned identity plan of *node*'s test when the test is an
+    all-simple call — the shape the gen-2 loop can evaluate without
+    materializing the select frame — else None."""
+    entry = _IF_TESTS.get(node, _ABSENT)
+    if entry is _ABSENT:
+        entry = None
+        test = node.test
+        if type(test) is Call and test.exprs:
+            plan = call_plan(test, identity_permutation(len(test.exprs)))
+            if plan.simple_all:
+                entry = plan
+        _IF_TESTS[node] = entry
+    return entry
+
+
+#: Lambda -> the identity plan of its body when the body is an
+#: all-simple call (the gen-2 beta superinstruction candidate: a call
+#: to such a closure whose body operator turns out to be a primop is
+#: evaluated as one batched transition), else None.
+_BODY_PLANS: Dict[Lambda, Optional[CallPlan]] = {}
+
+
+def body_fuse_plan(lam: Lambda) -> Optional[CallPlan]:
+    """The interned identity plan of *lam*'s body when the body is an
+    all-simple call — the accessor/predicate shape (``(car x)``,
+    ``(number? tree)``) the gen-2 loop can apply without materializing
+    any frame — else None."""
+    entry = _BODY_PLANS.get(lam, _ABSENT)
+    if entry is _ABSENT:
+        entry = None
+        body = lam.body
+        if type(body) is Call and body.exprs:
+            plan = call_plan(body, identity_permutation(len(body.exprs)))
+            if plan.simple_all:
+                entry = plan
+        _BODY_PLANS[lam] = entry
+    return entry
+
+
+def _resolve_addresses(expr: Expr) -> None:
+    """Assign lexical addresses to every quickenable Var in *expr*.
+
+    A Var is quickenable when it is bound by an enclosing Lambda and
+    its name is never a ``set!`` target anywhere in the program (the
+    issue-mandated fallback; name-based over-approximation is sound —
+    it only disables the fast path).  Address resolution runs before
+    plan interning so :class:`CallPlan` construction sees the table."""
+    mutated = {
+        node.name for node in walk(expr) if node.__class__ is SetBang
+    }
+    stack = [(expr, ())]
+    while stack:
+        node, scope = stack.pop()
+        cls = node.__class__
+        if cls is Var:
+            name = node.name
+            if name in mutated or node in _VAR_ADDRS:
+                continue
+            path = []
+            for params in reversed(scope):
+                path.append(params)
+                if name in params:
+                    # The third field pre-answers the overwhelmingly
+                    # common depth-1 case: the binding lambda's own
+                    # params tuple when the path is one level (so the
+                    # lookup site is a single identity check + index),
+                    # else False (an ``is`` check against a frame's
+                    # params tuple or None can never match False, so
+                    # deep vars take the chain walk).
+                    _VAR_ADDRS[node] = (
+                        params.index(name),
+                        tuple(path),
+                        params if len(path) == 1 else False,
+                    )
+                    break
+        elif cls is Lambda:
+            stack.append((node.body, scope + (node.params,)))
+        elif cls is Call:
+            for sub in node.exprs:
+                stack.append((sub, scope))
+        elif cls is If:
+            stack.append((node.test, scope))
+            stack.append((node.consequent, scope))
+            stack.append((node.alternative, scope))
+        elif cls is SetBang:
+            stack.append((node.expr, scope))
+        # Quote is a leaf; unknown Expr subclasses are left alone — any
+        # Vars below them simply keep the named-lookup path.
 
 
 def call_plan(site: Call, order: Tuple[int, ...]) -> CallPlan:
@@ -143,6 +341,8 @@ def call_plan(site: Call, order: Tuple[int, ...]) -> CallPlan:
     plan = plans.get(order)
     if plan is None:
         plan = plans[order] = CallPlan(site, order)
+        if plan.is_identity:
+            _IDENTITY_PLANS[site] = plan
     return plan
 
 
@@ -163,9 +363,11 @@ def annotate(expr: Expr) -> Expr:
     Interns, per node: Lambda/If/set! free-variable sets, the
     identity-order :class:`CallPlan` of every call site (the default
     left-to-right policy's order; other orders fill lazily at first
-    execution), and immutable quote values.  Returns *expr* unchanged —
-    annotations live in side caches, never in the tree.
+    execution), immutable quote values, gen-2 lexical addresses, and
+    if-test fusion plans.  Returns *expr* unchanged — annotations live
+    in side caches, never in the tree.
     """
+    _resolve_addresses(expr)
     for node in walk(expr):
         cls = node.__class__
         if cls is Call:
@@ -174,6 +376,7 @@ def annotate(expr: Expr) -> Expr:
             free_vars(node)
         elif cls is If:
             branch_free_vars(node.consequent, node.alternative)
+            if_test_plan(node)
         elif cls is SetBang:
             name_set(node.name)
             free_vars(node)
@@ -183,9 +386,14 @@ def annotate(expr: Expr) -> Expr:
 
 
 def clear_prepass_caches() -> None:
-    """Drop all interned plans and quote values (testing hygiene)."""
+    """Drop all interned plans, quote values, and gen-2 annotations
+    (testing hygiene)."""
     _SITE_PLANS.clear()
+    _IDENTITY_PLANS.clear()
     _QUOTE_VALUES.clear()
+    _VAR_ADDRS.clear()
+    _IF_TESTS.clear()
+    _BODY_PLANS.clear()
 
 
 def plan_count() -> int:

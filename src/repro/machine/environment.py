@@ -38,15 +38,37 @@ def pop_restrict_stats(stats):
 
 
 class Environment:
-    """An immutable finite map Identifier -> Location."""
+    """An immutable finite map Identifier -> Location.
 
-    __slots__ = ("_bindings", "_graph", "_location_tuple", "_restrict_cache")
+    Environments are flat dicts, but frames built by :meth:`extend`
+    additionally remember *how* they were built — the parent
+    environment, the parameter tuple, and the location tuple — forming
+    a frame chain that mirrors the runtime lambda nesting.  The gen-2
+    stepper's quickened variable lookup walks this chain by a static
+    lexical address instead of hashing the name; the chain is advisory
+    (``restrict`` copies and hand-built environments carry none), and
+    semantics never depend on it: ``graph()``, GC reachability, and the
+    space accountings read only ``_bindings``.
+    """
+
+    __slots__ = (
+        "_bindings",
+        "_graph",
+        "_location_tuple",
+        "_restrict_cache",
+        "_parent",
+        "_frame_names",
+        "_frame_locs",
+    )
 
     def __init__(self, bindings: Optional[Dict[str, Location]] = None):
         self._bindings: Dict[str, Location] = dict(bindings) if bindings else {}
         self._graph: Optional[FrozenSet[Tuple[str, Location]]] = None
         self._location_tuple: Optional[Tuple[Location, ...]] = None
         self._restrict_cache: Optional[Dict[FrozenSet[str], "Environment"]] = None
+        self._parent: Optional["Environment"] = None
+        self._frame_names: Optional[Tuple[str, ...]] = None
+        self._frame_locs: Optional[Tuple[Location, ...]] = None
 
     @staticmethod
     def _owned(bindings: Dict[str, Location]) -> "Environment":
@@ -58,6 +80,9 @@ class Environment:
         env._graph = None
         env._location_tuple = None
         env._restrict_cache = None
+        env._parent = None
+        env._frame_names = None
+        env._frame_locs = None
         return env
 
     # -- lookups ------------------------------------------------------------
@@ -106,7 +131,11 @@ class Environment:
             raise ValueError("names and locations must have equal length")
         bindings = dict(self._bindings)
         bindings.update(zip(names, locations))
-        return Environment._owned(bindings)
+        env = Environment._owned(bindings)
+        env._parent = self
+        env._frame_names = names
+        env._frame_locs = locations
+        return env
 
     def restrict(self, names: Iterable[str]) -> "Environment":
         """rho | names — keep only the bindings whose name is in *names*.

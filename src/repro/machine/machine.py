@@ -33,6 +33,20 @@ this changes a single transition: the preserved seed stepper
 (:mod:`repro.machine.reference_step`) is held equal to this one —
 answers, step counts, Definition 21/23 space — by the lockstep
 differential suite.
+
+The second generation of the fused run loop (``gen2=True``, the
+default) adds the telemetry-guided superinstructions of DESIGN.md §7:
+quickened variable reads (a prepass lexical address checked against
+the runtime frame chain, falling back to named lookup whenever the
+chain was restricted or the name is ``set!``-mutable), inlined
+all-simple nested calls (the ``Push -> eval-operand -> CallK`` cycle
+of a ``(prim v ...)`` operand collapsed into one batched transition),
+and fused ``If`` tests (the transient select frame never built).  All
+of it is still pure batching: every skipped continuation is transient
+— created and consumed strictly inside one ``run_steps`` batch — so
+step counts, store effects, answers, and the Figure 7/8 space of every
+configuration a driver can observe are unchanged.  ``gen2=False``
+reproduces the first-generation loop exactly (the benchmark baseline).
 """
 
 from __future__ import annotations
@@ -40,7 +54,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from ..syntax.ast import Call, Expr, If, Lambda, Quote, SetBang, Var
-from ..syntax.free_vars import free_vars
+from ..syntax.free_vars import branch_free_vars, free_vars
 from .config import Configuration, Final, State
 from .continuation import (
     Assign,
@@ -87,6 +101,11 @@ from ..reader.datum import Char as CharDatum, Symbol
 annotate = None
 call_plan = None
 quote_value = None
+if_test_plan = None
+body_fuse_plan = None
+_VAR_ADDRS: dict = {}
+_IF_TESTS: dict = {}
+_IDENTITY_PLANS: dict = {}
 
 
 def _hook_kind(cls, hook_name: str, kind_name: str) -> str:
@@ -128,6 +147,203 @@ def _saved_env(machine, base, plan, j):
     return base if plan.suffixes[j] else EMPTY_ENV  # drop-empty
 
 
+#: Sentinel returned by :func:`_nested_value` when the speculated
+#: operator turns out not to be a non-control primop: everything
+#: evaluated up to that point was pure (Var reads and Quote constants),
+#: so the generic path replays the nested call exactly.
+_NO_FUSE = object()
+
+#: Sentinel for the machine-*dependent* decline: the operator is a
+#: closure, which only beta-capable machines can fuse.  Recorded as
+#: ``CallPlan.beta_only`` rather than clearing ``speculate`` — plans
+#: are interned per site and shared across machines, so a decline that
+#: another machine would have accepted must not poison the plan.
+_BETA_ONLY = object()
+
+
+def _quick_location(env, slot, path):
+    """The location of a quickened variable, read off the runtime frame
+    chain, or None when the chain does not match the static *path* (a
+    restricted, hand-built, or global frame) — the caller then falls
+    back to named lookup.
+
+    *path* is the tuple of enclosing lambdas' parameter tuples from the
+    innermost out to the binding lambda; a frame matches a level only
+    when its recorded parameter tuple is the *same object* (lambda
+    nodes own their params tuple), which makes a match a proof that the
+    frame is that lambda's body frame — and then ``_frame_locs[slot]``
+    is by construction the location its ``extend`` bound the name to.
+    """
+    frame = env
+    last = len(path) - 1
+    for level, params in enumerate(path):
+        if frame is None or frame._frame_names is not params:
+            return None
+        if level == last:
+            return frame._frame_locs[slot]
+        frame = frame._parent
+    return None
+
+
+def _nested_value(machine, store, plan, env, bindings, cells_get, budget):
+    """Evaluate an all-simple nested call (``CallPlan.simple_all``) to
+    its value without materializing any of its frames.
+
+    Returns ``(value, cost, held)`` on success, where *cost* is the
+    number of seed transitions consumed and *held* is either None (the
+    batch-boundary environment is the nested call's own last saved
+    environment) or a ``(body_env, body_plan)`` pair (a fused closure
+    body ran last — its last saved environment holds the value); or
+    None when the transitions would overflow *budget* (the caller then
+    takes the generic path without giving up on the site); or
+    :data:`_NO_FUSE` when the operator is not fusable — the caller
+    records that on the plan so the site is not re-speculated.
+
+    Two operator shapes fuse.  A **non-control primop** costs
+    ``plan.fuse_cost``.  A **closure whose body is itself an all-simple
+    call of a primop** (the accessor/predicate shape — the beta
+    superinstruction) costs both calls' fuse_cost plus the return-frame
+    pop on machines whose ``call_frame`` is the declared I_gc Return.
+
+    Exactness: every subexpression is a Var or Quote, so nothing before
+    the application step touches the store — the speculation (operator
+    reads, the closure-body operator resolved through the argument list
+    or the closure environment, never the frame) has no effects to
+    undo, and errors raise at the same logical transition as the
+    seed's; a speculative read that would fail just declines, and the
+    generic replay raises at the exact seed point.  Only invoked under
+    the stateless left-to-right policy (the seed would consult the
+    policy at the skipped call reductions).
+    """
+    kinds = plan.kinds
+    addrs = plan.addrs
+    consts = plan.consts
+    exprs = plan.in_order
+    op = None
+    vals = []
+    for i in range(len(exprs)):
+        if kinds[i] == 1:  # Var
+            expr = exprs[i]
+            addr = addrs[i]
+            location = None
+            if addr is not None:
+                if env._frame_names is addr[2]:
+                    location = env._frame_locs[addr[0]]
+                else:
+                    location = _quick_location(env, addr[0], addr[1])
+            if location is None:
+                location = bindings.get(expr.name)
+                if location is None:
+                    raise UnboundVariableError(
+                        f"unbound variable: {expr.name}"
+                    )
+            value = cells_get(location)
+            if value is None:
+                raise UnboundVariableError(
+                    f"variable {expr.name} refers to an unmapped location"
+                )
+            if value is UNDEFINED:
+                raise UnboundVariableError(
+                    f"variable {expr.name} read before initialization"
+                )
+        else:  # Quote
+            value = consts[i]
+            if value is None:
+                value = quote_value(exprs[i])
+        if i == 0:
+            op = value
+        else:
+            vals.append(value)
+    args = tuple(vals)
+    ocls = op.__class__
+    if ocls is Primop:
+        if op.controls:
+            return _NO_FUSE
+        cost = plan.fuse_cost
+        if cost > budget:
+            return None
+        arity = op.arity
+        if arity is not None:
+            low, high = arity
+            if len(args) < low or (high is not None and len(args) > high):
+                raise ArityError(
+                    f"{op.name} expects {_arity_text(low, high)} arguments, "
+                    f"got {len(args)}"
+                )
+        return op.proc(machine, store, args), cost, None
+    if ocls is Closure:
+        if not machine._fuse_beta:
+            return _BETA_ONLY
+        lam = op.lam
+        params = lam.params
+        if len(params) != len(args):
+            return _NO_FUSE  # the generic replay raises the ArityError
+        body = body_fuse_plan(lam)
+        if body is None:
+            return _NO_FUSE
+        # Resolve the body operator without building the frame (pure):
+        # a parameter reads the just-computed argument, a free name
+        # reads the closure environment.
+        bop = None
+        if body.kinds[0] == 1:
+            bname = body.first.name
+            if bname in params:
+                bop = args[params.index(bname)]
+            else:
+                location = op.env._bindings.get(bname)
+                if location is not None:
+                    bop = cells_get(location)
+        if bop is None or bop.__class__ is not Primop or bop.controls:
+            return _NO_FUSE
+        cost = plan.fuse_cost + body.fuse_cost + machine._beta_extra
+        if cost > budget:
+            return None
+        # Commit: the seed's store effects, in the seed's order.
+        locations = store.alloc_many(args)
+        body_env = op.env.extend(params, locations)
+        bbindings = body_env._bindings
+        bkinds = body.kinds
+        bconsts = body.consts
+        bexprs = body.in_order
+        bvals = []
+        for j in range(1, len(bexprs)):
+            if bkinds[j] == 1:
+                expr = bexprs[j]
+                location = bbindings.get(expr.name)
+                if location is None:
+                    raise UnboundVariableError(
+                        f"unbound variable: {expr.name}"
+                    )
+                value = cells_get(location)
+                if value is None:
+                    raise UnboundVariableError(
+                        f"variable {expr.name} refers to an unmapped location"
+                    )
+                if value is UNDEFINED:
+                    raise UnboundVariableError(
+                        f"variable {expr.name} read before initialization"
+                    )
+            else:
+                value = bconsts[j]
+                if value is None:
+                    value = quote_value(bexprs[j])
+            bvals.append(value)
+        bargs = tuple(bvals)
+        arity = bop.arity
+        if arity is not None:
+            low, high = arity
+            if len(bargs) < low or (high is not None and len(bargs) > high):
+                raise ArityError(
+                    f"{bop.name} expects {_arity_text(low, high)} arguments, "
+                    f"got {len(bargs)}"
+                )
+        value = bop.proc(machine, store, bargs)
+        if machine._default_call_frame:
+            return value, cost, (body_env, body)
+        return value, cost, None
+    return _NO_FUSE
+
+
 def _fuse_call(machine, store, plan, vals, i, base, parent, steps, limit):
     """Inline-evaluate the run of *simple* subexpressions of a call
     starting at evaluation index *i*, without materializing the
@@ -138,7 +354,12 @@ def _fuse_call(machine, store, plan, vals, i, base, parent, steps, limit):
     nor (beyond a lookup) the environment, so the eval and advance
     steps can be counted without being individually materialized; the
     store effects (the lambda rule's tag allocation) happen in exactly
-    the seed order.  Returns the registers
+    the seed order.  Under gen-2, a kind-4 operand — an all-simple
+    nested call — is additionally evaluated whole through
+    :func:`_nested_value` (``fuse_cost`` transitions, committed only
+    when they fit the budget and the speculated operator is a
+    non-control primop), and quickened Var operands read their lexical
+    address off the frame chain.  Returns the registers
     ``(control, is_value, env, kont, steps)`` at the first point the
     generic loop must resume: a compound subexpression (its push frame
     is then built, content-identical to the seed's), the step budget
@@ -146,62 +367,137 @@ def _fuse_call(machine, store, plan, vals, i, base, parent, steps, limit):
     continuation, ready for the application step).
     """
     kinds = plan.kinds
+    addrs = plan.addrs
+    consts = plan.consts
+    nested = plan.nested
     pending = plan.pending
     last = len(pending)
     start = i
     fuse_lambda = machine._fuse_lambda
+    fuse_nested = machine._fuse_nested
+    fuse_beta = machine._fuse_beta
+    d_env = machine._default_call_env and machine._default_push_env
+    frame_return = machine._frame_return
+    quicken = machine._gen2
     closure_fv = machine._closure_env_fv
     bindings = base._bindings
     cells_get = store._cells.get
     while True:
         expr = plan.first if i == 0 else pending[i - 1]
         kind = kinds[i]
-        if kind == 0 or (kind == 3 and not fuse_lambda) or steps >= limit:
+        value = _NO_FUSE
+        cost = 1
+        if steps < limit:
+            if kind == 1:  # Var
+                name = expr.name
+                location = None
+                if quicken:
+                    addr = addrs[i]
+                    if addr is not None:
+                        if base._frame_names is addr[2]:
+                            location = base._frame_locs[addr[0]]
+                        else:
+                            location = _quick_location(
+                                base, addr[0], addr[1]
+                            )
+                if location is None:
+                    location = bindings.get(name)
+                    if location is None:
+                        raise UnboundVariableError(
+                            f"unbound variable: {name}"
+                        )
+                value = cells_get(location)
+                if value is None:
+                    raise UnboundVariableError(
+                        f"variable {name} refers to an unmapped location"
+                    )
+                if value is UNDEFINED:
+                    raise UnboundVariableError(
+                        f"variable {name} read before initialization"
+                    )
+            elif kind == 2:  # Quote
+                value = consts[i]
+                if value is None:  # a string constant: stay fresh
+                    value = quote_value(expr)
+            elif kind == 3:  # Lambda
+                if fuse_lambda:
+                    closed = (
+                        base.restrict(free_vars(expr)) if closure_fv else base
+                    )
+                    value = Closure(store.alloc(UNSPECIFIED), expr, closed)
+            elif kind == 4:  # all-simple nested call
+                inner = nested[i]
+                held_src = None
+                if (
+                    fuse_nested
+                    and inner.speculate
+                    and (fuse_beta or not inner.beta_only)
+                ):
+                    fused = _nested_value(
+                        machine, store, inner, base, bindings, cells_get,
+                        limit - steps,
+                    )
+                    if fused is _NO_FUSE:
+                        inner.speculate = False
+                    elif fused is _BETA_ONLY:
+                        inner.beta_only = True
+                    elif fused is not None:
+                        value, cost, held_src = fused
+        if value is _NO_FUSE:
             # Hand the expression to the generic loop (compound, an
-            # unfusable lambda, or the batch boundary): materialize the
-            # configuration the per-step rules would be in.
+            # unfusable lambda or nested call, or the batch boundary):
+            # materialize the configuration the per-step rules would
+            # be in.
             return (
                 expr,
                 False,
-                base if i == start else _saved_env(machine, base, plan, i - 1),
+                base if d_env or i == start
+                else _saved_env(machine, base, plan, i - 1),
                 Push(
                     plan.suffixes[i], tuple(vals), plan.order,
-                    _saved_env(machine, base, plan, i), parent,
-                    site=plan.site, plan=plan,
+                    base if d_env else _saved_env(machine, base, plan, i),
+                    parent, site=plan.site, plan=plan,
                 ),
                 steps,
             )
-        steps += 1  # the evaluation step of expression i
-        if kind == 1:  # Var
-            name = expr.name
-            location = bindings.get(name)
-            if location is None:
-                raise UnboundVariableError(f"unbound variable: {name}")
-            value = cells_get(location)
-            if value is None:
-                raise UnboundVariableError(
-                    f"variable {name} refers to an unmapped location"
-                )
-            if value is UNDEFINED:
-                raise UnboundVariableError(
-                    f"variable {name} read before initialization"
-                )
-        elif kind == 2:  # Quote
-            value = quote_value(expr)
-        else:  # Lambda
-            closed = base.restrict(free_vars(expr)) if closure_fv else base
-            value = Closure(store.alloc(UNSPECIFIED), expr, closed)
+        steps += cost
         vals.append(value)
         if steps >= limit:
-            # Batch boundary holding the value at frame i.
+            # Batch boundary holding the value at frame i.  The seed's
+            # environment register there is the one the value was
+            # produced in: the frame's saved environment for a simple
+            # operand, the *inner* call's last saved environment for a
+            # fused nested call (its apply step ran last).
+            if kind == 4:
+                # A fused closure body (beta) that ran to its own apply
+                # step holds that body call's last saved environment;
+                # otherwise (primop inner, or the gc-family beta whose
+                # final transition is the Return pop restoring the
+                # caller environment) the inner call's.
+                if held_src is not None:
+                    held = (
+                        held_src[0] if d_env else _saved_env(
+                            machine, held_src[0], held_src[1],
+                            len(held_src[1].pending),
+                        )
+                    )
+                else:
+                    held = (
+                        base if d_env else
+                        _saved_env(machine, base, inner, len(inner.pending))
+                    )
+            elif d_env or i == start:
+                held = base
+            else:
+                held = _saved_env(machine, base, plan, i - 1)
             return (
                 value,
                 True,
-                base if i == start else _saved_env(machine, base, plan, i - 1),
+                held,
                 Push(
                     plan.suffixes[i], tuple(vals[:-1]), plan.order,
-                    _saved_env(machine, base, plan, i), parent,
-                    site=plan.site, plan=plan,
+                    base if d_env else _saved_env(machine, base, plan, i),
+                    parent, site=plan.site, plan=plan,
                 ),
                 steps,
             )
@@ -219,11 +515,12 @@ def _fuse_call(machine, store, plan, vals, i, base, parent, steps, limit):
                 original[position] = evaluated
             operator = original[0]
             args = tuple(original[1:])
-        if steps < limit and machine._default_apply:
+        if steps < limit:
             # Fuse the application step too for the common operators,
-            # mirroring the generic loop's call-continuation rule.
+            # mirroring the generic loop's call-continuation rule (a
+            # closure-only apply override still admits the primop case).
             ocls = operator.__class__
-            if ocls is Closure:
+            if ocls is Closure and machine._default_apply:
                 lam = operator.lam
                 params = lam.params
                 if len(params) != len(args):
@@ -235,13 +532,22 @@ def _fuse_call(machine, store, plan, vals, i, base, parent, steps, limit):
                 locations = store.alloc_many(args)
                 body_env = operator.env.extend(params, locations)
                 if not machine._default_call_frame:
-                    parent = machine.call_frame(
-                        locations,
-                        _saved_env(machine, base, plan, last),
-                        parent,
+                    caller = (
+                        base if d_env
+                        else _saved_env(machine, base, plan, last)
                     )
+                    if frame_return:
+                        parent = Return(caller, parent)
+                    else:
+                        parent = machine.call_frame(
+                            locations, caller, parent
+                        )
                 return (lam.body, False, body_env, parent, steps)
-            if ocls is Primop and not operator.controls:
+            if (
+                ocls is Primop
+                and machine._primop_apply
+                and not operator.controls
+            ):
                 arity = operator.arity
                 if arity is not None:
                     low, high = arity
@@ -257,7 +563,7 @@ def _fuse_call(machine, store, plan, vals, i, base, parent, steps, limit):
                 return (
                     operator.proc(machine, store, args),
                     True,
-                    _saved_env(machine, base, plan, last),
+                    base if d_env else _saved_env(machine, base, plan, last),
                     parent,
                     steps,
                 )
@@ -267,7 +573,7 @@ def _fuse_call(machine, store, plan, vals, i, base, parent, steps, limit):
         return (
             operator,
             True,
-            _saved_env(machine, base, plan, last),
+            base if d_env else _saved_env(machine, base, plan, last),
             CallK(args, parent, site=plan.site),
             steps,
         )
@@ -292,6 +598,16 @@ class Machine:
         "_closure_env_fv",
         "_fusable",
         "_fuse_lambda",
+        "_gen2",
+        "_select_env_fv",
+        "_fuse_nested",
+        "_fuse_if",
+        "_fuse_if_call",
+        "_fuse_beta",
+        "_beta_extra",
+        "_frame_return",
+        "_plan0",
+        "_primop_apply",
         "trace",
     )
 
@@ -317,12 +633,28 @@ class Machine:
     #: ``"custom"``.
     closure_env_kind = "identity"
 
+    #: Declared shape of the ``select_env`` override:
+    #: ``"identity"`` (I_tail), ``"restrict-branch-fv"`` (restrict to
+    #: the branches' free variables — I_sfs; the gen-2 if fusion then
+    #: reproduces the hook from the interned branch set), or
+    #: ``"custom"`` (if fusion disabled).
+    select_env_kind = "identity"
+
+    #: Declared shape of an ``apply_procedure`` override, same trust
+    #: model as the environment kinds: ``"closure-only"`` promises the
+    #: override special-cases closure operators only and defers every
+    #: other operator (primops in particular) to the base rule — the
+    #: Bigloo-style machine — so primop-operator superinstructions
+    #: (fused nested calls and if tests) remain exact even though
+    #: closure application is custom.  Anything else disables them.
+    apply_kind = "default"
+
     #: Whether the semantics includes the garbage collection rule of
     #: Figure 5.  I_stack (a pure deletion strategy, section 5) sets
     #: this False: storage is reclaimed only by frame deletion.
     uses_gc_rule = True
 
-    def __init__(self, policy: Optional[Policy] = None):
+    def __init__(self, policy: Optional[Policy] = None, gen2: bool = True):
         self.policy = policy if policy is not None else LeftToRight()
         # A hook still at its I_tail default is the identity on the
         # environment (or the caller's kappa): the dispatch handlers
@@ -361,6 +693,55 @@ class Machine:
             self._default_closure_env
             and not (self._call_env_fv or self._push_env_fv)
         )
+        # Gen-2 superinstructions (DESIGN.md §7).  Nested-call and
+        # fused-if-test speculation skip the seed's policy consultation
+        # at the inner call reduction, so they are sound only under the
+        # stateless identity policy; the if fusion additionally needs
+        # the select hook reconstructible (identity, or the declared
+        # I_sfs branch restriction).
+        select_kind = _hook_kind(cls, "select_env", "select_env_kind")
+        self._select_env_fv = select_kind == "restrict-branch-fv"
+        self._gen2 = gen2
+        lefttoright = type(self.policy) is LeftToRight
+        # Primop-operator superinstructions stay exact under a custom
+        # closure application as long as non-closure operators take the
+        # base rule (the declared "closure-only" apply kind): the fused
+        # transitions never apply a closure then — _fuse_beta below
+        # additionally requires the full default apply.
+        primop_apply = self._default_apply or (
+            _hook_kind(cls, "apply_procedure", "apply_kind")
+            == "closure-only"
+        )
+        self._primop_apply = primop_apply
+        self._fuse_nested = (
+            gen2 and lefttoright and primop_apply and self._fusable
+        )
+        self._fuse_if = gen2 and (
+            self._default_select_env or self._select_env_fv
+        )
+        self._fuse_if_call = (
+            self._fuse_if and lefttoright and primop_apply
+        )
+        # The beta superinstruction additionally applies a closure
+        # operator whose body is an all-simple primop call, so the
+        # skipped call frame must be reconstructible: the identity
+        # (I_tail family) or the declared I_gc Return, whose pop is one
+        # extra transition restoring the caller environment.  The
+        # I_stack ReturnStack pop deletes store cells — observable — so
+        # its declared kind declines.
+        frame_kind = _hook_kind(cls, "call_frame", "call_frame_kind")
+        self._fuse_beta = (
+            self._fuse_nested
+            and self._default_apply
+            and (self._default_call_frame or frame_kind == "return")
+        )
+        self._beta_extra = 0 if self._default_call_frame else 1
+        # The declared I_gc frame lets the fused apply build the Return
+        # directly instead of calling the hook.
+        self._frame_return = (
+            not self._default_call_frame and frame_kind == "return"
+        )
+        self._plan0 = gen2 and lefttoright
         #: Telemetry sink (a ``repro.telemetry.bus.TraceBus``) or None.
         #: The only cost when unset is one ``is None`` check per batch.
         self.trace = None
@@ -482,6 +863,14 @@ class Machine:
         push_fv = self._push_env_fv
         push_drop = self._push_env_drop
         fuse = self._fusable
+        gen2 = self._gen2
+        fuse_if = self._fuse_if
+        fuse_if_call = self._fuse_if_call
+        fuse_beta = self._fuse_beta
+        var_addrs_get = _VAR_ADDRS.get
+        if_tests_get = _IF_TESTS.get
+        plan0 = self._plan0
+        plan0_get = _IDENTITY_PLANS.get
         steps = 0
         while steps < limit:
             steps += 1
@@ -642,9 +1031,22 @@ class Machine:
             cls = control.__class__
             if cls is Var:
                 name = control.name
-                location = env._bindings.get(name)
+                location = None
+                if gen2:
+                    addr = var_addrs_get(control)
+                    if addr is not None:
+                        if env._frame_names is addr[2]:
+                            location = env._frame_locs[addr[0]]
+                        else:
+                            location = _quick_location(
+                                env, addr[0], addr[1]
+                            )
                 if location is None:
-                    raise UnboundVariableError(f"unbound variable: {name}")
+                    location = env._bindings.get(name)
+                    if location is None:
+                        raise UnboundVariableError(
+                            f"unbound variable: {name}"
+                        )
                 value = cells_get(location)
                 if value is None:
                     raise UnboundVariableError(
@@ -658,8 +1060,13 @@ class Machine:
                 is_value = True
                 continue
             if cls is Call:
-                order = permutation(len(control.exprs))
-                plan = call_plan(control, order)
+                # Under the stateless identity policy a site's plan is
+                # permutation-independent: one dict probe replaces the
+                # policy consult + memo call after the first visit.
+                plan = plan0_get(control) if plan0 else None
+                if plan is None:
+                    order = permutation(len(control.exprs))
+                    plan = call_plan(control, order)
                 if fuse:
                     control, is_value, env, kont, steps = _fuse_call(
                         self, store, plan, [], 0, env, kont, steps, limit,
@@ -685,6 +1092,83 @@ class Machine:
                 is_value = True
                 continue
             if cls is If:
+                test = control.test
+                if fuse_if:
+                    # Fuse the test evaluation and the select step for
+                    # the measured shapes, never materializing the
+                    # transient select frame: a simple test is +2
+                    # transitions, an all-simple nested-call test is
+                    # its fuse_cost +1 (committed only when the budget
+                    # fits and the speculated operator is a primop).
+                    tcls = test.__class__
+                    value = _NO_FUSE
+                    cost = 2
+                    if tcls is Var:
+                        if steps + 2 <= limit:
+                            name = test.name
+                            location = None
+                            addr = var_addrs_get(test)
+                            if addr is not None:
+                                if env._frame_names is addr[2]:
+                                    location = env._frame_locs[addr[0]]
+                                else:
+                                    location = _quick_location(
+                                        env, addr[0], addr[1]
+                                    )
+                            if location is None:
+                                location = env._bindings.get(name)
+                                if location is None:
+                                    raise UnboundVariableError(
+                                        f"unbound variable: {name}"
+                                    )
+                            value = cells_get(location)
+                            if value is None:
+                                raise UnboundVariableError(
+                                    f"variable {name} refers to an "
+                                    f"unmapped location"
+                                )
+                            if value is UNDEFINED:
+                                raise UnboundVariableError(
+                                    f"variable {name} read before "
+                                    f"initialization"
+                                )
+                    elif tcls is Quote:
+                        if steps + 2 <= limit:
+                            value = quote_value(test)
+                    elif fuse_if_call and tcls is Call:
+                        plan = if_tests_get(control)
+                        if (
+                            plan is not None
+                            and plan.speculate
+                            and (fuse_beta or not plan.beta_only)
+                        ):
+                            fused = _nested_value(
+                                self, store, plan, env, env._bindings,
+                                cells_get, limit - steps - 1,
+                            )
+                            if fused is _NO_FUSE:
+                                plan.speculate = False
+                            elif fused is _BETA_ONLY:
+                                plan.beta_only = True
+                            elif fused is not None:
+                                # The select pop restores the saved
+                                # environment, so the fused call's held
+                                # environment never becomes observable.
+                                value, cost, _held = fused
+                                cost += 1
+                    if value is not _NO_FUSE:
+                        steps += cost
+                        if not d_select:
+                            env = env.restrict(
+                                branch_free_vars(
+                                    control.consequent, control.alternative
+                                )
+                            )
+                        control = (
+                            control.consequent if is_true(value)
+                            else control.alternative
+                        )
+                        continue
                 saved = (
                     env if d_select
                     else self.select_env(
@@ -694,7 +1178,7 @@ class Machine:
                 kont = Select(
                     control.consequent, control.alternative, saved, kont
                 )
-                control = control.test
+                control = test
                 continue
             if cls is Lambda:
                 closed = env if d_closure else self.closure_env(control, env)
@@ -1063,4 +1547,13 @@ def _arity_text(low: int, high: Optional[int]) -> str:
 # The prepass imports constant_value from this module (lazily, for the
 # quote-value cache); importing it here at the bottom keeps a single
 # import-time ordering for both directions of the knot.
-from ..compiler.prepass import annotate, call_plan, quote_value  # noqa: E402
+from ..compiler.prepass import (  # noqa: E402
+    _IDENTITY_PLANS,
+    _IF_TESTS,
+    _VAR_ADDRS,
+    annotate,
+    body_fuse_plan,
+    call_plan,
+    if_test_plan,
+    quote_value,
+)

@@ -21,6 +21,15 @@ asserts they agree state by state and number by number.  The
 throughput benchmark uses the same pair for its before/after step
 rates.
 
+The gen-2 superinstruction pass (variable quickening, fused
+operand/nested-primop/if-select/β transitions — DESIGN.md §7.1)
+re-exercises this module without touching it: the batched-lockstep
+tests replay ``run_steps`` at every small batch size against the
+per-step trace produced here, and the cross-machine differential
+fuzzer (``tests/test_differential_fuzz.py``) holds every machine x
+stepper x engine x accounting cell to the answer this stepper
+computes.
+
 This mirrors the metering engines' ``engine="reference"`` oracle: the
 optimized path is never trusted on its own word.
 """

@@ -50,6 +50,7 @@ class GcMachine(Machine):
     __slots__ = ()
 
     name = "gc"
+    call_frame_kind = "return"
 
     def call_frame(
         self,
@@ -88,6 +89,7 @@ class StackMachine(Machine):
     __slots__ = ()
 
     name = "stack"
+    call_frame_kind = "return-stack"
     uses_gc_rule = False
 
     def call_frame(
@@ -160,6 +162,7 @@ class SfsMachine(Machine):
     call_env_kind = "restrict-fv"
     push_env_kind = "restrict-fv"
     closure_env_kind = "restrict-free-vars"
+    select_env_kind = "restrict-branch-fv"
 
     def closure_env(self, lam: Lambda, env: Environment) -> Environment:
         return env.restrict(free_vars(lam))
@@ -205,6 +208,7 @@ class BiglooMachine(GcMachine):
     __slots__ = ()
 
     name = "bigloo"
+    apply_kind = "closure-only"
 
     def apply_procedure(self, state, operator, args, kont):
         if (

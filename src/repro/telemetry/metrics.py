@@ -235,13 +235,95 @@ def step_mix(source, machine: Optional[str] = None) -> Dict[str, int]:
     return mix
 
 
+#: The candidate superinstructions the gen-2 stepper pass can fuse,
+#: each with the transient step kinds it eliminates (the counters of
+#: ``steps{kind=...}`` it would fold into neighbouring transitions).
+#: Corpus share over those kinds is the ranking signal the pass was
+#: built from — see DESIGN.md section 7, "Gen-2 fusions".
+FUSION_CANDIDATES: Tuple[dict, ...] = (
+    {
+        "fusion": "quicken-var",
+        "kinds": ("expr:Var",),
+        "superinstruction": "read the binding by lexical (slot, frame"
+        " path) address instead of hashing the name",
+    },
+    {
+        "fusion": "push-simple-operand",
+        "kinds": ("kont:Push", "expr:Var", "expr:Quote"),
+        "superinstruction": "evaluate a run of Var/Quote operands"
+        " without materializing the intermediate push frames",
+    },
+    {
+        "fusion": "nested-primop-call",
+        "kinds": ("expr:Call", "kont:CallK"),
+        "superinstruction": "evaluate an all-simple nested call of a"
+        " non-control primop as one batched transition",
+    },
+    {
+        "fusion": "if-select",
+        "kinds": ("expr:If", "kont:Select"),
+        "superinstruction": "fuse the test evaluation with the select"
+        " step, skipping the transient select frame",
+    },
+    {
+        "fusion": "beta-body",
+        "kinds": ("kont:Return",),
+        "superinstruction": "apply a closure whose body is an"
+        " all-simple primop call without materializing its frames",
+    },
+)
+
+
+def suggest_fusions(
+    source, machine: Optional[str] = None, top: Optional[int] = None
+) -> List[dict]:
+    """Rank :data:`FUSION_CANDIDATES` by their share of the recorded
+    step mix — the ``repro trace --suggest-fusions`` feedback loop.
+
+    *source* is a live :class:`MetricsRegistry` or a serialized dump
+    (the ``--metrics`` JSON); *machine* restricts the mix to one
+    machine's counters; *top* keeps only the first *top* suggestions.
+    Returns dicts with the candidate's ``fusion`` name, the ``steps``
+    it covers, its corpus ``share`` (0.0-1.0 of all recorded
+    transitions; 0-step candidates are dropped), the contributing
+    ``kinds``, and the ``superinstruction`` description, ordered by
+    share descending (ties broken by declaration order, which lists
+    the fusions the gen-2 pass implements first).
+    """
+    mix = step_mix(source, machine)
+    total = sum(mix.values())
+    suggestions: List[dict] = []
+    for rank, candidate in enumerate(FUSION_CANDIDATES):
+        covered = sum(mix.get(kind, 0) for kind in candidate["kinds"])
+        if covered <= 0:
+            continue
+        suggestions.append(
+            {
+                "fusion": candidate["fusion"],
+                "steps": covered,
+                "share": covered / total if total else 0.0,
+                "kinds": candidate["kinds"],
+                "superinstruction": candidate["superinstruction"],
+                "_rank": rank,
+            }
+        )
+    suggestions.sort(key=lambda entry: (-entry["share"], entry["_rank"]))
+    for entry in suggestions:
+        del entry["_rank"]
+    if top is not None:
+        suggestions = suggestions[:top]
+    return suggestions
+
+
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "FUSION_CANDIDATES",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "format_key",
     "parse_key",
     "step_mix",
+    "suggest_fusions",
 ]

@@ -1,0 +1,9 @@
+; The beta-superinstruction shape: an all-simple call whose operator
+; is a closure with an all-simple primop body.  On the gc family the
+; fused transition must still account the Return pop; on stack the
+; machine must decline (ReturnStack deletion is observable).
+(define (f n)
+  (let ((a n) (b 1))
+    (if (zero? n)
+        ((lambda (p) (car p)) (cons (+ a b) '0))
+        (f (- n 1)))))

@@ -1,0 +1,7 @@
+; An escape used as a plain exit: captured continuations force the
+; delta meter's permanent canonical fallback, and reentry-free use
+; keeps every machine's answer identical (section 11).
+(define (f n)
+  (call-with-current-continuation
+    (lambda (k)
+      (if (zero? n) (k (+ n 7)) (f (- n 1))))))

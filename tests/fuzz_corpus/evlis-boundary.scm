@@ -1,0 +1,9 @@
+; Nested all-simple calls as non-last operands: on evlis/sfs the
+; environment saved across the remaining operands is restricted (or
+; dropped), so a batch boundary landing right after the fused operand
+; must hand back the restricted environment, not the caller's.
+(define (f n)
+  (let ((a n) (b 1))
+    (if (zero? n)
+        (+ (* (+ a 1) (- b 1)) (car (cons a '0)))
+        (f (- n 1)))))

@@ -1,0 +1,8 @@
+; An if whose test is an all-simple primop call: the if-select fusion
+; evaluates the test and takes the branch in one batched transition;
+; on sfs the branch environment is restricted to the branch FV.
+(define (f n)
+  (let ((a n) (b 1))
+    (if (zero? (* a (- n b)))
+        (if (zero? (+ a b)) a b)
+        (f (- n 1)))))

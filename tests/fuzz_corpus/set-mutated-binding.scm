@@ -1,0 +1,8 @@
+; set!-mutated names are excluded from variable quickening (the
+; whole-program over-approximation): the fused loop must read the
+; store cell through the named lookup on every occurrence.
+(define (f n)
+  (let ((a n) (b 1))
+    (begin
+      (set! a (+ a b))
+      (if (zero? n) (+ a a) (f (- n 1))))))

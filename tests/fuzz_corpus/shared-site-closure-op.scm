@@ -1,0 +1,10 @@
+; A call site whose operator is a closure, reached by every machine:
+; plans are interned per site and shared across machine instances, so
+; a beta-incapable machine (stack) probing this site must record a
+; machine-dependent decline (beta_only) rather than poisoning the
+; plan's speculation for the beta-capable machines that run later.
+(define (f n)
+  (let ((add (lambda (p q) (+ p q))))
+    (if (zero? n)
+        (add (add 1 2) (add n 3))
+        (f (- n 1)))))

@@ -1,0 +1,7 @@
+; Quoted strings allocate a fresh store cell per evaluation (Figure 5
+; quote rule); the fused operand path must preserve that freshness —
+; two evaluations of the same quote are not eq?-shared.
+(define (f n)
+  (if (zero? n)
+      (if (eq? '"s" '"s") 1 0)
+      (f (- n 1))))

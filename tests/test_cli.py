@@ -72,6 +72,31 @@ class TestRunCommand:
         payload = json.loads(out.read_text())
         assert "steps_total{machine=tail}" in payload["metrics"]["counters"]
 
+    def test_run_seed_stepper_matches_live_answer(self, loop_file, capsys):
+        """Unmetered runs through both steppers print the same answer
+        (the lockstep guarantee, visible at the CLI surface)."""
+        main(["run", loop_file, "--arg", "12"])
+        live = capsys.readouterr().out.strip()
+        main(["run", loop_file, "--arg", "12", "--stepper", "seed"])
+        assert capsys.readouterr().out.strip() == live == "0"
+
+    def test_run_gc_interval_with_metrics_dump(
+        self, loop_file, tmp_path, capsys
+    ):
+        """A relaxed collection schedule changes when space is
+        reclaimed, never the answer or the recorded step total."""
+        import json
+
+        dumps = {}
+        for interval in ("1", "4"):
+            out = tmp_path / f"m{interval}.json"
+            main(["run", loop_file, "--arg", "9", "--meter",
+                  "--gc-interval", interval, "--metrics", str(out)])
+            assert capsys.readouterr().out.strip() == "0"
+            dumps[interval] = json.loads(out.read_text())["metrics"]
+        key = "steps_total{machine=tail}"
+        assert dumps["1"]["counters"][key] == dumps["4"]["counters"][key]
+
 
 class TestOtherCommands:
     def test_machines(self, capsys):
@@ -109,6 +134,38 @@ class TestOtherCommands:
         payload = json.loads(out.read_text())
         assert payload["machines"] == ["gc"]
         assert payload["metrics"]["counters"]["gc_collections{machine=gc}"] > 0
+
+    def test_sweep_jobs_metrics_equal_sum_of_cells(
+        self, loop_file, tmp_path, capsys
+    ):
+        """Parallel sweep (--jobs) under metrics dumping: the merged
+        registry written by the CLI equals the fold of the per-cell
+        dumps computed in-process (counters add; nothing is lost or
+        double-counted across worker processes)."""
+        import json
+
+        from repro.harness.sweep import grid_cells, run_grid
+        from repro.telemetry.metrics import MetricsRegistry
+
+        source = open(loop_file).read()
+        ns = (4, 8, 12)
+        out = tmp_path / "jobs-metrics.json"
+        main(["sweep", loop_file, "--ns", ",".join(map(str, ns)),
+              "--machine", "tail,gc", "--jobs", "2",
+              "--metrics", str(out)])
+        merged = json.loads(out.read_text())["metrics"]
+
+        cells = grid_cells(
+            {("tail",): source, ("gc",): source}, ns,
+            fixed_precision=True, metrics=True,
+        )
+        outcomes = run_grid(cells, jobs=1)
+        expected = MetricsRegistry.merge(
+            outcome.metrics for outcome in outcomes
+            if outcome.metrics is not None
+        )
+        assert merged["counters"] == expected["counters"]
+        assert merged["gauges"] == expected["gauges"]
 
     def test_corpus_listing(self, capsys):
         main(["corpus"])
@@ -157,3 +214,32 @@ class TestTraceCommand:
         out = capsys.readouterr().out
         assert "U_sfs=" in out
         assert "(other:" in out
+
+    def test_trace_suggest_fusions_live(self, loop_file, capsys):
+        assert main(["trace", loop_file, "--arg", "10", "--machine", "tail",
+                     "--suggest-fusions"]) == 0
+        out = capsys.readouterr().out
+        assert "suggested fusions by corpus share [tail]" in out
+        # A pure tail loop is Var/If/Call-heavy: the quickening and
+        # if-select candidates must surface.
+        assert "quicken-var" in out
+        assert "if-select" in out
+
+    def test_trace_suggest_fusions_from_metrics_dump(
+        self, loop_file, tmp_path, capsys
+    ):
+        """The feedback loop: a --metrics dump written by one
+        invocation feeds --metrics-in on a later one (no re-run)."""
+        dump = tmp_path / "mix.json"
+        assert main(["trace", loop_file, "--arg", "10", "--machine", "gc",
+                     "--metrics", str(dump)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "--metrics-in", str(dump),
+                     "--suggest-fusions"]) == 0
+        out = capsys.readouterr().out
+        assert "suggested fusions by corpus share" in out
+        assert "nested-primop-call" in out
+
+    def test_trace_requires_program_or_metrics_in(self):
+        with pytest.raises(SystemExit, match="metrics-in"):
+            main(["trace", "--suggest-fusions"])

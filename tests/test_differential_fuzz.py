@@ -1,0 +1,259 @@
+"""Cross-machine differential fuzzing of the full execution matrix.
+
+Section 11 proves that every reference implementation computes the
+same answer: the machines differ only in the space they retain, never
+in the value they produce.  That theorem makes the whole matrix of
+execution strategies mutually checking oracles — so these tests
+generate bounded random Core Scheme programs (closed terms, structural
+recursion only, a terminating fuel) and assert observational
+equivalence of the final answer across
+
+* all 8 machines (tail, gc, stack, evlis, free, sfs, bigloo, mta),
+* both steppers (the gen-2 fused live stepper and the preserved seed
+  stepper, which steps one verbatim Figure 5 transition at a time),
+* both metering engines (delta and reference) under
+* both accountings (Figure 7 total and Figure 8 linked),
+
+plus the unmetered fused driver.  Any divergence anywhere in the
+matrix — a fusion that changed an answer, a meter that drove the
+machine differently, a variant hook that broke §11 — shows up as a
+two-element answer set, and hypothesis shrinks the program that
+exposed it.
+
+Shrunken counterexamples worth keeping are checked into
+``tests/fuzz_corpus/`` as ``.scm`` files; every corpus file is
+replayed through the full matrix on every run (the regression side of
+the fuzzer).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.prepass import clear_prepass_caches
+from repro.machine.answer import answer_string
+from repro.machine.errors import StuckError
+from repro.machine.reference_step import make_seed_stepper
+from repro.machine.variants import ALL_MACHINES, make_machine
+from repro.space.consumption import prepare_input, prepare_program
+from repro.space.meter import run_metered, run_to_final
+
+ALL_MACHINE_NAMES = tuple(sorted(ALL_MACHINES))
+
+#: Terminating fuel: every generated program is structurally
+#: decreasing and finishes in well under this many transitions, so a
+#: generator bug surfaces as a step-limit error instead of a hang.
+FUEL = 200_000
+
+#: The fuzzer's standard argument — programs are ``(define (f n) ...)``
+#: with a structurally decreasing recursion on ``n``.
+ARGUMENT = "3"
+
+
+# ---------------------------------------------------------------------------
+# The generator: closed, terminating Core Scheme
+# ---------------------------------------------------------------------------
+
+# Only structurally-decreasing recursion is generated (the wrapper's
+# (f (- n 1)) guarded by (zero? n)), so every program terminates.  The
+# leaves and combining forms are chosen to reach every gen-2 fusion
+# path and its fallbacks: runs of simple operands, nested primop
+# calls, if tests, beta-shaped closure applications, set!-mutated
+# bindings (which disable quickening for that name), string constants
+# (whose quote rule allocates), and escapes (which force the meter's
+# canonical fallback).
+
+
+def _exprs(depth):
+    leaf = st.one_of(
+        st.integers(min_value=-9, max_value=9).map(str),
+        st.sampled_from(("a", "b", "n")),
+        st.just("'\"s\""),
+    )
+    if depth == 0:
+        return leaf
+    sub = _exprs(depth - 1)
+    num = st.one_of(
+        st.integers(min_value=-9, max_value=9).map(str),
+        st.sampled_from(("a", "n")),
+    )
+    return st.one_of(
+        leaf,
+        # Nested primop operands: (+ e (* e e)) fuses as kind-4.
+        st.tuples(st.sampled_from(["+", "-", "*"]), sub, sub).map(
+            lambda t: f"({t[0]} (car (cons {t[1]} '0)) {t[2]})"
+        ),
+        st.tuples(st.sampled_from(["+", "-", "*"]), sub, sub).map(
+            lambda t: f"({t[0]} {t[1]} {t[2]})"
+        ),
+        # If with a call test (the if-select fusion) and simple tests.
+        st.tuples(num, sub, sub).map(
+            lambda t: f"(if (zero? {t[0]}) {t[1]} {t[2]})"
+        ),
+        st.tuples(sub, sub).map(lambda t: f"(if a {t[0]} {t[1]})"),
+        # Let and beta shapes: closures applied to simple operands,
+        # including the accessor-body shape the beta fusion targets.
+        st.tuples(sub, sub).map(lambda t: f"(let ((a {t[0]})) {t[1]})"),
+        st.tuples(sub, sub).map(
+            lambda t: f"((lambda (b) {t[1]}) {t[0]})"
+        ),
+        st.tuples(sub, sub).map(
+            lambda t: f"((lambda (p q) (+ p q)) (car (cons {t[0]} '1)) {t[1]})"
+        ),
+        sub.map(lambda e: f"((lambda (p) (car p)) (cons {e} '0))"),
+        # set!: the mutated name falls back to named lookup.
+        st.tuples(sub, sub).map(
+            lambda t: f"(begin (set! a {t[0]}) {t[1]})"
+        ),
+        # A store cycle, left behind for the collectors.
+        sub.map(
+            lambda e:
+            f"(let ((a (cons {e} '0))) (begin (set-cdr! a a) (car a)))"
+        ),
+        # An escape used as a plain exit (meter fallback path).
+        sub.map(
+            lambda e:
+            "(call-with-current-continuation (lambda (k) (k {})))".format(e)
+        ),
+    )
+
+
+random_bodies = _exprs(3)
+
+
+def wrap(body: str) -> str:
+    """Close the body over (a b n) and tail-recurse on n."""
+    return (
+        "(define (f n)"
+        "  (let ((a n) (b 1))"
+        f"    (if (zero? n) {body} (f (- n 1)))))"
+    )
+
+
+# ---------------------------------------------------------------------------
+# The matrix
+# ---------------------------------------------------------------------------
+
+
+def observe(thunk) -> str:
+    """The observable outcome of a run: the final answer, or the
+    machine error it got stuck on.  A generated program may divide by
+    zero or add a string — section 11 equivalence then demands every
+    cell of the matrix gets stuck on the *same* error."""
+    try:
+        return thunk()
+    except StuckError as error:
+        return f"{type(error).__name__}: {error}"
+
+
+def matrix_answers(source: str, argument: str = ARGUMENT) -> dict:
+    """Observable outcomes for every cell of machine x stepper x
+    engine x accounting (metered) plus the unmetered fused driver."""
+    program_expr = prepare_program(source)
+    argument_expr = prepare_input(argument)
+    answers = {}
+    for name in ALL_MACHINE_NAMES:
+        for stepper, factory in (
+            ("gen2", make_machine),
+            ("seed", make_seed_stepper),
+        ):
+            answers[(name, stepper, "unmetered", "-")] = observe(
+                lambda: answer_string(run_to_final(
+                    factory(name), program_expr, argument_expr,
+                    step_limit=FUEL,
+                )[0])
+            )
+            for engine in ("delta", "reference"):
+                for accounting in ("S", "U"):
+                    answers[(name, stepper, engine, accounting)] = observe(
+                        lambda: answer_string(run_metered(
+                            factory(name),
+                            program_expr,
+                            argument_expr,
+                            engine=engine,
+                            linked=(accounting == "U"),
+                            step_limit=FUEL,
+                        ).final)
+                    )
+    return answers
+
+
+def assert_observationally_equivalent(source: str, argument: str = ARGUMENT):
+    answers = matrix_answers(source, argument)
+    distinct = {}
+    for cell, answer in answers.items():
+        distinct.setdefault(answer, []).append(cell)
+    assert len(distinct) == 1, (
+        "answer divergence across the execution matrix:\n"
+        + "\n".join(
+            f"  {answer!r} <- {cells[:4]}{'...' if len(cells) > 4 else ''}"
+            for answer, cells in sorted(distinct.items())
+        )
+        + f"\nprogram:\n{source}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# The fuzzing property
+# ---------------------------------------------------------------------------
+
+
+@given(random_bodies)
+@settings(max_examples=20, deadline=None)
+def test_random_programs_observationally_equivalent(body):
+    # Fresh prepass tables per example: the fuzz programs must not be
+    # able to poison speculation state for one another (and a stale
+    # plan cache would hide plan-construction bugs).
+    clear_prepass_caches()
+    assert_observationally_equivalent(wrap(body))
+
+
+@given(random_bodies, st.sampled_from(ALL_MACHINE_NAMES))
+@settings(max_examples=40, deadline=None)
+def test_random_programs_gen2_matches_seed_step_count(body, machine_name):
+    """Beyond the answer: the fused stepper takes *exactly* as many
+    transitions as the seed stepper — fusion batches steps, it never
+    removes them."""
+    clear_prepass_caches()
+    program_expr = prepare_program(wrap(body))
+    argument_expr = prepare_input(ARGUMENT)
+
+    def outcome(factory):
+        try:
+            final, steps = run_to_final(
+                factory(machine_name), program_expr, argument_expr,
+                step_limit=FUEL,
+            )
+        except StuckError as error:
+            return f"{type(error).__name__}: {error}", None
+        return answer_string(final), steps
+
+    assert outcome(make_machine) == outcome(make_seed_stepper)
+
+
+# ---------------------------------------------------------------------------
+# The regression corpus
+# ---------------------------------------------------------------------------
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "fuzz_corpus")
+
+
+def corpus_files():
+    return sorted(
+        name for name in os.listdir(CORPUS_DIR) if name.endswith(".scm")
+    )
+
+
+def test_corpus_is_nonempty():
+    assert len(corpus_files()) >= 5
+
+
+@pytest.mark.parametrize("filename", corpus_files())
+def test_corpus_observationally_equivalent(filename):
+    with open(os.path.join(CORPUS_DIR, filename)) as handle:
+        source = handle.read()
+    assert_observationally_equivalent(source)

@@ -25,8 +25,10 @@ from hypothesis import strategies as st
 from repro.compiler.prepass import (
     annotate,
     call_plan,
+    clear_prepass_caches,
     plan_count,
     quote_value,
+    var_addr,
 )
 from repro.machine.config import State
 from repro.machine.continuation import Assign, Push, ReturnStack, Select
@@ -416,3 +418,215 @@ def test_lockstep_on_random_programs(body):
     program = f"(define (f n) (let ((a n) (b 1)) {body}))"
     for machine_name in ("sfs", "mta"):
         _lockstep(machine_name, program, "3")
+
+
+# ---------------------------------------------------------------------------
+# Gen-2 superinstructions: batched lockstep against the seed stepper
+# ---------------------------------------------------------------------------
+
+# The gen-2 fused loop runs inside run_steps and never fires on the
+# per-step (metered/lockstep) path, so the per-step lockstep above
+# cannot see it.  These tests drive run_steps in batches of every
+# small size: each batch must take *exactly* the requested number of
+# transitions (fusions batch steps, they never remove them) and land
+# on the exact configuration the seed stepper reaches at the same
+# cumulative count — including boundaries that fall immediately after
+# a fused transition, where the held environment register must match
+# the seed's.
+
+#: One program per superinstruction / fallback edge of the gen-2 pass.
+GEN2_PROGRAMS = {
+    # Runs of quickened Var / interned Quote operands (kind 1/2).
+    "quickened-operands": """
+        (define (f n) (if (zero? n) 'done (f (- n 1))))
+        (f 7)
+        """,
+    # Depth >= 2 lexical addresses: the inline depth-1 discriminant
+    # misses and the chain walk (or named fallback) must take over.
+    "deep-quickening": """
+        (define (f n)
+          ((lambda (x) ((lambda (y) (+ x (* y n))) (+ x 1))) (+ n 2)))
+        (f 5)
+        """,
+    # All-simple nested primop calls as operands (kind 4).
+    "nested-primop": """
+        (define (f n)
+          (if (zero? n) 0 (+ (* n (- n 1)) (f (- n 1)))))
+        (f 6)
+        """,
+    # An if whose test is an all-simple call (the if-select fusion).
+    "if-call-test": """
+        (define (f n)
+          (if (zero? (* n (- n n))) (if (zero? n) 'done (f (- n 1))) 'no))
+        (f 6)
+        """,
+    # The beta shape: closure operator with an all-simple primop body.
+    # gc/mta must account the Return pop; stack must decline (its
+    # ReturnStack pop deletes store cells observably).
+    "beta-accessor": """
+        (define (leaf? t) (number? t))
+        (define (f n acc)
+          (if (zero? n) acc (f (- n 1) (+ acc (if (leaf? n) 1 0)))))
+        (f 6 0)
+        """,
+    # set!-mutated names are excluded from quickening: every read of
+    # ``acc`` must go through the named lookup.
+    "set-mutated-binding": """
+        (define acc '0)
+        (define (f n)
+          (if (zero? n) acc (begin (set! acc (+ acc n)) (f (- n 1)))))
+        (f 6)
+        """,
+    # Restricted frames (sfs select/push restriction) drop the frame
+    # chain, so the quickened read must fall back to the named lookup.
+    "restricted-frame-fallback": """
+        (define (f n m)
+          (if (zero? n) (+ m 1) (f (- n 1) (+ m n))))
+        (f 6 0)
+        """,
+    # Quoted strings inside fused operand runs stay fresh per
+    # evaluation (eqv? on strings is identity).
+    "string-quote": """
+        (define (f n) (if (zero? n) (eq? '"s" '"s") (f (- n 1))))
+        (f 4)
+        """,
+}
+
+GEN2_LIMITS = (1, 2, 3, 5, 8, 13)
+
+
+def _batched_lockstep(machine_name, source, argument=None,
+                      limits=GEN2_LIMITS):
+    program = prepare_program(source)
+    argument = prepare_input(argument)
+    if argument is not None:
+        program = Call((program, argument))
+        argument = None
+    clear_prepass_caches()
+    seed = make_seed_stepper(machine_name)
+    state = seed.inject(program, argument)
+    trace = [_fingerprint(state)]
+    for _ in range(LOCKSTEP_LIMIT):
+        state = seed.step(state)
+        trace.append(_fingerprint(state))
+        if state.is_final:
+            break
+    else:
+        raise AssertionError(f"no final configuration in {LOCKSTEP_LIMIT}")
+    total = len(trace) - 1
+    for limit in (*limits, total):
+        machine = make_machine(machine_name)
+        state = machine.inject(program, argument)
+        done = 0
+        while done < total:
+            state, taken = machine.run_steps(state, limit)
+            done += taken
+            if done < total:
+                # A non-final batch must use its full budget: a fused
+                # transition may never over- or under-count steps.
+                assert taken == limit, (machine_name, limit, done)
+            assert _fingerprint(state) == trace[done], (
+                machine_name, limit, done,
+            )
+        assert done == total
+        assert state.is_final
+    return total
+
+
+@pytest.mark.parametrize("name", sorted(GEN2_PROGRAMS), ids=str)
+@pytest.mark.parametrize("machine_name", ALL_MACHINE_NAMES)
+def test_gen2_batched_lockstep(machine_name, name):
+    _batched_lockstep(machine_name, GEN2_PROGRAMS[name])
+
+
+# ---------------------------------------------------------------------------
+# Gen-2 pre-pass unit tests: lexical addresses
+# ---------------------------------------------------------------------------
+
+
+def _vars_by_name(expr):
+    from repro.syntax.ast import walk
+
+    by_name = {}
+    for node in walk(expr):
+        if isinstance(node, Var):
+            by_name.setdefault(node.name, []).append(node)
+    return by_name
+
+
+def test_var_addr_slots_paths_and_depth1_discriminant():
+    clear_prepass_caches()
+    expr = _parse("(lambda (x) (lambda (y z) (+ x z)))")
+    annotate(expr)
+    inner = expr.body
+    by_name = _vars_by_name(expr)
+    # z: bound one level up -- slot 1, a one-frame path, and the
+    # binding lambda's own params tuple as the inline discriminant.
+    slot, path, fast = var_addr(by_name["z"][0])
+    assert slot == 1
+    assert path == (inner.params,)
+    assert fast is inner.params
+    # x: bound two levels up -- the discriminant is False (an ``is``
+    # check against a frame's params tuple can never match False).
+    slot, path, fast = var_addr(by_name["x"][0])
+    assert slot == 0
+    assert path == (inner.params, expr.params)
+    assert fast is False
+    # +: free (global) -- no lexical address, named lookup.
+    assert var_addr(by_name["+"][0]) is None
+
+
+def test_var_addr_excludes_set_mutated_names():
+    clear_prepass_caches()
+    expr = _parse("(lambda (x y) (begin (set! x y) (+ x y)))")
+    annotate(expr)
+    by_name = _vars_by_name(expr)
+    # The whole-program over-approximation: every occurrence of a
+    # set!-target name keeps the named (store-visible) lookup.
+    assert all(var_addr(node) is None for node in by_name["x"])
+    assert all(var_addr(node) is not None for node in by_name["y"])
+
+
+# ---------------------------------------------------------------------------
+# Gen-2 property: the quickened read equals the named lookup
+# ---------------------------------------------------------------------------
+
+
+@given(random_bodies, st.sampled_from(("tail", "sfs")))
+@settings(max_examples=30, deadline=None)
+def test_quickened_lookup_matches_named_lookup(body, machine_name):
+    """On every reachable configuration whose control is an addressed
+    Var, the lexical (slot, frame path) read either declines (None —
+    e.g. under an sfs-restricted frame with no chain) or produces
+    exactly the location the named lookup finds."""
+    from repro.machine.machine import _quick_location
+
+    clear_prepass_caches()
+    program = prepare_program(
+        f"(define (f n) (let ((a n) (b 1)) {body}))"
+    )
+    argument = prepare_input("3")
+    stepper = make_seed_stepper(machine_name)
+    state = stepper.inject(program, argument)
+    checked = 0
+    for _ in range(LOCKSTEP_LIMIT):
+        if state.is_final:
+            break
+        control = state.control
+        if not state.is_value and isinstance(control, Var):
+            addr = var_addr(control)
+            if addr is not None:
+                slot, path, fast = addr
+                env = state.env
+                if fast is not False and env._frame_names is fast:
+                    assert env._frame_locs[slot] == \
+                        env.lookup(control.name)
+                    checked += 1
+                else:
+                    location = _quick_location(env, slot, path)
+                    if location is not None:
+                        assert location == env.lookup(control.name)
+                        checked += 1
+        state = stepper.step(state)
+    else:
+        raise AssertionError("no final configuration")
