@@ -3,10 +3,18 @@
 ::
 
     python -m repro run program.scm --arg 100 --machine tail --meter
+    python -m repro run program.scm --arg 100 --meter --stepper seed
+    python -m repro run program.scm --arg 100 --meter --stream trace.jsonl
     python -m repro machines
     python -m repro census program.scm ...       # Figure 2 statistics
     python -m repro dynamic program.scm --arg 10 # runtime census
     python -m repro sweep program.scm --ns 8,16,32,64 --machine gc --jobs 4
+    python -m repro sweep program.scm --machine tail,gc --metrics sweep.json
+    python -m repro sweep program.scm --trace-sample 64 --blame-every 8
+    python -m repro trace program.scm --arg 64 --machine gc --series
+    python -m repro trace program.scm --arg 64 --suggest-fusions
+    python -m repro trace --metrics-in metrics.json   # rank fusions offline
+    python -m repro audit gc tail                # space-safety audit
     python -m repro corpus                       # bundled benchmarks
 """
 
@@ -19,6 +27,7 @@ from typing import List, Optional
 from .analysis.dynamic import dynamic_census_table, run_census
 from .analysis.frequency import analyze_program, frequency_table
 from .harness.report import (
+    render_blame_series,
     render_blame_table,
     render_series,
     render_step_mix,
@@ -27,6 +36,8 @@ from .harness.report import (
 from .harness.runner import run
 from .harness.sweep import (
     aggregate_metrics,
+    aggregate_series,
+    aggregate_traces,
     grid_cells,
     run_grid,
     series_from_outcomes,
@@ -68,27 +79,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
     source = _read_source(args.program)
     bus = None
     registry = None
-    if args.trace_out:
+    writer = None
+    if args.trace_out or args.stream:
         from .telemetry.bus import TraceBus
 
-        bus = TraceBus()
+        if args.stream:
+            from .telemetry.export import JsonlStreamWriter
+
+            writer = JsonlStreamWriter(
+                args.stream, meta={"machine": args.machine}
+            )
+        # Streaming-only runs turn the ring off: the file is the record
+        # and the run is constant-memory no matter how long it is.
+        bus = TraceBus(sink=writer, retain=writer is None or bool(args.trace_out))
     if args.metrics:
         from .telemetry.metrics import MetricsRegistry
 
         registry = MetricsRegistry()
-    result = run(
-        source,
-        args.arg,
-        machine=args.machine,
-        meter=args.meter,
-        linked=args.linked,
-        fixed_precision=args.fixed_precision,
-        step_limit=args.step_limit,
-        stepper=args.stepper,
-        gc_interval=args.gc_interval,
-        trace=bus,
-        metrics=registry,
-    )
+    try:
+        result = run(
+            source,
+            args.arg,
+            machine=args.machine,
+            meter=args.meter,
+            linked=args.linked,
+            fixed_precision=args.fixed_precision,
+            step_limit=args.step_limit,
+            stepper=args.stepper,
+            gc_interval=args.gc_interval,
+            trace=bus,
+            metrics=registry,
+        )
+    finally:
+        # Even when the run dies mid-trace, the streamed file must be
+        # flushed, closed, and schema-valid.
+        if writer is not None:
+            events = writer.close(bus)
+            print(f"; stream: {events} events -> {args.stream}",
+                  file=sys.stderr)
     print(result.answer)
     if args.meter:
         print(
@@ -96,7 +124,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"S_{args.machine}={result.consumption}",
             file=sys.stderr,
         )
-    if bus is not None:
+    if args.trace_out:
         _export_trace(bus, args.trace_out)
     if registry is not None:
         from .telemetry.export import write_metrics
@@ -148,6 +176,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         linked=args.linked,
         engine=args.engine,
         metrics=bool(args.metrics),
+        trace_sample=args.trace_sample,
+        blame_every=args.blame_every,
     )
     outcomes = run_grid(cells, jobs=args.jobs, timeout=args.timeout)
     by_machine = series_from_outcomes(outcomes)
@@ -175,6 +205,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         print(f"; metrics ({len(outcomes)} cells) -> {args.metrics}",
               file=sys.stderr)
+    if args.trace_sample:
+        folded = aggregate_traces(outcomes)
+        print(
+            f"; traces: {folded['events']} events over {folded['cells']} "
+            f"cells, {folded['steps']} steps replayed, "
+            f"sup-space {folded['sup_space']} at cell {folded['sup_cell']}",
+            file=sys.stderr,
+        )
+    if args.blame_every:
+        merged = aggregate_series(outcomes)
+        print(render_blame_table(
+            merged.totals(),
+            title=(
+                f"space blame over the grid "
+                f"[{len(merged)} samples, summed]"
+            ),
+            limit=12,
+        ))
     if args.trace_out:
         from .telemetry.bus import TraceBus
 
@@ -243,23 +291,42 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             raise SystemExit(f"unknown machine: {name!r}")
     accounting = "U" if args.linked else "S"
     for name in machines:
-        session = trace_run(
-            name,
-            source,
-            args.arg,
-            linked=args.linked,
-            fixed_precision=args.fixed_precision,
-            stepper=args.stepper,
-            engine=args.engine,
-            gc_interval=args.gc_interval,
-            step_limit=args.step_limit,
-            sample=(
-                {"step": args.sample, "apply": args.sample}
-                if args.sample > 1 else None
-            ),
-            capacity=args.capacity,
-            blame_every=args.blame_every,
-        )
+        writer = None
+        if args.stream:
+            from .telemetry.export import JsonlStreamWriter
+
+            suffix = f".{name}" if len(machines) > 1 else ""
+            stem = (
+                args.stream[:-6]
+                if args.stream.endswith(".jsonl") else args.stream
+            )
+            stream_path = f"{stem}{suffix}.jsonl" if suffix else args.stream
+            writer = JsonlStreamWriter(stream_path, meta={"machine": name})
+        try:
+            session = trace_run(
+                name,
+                source,
+                args.arg,
+                linked=args.linked,
+                fixed_precision=args.fixed_precision,
+                stepper=args.stepper,
+                engine=args.engine,
+                gc_interval=args.gc_interval,
+                step_limit=args.step_limit,
+                sample=(
+                    {"step": args.sample, "apply": args.sample}
+                    if args.sample > 1 else None
+                ),
+                capacity=args.capacity,
+                blame_every=args.blame_every,
+                sink=writer,
+                retain=writer is None or bool(args.trace_out),
+            )
+        finally:
+            if writer is not None:
+                events = writer.close()
+                print(f"; stream: {events} events -> {stream_path}",
+                      file=sys.stderr)
         result = session.result
         print(
             f"{name}: answer={session.extra['answer']} "
@@ -283,6 +350,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             ),
             limit=args.top,
         ))
+        if args.series:
+            print(render_blame_series(
+                blame.series(),
+                top=args.series_top,
+                title=f"space blame over time [{name}]",
+            ))
         if args.trace_out:
             suffix = f".{name}" if len(machines) > 1 else ""
             base, chrome = _trace_paths(args.trace_out)
@@ -294,7 +367,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 f"{stem}{suffix}.chrome.json" if suffix else chrome
             )
             events = write_jsonl(session.bus, jsonl_path)
-            write_chrome_trace(session.bus, chrome_path)
+            write_chrome_trace(session.bus, chrome_path, blame=blame.series())
             print(
                 f"; trace: {events} events -> {jsonl_path} "
                 f"(+ {chrome_path})",
@@ -375,6 +448,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", metavar="PATH",
         help="write a metrics registry dump (JSON) to PATH",
     )
+    run_parser.add_argument(
+        "--stream", metavar="PATH",
+        help="stream events to PATH (JSONL) as they are emitted; "
+        "without --trace-out the ring is disabled, so arbitrarily "
+        "long runs trace in constant memory",
+    )
     run_parser.set_defaults(handler=_cmd_run)
 
     machines_parser = commands.add_parser(
@@ -435,6 +514,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="write one summary event per grid cell to PATH (JSONL) "
         "and PATH-stem.chrome.json",
     )
+    sweep_parser.add_argument(
+        "--trace-sample", type=int, default=0, metavar="K",
+        help="attach a sampled TraceBus to every cell (keep every K-th "
+        "step/apply event) and ship the events back over the worker "
+        "channel; prints the aggregated replay summary",
+    )
+    sweep_parser.add_argument(
+        "--blame-every", type=int, default=0, metavar="K",
+        help="attach a blame profiler to every cell (decompose every "
+        "K-th measured configuration), ship the per-cell BlameSeries "
+        "back, and print the merged who-holds-the-space table",
+    )
     sweep_parser.set_defaults(handler=_cmd_sweep)
 
     trace_parser = commands.add_parser(
@@ -477,8 +568,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=12,
         help="blame table rows before folding into '(other)'",
     )
+    trace_parser.add_argument(
+        "--series", action="store_true",
+        help="render the per-holder space time-series as stacked "
+        "sparklines (who holds the space, and when)",
+    )
+    trace_parser.add_argument(
+        "--series-top", type=int, default=6,
+        help="sparkline rows before folding into '(other)'",
+    )
     trace_parser.add_argument("--trace-out", metavar="PATH")
     trace_parser.add_argument("--metrics", metavar="PATH")
+    trace_parser.add_argument(
+        "--stream", metavar="PATH",
+        help="stream events to PATH (JSONL) as they are emitted; "
+        "without --trace-out the ring is disabled (constant memory)",
+    )
     trace_parser.add_argument(
         "--suggest-fusions", action="store_true",
         help="rank candidate superinstructions by their share of the "

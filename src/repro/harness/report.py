@@ -104,12 +104,65 @@ def render_step_mix(
     return render_table(["step kind", "steps", "share"], rows, title=title)
 
 
-def sparkline(values: Sequence[float], width: int = 60) -> str:
-    """A coarse text sparkline of a space trace (for examples)."""
+def render_blame_series(
+    series,
+    top: int = 6,
+    width: int = 60,
+    title: Optional[str] = None,
+) -> str:
+    """Render a :class:`~repro.telemetry.blame.BlameSeries` as stacked
+    per-holder unicode sparklines — "who holds the space, and when".
+
+    One line per holder (the ``top`` largest by peak words, the rest
+    folded into one ``(other)`` line), each a :func:`sparkline` of that
+    holder's words over the sampled steps, normalized to the *global*
+    peak so line heights compare across holders; a ``TOTAL`` line
+    carries the measured-space trace.  Right-hand columns give each
+    holder's peak words and its share of the series peak."""
+    count = len(series)
+    if not count:
+        return (title + "\n" if title else "") + "(empty series)"
+    holders = series.holders(top=top)
+    kept = set(holders)
+    rows = [(holder, series.series_for(holder)) for holder in holders]
+    other = [
+        sum(words for key, words in blame.items() if key not in kept)
+        for blame in series.blames
+    ]
+    if any(other):
+        rows.append(("(other)", other))
+    rows.append(("TOTAL", list(series.spaces)))
+    peak_total = max(series.spaces) or 1
+    label_width = max(len(label) for label, _values in rows)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"steps {series.steps[0]}..{series.steps[-1]}"
+        f" · {count} samples · stride {series.stride}"
+        f" · accounting {'linked' if series.linked else 'flat'}"
+    )
+    for label, values in rows:
+        peak = max(values)
+        lines.append(
+            f"{label.ljust(label_width)}  "
+            f"{sparkline(values, width, peak=peak_total)}"
+            f"  peak {peak}"
+            f" ({100.0 * peak / peak_total:.1f}%)"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 60,
+              peak: Optional[float] = None) -> str:
+    """A coarse text sparkline of a space trace (for examples).
+    ``peak`` overrides the normalization ceiling so several lines can
+    share one scale (the stacked-series renderer passes the global
+    peak); the default normalizes to the series' own maximum."""
     if not values:
         return ""
     blocks = " .:-=+*#%@"
-    peak = max(values) or 1
+    peak = (max(values) if peak is None else peak) or 1
     if len(values) > width:
         bucket = len(values) / width
         sampled = [

@@ -2,7 +2,9 @@
 
 These wrap the reader -> expander -> validator -> machine -> meter
 pipeline into single calls used by the examples, tests, and benchmark
-harness.
+harness.  The telemetry stack rides along: :func:`run` threads
+``trace``/``metrics`` buses into the metered run, and the full
+trace-and-blame driver is :func:`repro.telemetry.blame.trace_run`.
 """
 
 from __future__ import annotations

@@ -10,6 +10,13 @@ serially or on a ``multiprocessing`` pool, and :func:`sweep_series`
 mirrors :func:`repro.space.consumption.sweep` for the common
 one-machine-over-N series.
 
+Telemetry travels the channel as plain data: ``metrics=True`` ships a
+serialized registry per cell (folded by :func:`aggregate_metrics`),
+``trace_sample``/``blame_every`` ship a sampled event capture and a
+``BlameSeries`` per cell (folded by :func:`aggregate_traces` /
+:func:`aggregate_series`) — so ``repro sweep --trace-sample`` sees
+who held the space in every cell, not just a summary count.
+
 Degradation is graceful and result-identical: a cell whose submission
 or worker fails (pickling, a dead worker process) is re-run serially
 in the parent; a cell that exceeds ``timeout`` seconds reports a
@@ -42,6 +49,17 @@ class SweepCell:
     gc_interval: int = 1
     step_limit: int = DEFAULT_STEP_LIMIT
     metrics: bool = False
+    #: > 0 attaches a sampled TraceBus to the cell's run: the rate
+    #: applies to the high-volume kinds (step/apply) while space/gc
+    #: stay unsampled, so the shipped events still replay to the exact
+    #: sup-space and collection total.  0 = no tracing.
+    trace_sample: int = 0
+    #: Ring capacity for the per-cell bus (most recent N survive the
+    #: pickle channel); ``None`` ships everything the sampler kept.
+    trace_capacity: Optional[int] = 256
+    #: > 0 attaches a BlameProfiler (decomposing every k-th measured
+    #: configuration) and ships its BlameSeries back.  0 = no blame.
+    blame_every: int = 0
 
 
 @dataclass(frozen=True)
@@ -52,6 +70,12 @@ class SweepOutcome:
     result: Optional[Consumption] = None
     error: Optional[str] = None
     metrics: Optional[dict] = None
+    #: Sampled trace events (plain Event tuples) when the cell asked
+    #: for tracing; ``None`` otherwise.
+    events: Optional[tuple] = None
+    #: The cell's BlameSeries in ``as_dict`` form when the cell asked
+    #: for blame profiling; ``None`` otherwise.
+    series: Optional[dict] = None
 
     @property
     def total(self) -> int:
@@ -70,12 +94,36 @@ def run_cell(cell: SweepCell) -> SweepOutcome:
     With ``cell.metrics`` a fresh :class:`MetricsRegistry` rides the
     metered run and comes back serialized (``as_dict``) on the outcome
     — plain data, so it survives the pickle channel, and the parent can
-    fold worker registries together with :func:`aggregate_metrics`."""
+    fold worker registries together with :func:`aggregate_metrics`.
+    ``cell.trace_sample`` / ``cell.blame_every`` likewise attach a
+    sampled :class:`TraceBus` / :class:`BlameProfiler` and ship the
+    kept events (plain tuples) and the cell's ``BlameSeries``
+    (``as_dict``) back the same way; the parent folds them with
+    :func:`aggregate_traces` / :func:`aggregate_series`."""
     registry = None
     if cell.metrics:
         from ..telemetry.metrics import MetricsRegistry
 
         registry = MetricsRegistry()
+    bus = None
+    if cell.trace_sample > 0:
+        from ..telemetry.bus import TraceBus
+
+        rate = cell.trace_sample
+        bus = TraceBus(
+            capacity=cell.trace_capacity,
+            sample={"step": rate, "apply": rate} if rate > 1 else None,
+        )
+        bus.meta.update(
+            machine=cell.machine,
+            key=str(cell.key),
+            accounting="linked" if cell.linked else "flat",
+        )
+    blame = None
+    if cell.blame_every > 0:
+        from ..telemetry.blame import BlameProfiler
+
+        blame = BlameProfiler(every=cell.blame_every)
     try:
         result = measure(
             cell.machine,
@@ -87,6 +135,8 @@ def run_cell(cell: SweepCell) -> SweepOutcome:
             gc_interval=cell.gc_interval,
             step_limit=cell.step_limit,
             metrics=registry,
+            trace=bus,
+            blame=blame,
         )
     except Exception as error:  # noqa: BLE001 - reported, not hidden
         return SweepOutcome(cell=cell, error=f"{type(error).__name__}: {error}")
@@ -94,6 +144,8 @@ def run_cell(cell: SweepCell) -> SweepOutcome:
         cell=cell,
         result=result,
         metrics=registry.as_dict() if registry is not None else None,
+        events=tuple(bus.events) if bus is not None else None,
+        series=blame.series().as_dict() if blame is not None else None,
     )
 
 
@@ -226,6 +278,59 @@ def aggregate_metrics(outcomes: Iterable[SweepOutcome]) -> Dict:
     return MetricsRegistry.merge(dumps)
 
 
+def aggregate_traces(outcomes: Iterable[SweepOutcome]) -> Dict:
+    """Fold the per-cell event captures of a traced grid into one
+    summary: per-kind event counts summed across cells, plus the
+    replayed headline numbers (steps and collections sum over the
+    grid; sup-space is the max over cells, with the cell key that
+    attained it).  Cells that ran without tracing contribute nothing."""
+    from ..telemetry.bus import replay
+
+    counts: Dict[str, int] = {}
+    cells = 0
+    steps = 0
+    collected = 0
+    sup_space = 0
+    sup_cell = None
+    for outcome in outcomes:
+        if outcome.events is None:
+            continue
+        cells += 1
+        for event in outcome.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        summary = replay(outcome.events)
+        steps += summary.steps
+        collected += summary.collected
+        if summary.sup_space > sup_space:
+            sup_space = summary.sup_space
+            sup_cell = outcome.cell.key
+    return {
+        "cells": cells,
+        "events": sum(counts.values()),
+        "counts": counts,
+        "steps": steps,
+        "collected": collected,
+        "sup_space": sup_space,
+        "sup_cell": sup_cell,
+    }
+
+
+def aggregate_series(outcomes: Iterable[SweepOutcome]):
+    """Fold the per-cell blame series of a grid into one
+    :class:`~repro.telemetry.blame.BlameSeries` (via ``merge``, so
+    mixed accountings are refused).  Cells without blame profiling
+    contribute nothing."""
+    from ..telemetry.blame import BlameSeries
+
+    return BlameSeries.merge(
+        [
+            BlameSeries.from_dict(outcome.series)
+            for outcome in outcomes
+            if outcome.series is not None
+        ]
+    )
+
+
 def series_from_outcomes(
     outcomes: Iterable[SweepOutcome],
 ) -> Dict[Tuple, Dict[int, int]]:
@@ -241,6 +346,8 @@ __all__ = [
     "SweepCell",
     "SweepOutcome",
     "aggregate_metrics",
+    "aggregate_series",
+    "aggregate_traces",
     "default_jobs",
     "grid_cells",
     "run_cell",

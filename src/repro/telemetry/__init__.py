@@ -17,10 +17,13 @@ the step rate:
 - :mod:`repro.telemetry.blame` — the space-blame profiler: an exact
   decomposition of every S_X/U_X measurement over AST nodes and
   continuation classes, so separators print a ranked "who holds the
-  space" table;
-- :mod:`repro.telemetry.export` — JSONL event logs, Chrome
-  ``trace_event`` files (loadable in Perfetto), and machine-readable
-  metrics dumps.
+  space" table — plus a bounded per-holder time-series
+  (:class:`BlameSeries`) of whole decompositions, pointwise exact;
+- :mod:`repro.telemetry.export` — JSONL event logs (buffered *and*
+  streamed: :class:`JsonlStreamWriter` attaches as a bus sink and
+  writes events as they are emitted), Chrome ``trace_event`` files
+  (loadable in Perfetto, including the per-holder ``space-blame``
+  counter track), and machine-readable metrics dumps.
 
 The honesty contract mirrors the meter and the stepper: telemetry is
 *derived, never authoritative*.  The trace-fidelity suite
@@ -30,10 +33,21 @@ totals; the blame suite (``tests/test_blame.py``) holds every blame
 table's sum equal to the configuration space it decomposes.
 """
 
-from .blame import BlameProfiler, TraceSession, blame_configuration, trace_run
+from .blame import (
+    BlameProfiler,
+    BlameSeries,
+    TraceSession,
+    blame_by_class,
+    blame_configuration,
+    holder_class,
+    trace_run,
+)
 from .bus import ReplaySummary, TraceBus, replay, step_kind_label
 from .export import (
+    JsonlStreamWriter,
+    chrome_blame_counter_events,
     read_jsonl,
+    validate_blame_census,
     validate_chrome_trace,
     validate_jsonl,
     write_chrome_trace,
@@ -44,16 +58,22 @@ from .metrics import MetricsRegistry, step_mix
 
 __all__ = [
     "BlameProfiler",
+    "BlameSeries",
+    "JsonlStreamWriter",
     "MetricsRegistry",
     "ReplaySummary",
     "TraceBus",
     "TraceSession",
+    "blame_by_class",
     "blame_configuration",
+    "chrome_blame_counter_events",
+    "holder_class",
     "read_jsonl",
     "replay",
     "step_kind_label",
     "step_mix",
     "trace_run",
+    "validate_blame_census",
     "validate_chrome_trace",
     "validate_jsonl",
     "write_chrome_trace",

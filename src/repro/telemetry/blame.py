@@ -38,7 +38,17 @@ structural word and each distinct binding as it is counted.
 metered run (the meter calls :meth:`BlameProfiler.observe` at every
 point it measures) and keeps the decomposition at the peak — the
 configuration that *is* the sup — plus running totals for an
-average-shape profile.
+average-shape profile, plus a *bounded, sample-stride history* of
+whole decompositions: the time-series behind "who holds the space,
+and when".  The history is exposed as a :class:`BlameSeries`
+artifact; every retained point is an original sampled configuration,
+so the exactness invariant (blame sums == measured space) holds
+pointwise over the series under both accountings — the same property
+test that guards the peak snapshot walks the series.  When the
+history outgrows ``series_capacity`` the profiler doubles its keep
+stride and drops every other retained point, so unbounded runs keep a
+bounded, uniformly-strided series whose peak sample survives
+separately in ``at_peak``.
 """
 
 from __future__ import annotations
@@ -186,6 +196,173 @@ def blame_configuration(
     return _blame_flat(configuration, fixed_precision)
 
 
+def holder_class(key: str) -> str:
+    """Collapse a holder key to its machine-independent class: call
+    sites and lambdas are stripped (``kont:Push@(f (- n 1))`` ->
+    ``kont:Push``, ``closure@(lambda (n) ...)`` -> ``closure``,
+    ``binding:n`` -> ``binding``); structural keys pass through.  The
+    corpus blame census aggregates over classes so programs with
+    different ASTs land in the same rows."""
+    if key.startswith("kont:"):
+        return key.split("@", 1)[0]
+    if key.startswith("closure@"):
+        return "closure"
+    if key.startswith("binding:"):
+        return "binding"
+    return key
+
+
+def blame_by_class(blame: Dict[str, int]) -> Dict[str, int]:
+    """Re-key a blame decomposition by :func:`holder_class` (an exact
+    regrouping: the sum is unchanged)."""
+    classed: Dict[str, int] = {}
+    for key, words in blame.items():
+        cls = holder_class(key)
+        classed[cls] = classed.get(cls, 0) + words
+    return classed
+
+
+@dataclass
+class BlameSeries:
+    """A per-holder space time-series: the profiler's retained history
+    as an artifact.
+
+    Parallel lists — ``steps[i]`` / ``spaces[i]`` / ``blames[i]`` are
+    one sampled configuration: the step it was measured at, the space
+    the meter reported, and the exact decomposition (so
+    ``sum(blames[i].values()) == spaces[i]`` at every point).
+    ``stride`` records the effective keep stride (it doubles each time
+    the bounded profiler compacted).
+    """
+
+    machine: str = ""
+    linked: bool = False
+    fixed_precision: bool = False
+    steps: List[int] = field(default_factory=list)
+    spaces: List[int] = field(default_factory=list)
+    blames: List[Dict[str, int]] = field(default_factory=list)
+    stride: int = 1
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def holders(self, top: Optional[int] = None) -> List[str]:
+        """Holder keys ordered by their peak words over the series
+        (largest first, ties by name); ``top`` keeps the first N."""
+        peaks: Dict[str, int] = {}
+        for blame in self.blames:
+            for key, words in blame.items():
+                if words > peaks.get(key, 0):
+                    peaks[key] = words
+        ordered = sorted(peaks, key=lambda key: (-peaks[key], key))
+        return ordered[:top] if top is not None else ordered
+
+    def series_for(self, holder: str) -> List[int]:
+        """One holder's words at every sampled point (0 when absent)."""
+        return [blame.get(holder, 0) for blame in self.blames]
+
+    def totals(self) -> Dict[str, int]:
+        """Per-holder words summed over the samples (census shape)."""
+        totals: Dict[str, int] = {}
+        for blame in self.blames:
+            for key, words in blame.items():
+                totals[key] = totals.get(key, 0) + words
+        return totals
+
+    def peak(self) -> Tuple[int, int, Dict[str, int]]:
+        """(step, space, blame) of the sampled point with the most
+        space ((0, 0, {}) for an empty series)."""
+        if not self.steps:
+            return (0, 0, {})
+        index = max(range(len(self.spaces)), key=lambda i: self.spaces[i])
+        return (self.steps[index], self.spaces[index], self.blames[index])
+
+    def downsample(self, max_points: int) -> "BlameSeries":
+        """A new series with at most ``max_points`` samples: the index
+        range is cut into buckets and each bucket is represented by its
+        maximum-space sample, so the sup survives and every kept point
+        is an original (still-exact) sample."""
+        if max_points < 1:
+            raise ValueError("max_points must be >= 1")
+        count = len(self.steps)
+        if count <= max_points:
+            return BlameSeries(
+                self.machine, self.linked, self.fixed_precision,
+                list(self.steps), list(self.spaces),
+                [dict(blame) for blame in self.blames], self.stride,
+            )
+        keep: List[int] = []
+        for bucket in range(max_points):
+            lo = bucket * count // max_points
+            hi = max(lo + 1, (bucket + 1) * count // max_points)
+            keep.append(max(range(lo, hi), key=lambda i: self.spaces[i]))
+        return BlameSeries(
+            self.machine, self.linked, self.fixed_precision,
+            [self.steps[i] for i in keep],
+            [self.spaces[i] for i in keep],
+            [dict(self.blames[i]) for i in keep],
+            self.stride * max(1, count // max_points),
+        )
+
+    @classmethod
+    def merge(cls, series: "List[BlameSeries]") -> "BlameSeries":
+        """Fold several series (e.g. one per sweep cell) into one
+        artifact: the sampled points are concatenated in (step, input)
+        order.  Every point keeps its own exactness receipt; the merge
+        refuses to mix accountings (the sums would not be comparable).
+        """
+        series = [one for one in series if len(one)]
+        if not series:
+            return cls()
+        accountings = {
+            (one.linked, one.fixed_precision) for one in series
+        }
+        if len(accountings) > 1:
+            raise ValueError("cannot merge series with mixed accountings")
+        machines = sorted({one.machine for one in series if one.machine})
+        points = []
+        for order, one in enumerate(series):
+            for i in range(len(one)):
+                points.append((one.steps[i], order, one.spaces[i],
+                               one.blames[i]))
+        points.sort(key=lambda p: (p[0], p[1]))
+        linked, fixed_precision = next(iter(accountings))
+        return cls(
+            machine="+".join(machines),
+            linked=linked,
+            fixed_precision=fixed_precision,
+            steps=[p[0] for p in points],
+            spaces=[p[2] for p in points],
+            blames=[dict(p[3]) for p in points],
+            stride=max(one.stride for one in series),
+        )
+
+    def as_dict(self) -> dict:
+        """Plain-data form (picklable / JSON-ready) — what a sweep
+        worker ships back over the channel."""
+        return {
+            "machine": self.machine,
+            "linked": self.linked,
+            "fixed_precision": self.fixed_precision,
+            "stride": self.stride,
+            "steps": list(self.steps),
+            "spaces": list(self.spaces),
+            "blames": [dict(blame) for blame in self.blames],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BlameSeries":
+        return cls(
+            machine=payload.get("machine", ""),
+            linked=bool(payload.get("linked", False)),
+            fixed_precision=bool(payload.get("fixed_precision", False)),
+            steps=list(payload.get("steps", ())),
+            spaces=list(payload.get("spaces", ())),
+            blames=[dict(blame) for blame in payload.get("blames", ())],
+            stride=int(payload.get("stride", 1)),
+        )
+
+
 class BlameProfiler:
     """Samples blame decompositions over a metered run.
 
@@ -195,12 +372,23 @@ class BlameProfiler:
     sup.  ``history`` keeps one (step, space, blame-sum) triple per
     sample — the property tests' receipt that every decomposition
     summed to the meter's own measurement.
+
+    ``series_capacity`` bounds the retained whole-decomposition
+    history behind :meth:`series`: each sampled decomposition is kept
+    while the retained list is short, and when it would exceed the
+    capacity the profiler drops every other retained point and doubles
+    its keep stride — bounded memory over unbounded runs, at the cost
+    of a coarser (but still pointwise-exact) series.  ``0`` disables
+    series retention entirely (peak/totals/history still work).
     """
 
-    def __init__(self, every: int = 1):
+    def __init__(self, every: int = 1, series_capacity: int = 256):
         if every < 1:
             raise ValueError("every must be >= 1")
+        if series_capacity < 0:
+            raise ValueError("series_capacity must be >= 0")
         self.every = every
+        self.series_capacity = series_capacity
         self.machine: Optional[str] = None
         self.linked = False
         self.fixed_precision = False
@@ -211,6 +399,12 @@ class BlameProfiler:
         self.at_peak: Dict[str, int] = {}
         self.totals: Dict[str, int] = {}
         self.history: List[Tuple[int, int, int]] = []
+        #: Effective keep stride of the retained series (in units of
+        #: *sampled* configurations); doubles on each compaction.
+        self.series_stride = 1
+        self._series_steps: List[int] = []
+        self._series_spaces: List[int] = []
+        self._series_blames: List[Dict[str, int]] = []
 
     def bind(self, machine: str, linked: bool, fixed_precision: bool) -> None:
         """Called by the meter before the run starts."""
@@ -229,7 +423,8 @@ class BlameProfiler:
         blame = blame_configuration(
             configuration, self.linked, self.fixed_precision
         )
-        self.sampled += 1
+        sample_index = self.sampled
+        self.sampled = sample_index + 1
         totals = self.totals
         total = 0
         for key, words in blame.items():
@@ -240,6 +435,52 @@ class BlameProfiler:
             self.peak_space = space
             self.peak_step = step
             self.at_peak = blame
+        capacity = self.series_capacity
+        if capacity and sample_index % self.series_stride == 0:
+            if len(self._series_steps) >= capacity:
+                self._series_steps = self._series_steps[::2]
+                self._series_spaces = self._series_spaces[::2]
+                self._series_blames = self._series_blames[::2]
+                self.series_stride *= 2
+                if sample_index % self.series_stride:
+                    return
+            self._series_steps.append(step)
+            self._series_spaces.append(space)
+            self._series_blames.append(blame)
+
+    def series(self, include_peak: bool = True) -> BlameSeries:
+        """The retained per-holder time-series as a :class:`BlameSeries`.
+
+        ``include_peak`` splices the peak snapshot back in (in step
+        order) when compaction dropped it — the sup is the one sample a
+        space story cannot lose.  Every point is an original sampled
+        decomposition, so the exactness invariant holds pointwise.
+        """
+        steps = list(self._series_steps)
+        spaces = list(self._series_spaces)
+        blames = [dict(blame) for blame in self._series_blames]
+        if (
+            include_peak
+            and self.peak_space >= 0
+            and self.at_peak
+            and self.peak_step not in steps
+        ):
+            at = next(
+                (i for i, step in enumerate(steps) if step > self.peak_step),
+                len(steps),
+            )
+            steps.insert(at, self.peak_step)
+            spaces.insert(at, self.peak_space)
+            blames.insert(at, dict(self.at_peak))
+        return BlameSeries(
+            machine=self.machine or "",
+            linked=self.linked,
+            fixed_precision=self.fixed_precision,
+            steps=steps,
+            spaces=spaces,
+            blames=blames,
+            stride=self.series_stride,
+        )
 
     def mean(self) -> Dict[str, float]:
         """The average blame profile over the sampled configurations."""
@@ -275,11 +516,20 @@ def trace_run(
     sample: Optional[Dict[str, int]] = None,
     capacity: Optional[int] = None,
     blame_every: int = 1,
+    series_capacity: int = 256,
+    sink=None,
+    retain: bool = True,
 ) -> TraceSession:
     """Run one program on one machine with the full telemetry stack
     attached — trace bus, metrics registry, blame profiler — and
     return all four artifacts.  This is what ``python -m repro trace``
-    drives."""
+    drives.
+
+    ``sink`` streams every kept event (see
+    :class:`repro.telemetry.export.JsonlStreamWriter`); ``retain=False``
+    turns the bus's ring off so an unbounded run streams in constant
+    memory.  ``series_capacity`` bounds the blame profiler's retained
+    per-holder time-series (0 disables it)."""
     # Deferred so importing the telemetry package never drags in the
     # meter/harness stack (which imports telemetry lazily in turn).
     from ..machine.answer import answer_string
@@ -296,9 +546,9 @@ def trace_run(
         machine = make_machine(machine_name)
     else:
         raise ValueError(f"unknown stepper {stepper!r}")
-    bus = TraceBus(capacity=capacity, sample=sample)
+    bus = TraceBus(capacity=capacity, sample=sample, sink=sink, retain=retain)
     metrics = MetricsRegistry()
-    blame = BlameProfiler(every=blame_every)
+    blame = BlameProfiler(every=blame_every, series_capacity=series_capacity)
     result = run_metered(
         machine,
         prepare_program(program),
@@ -311,6 +561,12 @@ def trace_run(
         trace=bus,
         metrics=metrics,
         blame=blame,
+    )
+    # Blame instruments (documented in the metrics module docstring):
+    # how much of the run the profiler saw, and how wide the peak is.
+    metrics.counter("blame_samples", machine=machine_name).inc(blame.sampled)
+    metrics.gauge("blame_peak_holders", machine=machine_name).set(
+        len(blame.at_peak)
     )
     return TraceSession(
         result=result,
@@ -329,8 +585,11 @@ def trace_run(
 
 __all__ = [
     "BlameProfiler",
+    "BlameSeries",
     "TraceSession",
+    "blame_by_class",
     "blame_configuration",
+    "holder_class",
     "node_label",
     "trace_run",
 ]

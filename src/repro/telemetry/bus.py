@@ -45,6 +45,15 @@ Sampling is per-kind: ``TraceBus(sample={"step": 100})`` keeps every
 requires the default rate of 1 for the kinds it reconstructs.  The
 buffer is unbounded by default; ``capacity=N`` keeps the most recent N
 events (a ring) and counts what it dropped.
+
+Streaming: ``sink`` is a callable invoked with every event that
+survives sampling, *before* the ring sees it — attach a
+:class:`repro.telemetry.export.JsonlStreamWriter` and events hit the
+disk as they are emitted.  ``retain=False`` turns the ring off
+entirely (``events`` stays empty), so an unbounded corpus run streams
+in constant memory with no capacity tuning; the stream then *is* the
+record, and replaying the written file reconstructs the same numbers
+the ring would have.
 """
 
 from __future__ import annotations
@@ -107,6 +116,8 @@ class TraceBus:
         "dropped",
         "steps",
         "meta",
+        "sink",
+        "retain",
         "_rates",
         "_seen",
         "_clock",
@@ -117,6 +128,8 @@ class TraceBus:
         capacity: Optional[int] = None,
         sample: Optional[Dict[str, int]] = None,
         clock=time.perf_counter,
+        sink=None,
+        retain: bool = True,
     ):
         if capacity is not None and capacity <= 0:
             raise ValueError("capacity must be positive (or None)")
@@ -139,6 +152,10 @@ class TraceBus:
         #: written by whoever attached the bus; exported with the
         #: stream.
         self.meta: Dict[str, object] = {}
+        #: Streaming sink: called with every post-sampling event.
+        self.sink = sink
+        #: ``False`` disables the ring entirely (streaming-only mode).
+        self.retain = retain
         self._rates = rates
         self._seen = dict.fromkeys(EVENT_KINDS, 0)
         self._clock = clock
@@ -151,10 +168,15 @@ class TraceBus:
         rate = self._rates.get(kind, 1)
         if rate != 1 and seen % rate:
             return
+        event = Event(kind, self._clock(), step, label, value)
+        if self.sink is not None:
+            self.sink(event)
+        if not self.retain:
+            return
         events = self.events
         if self.capacity is not None and len(events) == self.capacity:
             self.dropped += 1
-        events.append(Event(kind, self._clock(), step, label, value))
+        events.append(event)
 
     # -- producer API -------------------------------------------------------
 

@@ -9,22 +9,36 @@ schema library:
   inverts it and :func:`replay` (from the bus module) runs on the
   result, so a trace file is a complete, machine-checkable receipt of
   the run.
+- :class:`JsonlStreamWriter` — the *streaming* counterpart: attach it
+  as a bus ``sink`` and each event is written the moment it is
+  emitted, so unbounded corpus runs export in constant memory (pair
+  with ``TraceBus(retain=False)``) with no ring-capacity tuning.  The
+  opening meta record is written eagerly and every buffered line is
+  flushed in the ``close()``/context-manager path, so the file on
+  disk is valid JSONL even when the traced run dies mid-stream; a
+  clean close appends a second ``meta`` record with the final event
+  count and the bus's run description.
 - :func:`write_chrome_trace` — the Chrome ``trace_event`` JSON object
   format (``{"traceEvents": [...]}``), loadable in Perfetto /
   ``chrome://tracing``: phases become duration (B/E) events, space
   samples become counter (C) tracks, GC and apply events become
-  instants.
+  instants.  Passing a :class:`~repro.telemetry.blame.BlameSeries`
+  adds a per-holder ``space-blame`` counter track (one series per
+  holder, stacked by Perfetto), timed by matching each sample's step
+  to the bus's space events.
 - :func:`write_metrics` — a :meth:`MetricsRegistry.as_dict` dump (or
   a pre-merged dict) with a small envelope.
 
 The ``validate_*`` functions are the schema checks CI's telemetry
-smoke step runs against the artifacts it uploads.
+smoke step runs against the artifacts it uploads
+(:func:`validate_jsonl`, :func:`validate_chrome_trace`, and
+:func:`validate_blame_census` for ``BENCH_blame_census.json``).
 """
 
 from __future__ import annotations
 
 import json
-from typing import List
+from typing import List, Optional
 
 from .bus import EVENT_KINDS, Event, TraceBus
 from .metrics import MetricsRegistry
@@ -62,6 +76,101 @@ def write_jsonl(bus: TraceBus, path: str) -> int:
             )
             count += 1
     return count
+
+
+class JsonlStreamWriter:
+    """A streaming JSONL sink for :class:`TraceBus` (``sink=writer``).
+
+    ``target`` is a path (opened and owned by the writer) or an open
+    file-like object (borrowed — never closed).  ``flush_every=k``
+    flushes the handle after every k-th event (1 = after every event;
+    0 = leave flushing to ``close``); the opening meta record is
+    always written and flushed immediately, so even a run killed after
+    its first event leaves a schema-valid file behind.
+
+    Use as a context manager (or call :meth:`close` in a ``finally``)
+    so abnormal termination still flushes the buffered tail::
+
+        with JsonlStreamWriter(path) as writer:
+            bus = TraceBus(sink=writer, retain=False)
+            run_metered(machine, program, trace=bus, ...)
+            writer.close(bus)   # optional: records the bus meta
+
+    ``close(bus)`` appends a closing ``meta`` record carrying the
+    event count and, when a bus is given, its run description and
+    offered/dropped accounting — the streamed file then carries the
+    same receipt ``write_jsonl`` puts on line one.
+    """
+
+    def __init__(self, target, meta: Optional[dict] = None,
+                 flush_every: int = 64):
+        if flush_every < 0:
+            raise ValueError("flush_every must be >= 0")
+        if hasattr(target, "write"):
+            self._handle = target
+            self._owns = False
+        else:
+            self._handle = open(target, "w", encoding="utf-8")
+            self._owns = True
+        self.flush_every = flush_every
+        self.events = 0
+        self.closed = False
+        opening = {"kind": "meta", "version": JSONL_VERSION, "streamed": True}
+        if meta:
+            opening.update(meta)
+        self._handle.write(json.dumps(opening) + "\n")
+        self._handle.flush()
+
+    def __call__(self, event: Event) -> None:
+        self.write(event)
+
+    def write(self, event: Event) -> None:
+        if self.closed:
+            raise ValueError("write to a closed JsonlStreamWriter")
+        self._handle.write(
+            json.dumps(
+                {
+                    "kind": event.kind,
+                    "ts": event.ts,
+                    "step": event.step,
+                    "label": event.label,
+                    "value": event.value,
+                }
+            )
+            + "\n"
+        )
+        self.events += 1
+        if self.flush_every and self.events % self.flush_every == 0:
+            self._handle.flush()
+
+    def close(self, bus: Optional[TraceBus] = None) -> int:
+        """Flush and (when owned) close the handle; idempotent.
+        Returns the number of event lines written."""
+        if self.closed:
+            return self.events
+        closing = {
+            "kind": "meta",
+            "version": JSONL_VERSION,
+            "closing": True,
+            "events": self.events,
+        }
+        if bus is not None:
+            closing.update(
+                offered=bus.counts(), dropped=bus.dropped, steps=bus.steps
+            )
+            closing.update(bus.meta)
+        self._handle.write(json.dumps(closing) + "\n")
+        self._handle.flush()
+        if self._owns:
+            self._handle.close()
+        self.closed = True
+        return self.events
+
+    def __enter__(self) -> "JsonlStreamWriter":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
 
 def read_jsonl(path: str) -> List[Event]:
@@ -109,6 +218,11 @@ def validate_jsonl(path: str) -> dict:
                 if kind != "meta":
                     raise ValueError(f"{path}:1: first line must be the meta record")
                 meta = record
+                continue
+            if kind == "meta":
+                # Streamed files carry a closing meta record (and merged
+                # files may carry several); fold them into the summary.
+                meta.update(record)
                 continue
             if kind not in kinds:
                 raise ValueError(f"{path}:{lineno}: unknown event kind {kind!r}")
@@ -211,9 +325,62 @@ def chrome_trace_events(bus: TraceBus) -> List[dict]:
     return out
 
 
-def write_chrome_trace(bus: TraceBus, path: str) -> int:
-    """Write a Perfetto-loadable trace file; returns the event count."""
+def chrome_blame_counter_events(series, bus: Optional[TraceBus] = None,
+                                top: int = 8) -> List[dict]:
+    """A :class:`~repro.telemetry.blame.BlameSeries` as one Chrome
+    counter (``C``) track named ``space-blame``: one event per sample,
+    one ``args`` series per holder (Perfetto stacks them).  ``top``
+    keeps the largest holders (by peak words) and folds the rest into
+    an ``other`` series so the track stays readable.
+
+    Timestamps: blame samples happen exactly at the meter's measure
+    points, which also emit ``space`` events — so when the *bus* for
+    the same run is given, each sample's step is mapped to the
+    timestamp of that step's space event (same clock as the rest of
+    the trace).  Without a bus (or for steps sampled away from its
+    ring) the step index itself is used as microseconds."""
+    holders = series.holders(top=top)
+    kept = set(holders)
+    step_ts: dict = {}
+    if bus is not None:
+        events = list(bus.events)
+        t0 = events[0].ts if events else 0.0
+        for event in events:
+            if event.kind == "space" and event.step not in step_ts:
+                step_ts[event.step] = (event.ts - t0) * 1e6
+    out: List[dict] = []
+    for i in range(len(series)):
+        step = series.steps[i]
+        args = {holder: 0 for holder in holders}
+        other = 0
+        for key, words in series.blames[i].items():
+            if key in kept:
+                args[key] = words
+            else:
+                other += words
+        if other:
+            args["other"] = other
+        out.append(
+            {
+                "ph": "C",
+                "name": "space-blame",
+                "cat": "blame",
+                "ts": step_ts.get(step, float(step)),
+                "pid": 1,
+                "tid": 1,
+                "args": args,
+            }
+        )
+    return out
+
+
+def write_chrome_trace(bus: TraceBus, path: str, blame=None) -> int:
+    """Write a Perfetto-loadable trace file; returns the event count.
+    ``blame`` (a BlameSeries) adds the per-holder ``space-blame``
+    counter track."""
     trace_events = chrome_trace_events(bus)
+    if blame is not None and len(blame):
+        trace_events.extend(chrome_blame_counter_events(blame, bus))
     document = {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
@@ -255,6 +422,56 @@ def validate_chrome_trace(path: str) -> dict:
     return {"events": len(events)}
 
 
+def validate_blame_census(path: str) -> dict:
+    """Schema-check a ``BENCH_blame_census.json`` artifact; returns a
+    summary dict or raises ValueError.
+
+    Shape: ``{"version", "corpus", "machines": {name: {"programs",
+    "steps", "flat": [rows], "linked": [rows]}}}`` where each row is
+    ``{"holder", "words", "share"}``, ranked by words descending, with
+    shares in [0, 1] summing to at most 1 (rows may be a top-N cut)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: not a JSON object")
+    machines = document.get("machines")
+    if not isinstance(machines, dict) or not machines:
+        raise ValueError(f"{path}: missing machines table")
+    rows_seen = 0
+    for machine, entry in machines.items():
+        where = f"{path}: machines[{machine!r}]"
+        if not isinstance(entry, dict):
+            raise ValueError(f"{where}: not an object")
+        if not isinstance(entry.get("programs"), int) or entry["programs"] < 1:
+            raise ValueError(f"{where}: bad program count")
+        for accounting in ("flat", "linked"):
+            rows = entry.get(accounting)
+            if not isinstance(rows, list) or not rows:
+                raise ValueError(f"{where}: missing {accounting} rows")
+            previous = None
+            share_total = 0.0
+            for i, row in enumerate(rows):
+                slot = f"{where}.{accounting}[{i}]"
+                if not isinstance(row, dict):
+                    raise ValueError(f"{slot}: not an object")
+                if not isinstance(row.get("holder"), str) or not row["holder"]:
+                    raise ValueError(f"{slot}: bad holder")
+                words = row.get("words")
+                if not isinstance(words, int) or words < 0:
+                    raise ValueError(f"{slot}: bad words")
+                share = row.get("share")
+                if not isinstance(share, (int, float)) or not 0 <= share <= 1:
+                    raise ValueError(f"{slot}: bad share")
+                if previous is not None and words > previous:
+                    raise ValueError(f"{slot}: rows not ranked by words")
+                previous = words
+                share_total += share
+                rows_seen += 1
+            if share_total > 1.0 + 1e-6:
+                raise ValueError(f"{where}: {accounting} shares sum > 1")
+    return {"machines": len(machines), "rows": rows_seen}
+
+
 def write_metrics(metrics, path: str, **meta) -> None:
     """Write a metrics dump (a registry or a pre-merged dict) as JSON."""
     dump = metrics.as_dict() if isinstance(metrics, MetricsRegistry) else metrics
@@ -265,8 +482,11 @@ def write_metrics(metrics, path: str, **meta) -> None:
 
 
 __all__ = [
+    "JsonlStreamWriter",
+    "chrome_blame_counter_events",
     "chrome_trace_events",
     "read_jsonl",
+    "validate_blame_census",
     "validate_chrome_trace",
     "validate_jsonl",
     "write_chrome_trace",

@@ -23,6 +23,13 @@ registry is passed):
 ``engine_escape_fallback{machine=}``  1 when the run degraded permanently
 ``sup_space{machine=,accounting=}`` the measured sup (a gauge)
 ``steps_total{machine=}``           total transitions (a gauge)
+
+``trace_run`` adds two blame instruments on top of the standard set:
+
+``blame_samples{machine=}``         configurations the blame profiler
+                                    decomposed (a counter)
+``blame_peak_holders{machine=}``    distinct holders in the peak
+                                    decomposition (a gauge)
 """
 
 from __future__ import annotations

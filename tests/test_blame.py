@@ -17,7 +17,10 @@ from repro.space.flat import configuration_space
 from repro.space.linked import configuration_space_linked
 from repro.telemetry.blame import (
     BlameProfiler,
+    BlameSeries,
+    blame_by_class,
     blame_configuration,
+    holder_class,
     node_label,
     trace_run,
 )
@@ -173,6 +176,124 @@ def test_profiler_mean_and_empty():
 def test_profiler_rejects_bad_stride():
     with pytest.raises(ValueError):
         BlameProfiler(every=0)
+
+
+def test_series_capacity_zero_disables_retention():
+    session = trace_run("gc", LOOP, "20", series_capacity=0)
+    assert len(session.blame.series(include_peak=False)) == 0
+    # Peak/totals/history still work without the series.
+    assert session.blame.at_peak
+    assert session.blame.history
+
+
+# ---------------------------------------------------------------------------
+# The time-series: pointwise exactness, bounding, downsample, merge
+# ---------------------------------------------------------------------------
+
+
+@given(program_bodies)
+@settings(max_examples=15, deadline=None)
+@pytest.mark.parametrize("machine,linked", [("gc", False), ("sfs", True)])
+def test_series_is_exact_pointwise(machine, linked, body):
+    """The acceptance property: at every sampled point of the series,
+    the decomposition sums to the measured space — both accountings."""
+    session = trace_run(machine, as_program(body), "3", linked=linked)
+    series = session.blame.series()
+    assert len(series)
+    for space, blame in zip(series.spaces, series.blames):
+        assert sum(blame.values()) == space, as_program(body)
+
+
+def test_series_is_bounded_and_keeps_the_peak():
+    session = trace_run("gc", LOOP, "400", series_capacity=16)
+    series = session.blame.series()
+    # Bounded: capacity plus at most the spliced-back peak sample.
+    assert len(series) <= 17
+    assert series.stride > 1  # compaction actually happened
+    # The sup survives compaction.
+    step, space, blame = series.peak()
+    assert space == session.result.sup_space
+    assert step == session.result.peak_step
+    assert sum(blame.values()) == space
+    # Steps are strictly increasing (the peak was spliced in order).
+    assert all(a < b for a, b in zip(series.steps, series.steps[1:]))
+
+
+def test_series_holders_and_series_for():
+    session = trace_run("gc", LOOP, "30")
+    series = session.blame.series()
+    holders = series.holders(top=3)
+    assert len(holders) == 3
+    peaks = [max(series.series_for(holder)) for holder in holders]
+    assert peaks == sorted(peaks, reverse=True)
+    assert len(series.series_for(holders[0])) == len(series)
+    assert series.series_for("no-such-holder") == [0] * len(series)
+
+
+def test_downsample_keeps_the_sup_and_stays_exact():
+    session = trace_run("gc", BUILD, "12")
+    series = session.blame.series()
+    small = series.downsample(8)
+    assert len(small) <= 8
+    assert max(small.spaces) == max(series.spaces)  # the sup survives
+    for space, blame in zip(small.spaces, small.blames):
+        assert sum(blame.values()) == space
+    # Downsampling below the current length is the identity.
+    same = series.downsample(len(series))
+    assert same.steps == series.steps and same.spaces == series.spaces
+
+
+def test_downsample_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        BlameSeries().downsample(0)
+
+
+def test_merge_concatenates_and_refuses_mixed_accountings():
+    a = trace_run("gc", LOOP, "10").blame.series()
+    b = trace_run("tail", LOOP, "10").blame.series()
+    merged = BlameSeries.merge([a, b])
+    assert len(merged) == len(a) + len(b)
+    assert merged.machine == "gc+tail"
+    assert merged.steps == sorted(merged.steps)
+    for space, blame in zip(merged.spaces, merged.blames):
+        assert sum(blame.values()) == space
+    linked = trace_run("gc", LOOP, "10", linked=True).blame.series()
+    with pytest.raises(ValueError):
+        BlameSeries.merge([a, linked])
+    assert len(BlameSeries.merge([])) == 0
+
+
+def test_series_round_trips_as_plain_data():
+    series = trace_run("stack", BUILD, "8").blame.series()
+    clone = BlameSeries.from_dict(series.as_dict())
+    assert clone == series
+
+
+def test_holder_class_collapses_sites_and_lambdas():
+    assert holder_class("kont:Push@(f (- n 1))") == "kont:Push"
+    assert holder_class("closure@(lambda (n) (f n))") == "closure"
+    assert holder_class("binding:n") == "binding"
+    assert holder_class("store:Num") == "store:Num"
+    assert holder_class("env:register") == "env:register"
+
+
+def test_blame_by_class_is_an_exact_regrouping():
+    session = trace_run("gc", LOOP, "30")
+    blame = session.blame.at_peak
+    classed = blame_by_class(blame)
+    assert sum(classed.values()) == sum(blame.values())
+    assert all("@" not in key for key in classed)
+
+
+def test_trace_run_records_blame_instruments():
+    session = trace_run("gc", LOOP, "15")
+    dump = session.metrics.as_dict()
+    assert dump["counters"]["blame_samples{machine=gc}"] == (
+        session.blame.sampled
+    )
+    assert dump["gauges"]["blame_peak_holders{machine=gc}"] == (
+        len(session.blame.at_peak)
+    )
 
 
 def test_node_labels_are_truncated_and_cached():

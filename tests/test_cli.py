@@ -243,3 +243,68 @@ class TestTraceCommand:
     def test_trace_requires_program_or_metrics_in(self):
         with pytest.raises(SystemExit, match="metrics-in"):
             main(["trace", "--suggest-fusions"])
+
+    def test_trace_series_renders_sparklines(self, loop_file, capsys):
+        assert main(["trace", loop_file, "--arg", "30", "--machine", "gc",
+                     "--series", "--series-top", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "space blame over time [gc]" in out
+        assert "samples" in out and "stride" in out
+        assert "accounting flat" in out
+        # The dominant holder gets a sparkline row ending in its peak.
+        assert "kont:Return" in out
+
+    def test_trace_stream_writes_valid_jsonl(self, loop_file, tmp_path,
+                                             capsys):
+        from repro.telemetry.bus import replay
+        from repro.telemetry.export import read_jsonl, validate_jsonl
+
+        out = tmp_path / "s.jsonl"
+        assert main(["trace", loop_file, "--arg", "10", "--machine", "gc",
+                     "--stream", str(out)]) == 0
+        err = capsys.readouterr().err
+        assert "stream:" in err
+        info = validate_jsonl(out)
+        assert info["events"] > 0
+        assert replay(read_jsonl(out)).steps > 0
+
+    def test_trace_stream_per_machine_suffixes(self, loop_file, tmp_path,
+                                               capsys):
+        from repro.telemetry.export import validate_jsonl
+
+        out = tmp_path / "s.jsonl"
+        assert main(["trace", loop_file, "--arg", "5",
+                     "--machine", "tail,gc", "--stream", str(out)]) == 0
+        assert validate_jsonl(tmp_path / "s.tail.jsonl")["events"] > 0
+        assert validate_jsonl(tmp_path / "s.gc.jsonl")["events"] > 0
+
+
+class TestStreamingRunCommand:
+    def test_run_stream_writes_valid_jsonl(self, loop_file, tmp_path,
+                                           capsys):
+        from repro.telemetry.export import validate_jsonl
+
+        out = tmp_path / "run.jsonl"
+        assert main(["run", loop_file, "--arg", "10", "--meter",
+                     "--machine", "gc", "--stream", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "0"
+        assert "stream:" in captured.err
+        info = validate_jsonl(out)
+        assert info["events"] > 0
+        assert info["meta"]["closing"] is True
+
+    def test_run_stream_equals_ring_export(self, loop_file, tmp_path,
+                                           capsys):
+        """The streamed file and the buffered --trace-out export carry
+        the same replay summary for the same run."""
+        from repro.telemetry.bus import replay
+        from repro.telemetry.export import read_jsonl
+
+        streamed = tmp_path / "stream.jsonl"
+        ring = tmp_path / "ring.jsonl"
+        main(["run", loop_file, "--arg", "8", "--meter", "--machine", "gc",
+              "--stream", str(streamed)])
+        main(["run", loop_file, "--arg", "8", "--meter", "--machine", "gc",
+              "--trace-out", str(ring)])
+        assert replay(read_jsonl(streamed)) == replay(read_jsonl(ring))

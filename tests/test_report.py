@@ -3,6 +3,7 @@ renderers (blame table, step mix)."""
 
 from repro.harness.report import (
     format_cell,
+    render_blame_series,
     render_blame_table,
     render_series,
     render_step_mix,
@@ -130,6 +131,67 @@ def test_blame_table_single_holder():
     rows = [line.split() for line in text.splitlines()[2:]]
     assert rows[0] == ["kont:Halt", "1", "100.0%"]
     assert rows[1] == ["TOTAL", "1", "100.0%"]
+
+
+# ---------------------------------------------------------------------------
+# render_blame_series
+# ---------------------------------------------------------------------------
+
+
+def _series():
+    from repro.telemetry.blame import BlameSeries
+
+    return BlameSeries(
+        machine="gc",
+        steps=[0, 4, 8, 12],
+        spaces=[10, 20, 40, 30],
+        blames=[
+            {"kont:Return": 5, "store:Num": 5},
+            {"kont:Return": 12, "store:Num": 8},
+            {"kont:Return": 30, "store:Num": 8, "env:register": 2},
+            {"kont:Return": 20, "store:Num": 8, "env:register": 2},
+        ],
+        stride=4,
+    )
+
+
+def test_blame_series_renders_stacked_sparklines():
+    text = render_blame_series(_series(), title="over time")
+    lines = text.splitlines()
+    assert lines[0] == "over time"
+    assert "steps 0..12" in lines[1]
+    assert "4 samples" in lines[1] and "stride 4" in lines[1]
+    # One line per holder, largest peak first, then TOTAL.
+    labels = [line.split()[0] for line in lines[2:]]
+    assert labels == ["kont:Return", "store:Num", "env:register", "TOTAL"]
+    # Shares are of the global peak; the TOTAL line peaks at 100%.
+    assert lines[-1].rstrip().endswith("peak 40 (100.0%)")
+    assert "peak 30 (75.0%)" in lines[2]
+
+
+def test_blame_series_folds_beyond_top():
+    text = render_blame_series(_series(), top=1)
+    lines = text.splitlines()
+    assert lines[0].startswith("steps 0..12")
+    labels = [line.split()[0] for line in lines[1:]]
+    assert labels == ["kont:Return", "(other)", "TOTAL"]
+
+
+def test_blame_series_empty():
+    from repro.telemetry.blame import BlameSeries
+
+    assert "(empty series)" in render_blame_series(BlameSeries())
+
+
+def test_blame_series_from_a_real_run():
+    from repro.telemetry.blame import trace_run
+
+    session = trace_run("gc", "(define (f n) (if (zero? n) 0 (f (- n 1))))",
+                        "30")
+    text = render_blame_series(session.blame.series(), top=4)
+    assert "kont:Return" in text
+    assert "TOTAL" in text
+    assert "accounting flat" in text
 
 
 # ---------------------------------------------------------------------------

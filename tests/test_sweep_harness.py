@@ -8,6 +8,8 @@ import pytest
 from repro.cli import main
 from repro.harness.sweep import (
     SweepCell,
+    aggregate_series,
+    aggregate_traces,
     grid_cells,
     run_cell,
     run_grid,
@@ -93,6 +95,82 @@ def test_engine_choice_is_identical(tmp_path):
             delta_totals = totals
         else:
             assert totals == delta_totals
+
+
+def traced_cells(trace_sample=1, blame_every=2):
+    return grid_cells(
+        {("tail",): LOOP, ("gc",): LOOP},
+        NS,
+        fixed_precision=True,
+        trace_sample=trace_sample,
+        trace_capacity=None,
+        blame_every=blame_every,
+    )
+
+
+def test_traced_cells_ship_events_and_series():
+    from repro.telemetry.bus import replay
+
+    for outcome in run_grid(traced_cells()):
+        # Unsampled, unbounded capture: the shipped events replay to
+        # the cell's own meter report.
+        summary = replay(outcome.events)
+        assert summary.steps == outcome.result.steps
+        assert summary.sup_space == outcome.result.sup_space
+        # The shipped series is exact pointwise.
+        series = outcome.series
+        assert series is not None and series["steps"]
+        for space, blame in zip(series["spaces"], series["blames"]):
+            assert sum(blame.values()) == space
+
+
+def test_untraced_cells_ship_nothing():
+    outcome = run_cell(
+        SweepCell(key=("tail", 4), machine="tail", program=LOOP, argument="4")
+    )
+    assert outcome.events is None
+    assert outcome.series is None
+
+
+def test_aggregate_traces_folds_the_grid():
+    outcomes = run_grid(traced_cells())
+    folded = aggregate_traces(outcomes)
+    assert folded["cells"] == len(outcomes)
+    assert folded["steps"] == sum(o.result.steps for o in outcomes)
+    assert folded["sup_space"] == max(o.result.sup_space for o in outcomes)
+    assert folded["sup_cell"] in {o.cell.key for o in outcomes}
+    assert folded["events"] == sum(len(o.events) for o in outcomes)
+
+
+def test_aggregate_series_merges_the_grid():
+    outcomes = run_grid(traced_cells())
+    merged = aggregate_series(outcomes)
+    assert len(merged) == sum(len(o.series["steps"]) for o in outcomes)
+    assert sum(merged.totals().values()) == sum(merged.spaces)
+
+
+def test_parallel_traced_grid_matches_serial():
+    from repro.telemetry.bus import replay
+
+    serial = run_grid(traced_cells(), jobs=1)
+    parallel = run_grid(traced_cells(), jobs=2)
+    # Timestamps differ run to run; the replayed numbers and the blame
+    # series (which carry no wall-clock) must not.
+    for a, b in zip(serial, parallel):
+        assert replay(a.events) == replay(b.events)
+        assert a.series == b.series
+
+
+def test_cli_sweep_trace_sample_and_blame(tmp_path, capsys):
+    path = tmp_path / "loop.scm"
+    path.write_text(LOOP)
+    assert main([
+        "sweep", str(path), "--ns", "4,8", "--machine", "tail,gc",
+        "--trace-sample", "1", "--blame-every", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "space blame over the grid" in out
+    assert "kont:" in out
 
 
 def test_cli_sweep_jobs_identical(tmp_path, capsys):

@@ -16,6 +16,7 @@ from repro.programs.corpus import load_program
 from repro.telemetry.blame import trace_run
 from repro.telemetry.bus import EVENT_KINDS, Event, TraceBus, replay
 from repro.telemetry.export import (
+    JsonlStreamWriter,
     read_jsonl,
     validate_chrome_trace,
     validate_jsonl,
@@ -191,6 +192,105 @@ def test_write_metrics_accepts_registry_and_dict(tmp_path):
     again = tmp_path / "again.json"
     write_metrics(registry.as_dict(), again)
     assert json.loads(again.read_text())["metrics"] == payload["metrics"]
+
+
+# ---------------------------------------------------------------------------
+# Streaming export
+# ---------------------------------------------------------------------------
+
+
+def test_streamed_file_replay_equals_ring_replay(tmp_path):
+    """One run, both paths: the sink writes each event to disk as it
+    is emitted while the ring retains it.  Replaying the streamed file
+    must equal replaying the in-memory ring."""
+    path = tmp_path / "stream.jsonl"
+    with JsonlStreamWriter(path) as writer:
+        session = trace_run("gc", BUILD, "9", sink=writer)
+        writer.close(session.bus)
+    streamed = read_jsonl(path)
+    assert streamed == list(session.bus.events)
+    assert replay(streamed) == replay(session.bus.events)
+    info = validate_jsonl(path)
+    assert info["events"] == len(session.bus)
+    # The closing meta record carries the bus's receipt.
+    assert info["meta"]["closing"] is True
+    assert info["meta"]["steps"] == session.result.steps
+
+
+def test_streaming_only_run_is_constant_memory(tmp_path):
+    """retain=False turns the ring off entirely; the streamed file is
+    the record, and it still replays to the meter's numbers."""
+    path = tmp_path / "only.jsonl"
+    with JsonlStreamWriter(path) as writer:
+        session = trace_run("stack", BUILD, "8", sink=writer, retain=False)
+    assert len(session.bus) == 0  # nothing retained
+    assert session.bus.dropped == 0  # streaming is not dropping
+    summary = replay(read_jsonl(path))
+    result = session.result
+    assert (summary.steps, summary.sup_space, summary.collected) == (
+        result.steps, result.sup_space, result.collected
+    )
+
+
+class _Killed(Exception):
+    pass
+
+
+def test_stream_writer_survives_a_killed_run(tmp_path):
+    """A run that dies mid-trace must still leave a schema-valid JSONL
+    file behind: the context-manager close flushes the buffered tail."""
+    path = tmp_path / "partial.jsonl"
+    with pytest.raises(_Killed):
+        with JsonlStreamWriter(path, flush_every=10_000) as writer:
+            # flush_every is huge on purpose: every line after the
+            # opening meta record reaches the disk only if the close
+            # path flushes.
+            def sink(event):
+                writer(event)
+                if writer.events >= 57:
+                    raise _Killed()
+
+            trace_run("gc", LOOP, "500", sink=sink, retain=False)
+    info = validate_jsonl(path)
+    assert info["events"] == 57
+    assert len(read_jsonl(path)) == 57
+
+
+def test_stream_writer_close_is_idempotent(tmp_path):
+    path = tmp_path / "twice.jsonl"
+    writer = JsonlStreamWriter(path)
+    writer.write(Event("space", 0.0, 1, "flat", 5))
+    assert writer.close() == 1
+    assert writer.close() == 1  # no second closing record
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 3  # opening meta, one event, closing meta
+    with pytest.raises(ValueError):
+        writer.write(Event("space", 0.0, 2, "flat", 6))
+
+
+def test_stream_writer_borrows_open_handles(tmp_path):
+    path = tmp_path / "borrowed.jsonl"
+    with open(path, "w", encoding="utf-8") as handle:
+        writer = JsonlStreamWriter(handle, meta={"machine": "tail"})
+        writer.write(Event("gc", 0.0, 3, "canonical", 2))
+        writer.close()
+        assert not handle.closed  # borrowed, never closed
+    info = validate_jsonl(path)
+    assert info["meta"]["machine"] == "tail"
+    assert info["events"] == 1
+
+
+def test_jsonl_validator_accepts_meta_after_line_one(tmp_path):
+    path = tmp_path / "closing.jsonl"
+    path.write_text(
+        '{"kind": "meta", "version": 1, "streamed": true}\n'
+        '{"kind": "step", "ts": 0.1, "step": 1, "label": "expr:Var",'
+        ' "value": 1}\n'
+        '{"kind": "meta", "version": 1, "closing": true, "events": 1}\n'
+    )
+    info = validate_jsonl(path)
+    assert info["events"] == 1
+    assert info["meta"]["closing"] is True
 
 
 # ---------------------------------------------------------------------------
