@@ -3,7 +3,10 @@
 Compares a freshly generated ``BENCH_step_rate.json`` against the
 checked-in baseline and fails (exit 1) when any machine's fused-loop
 step rate regressed below ``threshold`` (default 0.9) times the
-recorded figure.
+recorded figure, or when any machine's gen-3 corpus-weighted
+gen3/gen2 ratio fell below ``threshold`` times the recorded ratio
+(the gen3/gen2 quotient is measured within one session, so it is
+hardware-independent by construction).
 
 Two comparison modes:
 
@@ -35,13 +38,43 @@ import sys
 DEFAULT_THRESHOLD = 0.9
 
 
-def load_machines(path: str) -> dict:
+def load_payload(path: str) -> dict:
     with open(path) as handle:
         payload = json.load(handle)
-    machines = payload.get("machines")
-    if not machines:
+    if not payload.get("machines"):
         raise SystemExit(f"{path}: no per-machine step-rate entries")
-    return machines
+    return payload
+
+
+def check_gen3(baseline: dict, current: dict, threshold: float) -> list:
+    """Gate the gen-3 tier: each machine's corpus-weighted gen3/gen2
+    ratio must stay within *threshold* of the recorded one.  Skipped
+    (empty failure list) when the baseline predates the gen-3 tier;
+    a current file missing the section while the baseline has it is a
+    regression."""
+    recorded = (baseline.get("gen3") or {}).get("machines")
+    if not recorded:
+        return []
+    measured = (current.get("gen3") or {}).get("machines") or {}
+    failures = []
+    for name in sorted(recorded):
+        before = recorded[name]["corpus_weighted"]
+        entry = measured.get(name)
+        if entry is None:
+            failures.append(f"gen3/{name}")
+            print(f"FAIL gen3/{name}: missing from the current run")
+            continue
+        after = entry["corpus_weighted"]
+        quotient = after / before
+        status = "ok  " if quotient >= threshold else "FAIL"
+        if quotient < threshold:
+            failures.append(f"gen3/{name}")
+        print(
+            f"{status} gen3/{name:7s} corpus {after:8.3f}x gen2 "
+            f"vs baseline {before:8.3f}x ({quotient:.2f}x, "
+            f"threshold {threshold:.2f}x)"
+        )
+    return failures
 
 
 def fused_figure(entry: dict, mode: str) -> float:
@@ -66,8 +99,10 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baseline = load_machines(args.baseline)
-    current = load_machines(args.current)
+    baseline_payload = load_payload(args.baseline)
+    current_payload = load_payload(args.current)
+    baseline = baseline_payload["machines"]
+    current = current_payload["machines"]
     failures = []
     unit = "x-seed" if args.mode == "normalized" else "steps/s"
     for name in sorted(baseline):
@@ -86,6 +121,9 @@ def main(argv=None) -> int:
             f"vs baseline {recorded:12.1f} ({quotient:.2f}x, "
             f"threshold {args.threshold:.2f}x)"
         )
+    failures.extend(
+        check_gen3(baseline_payload, current_payload, args.threshold)
+    )
     if failures:
         print(
             f"step-rate regression: {', '.join(failures)} below "

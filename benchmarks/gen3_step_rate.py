@@ -1,0 +1,101 @@
+"""Gen-3 step-rate measurement worker.
+
+Measures the gen3/gen2 step-rate ratio for every machine over the
+flagship corpus and prints the result as JSON.  Run as a script (the
+bench suite invokes it in a subprocess)::
+
+    PYTHONPATH=src python benchmarks/gen3_step_rate.py
+
+Why a subprocess: the gen-3 tier descends into generated Python
+functions for non-tail calls, so its throughput is sensitive to the
+*base* Python call depth — CPython 3.11 allocates frames on a chunked
+data stack, and when the run's recursion oscillates across a chunk
+boundary every call pays the chunk alloc/free slow path.  A pytest
+session sits ~30-40 frames deep, which on CPython 3.11 lands the
+oscillation right on a boundary and costs the generated code ~30%
+(the flat gen-2 loop, one frame per batch, is immune).  Real runs —
+the CLI, the harness drivers — execute at shallow depth, so the gate
+measures from a fresh process's shallow stack, like them.
+
+Methodology: per cell, one warm-up pair, then ``ROUNDS`` tightly
+interleaved gen2/gen3 pairs timed with ``process_time``; the recorded
+rates are each tier's best, and the recorded ratio is the best
+*per-pair* ratio — the two runs of a pair execute back to back under
+near-identical clock conditions, so pairing cancels frequency drift
+that a quotient of two independent bests would keep.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+ROUNDS = 10
+
+MACHINES = ("tail", "gc", "stack", "evlis", "free", "sfs", "bigloo", "mta")
+
+
+def measure_cells(name, workloads, rounds=ROUNDS):
+    from repro.machine.variants import make_machine
+    from repro.space.meter import run_to_final
+
+    cells = {}
+    for workload, program, argument in workloads:
+        for gen3 in (False, True):
+            kwargs = {} if gen3 else {"gen3": False}
+            run_to_final(make_machine(name, **kwargs), program, argument)
+        best2 = best3 = best_ratio = 0.0
+        run2 = run3 = None
+        for _ in range(rounds):
+            machine = make_machine(name, gen3=False)
+            start = time.process_time()
+            final, steps = run_to_final(machine, program, argument)
+            rate2 = steps / (time.process_time() - start)
+            run2 = (steps, repr(final.value))
+            machine = make_machine(name)
+            start = time.process_time()
+            final, steps = run_to_final(machine, program, argument)
+            rate3 = steps / (time.process_time() - start)
+            run3 = (steps, repr(final.value))
+            best2 = max(best2, rate2)
+            best3 = max(best3, rate3)
+            best_ratio = max(best_ratio, rate3 / rate2)
+        # Identical computation: same transitions, same answer.
+        assert run2 == run3, (name, workload, run2, run3)
+        cells[workload] = {
+            "transitions": run2[0],
+            "gen2_steps_per_second": round(best2, 1),
+            "gen3_steps_per_second": round(best3, 1),
+            "gen3_over_gen2": round(best_ratio, 3),
+        }
+    return cells
+
+
+def main() -> int:
+    from repro.programs.corpus import load_program
+    from repro.programs.examples import find_leftmost_program
+    from repro.space.consumption import prepare_input, prepare_program
+
+    workloads = (
+        (
+            "fib(13)",
+            prepare_program(load_program("fib").source),
+            prepare_input("13"),
+        ),
+        (
+            "find-leftmost(right, 256)",
+            prepare_program(find_leftmost_program("right")),
+            prepare_input("256"),
+        ),
+    )
+    machines = {
+        name: {"cells": measure_cells(name, workloads)} for name in MACHINES
+    }
+    json.dump({"machines": machines, "rounds": ROUNDS}, sys.stdout)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

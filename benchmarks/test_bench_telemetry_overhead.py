@@ -6,7 +6,9 @@ live behind ``is None`` tests in the meter.  The acceptance criterion
 for the telemetry stack is that a machine with telemetry *disabled*
 (the only state tier-1 runs ever see) keeps at least 90% of the
 steps/second recorded in ``BENCH_step_rate.json``'s
-``after_steps_per_second`` baselines on the same workload.
+``gen2_steps_per_second`` baselines on the same workload (the gen-2
+stepper: the gen-3 tier's call-depth sensitivity would turn the
+cross-session quotient into noise — see ``_baseline_rates``).
 
 The telemetry-*on* ratio is recorded for the record (it is allowed to
 be expensive — the traced path steps configuration-by-configuration),
@@ -45,9 +47,14 @@ STEP_RATE_JSON = os.path.join(RESULTS_DIR, "BENCH_step_rate.json")
 
 
 def _baseline_rates():
-    """after_steps_per_second per machine from the step-rate bench;
+    """gen2_steps_per_second per machine from the step-rate bench;
     regenerate with ``pytest benchmarks -m step_rate`` when moving to
-    new hardware."""
+    new hardware.  The overhead gate runs on the gen-2 stepper: the
+    trace-attribute check it prices is the same code on every tier,
+    and the gen-3 generated-function tier's throughput depends on the
+    ambient Python call depth (see ``benchmarks/gen3_step_rate.py``),
+    which differs between pytest sessions — a cross-session quotient
+    of gen-3 rates would gate on that noise, not on telemetry."""
     if not os.path.exists(STEP_RATE_JSON):
         pytest.skip(
             "no BENCH_step_rate.json baseline; run the step_rate "
@@ -56,7 +63,8 @@ def _baseline_rates():
     with open(STEP_RATE_JSON) as handle:
         payload = json.load(handle)
     return {
-        name: entry["after_steps_per_second"]
+        name: entry.get("gen2_steps_per_second",
+                        entry["after_steps_per_second"])
         for name, entry in payload["machines"].items()
     }
 
@@ -77,7 +85,7 @@ def overhead_log():
     log = {
         "workload": "fib(13)",
         "max_overhead": MAX_OVERHEAD,
-        "baseline": "BENCH_step_rate.json after_steps_per_second",
+        "baseline": "BENCH_step_rate.json gen2_steps_per_second",
         "machines": {},
         "traced": {},
     }
@@ -106,7 +114,7 @@ def test_bench_telemetry_off_overhead(overhead_log, name):
             "run); regenerate with pytest benchmarks -m step_rate"
         )
     baseline = rates[name]
-    machine = make_machine(name)
+    machine = make_machine(name, gen3=False)  # see _baseline_rates
     assert machine.trace is None  # the tier-1 default
 
     def run_once():

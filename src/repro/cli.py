@@ -7,6 +7,7 @@
     python -m repro run program.scm --arg 100 --meter --stream trace.jsonl
     python -m repro machines
     python -m repro census program.scm ...       # Figure 2 statistics
+    python -m repro analyze --loops              # gen-3 loop audit
     python -m repro dynamic program.scm --arg 10 # runtime census
     python -m repro sweep program.scm --ns 8,16,32,64 --machine gc --jobs 4
     python -m repro sweep program.scm --machine tail,gc --metrics sweep.json
@@ -42,7 +43,7 @@ from .harness.sweep import (
     run_grid,
     series_from_outcomes,
 )
-from .machine.variants import ALL_MACHINES
+from .machine.variants import ALL_MACHINES, STEPPERS
 from .programs.corpus import load_corpus
 from .space.asymptotics import fit_growth, is_bounded
 from .space.meter import ENGINES
@@ -149,6 +150,21 @@ def _cmd_census(args: argparse.Namespace) -> int:
     ]
     print(frequency_table(rows if rows else None))
     return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.loops:
+        from .analysis.loops import loop_candidates, loops_table
+
+        if args.programs:
+            rows = []
+            for path in args.programs:
+                rows.extend(loop_candidates(path, _read_source(path)))
+            print(loops_table(rows))
+        else:
+            print(loops_table())
+        return 0
+    return _cmd_census(args)
 
 
 def _cmd_dynamic(args: argparse.Namespace) -> int:
@@ -431,9 +447,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="charge every number one word")
     run_parser.add_argument("--step-limit", type=int, default=5_000_000)
     run_parser.add_argument(
-        "--stepper", default="annotated", choices=("annotated", "seed"),
-        help="transition function: compiled-once live stepper or the "
-        "preserved seed stepper (identical semantics)",
+        "--stepper", default="annotated", choices=STEPPERS,
+        help="transition function: the full live tier stack "
+        "(annotated), the compiled gen-3 tier named explicitly (gen3), "
+        "the superinstruction stepper with gen-3 off (gen2), or the "
+        "preserved seed stepper (seed) — identical semantics",
     )
     run_parser.add_argument(
         "--gc-interval", type=int, default=1,
@@ -468,6 +486,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     census_parser.add_argument("programs", nargs="*")
     census_parser.set_defaults(handler=_cmd_census)
+
+    analyze_parser = commands.add_parser(
+        "analyze",
+        help="static program analyses: Figure 2 statistics by "
+        "default, the gen-3 self-tail-loop audit with --loops "
+        "(bundled corpus when no files given)",
+    )
+    analyze_parser.add_argument("programs", nargs="*")
+    analyze_parser.add_argument(
+        "--loops", action="store_true",
+        help="ranked table of reconstructable self-tail-loop "
+        "candidates: what the bytecode pass compiled and which "
+        "back edges became direct loops",
+    )
+    analyze_parser.set_defaults(handler=_cmd_analyze)
 
     dynamic_parser = commands.add_parser(
         "dynamic", help="runtime tail-call census"
@@ -546,7 +579,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="Figure 8 (linked) accounting")
     trace_parser.add_argument("--fixed-precision", action="store_true")
     trace_parser.add_argument(
-        "--stepper", default="annotated", choices=("annotated", "seed")
+        "--stepper", default="annotated", choices=STEPPERS
     )
     trace_parser.add_argument("--engine", default="delta", choices=ENGINES)
     trace_parser.add_argument("--gc-interval", type=int, default=1)

@@ -1,0 +1,397 @@
+"""Gen-3 lowering: linear register bytecode for lambda bodies.
+
+The gen-2 tier (``prepass.py`` + the fused run loop) still re-enters
+the CESK transition dispatcher for every body expression: each call
+site re-derives its environment bookkeeping, and a self-tail call
+rebuilds the whole ``reduce -> eval* -> apply`` cycle through the
+generic loop.  This module compiles each hot ``Lambda`` body **once**
+into a flat tuple of register instructions executed by a threaded
+interpreter loop (``machine.machine._run_code``):
+
+- operand runs become *slot* lists read straight from registers,
+  interned constants, or environment bindings;
+- calls classified by ``analysis.callgraph`` as self-tail calls of a
+  known lambda become direct back-edges (``EA_SELF``): the interpreter
+  commits the seed's apply effects (argument allocation, environment
+  extension, the variant's frame continuation) and jumps to
+  instruction 0 of the same code object — a Python ``while`` loop in
+  place of Push/CallK continuation traffic;
+- known non-tail calls (``EA_KNOWN``) descend into the callee's code
+  in the same interpreter (bounded Python recursion), and direct
+  lambda applications in tail position (``let``) are inlined into the
+  caller's code (``EA_DIRECT``).
+
+**Exactness contract** (DESIGN.md §7.2): compiled execution is *pure
+batching* of seed transitions.  Every instruction carries enough
+static context to reconstruct the exact seed configuration at every
+instruction boundary — the continuation register is always the real
+continuation (frame continuations are built eagerly, per the
+variant's declared kind), and the environment register is derivable
+from the frame environment plus a static context descriptor (the
+``_saved_env`` monotone-restriction argument).  Anything the bytecode
+cannot express compiles to a *deopt* instruction that hands the
+pending expression to the generic loop in exactly the configuration
+the seed would be in.  Speculative operator classifications
+(``EA_PRIM``/``EA_KNOWN``/``EA_SELF``) are guarded at run time; a
+failed guard materializes the call continuation and exits — the
+generic — exact — rules then apply whatever the operator really is.
+
+Like the prepass, everything here is **derived, never authoritative**:
+caches are pure functions of the immutable AST plus the program-wide
+call classification, interned per node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..analysis.callgraph import classify_calls
+from ..machine.policy import identity_permutation
+from ..syntax.ast import Call, Expr, If, Lambda, Quote, Var
+from ..syntax.free_vars import branch_free_vars
+from .prepass import _VAR_ADDRS, call_plan, if_test_plan, quote_value
+
+# -- opcodes ---------------------------------------------------------------
+
+OP_CALL = 0  # (OP_CALL, plan, resume, i0, slots, vreg, ea, a, b, ctx)
+OP_IF = 1    # (OP_IF, node, tspec, else_pc, sel_fvs, ctx)
+OP_RET = 2   # (OP_RET, spec, expr, ctx)
+OP_DEOPT = 3  # (OP_DEOPT, expr, ctx)
+
+# -- operand slot tags (one evaluated call position each) ------------------
+
+S_REG = 0     # (S_REG, reg, None)        a never-mutated bound variable
+S_CONST = 1   # (S_CONST, value, None)    an interned quote constant
+S_STR = 2     # (S_STR, node, None)       a string quote (fresh per eval)
+S_NAME = 3    # (S_NAME, name, None)      named environment lookup
+S_NESTED = 4  # (S_NESTED, plan, subs)    all-simple nested call (kind 4)
+S_LAMBDA = 5  # (S_LAMBDA, node, None)    closure creation (tag alloc)
+S_DONE = 6    # (S_DONE, reg, None)       value of a compound operand
+
+# -- end actions (what happens once every position is evaluated) -----------
+#
+# Operators are resolved at *run time*: the corpus idiom threads a
+# procedure's self-reference through a parameter (``(go go n)``), which
+# the static call graph must classify "unknown" — so the back-edge and
+# descent checks test the operator value itself, with the static
+# classification only informing compile-worthiness heuristics.
+
+EA_PUSH = 0    # a: next compound position — park vals, build the Push
+EA_VALUE = 1   # a: dst — non-tail: primop apply or in-code descent
+EA_TAIL = 2    # a: dst — tail: self back-edge, primop apply, or exit
+EA_DIRECT = 3  # a: regstart, b: target Lambda — inline let application
+
+#: Bound on EA_DIRECT inlining (a chain of lets compiles into one code
+#: object up to this depth; deeper lets fall back to guarded exits).
+_INLINE_DEPTH = 8
+
+
+class Code:
+    """One compiled lambda body."""
+
+    __slots__ = ("lam", "nregs", "instrs", "has_loop", "ncalls", "fns")
+
+    def __init__(self, lam: Lambda, nregs: int, instrs: tuple,
+                 has_loop: bool, ncalls: int):
+        self.lam = lam
+        self.nregs = nregs
+        self.instrs = instrs
+        self.has_loop = has_loop
+        self.ncalls = ncalls
+        # Machine class -> generated Python function (tier 3b, see
+        # compiler/pycodegen.py), or None when generation declined.
+        self.fns = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"Code(params={self.lam.params}, nregs={self.nregs}, "
+            f"|instrs|={len(self.instrs)}, loop={self.has_loop})"
+        )
+
+
+#: Lambda -> Code | None (None: compiled and judged not worth running —
+#: the probe then never re-compiles).
+_CODE: Dict[Lambda, Optional[Code]] = {}
+
+#: Call -> ClassifiedCall for every registered program (the bytecode
+#: pass's view of analysis/callgraph; filled by register_program).
+_CALL_INFO: Dict[Call, object] = {}
+
+#: id(program) -> program, so repeated injection of the same expression
+#: classifies once (nodes are interned per program text).
+_REGISTERED: Dict[int, Expr] = {}
+
+_MISSING = object()
+
+
+def register_program(program: Expr) -> None:
+    """Run the call-graph classification over *program* once and index
+    every call site for the compiler (invoked from Machine.inject for
+    gen-3 machines)."""
+    key = id(program)
+    if key in _REGISTERED:
+        return
+    _REGISTERED[key] = program
+    for cc in classify_calls(program):
+        _CALL_INFO[cc.call] = cc
+
+
+def gen3_code(lam: Lambda) -> Optional[Code]:
+    """The compiled code of *lam*, compiling on first probe; None when
+    the body is not worth (or not safely) compiling."""
+    code = _CODE.get(lam, _MISSING)
+    if code is _MISSING:
+        # Pre-publish None: a self-referential compile (EA_SELF needs
+        # no recursion, but defensive) sees "not compiled" not a loop.
+        _CODE[lam] = None
+        code = _compile_lambda(lam)
+        _CODE[lam] = code
+    return code
+
+
+def clear_gen3_caches() -> None:
+    """Drop compiled codes and call classifications (testing hygiene;
+    chained from clear_prepass_caches)."""
+    _CODE.clear()
+    _CALL_INFO.clear()
+    _REGISTERED.clear()
+
+
+def code_count() -> int:
+    """Number of lambdas with live compiled code (introspection)."""
+    return sum(1 for code in _CODE.values() if code is not None)
+
+
+# -- the compiler ----------------------------------------------------------
+
+
+class _Emitter:
+    """Mutable state of one lambda-body compilation."""
+
+    __slots__ = ("lam", "instrs", "nregs", "ncalls", "nifs", "has_loop")
+
+    def __init__(self, lam: Lambda):
+        self.lam = lam
+        self.instrs = []
+        self.nregs = len(lam.params)
+        self.ncalls = 0
+        self.nifs = 0
+        self.has_loop = False
+
+    def reg(self) -> int:
+        r = self.nregs
+        self.nregs = r + 1
+        return r
+
+
+def _compile_lambda(lam: Lambda) -> Optional[Code]:
+    em = _Emitter(lam)
+    scope = {name: i for i, name in enumerate(lam.params)}
+    _emit_tail(em, lam.body, scope, (None, None), 0)
+    # Every lambda compiles, even a bare value body: an uncompiled
+    # callee would force a full interpreter exit at every call that
+    # reaches it (the trampoline shape — a one-call body re-dispatching
+    # a tail loop — is exactly the case that must stay in-code for the
+    # cross-code tail transfer to reconstruct mutual loops).  The one
+    # exception is a body the emitter deopts on immediately — entering
+    # the interpreter would do nothing but bounce back out.
+    if em.instrs[0][0] == OP_DEOPT:
+        return None
+    return Code(lam, em.nregs, tuple(em.instrs), em.has_loop, em.ncalls)
+
+
+def _slot(em: _Emitter, plan, i: int, scope) -> Optional[tuple]:
+    """The slot descriptor of simple position *i* of *plan*, or None
+    when the position is compound."""
+    kind = plan.kinds[i]
+    expr = plan.in_order[i]
+    if kind == 1:  # Var
+        # A register read is sound only for a name bound by this code
+        # object's frame *and* proven never set! anywhere (the prepass
+        # lexical address exists exactly then).
+        reg = scope.get(expr.name)
+        if reg is not None and plan.addrs[i] is not None:
+            return (S_REG, reg, None)
+        return (S_NAME, expr.name, None)
+    if kind == 2:  # Quote
+        const = plan.consts[i]
+        if const is None:  # a string constant: stays fresh per eval
+            return (S_STR, expr, None)
+        return (S_CONST, const, None)
+    if kind == 3:  # Lambda
+        return (S_LAMBDA, expr, None)
+    if kind == 4:  # all-simple nested call
+        inner = plan.nested[i]
+        return (S_NESTED, inner, _nested_subs(inner, scope))
+    return None
+
+
+def _nested_subs(inner, scope) -> tuple:
+    """Sub-slot descriptors for every position of an all-simple nested
+    plan (positions are Vars or Quotes only), resolved against the
+    enclosing code object's register scope — the code generator inlines
+    the nested-primop fast path from these."""
+    subs = []
+    for j in range(len(inner.in_order)):
+        expr = inner.in_order[j]
+        if inner.kinds[j] == 1:  # Var
+            reg = scope.get(expr.name)
+            if reg is not None and inner.addrs[j] is not None:
+                subs.append((S_REG, reg))
+            else:
+                subs.append((S_NAME, expr.name))
+        else:  # Quote
+            const = inner.consts[j]
+            if const is None:
+                subs.append((S_STR, expr))
+            else:
+                subs.append((S_CONST, const))
+    return tuple(subs)
+
+
+def _emit_tail(em: _Emitter, expr: Expr, scope, ctx, depth) -> None:
+    """Compile *expr* in tail position (the value returns through the
+    frame's accumulated continuations)."""
+    cls = expr.__class__
+    if cls is Call and expr.exprs:
+        out = _emit_call(em, expr, True, scope, ctx, depth)
+        if out is not None:  # a value register: return it
+            em.instrs.append((OP_RET, (S_DONE, out, None), expr, ctx))
+        return
+    if cls is If:
+        _emit_if(em, expr, scope, ctx, depth)
+        return
+    if cls is Var:
+        reg = scope.get(expr.name)
+        if reg is not None and _VAR_ADDRS.get(expr) is not None:
+            spec = (S_REG, reg, None)
+        else:
+            spec = (S_NAME, expr.name, None)
+        em.instrs.append((OP_RET, spec, expr, ctx))
+        return
+    if cls is Quote:
+        if type(expr.value) is str:
+            spec = (S_STR, expr, None)
+        else:
+            spec = (S_CONST, quote_value(expr), None)
+        em.instrs.append((OP_RET, spec, expr, ctx))
+        return
+    if cls is Lambda:
+        em.instrs.append((OP_RET, (S_LAMBDA, expr, None), expr, ctx))
+        return
+    # set! and unknown expression classes: the generic loop, exactly.
+    em.instrs.append((OP_DEOPT, expr, ctx))
+
+
+def _emit_if(em: _Emitter, node: If, scope, ctx, depth) -> None:
+    test = node.test
+    tcls = test.__class__
+    tspec = None
+    if tcls is Var:
+        reg = scope.get(test.name)
+        if reg is not None and _VAR_ADDRS.get(test) is not None:
+            tspec = (S_REG, reg, None)
+        else:
+            tspec = (S_NAME, test.name, None)
+    elif tcls is Quote:
+        if type(test.value) is str:
+            tspec = (S_STR, test, None)
+        else:
+            tspec = (S_CONST, quote_value(test), None)
+    elif tcls is Call:
+        plan = if_test_plan(node)
+        if plan is not None:
+            tspec = (S_NESTED, plan, _nested_subs(plan, scope))
+    if tspec is None:
+        # Compound non-fusable test: the whole conditional runs under
+        # the generic rules (select frame and all).
+        em.instrs.append((OP_DEOPT, node, ctx))
+        return
+    em.nifs += 1
+    sel_fvs = branch_free_vars(node.consequent, node.alternative)
+    at = len(em.instrs)
+    em.instrs.append(None)  # patched below (needs else_pc)
+    # Downstream context: after the select pop the seed environment is
+    # the (possibly branch-restricted) saved environment — for every
+    # gen-3 variant that is the frame environment, restricted to the
+    # branch free variables on declared restrict-branch-fv machines
+    # (monotone: the branch sets shrink under composition).
+    bctx = (None, sel_fvs)
+    _emit_tail(em, node.consequent, scope, bctx, depth)
+    else_pc = len(em.instrs)
+    em.instrs[at] = (OP_IF, node, tspec, else_pc, sel_fvs, ctx)
+    _emit_tail(em, node.alternative, dict(scope), bctx, depth)
+
+
+def _emit_call(em: _Emitter, site: Call, tail: bool, scope, ctx, depth,
+               ) -> Optional[int]:
+    """Compile one call.  Returns the register its value lands in when
+    in-code execution continues past it, or None when control flow is
+    closed (a reconstructed loop, an inlined let body, or a deopt /
+    guarded exit whose continuation lives outside this code)."""
+    plan = call_plan(site, identity_permutation(len(site.exprs)))
+    kinds = plan.kinds
+    exprs = plan.in_order
+    count = len(exprs)
+    cc = _CALL_INFO.get(site)
+    vreg = em.reg()
+    em.ncalls += 1
+
+    slots = []
+    i0 = 0
+    resume = -1
+    for i in range(count):
+        slot = _slot(em, plan, i, scope)
+        if slot is not None:
+            slots.append(slot)
+            continue
+        # Compound position: park the evaluated prefix under the real
+        # push continuation and compute the operand.
+        em.instrs.append((
+            OP_CALL, plan, resume, i0, tuple(slots), vreg,
+            EA_PUSH, i, None, ctx,
+        ))
+        opd_ctx = (((plan, i - 1), None) if i > 0 else ctx)
+        sub = exprs[i]
+        if sub.__class__ is Call and sub.exprs:
+            out = _emit_call(em, sub, False, scope, opd_ctx, depth)
+            if out is None:
+                return None  # operand exits to the generic loop
+            i0 = i
+            resume = out
+            slots = []
+        else:
+            # if / set! / unknown operand: generic from here on.
+            em.instrs.append((OP_DEOPT, sub, opd_ctx))
+            return None
+
+    # End action for the completed call.
+    last_seg = (OP_CALL, plan, resume, i0, tuple(slots), vreg)
+    nargs = count - 1
+    if tail:
+        if cc is not None and cc.is_self_tail:
+            em.has_loop = True  # the statically provable loop
+        if (
+            kinds[0] == 3
+            and len(exprs[0].params) == nargs
+            and depth < _INLINE_DEPTH
+        ):
+            # ((lambda (x ...) body) a ...) in tail position: a let —
+            # apply in place and keep compiling the body here.
+            let_lam = exprs[0]
+            regstart = em.nregs
+            em.nregs += nargs
+            em.instrs.append(
+                last_seg + (EA_DIRECT, regstart, let_lam, ctx)
+            )
+            inner = dict(scope)
+            for k, name in enumerate(let_lam.params):
+                inner[name] = regstart + k
+            _emit_tail(em, let_lam.body, inner, (None, None), depth + 1)
+            return None
+        dst = em.reg()
+        em.instrs.append(last_seg + (EA_TAIL, dst, None, ctx))
+        return dst
+    dst = em.reg()
+    em.instrs.append(last_seg + (EA_VALUE, dst, None, ctx))
+    return dst

@@ -107,6 +107,7 @@ class CallPlan:
         "nested",
         "speculate",
         "beta_only",
+        "beta_cache",
     )
 
     def __init__(self, site: Call, order: Tuple[int, ...]):
@@ -183,6 +184,12 @@ class CallPlan:
         #: stale value only means the generic — exact — path.
         self.speculate = True
         self.beta_only = False
+        #: Monomorphic beta-superinstruction cache: ``(lam, spec,
+        #: fns)`` with *spec* from ``machine.machine._beta_spec`` (None
+        #: when the pair does not fuse) and *fns* the per-machine-class
+        #: generated appliers.  The spec is machine-independent, so one
+        #: cache per interned plan is sound across the whole pack.
+        self.beta_cache = None
 
     def __repr__(self) -> str:
         return f"CallPlan(|exprs|={len(self.site.exprs)}, order={self.order})"
@@ -357,6 +364,10 @@ def quote_value(node: Quote):
     return value
 
 
+#: id(expr) -> expr for expressions the pre-pass has fully walked.
+_ANNOTATED: Dict[int, Expr] = {}
+
+
 def annotate(expr: Expr) -> Expr:
     """Run the static pre-pass over *expr* (one preorder walk).
 
@@ -366,7 +377,14 @@ def annotate(expr: Expr) -> Expr:
     execution), immutable quote values, gen-2 lexical addresses, and
     if-test fusion plans.  Returns *expr* unchanged — annotations live
     in side caches, never in the tree.
+
+    Memoized per expression object: re-injecting a program skips the
+    walk entirely (the memo holds the expression alive, so its id
+    cannot be recycled under the entry).
     """
+    if _ANNOTATED.get(id(expr)) is expr:
+        return expr
+    _ANNOTATED[id(expr)] = expr
     _resolve_addresses(expr)
     for node in walk(expr):
         cls = node.__class__
@@ -387,13 +405,18 @@ def annotate(expr: Expr) -> Expr:
 
 def clear_prepass_caches() -> None:
     """Drop all interned plans, quote values, and gen-2 annotations
-    (testing hygiene)."""
+    (testing hygiene); the gen-3 bytecode caches are derived from these
+    and cleared with them."""
     _SITE_PLANS.clear()
     _IDENTITY_PLANS.clear()
     _QUOTE_VALUES.clear()
     _VAR_ADDRS.clear()
     _IF_TESTS.clear()
     _BODY_PLANS.clear()
+    _ANNOTATED.clear()
+    from .bytecode import clear_gen3_caches  # late: bytecode imports us
+
+    clear_gen3_caches()
 
 
 def plan_count() -> int:

@@ -15,9 +15,8 @@ from typing import Dict, Iterable, Optional, Union
 from ..machine.answer import answer_string
 from ..machine.policy import Policy
 from ..machine.primitives import primitive_names
-from ..machine.reference_step import make_seed_stepper
 from ..machine.values import Value
-from ..machine.variants import REFERENCE_MACHINES, make_machine
+from ..machine.variants import REFERENCE_MACHINES, make_stepper
 from ..space.consumption import prepare_input, prepare_program
 from ..space.meter import (
     DEFAULT_STEP_LIMIT,
@@ -75,11 +74,14 @@ def run(
     by default only the free-variable condition is enforced.
 
     ``stepper`` selects the transition function: ``"annotated"`` (the
-    compiled-once live stepper) or ``"seed"`` (the preserved seed
-    stepper of :mod:`repro.machine.reference_step`).  Both compute
-    identical answers, step counts, and space numbers — the lockstep
-    suite holds them equal — so this knob exists for differential
-    testing and before/after benchmarking, not for semantics.
+    compiled-once live stepper with the full tier stack), ``"gen3"``
+    (the same, naming the compiled tier explicitly), ``"gen2"`` (the
+    superinstruction stepper with the gen-3 tier off), or ``"seed"``
+    (the preserved seed stepper of
+    :mod:`repro.machine.reference_step`).  All compute identical
+    answers, step counts, and space numbers — the lockstep suite holds
+    them equal — so this knob exists for differential testing and
+    before/after benchmarking, not for semantics.
 
     ``trace``/``metrics``/``blame`` attach the telemetry stack (a
     :class:`~repro.telemetry.bus.TraceBus`, a
@@ -90,8 +92,6 @@ def run(
     the machine's run driver (step/apply events only — space is not
     measured on unmetered runs, and ``blame`` requires the meter).
     """
-    if stepper not in ("annotated", "seed"):
-        raise ValueError(f"unknown stepper: {stepper!r}")
     if blame is not None and not meter:
         raise ValueError("blame profiling requires meter=True")
     program_expr = prepare_program(program)
@@ -101,12 +101,7 @@ def run(
     if argument_expr is not None:
         validate(argument_expr, names, strict=strict)
 
-    factory = make_seed_stepper if stepper == "seed" else make_machine
-    engine = (
-        factory(machine, policy=policy)
-        if policy is not None
-        else factory(machine)
-    )
+    engine = make_stepper(machine, stepper, policy=policy)
     if meter:
         result: MeterResult = run_metered(
             engine,

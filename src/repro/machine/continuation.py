@@ -10,14 +10,19 @@
             | return:(rho, kappa)              -- I_gc (section 8)
             | return:(A, rho, kappa)           -- I_stack (section 8)
 
-Continuations are immutable.  Each caches its Figure 7 flat space at
-construction (space is defined structurally, so the child adds O(1) to
-the cached space of its parent), making per-step metering O(1) in the
-continuation component.  The same construction-time caching covers the
+Continuations are immutable.  Each caches its Figure 7 flat space on
+first read (space is defined structurally, so the child adds O(1) to
+the cached space of its parent), making per-step metering O(1)
+amortized in the continuation component.  The fill is lazy because
+unmetered runs never read the totals: constructors store None and the
+``flat_space`` property walks down to the nearest cached ancestor and
+fills the gap iteratively (never recursively — CPS-deep chains must
+not overflow the Python stack).  The same lazy caching covers the
 Figure 8 *structural* words (``linked_space`` — bindings are counted
-globally by the meter) and the chain ``depth``, which lets the
-incremental meter diff two continuations in time proportional to their
-divergence rather than their length.
+globally by the meter).  The chain ``depth`` stays eager — it is one
+addition, and the incremental meter leans on it to diff two
+continuations in time proportional to their divergence rather than
+their length.
 
 Note Figure 7 counts values parked in push/call continuations as one
 word each (the ``m`` and ``n`` of ``1 + m + n + |Dom rho| + space(kappa)``);
@@ -37,13 +42,54 @@ from .values import Location, Value
 class Kont:
     """Base class for continuations."""
 
-    __slots__ = ("parent", "env", "flat_space", "linked_space", "depth")
+    # ``_ceiling`` is a lazily-filled cache (left unset by every
+    # constructor: an unset slot raises AttributeError, which the sole
+    # consumer catches): the largest store location rooted by this
+    # frame or any ancestor, used by the I_stack frame-pop fast path
+    # together with the monotonic-location invariant.  Continuations
+    # are immutable and locations are never reused, so the cached value
+    # can never go stale.
+    __slots__ = (
+        "parent", "env", "_flat_space", "_linked_space", "depth", "_ceiling",
+    )
 
     parent: Optional["Kont"]
     env: Optional[Environment]
-    flat_space: int
-    linked_space: int
     depth: int
+
+    @property
+    def flat_space(self) -> int:
+        """space(kappa) under Figure 7, lazily cached per frame."""
+        fs = self._flat_space
+        if fs is not None:
+            return fs
+        pending = []
+        k = self
+        while fs is None:
+            pending.append(k)
+            k = k.parent
+            fs = k._flat_space
+        for frame in reversed(pending):
+            fs += frame._flat_own()
+            frame._flat_space = fs
+        return fs
+
+    @property
+    def linked_space(self) -> int:
+        """Figure 8 structural words of kappa, lazily cached per frame."""
+        ls = self._linked_space
+        if ls is not None:
+            return ls
+        pending = []
+        k = self
+        while ls is None:
+            pending.append(k)
+            k = k.parent
+            ls = k._linked_space
+        for frame in reversed(pending):
+            ls += frame._linked_own()
+            frame._linked_space = ls
+        return ls
 
     def direct_locations(self) -> Tuple[Location, ...]:
         """Locations held directly by this frame (excluding parents)."""
@@ -64,8 +110,9 @@ class Halt(Kont):
     def __init__(self):
         self.parent = None
         self.env = None
-        self.flat_space = 1
-        self.linked_space = 1
+        # Halt anchors the lazy chains: its totals are always cached.
+        self._flat_space = 1
+        self._linked_space = 1
         self.depth = 0
 
     def __repr__(self) -> str:
@@ -84,9 +131,15 @@ class Select(Kont):
         self.alternative = alternative
         self.env = env
         self.parent = parent
-        self.flat_space = 1 + len(env._bindings) + parent.flat_space
-        self.linked_space = 1 + parent.linked_space
+        self._flat_space = None
+        self._linked_space = None
         self.depth = parent.depth + 1
+
+    def _flat_own(self) -> int:
+        return 1 + len(self.env._bindings)
+
+    def _linked_own(self) -> int:
+        return 1
 
     def __repr__(self) -> str:
         return f"select:(|rho|={len(self.env)}, {self.parent!r})"
@@ -101,9 +154,15 @@ class Assign(Kont):
         self.name = name
         self.env = env
         self.parent = parent
-        self.flat_space = 1 + len(env._bindings) + parent.flat_space
-        self.linked_space = 1 + parent.linked_space
+        self._flat_space = None
+        self._linked_space = None
         self.depth = parent.depth + 1
+
+    def _flat_own(self) -> int:
+        return 1 + len(self.env._bindings)
+
+    def _linked_own(self) -> int:
+        return 1
 
     def __repr__(self) -> str:
         return f"assign:({self.name}, {self.parent!r})"
@@ -146,13 +205,17 @@ class Push(Kont):
         self.parent = parent
         self.site = site
         self.plan = plan
-        self.flat_space = (
-            1 + len(pending) + len(done) + len(env._bindings) + parent.flat_space
-        )
-        self.linked_space = (
-            1 + len(pending) + len(done) + parent.linked_space
-        )
+        self._flat_space = None
+        self._linked_space = None
         self.depth = parent.depth + 1
+
+    def _flat_own(self) -> int:
+        return (
+            1 + len(self.pending) + len(self.done) + len(self.env._bindings)
+        )
+
+    def _linked_own(self) -> int:
+        return 1 + len(self.pending) + len(self.done)
 
     def direct_values(self) -> Tuple[Value, ...]:
         return self.done
@@ -177,9 +240,15 @@ class CallK(Kont):
         self.env = None
         self.parent = parent
         self.site = site
-        self.flat_space = 1 + len(args) + parent.flat_space
-        self.linked_space = 1 + len(args) + parent.linked_space
+        self._flat_space = None
+        self._linked_space = None
         self.depth = parent.depth + 1
+
+    def _flat_own(self) -> int:
+        return 1 + len(self.args)
+
+    def _linked_own(self) -> int:
+        return 1 + len(self.args)
 
     def direct_values(self) -> Tuple[Value, ...]:
         return self.args
@@ -196,9 +265,15 @@ class Return(Kont):
     def __init__(self, env: Environment, parent: Kont):
         self.env = env
         self.parent = parent
-        self.flat_space = 1 + len(env._bindings) + parent.flat_space
-        self.linked_space = 1 + parent.linked_space
+        self._flat_space = None
+        self._linked_space = None
         self.depth = parent.depth + 1
+
+    def _flat_own(self) -> int:
+        return 1 + len(self.env._bindings)
+
+    def _linked_own(self) -> int:
+        return 1
 
     def __repr__(self) -> str:
         return f"return:(|rho|={len(self.env)}, {self.parent!r})"
@@ -221,9 +296,17 @@ class ReturnStack(Kont):
         self.frame = frame
         self.env = env
         self.parent = parent
-        self.flat_space = 1 + len(env._bindings) + parent.flat_space
-        self.linked_space = 1 + parent.linked_space
+        self._flat_space = None
+        self._linked_space = None
         self.depth = parent.depth + 1
+
+    def _flat_own(self) -> int:
+        # Figure 7 charges return:(A, rho, kappa) the same words as
+        # return:(rho, kappa); A itself is free.
+        return 1 + len(self.env._bindings)
+
+    def _linked_own(self) -> int:
+        return 1
 
     def direct_locations(self) -> Tuple[Location, ...]:
         env_locations = self.env.location_tuple() if self.env else ()

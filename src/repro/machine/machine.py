@@ -103,9 +103,18 @@ call_plan = None
 quote_value = None
 if_test_plan = None
 body_fuse_plan = None
+gen3_code = None
+register_program = None
 _VAR_ADDRS: dict = {}
 _IF_TESTS: dict = {}
 _IDENTITY_PLANS: dict = {}
+
+#: (id(program), id(argument)) -> the injection wrapper ``(P D)``.
+#: Re-injecting the same prepared program reuses the same Call node, so
+#: the prepass annotation and the gen-3 call-graph classification run
+#: once per program instead of once per run (the cached Call holds the
+#: operands alive, so the ids cannot be recycled under the entry).
+_INJECT_WRAPPERS: dict = {}
 
 
 def _hook_kind(cls, hook_name: str, kind_name: str) -> str:
@@ -272,76 +281,91 @@ def _nested_value(machine, store, plan, env, bindings, cells_get, budget):
                 )
         return op.proc(machine, store, args), cost, None
     if ocls is Closure:
-        if not machine._fuse_beta:
-            return _BETA_ONLY
-        lam = op.lam
-        params = lam.params
-        if len(params) != len(args):
-            return _NO_FUSE  # the generic replay raises the ArityError
-        body = body_fuse_plan(lam)
-        if body is None:
-            return _NO_FUSE
-        # Resolve the body operator without building the frame (pure):
-        # a parameter reads the just-computed argument, a free name
-        # reads the closure environment.
-        bop = None
-        if body.kinds[0] == 1:
-            bname = body.first.name
-            if bname in params:
-                bop = args[params.index(bname)]
-            else:
-                location = op.env._bindings.get(bname)
-                if location is not None:
-                    bop = cells_get(location)
-        if bop is None or bop.__class__ is not Primop or bop.controls:
-            return _NO_FUSE
-        cost = plan.fuse_cost + body.fuse_cost + machine._beta_extra
-        if cost > budget:
-            return None
-        # Commit: the seed's store effects, in the seed's order.
-        locations = store.alloc_many(args)
-        body_env = op.env.extend(params, locations)
-        bbindings = body_env._bindings
-        bkinds = body.kinds
-        bconsts = body.consts
-        bexprs = body.in_order
-        bvals = []
-        for j in range(1, len(bexprs)):
-            if bkinds[j] == 1:
-                expr = bexprs[j]
-                location = bbindings.get(expr.name)
-                if location is None:
-                    raise UnboundVariableError(
-                        f"unbound variable: {expr.name}"
-                    )
-                value = cells_get(location)
-                if value is None:
-                    raise UnboundVariableError(
-                        f"variable {expr.name} refers to an unmapped location"
-                    )
-                if value is UNDEFINED:
-                    raise UnboundVariableError(
-                        f"variable {expr.name} read before initialization"
-                    )
-            else:
-                value = bconsts[j]
-                if value is None:
-                    value = quote_value(bexprs[j])
-            bvals.append(value)
-        bargs = tuple(bvals)
-        arity = bop.arity
-        if arity is not None:
-            low, high = arity
-            if len(bargs) < low or (high is not None and len(bargs) > high):
-                raise ArityError(
-                    f"{bop.name} expects {_arity_text(low, high)} arguments, "
-                    f"got {len(bargs)}"
-                )
-        value = bop.proc(machine, store, bargs)
-        if machine._default_call_frame:
-            return value, cost, (body_env, body)
-        return value, cost, None
+        return _nested_beta(machine, store, plan, op, args, cells_get, budget)
     return _NO_FUSE
+
+
+def _beta_spec(plan, lam):
+    """The static shape of a beta superinstruction at (*plan*, *lam*):
+    ``(params, body_plan, bmode, bx, folds, pair_cost)``, or None when
+    the pair does not fuse (wrong arity, non-call body, quoted or
+    shadow-prone operator).  Everything here depends only on the site
+    and the lambda, so the result is cached on the plan (monomorphic —
+    sites keep their operator) and shared across machines.
+
+    *bmode*/*bx* resolve the body operator per application: 0 reads
+    argument ``bx``, 1 probes the closure environment for name ``bx``.
+    *folds* resolve the body arguments: tag 0 reads an argument by
+    index, tag 1 is an interned constant, tag 2 probes the body
+    environment for ``(name, unbound-msg, unmapped-msg, undef-msg)``,
+    tag 3 re-quotes a Str node (fresh per evaluation, like the seed).
+    A parameter read folds to the argument itself because the fold runs
+    *after* the commit point: the location was just allocated with that
+    exact value, so the load can neither miss nor see UNDEFINED."""
+    params = lam.params
+    if (len(params) != len(plan.in_order) - 1
+            or len(set(params)) != len(params)):
+        return None  # the generic replay raises any ArityError
+    body = body_fuse_plan(lam)
+    if body is None or body.kinds[0] != 1:
+        return None
+    bname = body.first.name
+    if bname in params:
+        bmode, bx = 0, params.index(bname)
+    else:
+        bmode, bx = 1, bname
+    folds = []
+    bkinds = body.kinds
+    bconsts = body.consts
+    bexprs = body.in_order
+    for j in range(1, len(bexprs)):
+        if bkinds[j] == 1:
+            name = bexprs[j].name
+            if name in params:
+                folds.append((0, params.index(name)))
+            else:
+                folds.append((2, (
+                    name,
+                    f"unbound variable: {name}",
+                    f"variable {name} refers to an unmapped location",
+                    f"variable {name} read before initialization",
+                )))
+        elif bconsts[j] is not None:
+            folds.append((1, bconsts[j]))
+        else:
+            folds.append((3, bexprs[j]))
+    return (params, body, bmode, bx, tuple(folds),
+            plan.fuse_cost + body.fuse_cost)
+
+
+def _nested_beta(machine, store, plan, op, args, cells_get, budget):
+    """The closure arm of :func:`_nested_value`, entered with the
+    operands already evaluated — generated code calls this directly
+    after its inlined operand loads (same checks, same order).  The
+    static shape comes from the plan's :func:`_beta_spec` cache, and
+    the application itself runs in a per-(spec, machine class)
+    generated applier (``pycodegen.build_beta_fn``): the fold map
+    unrolled, the cost baked, the held decision folded.  Only the
+    operator value, the budget check, and the store commit are
+    per-call work."""
+    if not machine._fuse_beta:
+        return _BETA_ONLY
+    lam = op.lam
+    cache = plan.beta_cache
+    if cache is None or cache[0] is not lam:
+        spec = _beta_spec(plan, lam)
+        cache = (lam, spec, {} if spec is not None else None)
+        plan.beta_cache = cache
+    spec = cache[1]
+    if spec is None:
+        return _NO_FUSE
+    fns = cache[2]
+    cls = machine.__class__
+    fn = fns.get(cls)
+    if fn is None:
+        fn = build_beta_fn(plan, lam, spec, machine)
+        fns[cls] = fn
+    return fn(machine, store, op, args, cells_get, budget)
 
 
 def _fuse_call(machine, store, plan, vals, i, base, parent, steps, limit):
@@ -456,7 +480,7 @@ def _fuse_call(machine, store, plan, vals, i, base, parent, steps, limit):
                 Push(
                     plan.suffixes[i], tuple(vals), plan.order,
                     base if d_env else _saved_env(machine, base, plan, i),
-                    parent, site=plan.site, plan=plan,
+                    parent, plan.site, plan,
                 ),
                 steps,
             )
@@ -497,7 +521,7 @@ def _fuse_call(machine, store, plan, vals, i, base, parent, steps, limit):
                 Push(
                     plan.suffixes[i], tuple(vals[:-1]), plan.order,
                     base if d_env else _saved_env(machine, base, plan, i),
-                    parent, site=plan.site, plan=plan,
+                    parent, plan.site, plan,
                 ),
                 steps,
             )
@@ -529,8 +553,15 @@ def _fuse_call(machine, store, plan, vals, i, base, parent, steps, limit):
                         f"got {len(args)}"
                     )
                 steps += 1  # the application step
-                locations = store.alloc_many(args)
-                body_env = operator.env.extend(params, locations)
+                if len(params) == 1:
+                    body_env = operator.env.extend_alloc1(
+                        store, params, args[0]
+                    )
+                else:
+                    body_env = operator.env.extend_alloc(
+                        store, params, args
+                    )
+                entry = parent
                 if not machine._default_call_frame:
                     caller = (
                         base if d_env
@@ -540,8 +571,15 @@ def _fuse_call(machine, store, plan, vals, i, base, parent, steps, limit):
                         parent = Return(caller, parent)
                     else:
                         parent = machine.call_frame(
-                            locations, caller, parent
+                            body_env._frame_locs, caller, parent
                         )
+                if machine._gen3:
+                    code = gen3_code(lam)
+                    if code is not None:
+                        return _enter_code(
+                            machine, store, code, args, body_env,
+                            parent, entry, steps, limit,
+                        )[:5]
                 return (lam.body, False, body_env, parent, steps)
             if (
                 ocls is Primop
@@ -574,9 +612,590 @@ def _fuse_call(machine, store, plan, vals, i, base, parent, steps, limit):
             operator,
             True,
             base if d_env else _saved_env(machine, base, plan, last),
-            CallK(args, parent, site=plan.site),
+            CallK(args, parent, plan.site),
             steps,
         )
+
+
+#: Bound on in-interpreter descent into known callees (EA_KNOWN): each
+#: level is one Python frame, and a deeper recursion exits to the
+#: generic loop, which re-enters the callee's code at depth 0 — the
+#: Python stack stays bounded while in-language recursion is unbounded.
+_VM_MAX_DEPTH = 60
+
+
+def _ctx_env(machine, base, ctx):
+    """The seed environment register at a compiled-code point, rebuilt
+    from the frame environment *base* and the static context *ctx* —
+    ``(opd, bfv)`` where *opd* is an (plan, j) operand position (the
+    register is that frame's saved environment) and *bfv* an interned
+    branch free-variable set (a fused select restricted to it on
+    machines declaring the I_sfs branch restriction).  Compositions are
+    exact by the same monotone-restriction argument as ``_saved_env``:
+    each successive set is a subset of the one it composes over."""
+    opd = ctx[0]
+    env = base if opd is None else _saved_env(machine, base, opd[0], opd[1])
+    bfv = ctx[1]
+    if bfv is not None and machine._select_env_fv:
+        env = env.restrict(bfv)
+    return env
+
+
+def _run_code(machine, store, code, args, base, kont, entry_kont,
+              steps, limit, depth=0):
+    """Execute compiled bytecode (:mod:`repro.compiler.bytecode`) for
+    one activation whose argument frame is already committed (the apply
+    transition itself was counted by the caller).
+
+    Returns ``(control, is_value, env, kont, steps, returned)``.  With
+    *returned* False the first five elements are an exact seed
+    configuration at a batch boundary (or a point the generic loop must
+    take over); the caller resumes the generic loop from it.  With
+    *returned* True the activation ran to its return: *control* is the
+    value, *env* the environment register after the final frame pop,
+    *kont* is *entry_kont*, and ``steps < limit`` — an ``EA_KNOWN``
+    caller continues in its own code.
+
+    Exactness: pure batching.  Every instruction replays the seed's
+    transitions — same counts, same store effects in the same order,
+    same error raises — and every exit materializes the configuration
+    the per-step rules would be in, with the environment register
+    rebuilt via :func:`_ctx_env`/:func:`_saved_env` and the
+    continuation register always the real continuation (frame
+    continuations are built per the variant's declared kind at every
+    application, self-tail back-edges included).
+    """
+    instrs = code.instrs
+    d_env = machine._default_call_env and machine._default_push_env
+    d_select = machine._default_select_env
+    closure_fv = machine._closure_env_fv
+    fuse_beta = machine._fuse_beta
+    primop_apply = machine._primop_apply
+    mode = machine._gen3_mode
+    trc = machine.gen3_tagged
+    bindings = base._bindings
+    cells_get = store._cells.get
+    regs = [None] * code.nregs
+    regs[:len(args)] = args
+    val_env = base
+    pc = 0
+    while True:
+        ins = instrs[pc]
+        op = ins[0]
+        if op == 0:  # OP_CALL
+            _, plan, resume, i0, slots, vreg, ea, ea_a, ea_b, ctx = ins
+            if resume >= 0:
+                vals = regs[vreg]
+                value = regs[resume]
+                if steps >= limit:
+                    # Boundary before the advance: the operand's value
+                    # meets the real push frame.
+                    return (value, True, val_env, kont, steps, False)
+                steps += 1  # the advance step
+                vals.append(value)
+                kont = kont.parent
+                i = i0 + 1
+            else:
+                if steps >= limit:
+                    return (
+                        plan.site, False, _ctx_env(machine, base, ctx),
+                        kont, steps, False,
+                    )
+                steps += 1  # the call reduction
+                vals = []
+                i = 0
+            last = len(plan.pending)
+            abort = None
+            held_src = None
+            for slot in slots:
+                if steps >= limit:
+                    abort = 0  # boundary before evaluating position i
+                    break
+                stag = slot[0]
+                a = slot[1]
+                if stag == 0:  # S_REG
+                    value = regs[a]
+                elif stag == 1:  # S_CONST
+                    value = a
+                elif stag == 3:  # S_NAME
+                    location = bindings.get(a)
+                    if location is None:
+                        raise UnboundVariableError(
+                            f"unbound variable: {a}"
+                        )
+                    value = cells_get(location)
+                    if value is None:
+                        raise UnboundVariableError(
+                            f"variable {a} refers to an unmapped location"
+                        )
+                    if value is UNDEFINED:
+                        raise UnboundVariableError(
+                            f"variable {a} read before initialization"
+                        )
+                elif stag == 2:  # S_STR
+                    value = quote_value(a)
+                elif stag == 5:  # S_LAMBDA
+                    closed = (
+                        base.restrict(free_vars(a)) if closure_fv else base
+                    )
+                    value = Closure(store.alloc(UNSPECIFIED), a, closed)
+                else:  # S_NESTED (an all-simple nested call)
+                    inner = a
+                    if not (
+                        inner.speculate
+                        and (fuse_beta or not inner.beta_only)
+                    ):
+                        abort = 0
+                        break
+                    fused = _nested_value(
+                        machine, store, inner, base, bindings, cells_get,
+                        limit - steps,
+                    )
+                    if fused is _NO_FUSE:
+                        inner.speculate = False
+                        abort = 0
+                        break
+                    if fused is _BETA_ONLY:
+                        inner.beta_only = True
+                        abort = 0
+                        break
+                    if fused is None:
+                        abort = 0
+                        break
+                    value, cost, held_src = fused
+                    steps += cost
+                    vals.append(value)
+                    if steps >= limit:
+                        abort = 2  # value boundary, nested-call held env
+                        break
+                    steps += 1  # the advance (or complete) step
+                    i += 1
+                    continue
+                steps += 1  # the eval transition
+                vals.append(value)
+                if steps >= limit:
+                    abort = 1  # value boundary
+                    break
+                steps += 1  # the advance (or complete) step
+                i += 1
+            if abort is not None:
+                pushk = Push(
+                    plan.suffixes[i],
+                    tuple(vals if abort == 0 else vals[:-1]),
+                    plan.order,
+                    base if d_env else _saved_env(machine, base, plan, i),
+                    kont, plan.site, plan,
+                )
+                if abort == 0:
+                    expr = plan.first if i == 0 else plan.pending[i - 1]
+                    penv = (
+                        _ctx_env(machine, base, ctx) if i == 0
+                        else base if d_env
+                        else _saved_env(machine, base, plan, i - 1)
+                    )
+                    return (expr, False, penv, pushk, steps, False)
+                if abort == 2:
+                    inner = plan.nested[i]
+                    if held_src is not None:
+                        held = (
+                            held_src[0] if d_env else _saved_env(
+                                machine, held_src[0], held_src[1],
+                                len(held_src[1].pending),
+                            )
+                        )
+                    else:
+                        held = (
+                            base if d_env else
+                            _saved_env(
+                                machine, base, inner, len(inner.pending)
+                            )
+                        )
+                else:
+                    held = (
+                        _ctx_env(machine, base, ctx) if i == 0
+                        else base if d_env
+                        else _saved_env(machine, base, plan, i - 1)
+                    )
+                return (vals[-1], True, held, pushk, steps, False)
+            # All positions evaluated (identity order: vals are in
+            # original positions) and the complete step counted: the
+            # end action applies the call.
+            if ea == 0:  # EA_PUSH — park under the real push frame
+                kont = Push(
+                    plan.suffixes[ea_a], tuple(vals), plan.order,
+                    base if d_env else _saved_env(machine, base, plan, ea_a),
+                    kont, plan.site, plan,
+                )
+                regs[vreg] = vals
+                pc += 1
+                continue
+            operator = vals[0]
+            ocls = operator.__class__
+            env_last = (
+                base if d_env else _saved_env(machine, base, plan, last)
+            )
+            if steps < limit:
+                if ea == 2 and ocls is Closure:  # EA_TAIL
+                    lam2 = operator.lam
+                    if lam2 is code.lam:
+                        code2 = code
+                    else:
+                        # A tail call into *another* compiled lambda
+                        # transfers within this activation — the
+                        # reconstruction of mutual tail loops (the
+                        # trampoline/continuation idiom).  Python-stack
+                        # depth does not grow: a transfer is a jump.
+                        code2 = gen3_code(lam2)
+                    if (
+                        code2 is not None
+                        and len(lam2.params) == len(vals) - 1
+                    ):
+                        # The reconstructed loop back-edge: the seed's
+                        # apply effects, then jump to instruction 0.
+                        steps += 1  # the application step
+                        cargs = tuple(vals[1:])
+                        locations = store.alloc_many(cargs)
+                        base = operator.env.extend(
+                            lam2.params, locations
+                        )
+                        bindings = base._bindings
+                        if mode == 1:
+                            kont = Return(env_last, kont)
+                        elif mode == 3:
+                            kont = ReturnStack(locations, env_last, kont)
+                        elif mode == 2:
+                            if not (
+                                isinstance(kont, trc)
+                                and kont.code is lam2
+                            ):
+                                kont = trc(lam2, env_last, kont)
+                            # else: a simple self tail call reuses it
+                        if code2 is not code:
+                            code = code2
+                            instrs = code2.instrs
+                            regs = [None] * code2.nregs
+                        regs[:len(cargs)] = cargs
+                        pc = 0
+                        continue
+                    # An uncompilable or wrong-arity tail call exits
+                    # via the call continuation: the generic — exact —
+                    # rules apply it (arity errors raise there with the
+                    # seed's text).
+                if (
+                    ocls is Primop
+                    and primop_apply
+                    and not operator.controls
+                ):
+                    arity = operator.arity
+                    if arity is not None:
+                        low, high = arity
+                        n = len(vals) - 1
+                        if n < low or (high is not None and n > high):
+                            raise ArityError(
+                                f"{operator.name} expects "
+                                f"{_arity_text(low, high)} arguments, "
+                                f"got {n}"
+                            )
+                    steps += 1  # the application step
+                    result = operator.proc(machine, store, tuple(vals[1:]))
+                    if steps >= limit:
+                        return (result, True, env_last, kont, steps, False)
+                    regs[ea_a] = result
+                    val_env = env_last
+                    pc += 1
+                    continue
+                if (
+                    ea == 1  # EA_VALUE: non-tail — descend in-code
+                    and ocls is Closure
+                    and depth < _VM_MAX_DEPTH
+                ):
+                    lam2 = operator.lam
+                    if len(lam2.params) == len(vals) - 1:
+                        code2 = gen3_code(lam2)
+                        if code2 is not None:
+                            steps += 1  # the application step
+                            cargs = tuple(vals[1:])
+                            locations = store.alloc_many(cargs)
+                            body_env = operator.env.extend(
+                                lam2.params, locations
+                            )
+                            if mode == 0:
+                                child = kont
+                            elif mode == 1:
+                                child = Return(env_last, kont)
+                            elif mode == 3:
+                                child = ReturnStack(
+                                    locations, env_last, kont
+                                )
+                            else:  # mode 2: the tagged-return rule
+                                if (
+                                    isinstance(kont, trc)
+                                    and kont.code is lam2
+                                ):
+                                    child = kont
+                                else:
+                                    child = trc(lam2, env_last, kont)
+                            out = _enter_code(
+                                machine, store, code2, cargs, body_env,
+                                child, kont, steps, limit, depth + 1,
+                            )
+                            if not out[5]:
+                                return out  # boundary / generic exit
+                            regs[ea_a] = out[0]
+                            val_env = out[2]
+                            steps = out[4]
+                            pc += 1
+                            continue
+                if ea == 3:  # EA_DIRECT — an inlined let application
+                    steps += 1  # the application step
+                    cargs = tuple(vals[1:])
+                    locations = store.alloc_many(cargs)
+                    base = operator.env.extend(ea_b.params, locations)
+                    bindings = base._bindings
+                    if mode == 1:
+                        kont = Return(env_last, kont)
+                    elif mode == 3:
+                        kont = ReturnStack(locations, env_last, kont)
+                    elif mode == 2:
+                        if not (
+                            isinstance(kont, trc) and kont.code is ea_b
+                        ):
+                            kont = trc(ea_b, env_last, kont)
+                    for k in range(len(cargs)):
+                        regs[ea_a + k] = cargs[k]
+                    pc += 1
+                    continue
+            # Guard failure or batch boundary at the application step:
+            # materialize the call continuation; the generic — exact —
+            # rules apply whatever the operator really is.
+            return (
+                operator, True, env_last,
+                CallK(tuple(vals[1:]), kont, plan.site),
+                steps, False,
+            )
+        elif op == 1:  # OP_IF
+            _, node, tspec, else_pc, sel_fvs, ctx = ins
+            if steps >= limit:
+                return (
+                    node, False, _ctx_env(machine, base, ctx),
+                    kont, steps, False,
+                )
+            steps += 1  # the if reduction
+            stag = tspec[0]
+            value = _NO_FUSE
+            if stag == 4:  # S_NESTED test
+                inner = tspec[1]
+                if inner.speculate and (fuse_beta or not inner.beta_only):
+                    fused = _nested_value(
+                        machine, store, inner, base, bindings, cells_get,
+                        limit - steps - 1,
+                    )
+                    if fused is _NO_FUSE:
+                        inner.speculate = False
+                    elif fused is _BETA_ONLY:
+                        inner.beta_only = True
+                    elif fused is not None:
+                        value, cost, _held = fused
+                        steps += cost + 1  # + the select pop
+            elif steps + 2 <= limit:
+                a = tspec[1]
+                if stag == 0:  # S_REG
+                    value = regs[a]
+                elif stag == 1:  # S_CONST
+                    value = a
+                elif stag == 2:  # S_STR
+                    value = quote_value(a)
+                else:  # S_NAME
+                    location = bindings.get(a)
+                    if location is None:
+                        raise UnboundVariableError(
+                            f"unbound variable: {a}"
+                        )
+                    value = cells_get(location)
+                    if value is None:
+                        raise UnboundVariableError(
+                            f"variable {a} refers to an unmapped location"
+                        )
+                    if value is UNDEFINED:
+                        raise UnboundVariableError(
+                            f"variable {a} read before initialization"
+                        )
+                if value is not _NO_FUSE:
+                    steps += 2  # the test eval and the select pop
+            if value is _NO_FUSE:
+                # Boundary or declined speculation: build the real
+                # select frame and let the generic loop take the test.
+                cenv = _ctx_env(machine, base, ctx)
+                saved = cenv if d_select else cenv.restrict(sel_fvs)
+                return (
+                    node.test, False, cenv,
+                    Select(
+                        node.consequent, node.alternative, saved, kont
+                    ),
+                    steps, False,
+                )
+            # The branch restriction is static: downstream contexts
+            # carry the branch free-variable set.
+            pc = pc + 1 if is_true(value) else else_pc
+            continue
+        elif op == 2:  # OP_RET
+            _, spec, expr, ctx = ins
+            stag = spec[0]
+            if stag == 6:  # S_DONE: the value of a completed call
+                value = regs[spec[1]]
+                env_cur = val_env
+            else:
+                if steps >= limit:
+                    return (
+                        expr, False, _ctx_env(machine, base, ctx),
+                        kont, steps, False,
+                    )
+                a = spec[1]
+                if stag == 0:
+                    value = regs[a]
+                elif stag == 1:
+                    value = a
+                elif stag == 2:
+                    value = quote_value(a)
+                elif stag == 5:
+                    closed = (
+                        base.restrict(free_vars(a)) if closure_fv else base
+                    )
+                    value = Closure(store.alloc(UNSPECIFIED), a, closed)
+                else:  # S_NAME
+                    location = bindings.get(a)
+                    if location is None:
+                        raise UnboundVariableError(
+                            f"unbound variable: {a}"
+                        )
+                    value = cells_get(location)
+                    if value is None:
+                        raise UnboundVariableError(
+                            f"variable {a} refers to an unmapped location"
+                        )
+                    if value is UNDEFINED:
+                        raise UnboundVariableError(
+                            f"variable {a} read before initialization"
+                        )
+                steps += 1  # the eval transition
+                env_cur = _ctx_env(machine, base, ctx)
+            # Pop the frames this activation accumulated (one seed
+            # transition each; I_stack pops delete the frame cells).
+            while kont is not entry_kont:
+                if steps >= limit:
+                    return (value, True, env_cur, kont, steps, False)
+                steps += 1
+                if kont.__class__ is ReturnStack:
+                    machine._delete_frame(store, value, kont)
+                env_cur = kont.env
+                kont = kont.parent
+            if depth and steps < limit:
+                return (value, True, env_cur, kont, steps, True)
+            return (value, True, env_cur, kont, steps, False)
+        else:  # OP_DEOPT: hand the expression to the generic loop
+            _, expr, ctx = ins
+            return (
+                expr, False, _ctx_env(machine, base, ctx),
+                kont, steps, False,
+            )
+
+
+#: Minimum remaining step budget before a generated function (tier 3b)
+#: is built or entered.  Small batches — the lockstep tests' limits of
+#: 1..13 — run on the bytecode interpreter, which handles boundaries a
+#: few steps apart without the per-entry cost of a generated prologue.
+_GEN3_FN_HEADROOM = 64
+
+
+def _enter_code(machine, store, code, args, base, kont, entry_kont,
+                steps, limit, depth=0):
+    """Run *code*: the generated per-variant function when one exists
+    (building it on first use), else the bytecode interpreter.
+
+    Returns the same 6-tuple as ``_run_code``.  Generated functions
+    signal cross-code tail transfer with a ``_TRANSFER`` marker; this
+    driver trampolines to the target code's function so mutual tail
+    loops consume no Python stack.
+    """
+    cls = machine.__class__
+    fns = code.fns
+    fn = fns.get(cls)
+    if fn is None:
+        if cls in fns or limit - steps < _GEN3_FN_HEADROOM:
+            return _run_code(
+                machine, store, code, args, base, kont, entry_kont,
+                steps, limit, depth,
+            )
+        fn = build_fn(code, machine)
+        fns[cls] = fn
+        if fn is None:
+            return _run_code(
+                machine, store, code, args, base, kont, entry_kont,
+                steps, limit, depth,
+            )
+    while True:
+        out = fn(
+            machine, store, args, base, kont, entry_kont, steps, limit,
+            depth,
+        )
+        if out[0] is not _TRANSFER:
+            return out
+        _, code, args, base, kont, steps = out
+        fns = code.fns
+        fn = fns.get(cls)
+        if fn is None:
+            if cls not in fns and limit - steps >= _GEN3_FN_HEADROOM:
+                fn = build_fn(code, machine)
+                fns[cls] = fn
+            if fn is None:
+                # The interpreter finishes the transferred activation
+                # (and performs any further transfers internally).
+                return _run_code(
+                    machine, store, code, args, base, kont, entry_kont,
+                    steps, limit, depth,
+                )
+
+
+def _finish_transfer(machine, store, out, entry_kont, limit, depth):
+    """Continue a ``_TRANSFER`` 6-tuple that escaped a direct generated
+    -function call (the non-tail descent fast path bypasses
+    ``_enter_code``; the rare transfer out of the callee lands here)."""
+    _, code, args, base, kont, steps = out
+    return _enter_code(
+        machine, store, code, args, base, kont, entry_kont, steps,
+        limit, depth,
+    )
+
+
+def _kont_ceiling(kont) -> int:
+    """The largest store location held directly by *kont* or any
+    ancestor frame (environment domains, parked values, retained frame
+    locations), or -1 for a bare halt.  Cached per continuation
+    (immutable, locations never reused) so a chain of pops pays O(1)
+    amortized: the walk stops at the first cached ancestor and fills
+    the cache on the way back down."""
+    k = kont
+    chain = []
+    top = -1
+    while k is not None:
+        try:
+            top = k._ceiling
+            break
+        except AttributeError:
+            chain.append(k)
+            k = k.parent
+    for k in reversed(chain):
+        m = top
+        for loc in k.direct_locations():
+            if loc > m:
+                m = loc
+        for value in k.direct_values():
+            for loc in value.locations():
+                if loc > m:
+                    m = loc
+        k._ceiling = m
+        top = m
+    return top
 
 
 class Machine:
@@ -608,6 +1227,9 @@ class Machine:
         "_frame_return",
         "_plan0",
         "_primop_apply",
+        "_gen3",
+        "_gen3_mode",
+        "_track_refs",
         "trace",
     )
 
@@ -654,7 +1276,31 @@ class Machine:
     #: this False: storage is reclaimed only by frame deletion.
     uses_gc_rule = True
 
-    def __init__(self, policy: Optional[Policy] = None, gen2: bool = True):
+    #: Whether injected stores maintain store-edge reference counts
+    #: (the I_stack frame-pop fast path; see Store._rc).
+    track_refs = False
+
+    #: Declared shape of a custom closure application *for the gen-3
+    #: bytecode tier*: ``"tagged-self-reuse"`` promises the override is
+    #: exactly the Bigloo-style rule (reuse the continuation when it is
+    #: a TaggedReturn for the same lambda at the same arity, else push
+    #: a fresh TaggedReturn), so the compiled loop can replicate it.
+    #: Trusted only when declared in the same class body as both
+    #: ``apply_procedure`` and ``_apply_closure`` (the _hook_kind
+    #: model); anything else leaves gen-3 off for custom applies.
+    gen3_apply = "default"
+
+    #: The tagged-return continuation class of a "tagged-self-reuse"
+    #: apply (set by the Bigloo-style machine); the compiled tier
+    #: builds and recognizes these frames directly.
+    gen3_tagged: Optional[type] = None
+
+    def __init__(
+        self,
+        policy: Optional[Policy] = None,
+        gen2: bool = True,
+        gen3: Optional[bool] = None,
+    ):
         self.policy = policy if policy is not None else LeftToRight()
         # A hook still at its I_tail default is the identity on the
         # environment (or the caller's kappa): the dispatch handlers
@@ -742,6 +1388,43 @@ class Machine:
             not self._default_call_frame and frame_kind == "return"
         )
         self._plan0 = gen2 and lefttoright
+        # Gen-3 bytecode tier (DESIGN.md §7.2).  The compiled loop
+        # replicates the seed's apply/frame/pop effects directly, so it
+        # must know which of the four frame disciplines the variant
+        # uses: 0 = I_tail family (the continuation is unchanged by
+        # application), 1 = declared I_gc Return, 2 = the declared
+        # Bigloo tagged-return-with-reuse rule, 3 = declared I_stack
+        # ReturnStack (pops delete the frame).  Anything undeclared
+        # leaves the tier off for that variant.
+        mode = None
+        if self._default_apply:
+            if self._default_call_frame:
+                mode = 0
+            elif frame_kind == "return":
+                mode = 1
+            elif frame_kind == "return-stack":
+                mode = 3
+        elif (
+            _hook_kind(cls, "apply_procedure", "gen3_apply")
+            == "tagged-self-reuse"
+            and _hook_kind(cls, "_apply_closure", "gen3_apply")
+            == "tagged-self-reuse"
+            and frame_kind == "return"
+        ):
+            mode = 2
+        self._gen3_mode = mode
+        self._gen3 = (
+            (gen3 if gen3 is not None else gen2)
+            and gen2
+            and lefttoright
+            and self._fusable
+            and self._fuse_lambda
+            and self._fuse_nested
+            and self._fuse_if
+            and self._fuse_if_call
+            and mode is not None
+        )
+        self._track_refs = bool(cls.track_refs)
         #: Telemetry sink (a ``repro.telemetry.bus.TraceBus``) or None.
         #: The only cost when unset is one ``is None`` check per batch.
         self.trace = None
@@ -772,7 +1455,7 @@ class Machine:
         constant values once so the step handlers only do lookups.
         """
         if store is None:
-            store = Store()
+            store = Store(track_refs=self._track_refs)
         if global_env is None:
             names = None
             if trim_globals:
@@ -780,8 +1463,17 @@ class Machine:
                 if argument is not None:
                     names |= free_vars(argument)
             global_env = make_initial_environment(store, names)
-        expr = Call((program, argument)) if argument is not None else program
+        if argument is not None:
+            key = (id(program), id(argument))
+            expr = _INJECT_WRAPPERS.get(key)
+            if expr is None:
+                expr = Call((program, argument))
+                _INJECT_WRAPPERS[key] = expr
+        else:
+            expr = program
         annotate(expr)
+        if self._gen3:
+            register_program(expr)
         self.policy.reset()
         return State(expr, False, global_env, Halt(), store)
 
@@ -871,6 +1563,9 @@ class Machine:
         if_tests_get = _IF_TESTS.get
         plan0 = self._plan0
         plan0_get = _IDENTITY_PLANS.get
+        gen3 = self._gen3
+        gen3_mode2 = gen3 and self._gen3_mode == 2
+        gen3_trc = type(self).gen3_tagged
         steps = 0
         while steps < limit:
             steps += 1
@@ -919,7 +1614,7 @@ class Machine:
                         env = kont.env
                         kont = Push(
                             rest, done, kont.order, saved, kont.parent,
-                            site=kont.site, plan=plan,
+                            kont.site, plan,
                         )
                         continue
                     values_in_order = kont.done + (control,)
@@ -936,7 +1631,7 @@ class Machine:
                         control = original[0]
                         args = tuple(original[1:])
                     env = kont.env
-                    kont = CallK(args, kont.parent, site=kont.site)
+                    kont = CallK(args, kont.parent, kont.site)
                     continue
                 if kcls is CallK:
                     args = kont.args
@@ -953,10 +1648,22 @@ class Machine:
                                 )
                             locations = store.alloc_many(args)
                             body_env = control.env.extend(params, locations)
+                            entry = parent
                             if not d_frame:
                                 parent = self.call_frame(
                                     locations, env, parent
                                 )
+                            if gen3:
+                                code = gen3_code(lam)
+                                if code is not None:
+                                    (
+                                        control, is_value, env, kont,
+                                        steps, _r,
+                                    ) = _enter_code(
+                                        self, store, code, args, body_env,
+                                        parent, entry, steps, limit,
+                                    )
+                                    continue
                             control = lam.body
                             is_value = False
                             env = body_env
@@ -976,6 +1683,37 @@ class Machine:
                                     )
                             control = control.proc(self, store, args)
                             kont = parent
+                            continue
+                    if (
+                        gen3_mode2
+                        and control.__class__ is Closure
+                        and len(control.lam.params) == len(args)
+                    ):
+                        # The declared Bigloo tagged-return apply,
+                        # replicated so the compiled tier can take over:
+                        # a simple self tail call reuses the frame,
+                        # anything else pushes a fresh tagged return.
+                        lam = control.lam
+                        code = gen3_code(lam)
+                        if code is not None:
+                            locations = store.alloc_many(args)
+                            body_env = control.env.extend(
+                                lam.params, locations
+                            )
+                            trc = gen3_trc
+                            if (
+                                isinstance(parent, trc)
+                                and parent.code is lam
+                            ):
+                                child, entry = parent, parent.parent
+                            else:
+                                child, entry = trc(lam, env, parent), parent
+                            control, is_value, env, kont, steps, _r = (
+                                _enter_code(
+                                    self, store, code, args, body_env,
+                                    child, entry, steps, limit,
+                                )
+                            )
                             continue
                     # Escapes, control primops, overridden application
                     # (Bigloo), and the not-a-procedure error: take the
@@ -1316,14 +2054,72 @@ class Machine:
     # I_stack frame deletion (used only by variants with ReturnStack)
     # ------------------------------------------------------------------
 
-    def _delete_frame(self, state: State, value: Value, kont: ReturnStack) -> None:
+    def _delete_frame(self, store: Store, value: Value, kont: ReturnStack) -> None:
         """Delete the largest subset of the frame that creates no
         dangling pointer: frame locations unreachable from the
-        post-return configuration."""
-        store = state.store
-        candidates = [loc for loc in kont.frame if loc in store]
+        post-return configuration.
+
+        When the store keeps reference counts (``track_refs``), the
+        full reachability walk — O(live store) per pop, the dominant
+        cost of I_stack — is usually avoided.  A frame location is
+        unreachable iff no edge of the reachability graph reaches it:
+        store edges are counted exactly by ``Store._rc``; direct root
+        edges from the returned value are ``value.locations()``; and
+        direct root edges from the continuation chain are ruled out
+        wholesale when the chain's largest rooted location
+        (``_kont_ceiling``) lies below every candidate.  Escapes hide
+        their captured chain from the counts, so the sticky
+        ``_escaped`` flag forces the walk.  Intra-frame chains (an
+        argument cell referencing another) are resolved by a small
+        fixpoint with overlay decrements.  The fast path commits only
+        outcomes the walk would produce: either every candidate proved
+        deletable, or every survivor is pinned by the returned value
+        itself (an rc-pinned survivor might be pinned by garbage the
+        walk would see through — fall back)."""
+        cells = store._cells
+        candidates = [loc for loc in kont.frame if loc in cells]
         if not candidates:
             return
+        rc = store._rc
+        if rc is not None and not store._escaped:
+            # Roots of the post-return configuration: the returned
+            # value, the restored environment, and the *parent* chain —
+            # not the frame being popped (its locations are the
+            # candidates).
+            ceiling = _kont_ceiling(kont.parent)
+            env = kont.env
+            if env is not None:
+                for loc in env.location_tuple():
+                    if loc > ceiling:
+                        ceiling = loc
+            if ceiling < min(candidates):
+                held = set(value.locations())
+                chosen = set()
+                delta = {}
+                changed = True
+                while changed:
+                    changed = False
+                    for loc in candidates:
+                        if loc in chosen or loc in held:
+                            continue
+                        if rc.get(loc, 0) - delta.get(loc, 0) == 0:
+                            chosen.add(loc)
+                            changed = True
+                            for ref in cells[loc].locations():
+                                delta[ref] = delta.get(ref, 0) + 1
+                if len(chosen) == len(candidates):
+                    store.delete_many(candidates)
+                    return
+                if all(
+                    loc in held
+                    for loc in candidates
+                    if loc not in chosen
+                ):
+                    if chosen:
+                        store.delete_many(
+                            [loc for loc in candidates if loc in chosen]
+                        )
+                    return
         live = reachable_locations(store, (value,), kont.env, kont.parent)
         deletable = [loc for loc in candidates if loc not in live]
         if deletable:
@@ -1398,7 +2194,7 @@ def _expr_call(machine: Machine, state: State, expr: Call) -> State:
         saved = env
     else:
         saved = machine.call_env(env, pending)
-    kont = Push(pending, (), plan.order, saved, state.kont, site=expr, plan=plan)
+    kont = Push(pending, (), plan.order, saved, state.kont, expr, plan)
     return State(plan.first, False, env, kont, state.store)
 
 
@@ -1461,7 +2257,7 @@ def _value_push(machine: Machine, state: State, value, kont: Push):
             saved = machine.push_env(kont.env, rest)
         new_kont = Push(
             rest, done + (value,), kont.order, saved, kont.parent,
-            site=kont.site, plan=plan,
+            kont.site, plan,
         )
         return State(pending[0], False, kont.env, new_kont, state.store)
     # All subexpressions evaluated: unpermute and form the call.
@@ -1478,7 +2274,7 @@ def _value_push(machine: Machine, state: State, value, kont: Push):
         args = tuple(original[1:])
     return State(
         operator, True, kont.env,
-        CallK(args, kont.parent, site=kont.site), state.store,
+        CallK(args, kont.parent, kont.site), state.store,
     )
 
 
@@ -1493,7 +2289,7 @@ def _value_return(machine: Machine, state: State, value, kont: Return) -> State:
 def _value_return_stack(
     machine: Machine, state: State, value, kont: ReturnStack
 ) -> State:
-    machine._delete_frame(state, value, kont)
+    machine._delete_frame(state.store, value, kont)
     return State(value, True, kont.env, kont.parent, state.store)
 
 
@@ -1556,4 +2352,13 @@ from ..compiler.prepass import (  # noqa: E402
     call_plan,
     if_test_plan,
     quote_value,
+)
+from ..compiler.bytecode import (  # noqa: E402
+    gen3_code,
+    register_program,
+)
+from ..compiler.pycodegen import (  # noqa: E402
+    _TRANSFER,
+    build_beta_fn,
+    build_fn,
 )

@@ -24,6 +24,8 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 from .environment import Environment
 from .errors import PrimitiveError
 from .store import Store
+from operator import eq, ge, gt, le, lt
+
 from .values import (
     Boolean,
     Char,
@@ -36,9 +38,11 @@ from .values import (
     Primop,
     Str,
     Sym,
+    TRUE,
     UNSPECIFIED,
     Value,
     Vector,
+    _SMALL_NUMS,
     is_true,
     make_boolean,
 )
@@ -135,11 +139,26 @@ def list_values(store: Store, value: Value, what: str = "list") -> List[Value]:
 
 @primitive("+", arity=(0, None))
 def prim_add(machine, store, args):
+    if len(args) == 2:
+        a0, a1 = args
+        # Exact-class fast path (the hot binary case); subclasses and
+        # non-numbers fall through to the checked path, whose error
+        # order (left operand first) the fast path cannot reach.
+        if a0.__class__ is Num and a1.__class__ is Num:
+            z = a0.value + a1.value
+            return _SMALL_NUMS[z] if -1024 <= z <= 1024 else Num(z)
+        return Num(check_num("+", a0) + check_num("+", a1))
     return Num(sum(check_num("+", a) for a in args))
 
 
 @primitive("-", arity=(1, None))
 def prim_sub(machine, store, args):
+    if len(args) == 2:
+        a0, a1 = args
+        if a0.__class__ is Num and a1.__class__ is Num:
+            z = a0.value - a1.value
+            return _SMALL_NUMS[z] if -1024 <= z <= 1024 else Num(z)
+        return Num(check_num("-", a0) - check_num("-", a1))
     first = check_num("-", args[0])
     if len(args) == 1:
         return Num(-first)
@@ -223,6 +242,14 @@ def prim_gcd(machine, store, args):
 
 def _comparison(name: str, compare) -> Callable:
     def prim(machine, store, args):
+        if len(args) == 2:
+            a0, a1 = args
+            if a0.__class__ is Num and a1.__class__ is Num:
+                return TRUE if compare(a0.value, a1.value) else FALSE
+            # Same checks in the same order as the general chain below.
+            return make_boolean(
+                compare(check_num(name, a0), check_num(name, a1))
+            )
         numbers = [check_num(name, a) for a in args]
         return make_boolean(
             all(compare(a, b) for a, b in zip(numbers, numbers[1:]))
@@ -231,11 +258,13 @@ def _comparison(name: str, compare) -> Callable:
     return prim
 
 
-primitive("=", arity=(2, None))(_comparison("=", lambda a, b: a == b))
-primitive("<", arity=(2, None))(_comparison("<", lambda a, b: a < b))
-primitive(">", arity=(2, None))(_comparison(">", lambda a, b: a > b))
-primitive("<=", arity=(2, None))(_comparison("<=", lambda a, b: a <= b))
-primitive(">=", arity=(2, None))(_comparison(">=", lambda a, b: a >= b))
+# operator.* rather than lambdas: the C comparison avoids a Python
+# frame per primitive application.
+primitive("=", arity=(2, None))(_comparison("=", eq))
+primitive("<", arity=(2, None))(_comparison("<", lt))
+primitive(">", arity=(2, None))(_comparison(">", gt))
+primitive("<=", arity=(2, None))(_comparison("<=", le))
+primitive(">=", arity=(2, None))(_comparison(">=", ge))
 
 
 @primitive("zero?", arity=(1, 1))
@@ -625,6 +654,7 @@ def prim_number_to_string(machine, store, args):
 )
 def prim_call_cc(machine, state, args, kont):
     tag = state.store.alloc(UNSPECIFIED)
+    state.store.note_escape()
     escape = Escape(tag, kont)
     return machine.apply_procedure(state, args[0], (escape,), kont)
 
@@ -640,6 +670,113 @@ def prim_apply(machine, state, args, kont):
 @primitive("error", arity=(1, None))
 def prim_error(machine, store, args):
     raise PrimitiveError("error: " + " ".join(repr(a) for a in args))
+
+
+# ---------------------------------------------------------------------------
+# Arity-specialized fast entries (Primop.proc1 / Primop.proc2)
+# ---------------------------------------------------------------------------
+#
+# Each must behave exactly like the registered proc on an args tuple of
+# that length — same result, same errors, same error texts (callers
+# have already checked arity).  Only statically-counted callers (the
+# gen-3 generated code) use these; everything else goes through proc.
+
+
+def _fast(name: str, proc1=None, proc2=None) -> None:
+    for op in (_REGISTRY[name],):
+        if proc1 is not None:
+            op.proc1 = proc1
+        if proc2 is not None:
+            op.proc2 = proc2
+
+
+def _add2(machine, store, a, b):
+    if a.__class__ is Num and b.__class__ is Num:
+        z = a.value + b.value
+        return _SMALL_NUMS[z] if -1024 <= z <= 1024 else Num(z)
+    return Num(check_num("+", a) + check_num("+", b))
+
+
+def _sub1(machine, store, a):
+    return Num(-check_num("-", a))
+
+
+def _sub2(machine, store, a, b):
+    if a.__class__ is Num and b.__class__ is Num:
+        z = a.value - b.value
+        return _SMALL_NUMS[z] if -1024 <= z <= 1024 else Num(z)
+    return Num(check_num("-", a) - check_num("-", b))
+
+
+def _mul2(machine, store, a, b):
+    if a.__class__ is Num and b.__class__ is Num:
+        z = a.value * b.value
+        return _SMALL_NUMS[z] if -1024 <= z <= 1024 else Num(z)
+    return Num(check_num("*", a) * check_num("*", b))
+
+
+def _cmp_fast(name, compare):
+    def p2(machine, store, a, b):
+        if a.__class__ is Num and b.__class__ is Num:
+            return TRUE if compare(a.value, b.value) else FALSE
+        return make_boolean(
+            compare(check_num(name, a), check_num(name, b))
+        )
+
+    return p2
+
+
+def _car1(machine, store, a):
+    return store.read(check_pair("car", a).car_loc)
+
+
+def _cdr1(machine, store, a):
+    return store.read(check_pair("cdr", a).cdr_loc)
+
+
+def _cons2(machine, store, a, b):
+    return Pair(store.alloc(a), store.alloc(b))
+
+
+def _not1(machine, store, a):
+    return TRUE if a is FALSE else FALSE
+
+
+def _null1(machine, store, a):
+    return TRUE if a is NIL else FALSE
+
+
+def _pair1(machine, store, a):
+    return TRUE if isinstance(a, Pair) else FALSE
+
+
+def _number1(machine, store, a):
+    return TRUE if isinstance(a, Num) else FALSE
+
+
+def _zero1(machine, store, a):
+    return TRUE if check_num("zero?", a) == 0 else FALSE
+
+
+def _eqv2(machine, store, a, b):
+    return TRUE if eqv_values(a, b) else FALSE
+
+
+_fast("+", proc2=_add2)
+_fast("-", proc1=_sub1, proc2=_sub2)
+_fast("*", proc2=_mul2)
+for _n, _c in (("=", eq), ("<", lt), (">", gt), ("<=", le), (">=", ge)):
+    _fast(_n, proc2=_cmp_fast(_n, _c))
+_fast("car", proc1=_car1)
+_fast("cdr", proc1=_cdr1)
+_fast("cons", proc2=_cons2)
+_fast("not", proc1=_not1)
+_fast("null?", proc1=_null1)
+_fast("pair?", proc1=_pair1)
+_fast("number?", proc1=_number1)
+_fast("zero?", proc1=_zero1)
+_fast("eqv?", proc2=_eqv2)
+_fast("eq?", proc2=_eqv2)
 
 
 # ---------------------------------------------------------------------------

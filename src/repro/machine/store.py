@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 from .values import (
+    UNSPECIFIED,
     Boolean,
     Char,
     Closure,
@@ -76,10 +77,13 @@ class Store:
         "_linked_bignum",
         "_linked_fixed",
         "version",
+        "mut_version",
         "tracker",
+        "_rc",
+        "_escaped",
     )
 
-    def __init__(self):
+    def __init__(self, track_refs: bool = False):
         self._cells: Dict[Location, Value] = {}
         self._next_location: Location = 0
         self._space_bignum: int = 0
@@ -87,20 +91,92 @@ class Store:
         self._linked_bignum: int = 0
         self._linked_fixed: int = 0
         self.version: int = 0
+        #: Bumped only by :meth:`write` and :meth:`delete_many` (never
+        #: by allocation, which cannot change an existing cell).  An
+        #: unchanged ``mut_version`` therefore proves every mapped cell
+        #: still holds the value it held before — the guard behind the
+        #: gen-3 generated code's per-site global-variable value caches.
+        self.mut_version: int = 0
         self.tracker = None
+        #: Store-edge inbound reference counts (location -> number of
+        #: store cells whose value mentions it), maintained only when
+        #: requested (the I_stack frame-pop fast path); None otherwise.
+        #: Root edges (environments, continuations) are *not* counted —
+        #: the consumer must rule them out by other means (the
+        #: monotonic-location argument in ``Machine._delete_frame``).
+        self._rc: Optional[Dict[Location, int]] = (
+            {} if track_refs else None
+        )
+        #: Sticky flag: an escape procedure was created against this
+        #: store.  Escapes root their captured continuation invisibly
+        #: to store-edge counts (``Escape.locations()`` is the tag
+        #: only), so any consumer of ``_rc`` must fall back to full
+        #: reachability once this is set.
+        self._escaped: bool = False
+
+    def note_escape(self) -> None:
+        """Record that an escape procedure now exists (see ``_escaped``)."""
+        self._escaped = True
 
     # -- allocation and access ------------------------------------------------
 
     def alloc(self, value: Value) -> Location:
-        """Allocate a fresh location holding *value*."""
+        """Allocate a fresh location holding *value*.
+
+        The Num/Closure space bookkeeping is inlined (rather than
+        calling :meth:`_add_space`) because alloc is the hottest store
+        mutation; the arithmetic is identical to the method's."""
         location = self._next_location
-        self._next_location += 1
+        self._next_location = location + 1
         self._cells[location] = value
-        self._add_space(value, 1)
+        cls = value.__class__
+        if cls is Num:
+            bits = abs(value.value).bit_length()
+            bignum = 2 + (bits if bits > 1 else 1)
+            self._space_bignum += bignum
+            self._space_fixed += 2
+            self._linked_bignum += bignum
+            self._linked_fixed += 2
+        elif cls is Closure:
+            flat = 2 + len(value.env._bindings)
+            self._space_bignum += flat
+            self._space_fixed += flat
+            self._linked_bignum += 2
+            self._linked_fixed += 2
+        else:
+            words = _CELL_WORDS.get(cls)
+            if words is not None:
+                self._space_bignum += words
+                self._space_fixed += words
+                self._linked_bignum += words
+                self._linked_fixed += words
+            else:
+                self._add_space(value, 1)
         self.version += 1
+        rc = self._rc
+        if rc is not None:
+            for ref in value.locations():
+                rc[ref] = rc.get(ref, 0) + 1
         if self.tracker is not None:
             self.tracker.on_alloc(location, value)
         return location
+
+    def alloc_tag(self) -> Location:
+        """``alloc(UNSPECIFIED)`` — a closure/escape tag — with the
+        singleton's constant bookkeeping (2 words on every accounting)
+        folded in; a store with observers takes the generic path so
+        they see the identical mutation."""
+        if self.tracker is None and self._rc is None:
+            location = self._next_location
+            self._next_location = location + 1
+            self._cells[location] = UNSPECIFIED
+            self._space_bignum += 2
+            self._space_fixed += 2
+            self._linked_bignum += 2
+            self._linked_fixed += 2
+            self.version += 1
+            return location
+        return self.alloc(UNSPECIFIED)
 
     def alloc_many(self, values: Iterable[Value]) -> Tuple[Location, ...]:
         """Allocate fresh locations for several values at once (the
@@ -109,13 +185,51 @@ class Store:
         cells = self._cells
         add = self._add_space
         tracker = self.tracker
+        rc = self._rc
         location = self._next_location
         out = []
+        if rc is None and tracker is None:
+            # No per-value observers: the interleaved bookkeeping below
+            # collapses to the same end state, so batch it (with the
+            # same inlined Num/Closure fast paths as ``alloc``).
+            for value in values:
+                cells[location] = value
+                cls = value.__class__
+                if cls is Num:
+                    bits = abs(value.value).bit_length()
+                    bignum = 2 + (bits if bits > 1 else 1)
+                    self._space_bignum += bignum
+                    self._space_fixed += 2
+                    self._linked_bignum += bignum
+                    self._linked_fixed += 2
+                elif cls is Closure:
+                    flat = 2 + len(value.env._bindings)
+                    self._space_bignum += flat
+                    self._space_fixed += flat
+                    self._linked_bignum += 2
+                    self._linked_fixed += 2
+                else:
+                    words = _CELL_WORDS.get(cls)
+                    if words is not None:
+                        self._space_bignum += words
+                        self._space_fixed += words
+                        self._linked_bignum += words
+                        self._linked_fixed += words
+                    else:
+                        add(value, 1)
+                out.append(location)
+                location += 1
+            self._next_location = location
+            self.version += len(out)
+            return tuple(out)
         for value in values:
             self._next_location = location + 1
             cells[location] = value
             add(value, 1)
             self.version += 1
+            if rc is not None:
+                for ref in value.locations():
+                    rc[ref] = rc.get(ref, 0) + 1
             if tracker is not None:
                 tracker.on_alloc(location, value)
             out.append(location)
@@ -142,19 +256,40 @@ class Store:
         self._cells[location] = value
         self._add_space(value, 1)
         self.version += 1
+        self.mut_version += 1
+        rc = self._rc
+        if rc is not None:
+            # get-based: an old ref may point at an already-deleted
+            # location whose count was dropped with it.
+            for ref in old.locations():
+                n = rc.get(ref)
+                if n is not None:
+                    rc[ref] = n - 1
+            for ref in value.locations():
+                rc[ref] = rc.get(ref, 0) + 1
         if self.tracker is not None:
             self.tracker.on_write(location, old, value)
 
     def delete_many(self, locations: Iterable[Location]) -> None:
         """Remove locations from the active store (GC / stack deletion)."""
         tracker = self.tracker
+        rc = self._rc
         for location in locations:
             value = self._cells.pop(location, None)
             if value is not None:
                 self._add_space(value, -1)
+                if rc is not None:
+                    # get-based: a ref may point at a location deleted
+                    # earlier in this same batch (its count was popped).
+                    for ref in value.locations():
+                        n = rc.get(ref)
+                        if n is not None:
+                            rc[ref] = n - 1
+                    rc.pop(location, None)
                 if tracker is not None:
                     tracker.on_delete(location, value)
         self.version += 1
+        self.mut_version += 1
 
     def __contains__(self, location: Location) -> bool:
         return location in self._cells

@@ -79,6 +79,18 @@ class Num(Value):
         return f"NUM:{self.value}"
 
 
+#: Interned NUM values for small results: ``_SMALL_NUMS[z]`` is
+#: ``NUM:z`` for -1024 <= z <= 1024 (the tail of the list holds the
+#: negatives, so plain Python indexing resolves both signs).  Sharing
+#: is sound because numbers are immutable and nothing observes NUM
+#: identity — ``eqv?`` compares by value and the space accountings
+#: charge per *location*, not per object.  The arithmetic primitives
+#: return pool members for in-range results instead of allocating.
+_SMALL_NUMS = tuple(
+    Num(z) for z in list(range(0, 1025)) + list(range(-1024, 0))
+)
+
+
 class Sym(Value):
     """SYM:I — a symbol."""
 
@@ -203,9 +215,18 @@ class Primop(Value):
     control primops (call/cc, apply, escapes into the evaluator)
     instead set ``controls=True`` and receive ``(machine, state, args)``
     returning a new machine state.
+
+    ``proc1`` / ``proc2`` are optional arity-specialized entry points —
+    ``(machine, store, a)`` / ``(machine, store, a, b)`` — that must
+    behave exactly like ``proc`` on an args tuple of that length
+    (result, errors, and error texts included).  Registering ``procN``
+    also asserts that the primop *accepts* arity N, so callers with a
+    statically known argument count may skip the arity check along
+    with the args tuple; every other caller goes through ``proc``
+    behind the usual check.
     """
 
-    __slots__ = ("name", "proc", "arity", "controls")
+    __slots__ = ("name", "proc", "arity", "controls", "proc1", "proc2")
 
     def __init__(
         self,
@@ -218,6 +239,8 @@ class Primop(Value):
         self.proc = proc
         self.arity = arity
         self.controls = controls
+        self.proc1 = None
+        self.proc2 = None
 
     def __repr__(self) -> str:
         return f"PRIMOP:{self.name}"

@@ -91,6 +91,10 @@ class StackMachine(Machine):
     name = "stack"
     call_frame_kind = "return-stack"
     uses_gc_rule = False
+    # Injected stores keep store-edge reference counts so frame
+    # deletion (the dominant cost of I_stack) can usually skip the full
+    # reachability walk (see Machine._delete_frame).
+    track_refs = True
 
     def call_frame(
         self,
@@ -209,6 +213,8 @@ class BiglooMachine(GcMachine):
 
     name = "bigloo"
     apply_kind = "closure-only"
+    gen3_apply = "tagged-self-reuse"
+    gen3_tagged = TaggedReturn
 
     def apply_procedure(self, state, operator, args, kont):
         if (
@@ -293,10 +299,10 @@ def _rebuild_frame(frame: Kont, parent: Kont) -> Kont:
     if type(frame) is Push:
         return Push(
             frame.pending, frame.done, frame.order, frame.env, parent,
-            site=frame.site, plan=frame.plan,
+            frame.site, frame.plan,
         )
     if type(frame) is CallK:
-        return CallK(frame.args, parent, site=frame.site)
+        return CallK(frame.args, parent, frame.site)
     if type(frame) is ReturnStack:
         return ReturnStack(frame.frame, frame.env, parent)
     raise TypeError(f"cannot rebuild frame {frame!r}")
@@ -327,3 +333,36 @@ def make_machine(name: str, **kwargs) -> Machine:
         known = ", ".join(sorted(ALL_MACHINES))
         raise ValueError(f"unknown machine {name!r}; known: {known}") from None
     return cls(**kwargs)
+
+
+#: Stepper selections for :func:`make_stepper` (and the harness/CLI
+#: ``--stepper`` knobs built on it).
+STEPPERS = ("annotated", "gen3", "gen2", "seed")
+
+
+def make_stepper(name: str, stepper: str = "annotated", policy=None):
+    """Instantiate *name*'s engine under a stepper selection.
+
+    ``"annotated"`` is the live stepper with the full tier stack (the
+    gen-3 compiled tier engages where the variant is eligible);
+    ``"gen3"`` says the same thing explicitly (differential runs name
+    the tier they mean); ``"gen2"`` turns the gen-3 tier off, leaving
+    the gen-2 superinstruction stepper; ``"seed"`` is the preserved
+    seed stepper of :mod:`repro.machine.reference_step`.  All four
+    compute identical answers, step counts, and space numbers — the
+    lockstep and differential-fuzz suites hold them equal — so this
+    knob exists for differential testing and before/after
+    benchmarking, not for semantics."""
+    if stepper not in STEPPERS:
+        known = ", ".join(STEPPERS)
+        raise ValueError(f"unknown stepper {stepper!r}; known: {known}")
+    kwargs = {} if policy is None else {"policy": policy}
+    if stepper == "seed":
+        from .reference_step import make_seed_stepper
+
+        return make_seed_stepper(name, **kwargs)
+    if stepper == "gen2":
+        kwargs["gen3"] = False
+    elif stepper == "gen3":
+        kwargs["gen3"] = True
+    return make_machine(name, **kwargs)

@@ -533,19 +533,13 @@ def trace_run(
     # Deferred so importing the telemetry package never drags in the
     # meter/harness stack (which imports telemetry lazily in turn).
     from ..machine.answer import answer_string
-    from ..machine.reference_step import make_seed_stepper
-    from ..machine.variants import make_machine
+    from ..machine.variants import make_stepper
     from ..space.consumption import prepare_input, prepare_program
     from ..space.meter import DEFAULT_STEP_LIMIT, run_metered
     from .bus import TraceBus
     from .metrics import MetricsRegistry
 
-    if stepper == "seed":
-        machine = make_seed_stepper(machine_name)
-    elif stepper == "annotated":
-        machine = make_machine(machine_name)
-    else:
-        raise ValueError(f"unknown stepper {stepper!r}")
+    machine = make_stepper(machine_name, stepper)
     bus = TraceBus(capacity=capacity, sample=sample, sink=sink, retain=retain)
     metrics = MetricsRegistry()
     blame = BlameProfiler(every=blame_every, series_capacity=series_capacity)

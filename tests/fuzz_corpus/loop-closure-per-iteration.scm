@@ -1,0 +1,8 @@
+; A closure allocated per iteration and carried through the loop
+; registers (the find-leftmost shape): the reconstructed loop performs
+; the closure-tag allocation and the sfs/free restriction inside the
+; loop body, and the last closure's captured n must survive to the
+; exit call.
+(define (lp n f)
+  (if (zero? n) (f 100) (lp (- n 1) (lambda (x) (+ x n)))))
+(define (f n) (lp (+ n 2) (lambda (x) x)))

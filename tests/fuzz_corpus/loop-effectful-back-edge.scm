@@ -1,0 +1,12 @@
+; Allocation and mutation in the back edge's operands: each iteration
+; conses onto the accumulator and set!s a global, so the loop header
+; must commit every store effect in seed order — a reordered commit
+; changes the observable store at a batch boundary and the final
+; answer here.
+(define total '0)
+(define (lp n acc)
+  (if (zero? n)
+      (+ total (length acc))
+      (begin (set! total (+ total n))
+             (lp (- n 1) (cons n acc)))))
+(define (f n) (lp (+ n 3) '()))

@@ -1,0 +1,8 @@
+; An escape captured outside the loop and invoked from inside the
+; reconstructed body: the compiled frame must deopt through the
+; continuation, and the meter's canonical fallback must agree with
+; every other cell of the matrix on the answer.
+(define (lp n k)
+  (if (zero? n) (k 42) (lp (- n 1) k)))
+(define (f n)
+  (call-with-current-continuation (lambda (k) (lp (+ n 4) k))))

@@ -1,0 +1,9 @@
+; The fib shape: the same procedure called both in tail position (the
+; reconstructed back edge) and in non-tail position (a pushed frame
+; that re-enters the compiled code).  The loop exit and the non-tail
+; return must restore the exact seed continuation on every machine.
+(define (g n)
+  (if (zero? n) 1 (+ (g (- n 1)) 1)))
+(define (lp n acc)
+  (if (zero? n) acc (lp (- n 1) (+ acc (g n)))))
+(define (f n) (lp (+ n 2) 0))

@@ -1,0 +1,8 @@
+; The register-rotation hazard of loop reconstruction: the back edge
+; rebinds the loop's registers from each other ((lp b (+ a b) ...)),
+; so a naive in-place rebinding would read an already-clobbered
+; register.  The reconstructed loop must evaluate all operands in
+; seed order before committing any rebinding.
+(define (lp a b n)
+  (if (zero? n) a (lp b (+ a b) (- n 1))))
+(define (f n) (lp 0 1 (+ n 5)))

@@ -9,8 +9,10 @@ recursion only, a terminating fuel) and assert observational
 equivalence of the final answer across
 
 * all 8 machines (tail, gc, stack, evlis, free, sfs, bigloo, mta),
-* both steppers (the gen-2 fused live stepper and the preserved seed
-  stepper, which steps one verbatim Figure 5 transition at a time),
+* three steppers (the gen-3 register-bytecode tier with loop
+  reconstruction, the gen-2 fused stepper with gen-3 off, and the
+  preserved seed stepper, which steps one verbatim Figure 5
+  transition at a time),
 * both metering engines (delta and reference) under
 * both accountings (Figure 7 total and Figure 8 linked),
 
@@ -37,8 +39,7 @@ from hypothesis import strategies as st
 from repro.compiler.prepass import clear_prepass_caches
 from repro.machine.answer import answer_string
 from repro.machine.errors import StuckError
-from repro.machine.reference_step import make_seed_stepper
-from repro.machine.variants import ALL_MACHINES, make_machine
+from repro.machine.variants import ALL_MACHINES, make_stepper
 from repro.space.consumption import prepare_input, prepare_program
 from repro.space.meter import run_metered, run_to_final
 
@@ -150,20 +151,24 @@ def observe(thunk) -> str:
         return f"{type(error).__name__}: {error}"
 
 
+#: The stepper axis of the matrix.  The metered cells step one
+#: transition at a time, so gen-3 batching never fires there — the
+#: gen-3 column earns its keep on the unmetered (batched) driver,
+#: where the register bytecode and the reconstructed loops run.
+MATRIX_STEPPERS = ("gen3", "gen2", "seed")
+
+
 def matrix_answers(source: str, argument: str = ARGUMENT) -> dict:
     """Observable outcomes for every cell of machine x stepper x
-    engine x accounting (metered) plus the unmetered fused driver."""
+    engine x accounting (metered) plus the unmetered batched driver."""
     program_expr = prepare_program(source)
     argument_expr = prepare_input(argument)
     answers = {}
     for name in ALL_MACHINE_NAMES:
-        for stepper, factory in (
-            ("gen2", make_machine),
-            ("seed", make_seed_stepper),
-        ):
+        for stepper in MATRIX_STEPPERS:
             answers[(name, stepper, "unmetered", "-")] = observe(
                 lambda: answer_string(run_to_final(
-                    factory(name), program_expr, argument_expr,
+                    make_stepper(name, stepper), program_expr, argument_expr,
                     step_limit=FUEL,
                 )[0])
             )
@@ -171,7 +176,7 @@ def matrix_answers(source: str, argument: str = ARGUMENT) -> dict:
                 for accounting in ("S", "U"):
                     answers[(name, stepper, engine, accounting)] = observe(
                         lambda: answer_string(run_metered(
-                            factory(name),
+                            make_stepper(name, stepper),
                             program_expr,
                             argument_expr,
                             engine=engine,
@@ -214,25 +219,30 @@ def test_random_programs_observationally_equivalent(body):
 
 @given(random_bodies, st.sampled_from(ALL_MACHINE_NAMES))
 @settings(max_examples=40, deadline=None)
-def test_random_programs_gen2_matches_seed_step_count(body, machine_name):
-    """Beyond the answer: the fused stepper takes *exactly* as many
-    transitions as the seed stepper — fusion batches steps, it never
-    removes them."""
+def test_random_programs_compiled_tiers_match_seed_step_count(
+    body, machine_name
+):
+    """Beyond the answer: the compiled steppers take *exactly* as many
+    transitions as the seed stepper — fusion and loop reconstruction
+    batch steps, they never remove them."""
     clear_prepass_caches()
     program_expr = prepare_program(wrap(body))
     argument_expr = prepare_input(ARGUMENT)
 
-    def outcome(factory):
+    def outcome(stepper):
         try:
             final, steps = run_to_final(
-                factory(machine_name), program_expr, argument_expr,
+                make_stepper(machine_name, stepper),
+                program_expr, argument_expr,
                 step_limit=FUEL,
             )
         except StuckError as error:
             return f"{type(error).__name__}: {error}", None
         return answer_string(final), steps
 
-    assert outcome(make_machine) == outcome(make_seed_stepper)
+    seed = outcome("seed")
+    assert outcome("gen3") == seed
+    assert outcome("gen2") == seed
 
 
 # ---------------------------------------------------------------------------

@@ -41,7 +41,7 @@ from repro.machine.policy import (
     identity_permutation,
 )
 from repro.machine.reference_step import SEED_STEPPERS, make_seed_stepper
-from repro.machine.variants import ALL_MACHINES, make_machine
+from repro.machine.variants import ALL_MACHINES, make_machine, make_stepper
 from repro.programs.corpus import load_corpus
 from repro.programs.separators import SEPARATORS
 from repro.space.consumption import prepare_input, prepare_program
@@ -214,7 +214,13 @@ def _fingerprint(configuration):
     values (repr) and identity-based for code (the two steppers share
     the same AST objects)."""
     store = configuration.store
-    store_sig = (len(store), store.space_bignum, store.space_fixed)
+    store_sig = (
+        len(store),
+        store.space_bignum,
+        store.space_fixed,
+        store.linked_structural(),
+        store.linked_structural(fixed_precision=True),
+    )
     if configuration.is_final:
         return ("final", repr(configuration.value), store_sig)
     control = (
@@ -496,7 +502,7 @@ GEN2_LIMITS = (1, 2, 3, 5, 8, 13)
 
 
 def _batched_lockstep(machine_name, source, argument=None,
-                      limits=GEN2_LIMITS):
+                      limits=GEN2_LIMITS, stepper="annotated"):
     program = prepare_program(source)
     argument = prepare_input(argument)
     if argument is not None:
@@ -515,7 +521,7 @@ def _batched_lockstep(machine_name, source, argument=None,
         raise AssertionError(f"no final configuration in {LOCKSTEP_LIMIT}")
     total = len(trace) - 1
     for limit in (*limits, total):
-        machine = make_machine(machine_name)
+        machine = make_stepper(machine_name, stepper)
         state = machine.inject(program, argument)
         done = 0
         while done < total:
@@ -630,3 +636,171 @@ def test_quickened_lookup_matches_named_lookup(body, machine_name):
         state = stepper.step(state)
     else:
         raise AssertionError("no final configuration")
+
+
+# ---------------------------------------------------------------------------
+# Gen-3 register bytecode: batched lockstep against the seed stepper
+# ---------------------------------------------------------------------------
+
+# The gen-3 tier compiles lambda bodies to register bytecode and
+# reconstructs self-tail cycles as direct loops; like the gen-2 pass
+# it only fires inside run_steps.  These tests drive run_steps with
+# the gen-3 tier named explicitly at every batch size 1..13 (and the
+# whole run), against the seed stepper's exact per-step fingerprints —
+# which carry the store's flat AND linked space numbers at both
+# precisions, so every batch boundary checks both accountings.  The
+# generated-function headroom is forced to 0 so the compiled tier
+# engages even when a batch budget is tiny.
+
+#: One program per edge of the bytecode pass / loop reconstruction.
+GEN3_PROGRAMS = {
+    # The canonical reconstructable loop: one self-tail back edge.
+    "counting-loop": """
+        (define (loop n) (if (zero? n) 'done (loop (- n 1))))
+        (loop 20)
+        """,
+    # Multi-register loop: every iteration rebinds three registers.
+    "accumulator-loop": """
+        (define (loop i acc s)
+          (if (zero? i) (+ acc s) (loop (- i 1) (+ acc i) (* s 1))))
+        (loop 12 0 1)
+        """,
+    # A non-tail call inside the loop body: the loop frame must push
+    # and the callee must return into the loop's registers.
+    "nontail-in-loop": """
+        (define (double x) (+ x x))
+        (define (loop n acc)
+          (if (zero? n) acc (loop (- n 1) (+ acc (double n)))))
+        (loop 9 0)
+        """,
+    # A closure allocated per iteration (the sfs/free restriction and
+    # the closure-tag allocation both happen inside the loop header).
+    "closure-in-loop": """
+        (define (loop n f)
+          (if (zero? n) (f 0) (loop (- n 1) (lambda (x) (+ x n)))))
+        (loop 8 (lambda (x) x))
+        """,
+    # Mutation in the loop body: set! keeps the store visible at every
+    # boundary (and excludes the name from quickening).
+    "mutation-in-loop": """
+        (define total '0)
+        (define (loop n)
+          (if (zero? n) total
+              (begin (set! total (+ total n)) (loop (- n 1)))))
+        (loop 10)
+        """,
+    # An escape captured outside and invoked inside the loop: the
+    # compiled frame must deopt through the continuation.
+    "escape-from-loop": """
+        (define (loop n k) (if (zero? n) (k 42) (loop (- n 1) k)))
+        (call-with-current-continuation (lambda (k) (loop 7 k)))
+        """,
+    # Two mutually nested loops: the inner self-loop reconstructs and
+    # the outer one re-enters it each iteration.
+    "nested-loops": """
+        (define (inner i acc)
+          (if (zero? i) acc (inner (- i 1) (+ acc 1))))
+        (define (outer n acc)
+          (if (zero? n) acc (outer (- n 1) (inner n acc))))
+        (outer 6 0)
+        """,
+    # Argument-evaluation order inside the back edge: operands with
+    # effects must commit in seed order at the loop header.
+    "effects-in-back-edge": """
+        (define (loop n a b)
+          (if (zero? n) (cons a b)
+              (loop (- n 1) (cons n a) (cons (car (cons n a)) b))))
+        (car (car (loop 8 (cons 0 '()) '())))
+        """,
+}
+
+GEN3_LIMITS = tuple(range(1, 14))
+
+
+@pytest.fixture
+def _gen3_zero_headroom(monkeypatch):
+    import repro.machine.machine as machine_mod
+
+    monkeypatch.setattr(machine_mod, "_GEN3_FN_HEADROOM", 0)
+
+
+@pytest.mark.parametrize("name", sorted(GEN3_PROGRAMS), ids=str)
+@pytest.mark.parametrize("machine_name", ALL_MACHINE_NAMES)
+def test_gen3_batched_lockstep(machine_name, name, _gen3_zero_headroom):
+    _batched_lockstep(
+        machine_name, GEN3_PROGRAMS[name],
+        limits=GEN3_LIMITS, stepper="gen3",
+    )
+
+
+def test_gen3_loops_actually_reconstruct():
+    """The audit pipeline agrees the dedicated loop programs compile:
+    the canonical candidates become direct loops, so the batched tests
+    above genuinely exercise the reconstructed tier."""
+    from repro.analysis.loops import loop_candidates
+
+    for name in ("counting-loop", "accumulator-loop", "nontail-in-loop"):
+        rows = loop_candidates(name, GEN3_PROGRAMS[name])
+        assert rows, name
+        assert any(row.reconstructed for row in rows), name
+    rows = loop_candidates("fib-corpus", _corpus_source("fib"))
+    assert any(row.reconstructed for row in rows)
+
+
+def _corpus_source(name):
+    from repro.programs.corpus import load_program
+
+    return load_program(name).source
+
+
+# ---------------------------------------------------------------------------
+# Gen-3 property: loop-reconstructed == non-reconstructed, per step
+# ---------------------------------------------------------------------------
+
+
+def _space_profile(machine_name, stepper, program, argument):
+    """Drive one run in batches of 1 through run_steps (the only path
+    the compiled tiers fire on) and record everything observable:
+    answer, step count, and the running sup / peak step of the store's
+    exact space — per-step resolution, so a loop body that allocated
+    differently (or at a different step) would change the profile."""
+    machine = make_stepper(machine_name, stepper)
+    state = machine.inject(program, argument)
+    steps = 0
+    sup = state.store.space_bignum
+    peak = 0
+    while not state.is_final:
+        if steps >= LOCKSTEP_LIMIT:
+            raise AssertionError("no final configuration")
+        state, taken = machine.run_steps(state, 1)
+        assert taken == 1, (machine_name, stepper, steps)
+        steps += taken
+        space = state.store.space_bignum
+        if space > sup:
+            sup, peak = space, steps
+    return (repr(state.value), steps, sup, peak)
+
+
+@given(random_bodies, st.sampled_from(ALL_MACHINE_NAMES))
+@settings(max_examples=40, deadline=None)
+def test_gen3_loop_vs_noloop_on_random_programs(body, machine_name):
+    """A random body inside a self-tail loop: the gen-3 run (loops
+    reconstructed, headroom 0) and the gen-2 run (gen-3 off) agree on
+    answer, step count, sup space, and peak step."""
+    import repro.machine.machine as machine_mod
+
+    program = prepare_program(
+        "(define (loop i acc)"
+        "  (if (zero? i) (length acc)"
+        f"     (loop (- i 1) (cons (let ((a i) (b 1)) {body}) acc))))"
+        "(define (f n) (loop n '()))"
+    )
+    argument = prepare_input("4")
+    old = machine_mod._GEN3_FN_HEADROOM
+    machine_mod._GEN3_FN_HEADROOM = 0
+    try:
+        with_loops = _space_profile(machine_name, "gen3", program, argument)
+        without = _space_profile(machine_name, "gen2", program, argument)
+    finally:
+        machine_mod._GEN3_FN_HEADROOM = old
+    assert with_loops == without, machine_name
