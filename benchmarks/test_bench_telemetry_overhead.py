@@ -204,3 +204,78 @@ def test_bench_metered_telemetry_ratio(overhead_log):
         "full_stack_steps_per_second": round(stacked_rate, 1),
         "slowdown": round(bare_rate / stacked_rate, 2),
     }
+
+
+BLAME_SEPARATOR = "gc-vs-tail"
+BLAME_N = 256
+BLAME_ROUNDS = 3
+BLAME_MIN_SPEEDUP = 3.0
+
+
+@pytest.mark.telemetry_overhead
+def test_bench_blame_sampling_speedup(overhead_log):
+    """Incremental blame against the from-scratch profiler at equal
+    sample rate on the gc-vs-tail separator (the acceptance criterion:
+    >= 3x steps/second at ``every=1``, byte-identical profiles).
+
+    The gate pins ``every=1`` because that is where per-sample cost
+    dominates: from-scratch blame walks the whole configuration at
+    every transition, while the incremental profiler snapshots a dict
+    the meter hooks kept current.  The ``every=64`` rates are recorded
+    too, honestly — at sparse cadences the per-transition hook tax
+    cancels the per-sample win (~1x), so incremental mode only pays
+    when samples are dense."""
+    from repro.programs.separators import SEPARATORS_BY_NAME
+    from repro.telemetry.blame import BlameProfiler
+
+    source = SEPARATORS_BY_NAME[BLAME_SEPARATOR].source
+    program = prepare_program(source)
+    argument = prepare_input(str(BLAME_N))
+
+    def profiled(every, incremental, linked):
+        best, profiler = 0.0, None
+        for _ in range(BLAME_ROUNDS):
+            profiler = BlameProfiler(every=every, incremental=incremental)
+            machine = make_machine("gc")
+            start = time.perf_counter()
+            result = run_metered(
+                machine, program, argument, linked=linked, blame=profiler
+            )
+            elapsed = time.perf_counter() - start
+            best = max(best, result.steps / elapsed)
+        return profiler, best
+
+    section = {
+        "workload": f"{BLAME_SEPARATOR} N={BLAME_N} on gc",
+        "min_speedup": BLAME_MIN_SPEEDUP,
+    }
+    for accounting, linked in (("flat", False), ("linked", True)):
+        scratch, scratch_rate = profiled(1, False, linked)
+        inc, inc_rate = profiled(1, True, linked)
+        # Equal sample rate, identical profiles: the incremental
+        # snapshot must match the from-scratch walk at every sample,
+        # not just at the peak.
+        assert inc.incremental_samples > 0
+        assert scratch.incremental_samples == 0
+        assert (inc.peak_space, inc.peak_step, inc.at_peak) == (
+            scratch.peak_space, scratch.peak_step, scratch.at_peak
+        )
+        assert inc.series().as_dict() == scratch.series().as_dict()
+        _, scratch64_rate = profiled(64, False, linked)
+        _, inc64_rate = profiled(64, True, linked)
+        speedup = inc_rate / scratch_rate
+        section[accounting] = {
+            "from_scratch_steps_per_second": round(scratch_rate, 1),
+            "incremental_steps_per_second": round(inc_rate, 1),
+            "speedup": round(speedup, 2),
+            "from_scratch_every64_steps_per_second": round(
+                scratch64_rate, 1
+            ),
+            "incremental_every64_steps_per_second": round(inc64_rate, 1),
+            "speedup_every64": round(inc64_rate / scratch64_rate, 2),
+        }
+        assert speedup >= BLAME_MIN_SPEEDUP, (
+            f"{accounting}: incremental blame {inc_rate:.0f}/s is only "
+            f"{speedup:.2f}x the from-scratch {scratch_rate:.0f}/s"
+        )
+    overhead_log["blame_sampling"] = section

@@ -46,7 +46,7 @@ from .harness.sweep import (
 from .machine.variants import ALL_MACHINES, STEPPERS
 from .programs.corpus import load_corpus
 from .space.asymptotics import fit_growth, is_bounded
-from .space.meter import ENGINES
+from .space.meter import DEFAULT_CHECKPOINT_EVERY, ENGINES
 
 
 def _read_source(path: str) -> str:
@@ -152,7 +152,68 @@ def _cmd_census(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default corpus slice for ``analyze --meter-audit``: allocation- and
+#: mutation-heavy programs where the generational engine's region
+#: behavior (nursery rescans, promotions, remembered sets) is visible.
+METER_AUDIT_PROGRAMS = ("fib", "sieve", "deriv", "destruct", "nqueens", "tak")
+
+
+def _cmd_meter_audit(args: argparse.Namespace) -> int:
+    from .programs.corpus import corpus_names, load_program
+    from .space.consumption import measure
+
+    names = args.programs or list(METER_AUDIT_PROGRAMS)
+    bundled = set(corpus_names())
+    rows = []
+    for name in names:
+        if name in bundled:
+            entry = load_program(name)
+            source, argument = entry.source, entry.default_input
+        else:
+            source, argument = _read_source(name), None
+        for mode in ("exact", "sampled"):
+            result = measure(
+                args.machine,
+                source,
+                argument,
+                engine="generational",
+                meter=mode,
+                step_limit=2_000_000,
+            )
+            stats = result.meter_stats or {}
+            rows.append([
+                name,
+                mode,
+                result.steps,
+                stats.get("collections", 0),
+                stats.get("trials", 0),
+                stats.get("trial_skips", 0),
+                stats.get("nursery_scans", 0),
+                stats.get("nursery_scanned", 0),
+                stats.get("promotions", 0),
+                stats.get("remembered_size", 0),
+                stats.get("tenure_floor", 0),
+                stats.get("trips", "-"),
+                stats.get("certified", "-"),
+            ])
+    print(render_table(
+        [
+            "program", "meter", "steps", "collect", "trials", "skips",
+            "scans", "scanned", "promote", "remem", "floor", "trips",
+            "cert",
+        ],
+        rows,
+        title=(
+            f"generational meter audit [{args.machine}] — per-region "
+            "rescan counts and remembered-set sizes"
+        ),
+    ))
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if getattr(args, "meter_audit", False):
+        return _cmd_meter_audit(args)
     if args.loops:
         from .analysis.loops import loop_candidates, loops_table
 
@@ -185,12 +246,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     source = _read_source(args.program)
     ns = tuple(int(n) for n in args.ns.split(","))
     machines = args.machine.split(",")
+    if args.meter == "sampled" and (
+        args.metrics or args.trace_sample or args.blame_every
+    ):
+        raise SystemExit(
+            "sweep: --meter sampled has no per-transition observation "
+            "points; drop --metrics/--trace-sample/--blame-every or "
+            "use --meter exact"
+        )
     cells = grid_cells(
         {(machine,): source for machine in machines},
         ns,
         fixed_precision=args.fixed_precision,
         linked=args.linked,
         engine=args.engine,
+        meter=args.meter,
+        checkpoint_every=args.checkpoint_every,
         metrics=bool(args.metrics),
         trace_sample=args.trace_sample,
         blame_every=args.blame_every,
@@ -500,6 +571,17 @@ def build_parser() -> argparse.ArgumentParser:
         "candidates: what the bytecode pass compiled and which "
         "back edges became direct loops",
     )
+    analyze_parser.add_argument(
+        "--meter-audit", action="store_true",
+        help="run the generational metering engine (exact and sampled) "
+        "over corpus programs (or the given files) and report "
+        "per-region rescan counts — nursery scans, trial walks, "
+        "verdict-cache skips — promotions, and remembered-set sizes",
+    )
+    analyze_parser.add_argument(
+        "--machine", default="gc", choices=sorted(ALL_MACHINES),
+        help="machine for --meter-audit runs (default gc)",
+    )
     analyze_parser.set_defaults(handler=_cmd_analyze)
 
     dynamic_parser = commands.add_parser(
@@ -535,7 +617,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--engine", default="delta", choices=ENGINES,
-        help="metering engine (both report identical numbers)",
+        help="metering engine (all report identical numbers)",
+    )
+    sweep_parser.add_argument(
+        "--meter", default="exact", choices=("exact", "sampled"),
+        help="space meter: exact (measure every transition, the "
+        "Definition 21 schedule made observable) or sampled (the "
+        "checkpointed sampling meter — identical numbers, exact "
+        "measurement only at checkpoints and allocation bursts; "
+        "incompatible with per-cell telemetry)",
+    )
+    sweep_parser.add_argument(
+        "--checkpoint-every", type=int, default=DEFAULT_CHECKPOINT_EVERY,
+        metavar="K",
+        help="sampled meter: take an exact measurement at least every "
+        f"K transitions (default {DEFAULT_CHECKPOINT_EVERY})",
     )
     sweep_parser.add_argument(
         "--metrics", metavar="PATH",

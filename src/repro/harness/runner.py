@@ -19,9 +19,11 @@ from ..machine.values import Value
 from ..machine.variants import REFERENCE_MACHINES, make_stepper
 from ..space.consumption import prepare_input, prepare_program
 from ..space.meter import (
+    DEFAULT_CHECKPOINT_EVERY,
     DEFAULT_STEP_LIMIT,
     MeterResult,
     run_metered,
+    run_sampled,
     run_to_final,
 )
 from ..syntax.ast import Expr
@@ -50,9 +52,11 @@ def run(
     argument: Optional[Source] = None,
     machine: str = "tail",
     *,
-    meter: bool = False,
+    meter: Union[bool, str] = False,
     linked: bool = False,
     fixed_precision: bool = False,
+    engine: str = "delta",
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     policy: Optional[Policy] = None,
     strict: bool = False,
     gc_interval: int = 1,
@@ -65,9 +69,15 @@ def run(
 ) -> RunResult:
     """Run *program* (optionally applied to *argument*).
 
-    With ``meter=True`` the run is a Definition 21 space-efficient
-    computation and the result carries sup-space and S_X; without it
-    the run uses a relaxed GC schedule and is much faster.
+    With ``meter=True`` (equivalently ``meter="exact"``) the run is a
+    Definition 21 space-efficient computation and the result carries
+    sup-space and S_X; without it the run uses a relaxed GC schedule
+    and is much faster.  ``meter="sampled"`` selects the checkpointed
+    sampling meter (:func:`repro.space.meter.run_sampled`): identical
+    numbers, exact measurement only every ``checkpoint_every``
+    transitions plus at allocation-burst watermarks, no telemetry.
+    ``engine`` picks the metering engine (``"delta"``,
+    ``"generational"``, ``"reference"``).
 
     ``strict=True`` enforces the full section 12 Program/Input
     conditions (atomic constants only, free variables bound in rho_0);
@@ -92,8 +102,14 @@ def run(
     the machine's run driver (step/apply events only — space is not
     measured on unmetered runs, and ``blame`` requires the meter).
     """
-    if blame is not None and not meter:
-        raise ValueError("blame profiling requires meter=True")
+    if meter is True:
+        meter = "exact"
+    if meter not in (False, "exact", "sampled"):
+        raise ValueError(f"unknown meter mode: {meter!r}")
+    if blame is not None and meter != "exact":
+        raise ValueError("blame profiling requires the exact meter")
+    if meter == "sampled" and (trace is not None or metrics is not None):
+        raise ValueError("telemetry requires the exact meter")
     program_expr = prepare_program(program)
     argument_expr = prepare_input(argument)
     names = primitive_names()
@@ -101,20 +117,34 @@ def run(
     if argument_expr is not None:
         validate(argument_expr, names, strict=strict)
 
-    engine = make_stepper(machine, stepper, policy=policy)
+    stepper_machine = make_stepper(machine, stepper, policy=policy)
     if meter:
-        result: MeterResult = run_metered(
-            engine,
-            program_expr,
-            argument_expr,
-            linked=linked,
-            fixed_precision=fixed_precision,
-            gc_interval=gc_interval,
-            step_limit=step_limit,
-            trace=trace,
-            metrics=metrics,
-            blame=blame,
-        )
+        if meter == "sampled":
+            result: MeterResult = run_sampled(
+                stepper_machine,
+                program_expr,
+                argument_expr,
+                linked=linked,
+                fixed_precision=fixed_precision,
+                checkpoint_every=checkpoint_every,
+                gc_interval=gc_interval,
+                step_limit=step_limit,
+                engine=engine,
+            )
+        else:
+            result = run_metered(
+                stepper_machine,
+                program_expr,
+                argument_expr,
+                linked=linked,
+                fixed_precision=fixed_precision,
+                gc_interval=gc_interval,
+                step_limit=step_limit,
+                engine=engine,
+                trace=trace,
+                metrics=metrics,
+                blame=blame,
+            )
         return RunResult(
             machine=machine,
             answer=answer_string(result.final, answer_limit),
@@ -126,10 +156,10 @@ def run(
     if trace is not None:
         trace.meta.update(machine=machine, metered=False)
         trace.emit_phase("run", True)
-        engine.trace = trace
+        stepper_machine.trace = trace
     try:
         final, steps = run_to_final(
-            engine,
+            stepper_machine,
             program_expr,
             argument_expr,
             gc_interval=1024,
@@ -137,7 +167,7 @@ def run(
         )
     finally:
         if trace is not None:
-            engine.trace = None
+            stepper_machine.trace = None
             trace.emit_phase("run", False)
     if metrics is not None:
         metrics.counter("steps_total", machine=machine).inc(steps)

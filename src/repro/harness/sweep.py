@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..space.consumption import Consumption, measure
-from ..space.meter import DEFAULT_STEP_LIMIT
+from ..space.meter import DEFAULT_CHECKPOINT_EVERY, DEFAULT_STEP_LIMIT
 
 
 @dataclass(frozen=True)
@@ -46,6 +46,13 @@ class SweepCell:
     linked: bool = False
     fixed_precision: bool = False
     engine: str = "delta"
+    #: ``"exact"`` (the per-step Definition 21 meter) or ``"sampled"``
+    #: (the checkpointed sampling meter — same numbers, fewer exact
+    #: measurements; incompatible with the telemetry fields below).
+    meter: str = "exact"
+    #: Sampled-meter checkpoint cadence (exact measurement at least
+    #: every this many transitions).
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
     gc_interval: int = 1
     step_limit: int = DEFAULT_STEP_LIMIT
     metrics: bool = False
@@ -132,6 +139,8 @@ def run_cell(cell: SweepCell) -> SweepOutcome:
             linked=cell.linked,
             fixed_precision=cell.fixed_precision,
             engine=cell.engine,
+            meter=cell.meter,
+            checkpoint_every=cell.checkpoint_every,
             gc_interval=cell.gc_interval,
             step_limit=cell.step_limit,
             metrics=registry,

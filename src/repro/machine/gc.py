@@ -49,6 +49,45 @@ Two collectors implement the rule:
   chains; rather than reference-count frames the tracker raises
   :attr:`RefTracker.saw_escape` and the meter falls back to the
   canonical collector for the rest of the run.
+
+Constructed with ``generational=True`` (the ``engine="generational"``
+meter), the tracker additionally partitions locations by a *tenure
+floor*: locations below the floor are tenured, locations at or above
+it are the nursery.  Allocation order makes the partition a single
+cursor comparison — locations are monotone, so "recently allocated" is
+literally "numerically large".  Three mechanisms keep collections from
+rescanning cold (tenured) state:
+
+* the unrooted-anchor set is maintained *incrementally* (root-count
+  transitions, the write barrier, and deletions update it), replacing
+  the per-collection O(|anchors|) rescan;
+* a trial deletion that proves an unrooted anchor's subgraph fully
+  live, with the subgraph entirely tenured, caches that verdict
+  against the *tenured epoch* — a counter bumped only by mutations of
+  tenured cells — so the dormant letrec clusters that dominate cold
+  regions are re-examined only when tenured state actually changed;
+* when every unrooted anchor is decided live (cached verdict or a
+  zero-reclaim trial), the suspects are cleared *without* the
+  conservative canonical trace: if all trials fit the budget and free
+  nothing, a source SCC of any remaining garbage would have had no
+  external references and been freed, so no garbage remains.
+
+Promotion is driven by survival count: every ``nursery_span``
+allocations the live nursery is scanned once, each survivor's count
+incremented, and the floor advanced past the leading run of cells
+that survived ``promote_after`` scans.  A write barrier records
+tenured cells whose value references the nursery (the remembered set
+— old-to-young edges, reported by ``repro analyze --meter-audit``
+together with per-region scan counters in :attr:`RefTracker.stats`).
+The reclaimed locations per GC-rule application are *identical* to the
+plain delta tracker's — the equivalence suite holds generational ==
+delta == reference on answer/sup/peak/collected.
+
+Both collectors accept ``pin_from``: locations at or above the pin are
+never reclaimed (treated as externally referenced).  The sampled meter
+uses this to reconstruct the exact pre-GC store of a step
+retroactively — collect against the *previous* configuration's roots
+while pinning everything the step just allocated.
 """
 
 from __future__ import annotations
@@ -119,14 +158,24 @@ def state_roots(state: State):
     return values, state.env, state.kont
 
 
-def collect(state: State, bus=None) -> int:
+def collect(state: State, bus=None, pin_from: Optional[int] = None) -> int:
     """Apply the GC rule exhaustively: remove every unreachable
     location.  Returns the number of locations collected.  *bus* is an
     optional trace bus; nonzero reclamations are published to it as
-    ``gc``/``canonical`` events."""
+    ``gc``/``canonical`` events.  Locations >= *pin_from* are kept
+    regardless of reachability (the sampled meter's retro-exact
+    reconstruction pins the current step's allocations while
+    collecting against the previous configuration's roots)."""
     values, env, kont = state_roots(state)
     live = reachable_locations(state.store, values, env, kont)
-    garbage = [loc for loc in state.store.locations() if loc not in live]
+    if pin_from is None:
+        garbage = [loc for loc in state.store.locations() if loc not in live]
+    else:
+        garbage = [
+            loc
+            for loc in state.store.locations()
+            if loc < pin_from and loc not in live
+        ]
     if garbage:
         state.store.delete_many(garbage)
         if bus is not None:
@@ -134,10 +183,17 @@ def collect(state: State, bus=None) -> int:
     return len(garbage)
 
 
-def collect_final(final: Final, bus=None) -> int:
+def collect_final(final: Final, bus=None, pin_from: Optional[int] = None) -> int:
     """GC a final configuration (v, sigma): roots are v alone."""
     live = reachable_locations(final.store, (final.value,))
-    garbage = [loc for loc in final.store.locations() if loc not in live]
+    if pin_from is None:
+        garbage = [loc for loc in final.store.locations() if loc not in live]
+    else:
+        garbage = [
+            loc
+            for loc in final.store.locations()
+            if loc < pin_from and loc not in live
+        ]
     if garbage:
         final.store.delete_many(garbage)
         if bus is not None:
@@ -171,17 +227,33 @@ class RefTracker:
     #: falls back to the canonical trace for that application.
     TRIAL_BUDGET = 256
 
+    #: Allocations between nursery survival scans (generational mode).
+    NURSERY_SPAN = 512
+
+    #: Survival scans a nursery cell must live through before the
+    #: tenure floor may advance past it.
+    PROMOTE_AFTER = 2
+
     __slots__ = (
         "rc",
         "root_rc",
         "zeros",
         "suspects",
         "anchors",
+        "unrooted_anchors",
         "saw_escape",
         "bus",
+        "generational",
+        "tenure_floor",
+        "tenured_epoch",
+        "survival",
+        "remembered",
+        "_verdicts",
+        "_next_scan",
+        "stats",
     )
 
-    def __init__(self):
+    def __init__(self, generational: bool = False):
         #: Total (heap + root) reference count per location.
         self.rc: Dict[Location, int] = {}
         #: Root-only reference count per location.
@@ -197,11 +269,44 @@ class RefTracker:
         #: every store cycle passes through one (alloc-time edges point
         #: strictly backward), so anchors index all possible cycles.
         self.anchors: Set[Location] = set()
+        #: Anchors currently without root references, maintained
+        #: incrementally (root-count transitions, write barrier,
+        #: deletions) so reclaim never rescans the full anchor set.
+        self.unrooted_anchors: Set[Location] = set()
         self.saw_escape = False
         #: Optional trace bus; each nonzero reclamation is published as
         #: a ``gc`` event labelled ``delta`` (sweeps) or ``trial``
         #: (cycle trial deletions), partitioning the collected total.
         self.bus = None
+        #: Generational mode (see the module docstring).
+        self.generational = generational
+        #: Locations below the floor are tenured; at/above, nursery.
+        #: Zero in plain delta mode, making every region comparison on
+        #: the hot decrement paths a single always-false integer test.
+        self.tenure_floor: int = 0
+        #: Bumped by any mutation of a tenured location; cached
+        #: all-tenured trial verdicts are valid while it is unchanged.
+        self.tenured_epoch: int = 0
+        #: Survival-scan counts for live nursery locations.
+        self.survival: Dict[Location, int] = {}
+        #: Remembered set: tenured cells whose value references the
+        #: nursery (old-to-young edges recorded by the write barrier).
+        self.remembered: Set[Location] = set()
+        #: anchor -> tenured_epoch of a trial that proved its (fully
+        #: tenured) subgraph live while freeing nothing.
+        self._verdicts: Dict[Location, int] = {}
+        #: Allocation cursor at which the next survival scan runs.
+        self._next_scan: int = self.NURSERY_SPAN
+        #: Region observability counters for ``--meter-audit``.
+        self.stats: Dict[str, int] = {
+            "collections": 0,
+            "trials": 0,
+            "trial_nodes": 0,
+            "trial_skips": 0,
+            "nursery_scans": 0,
+            "nursery_scanned": 0,
+            "promotions": 0,
+        }
 
     # -- reference-count primitives ----------------------------------------
 
@@ -211,6 +316,10 @@ class RefTracker:
     def dec_heap(self, location: Location) -> None:
         count = self.rc[location] - 1
         self.rc[location] = count
+        if location < self.tenure_floor:
+            # Any decrement of a tenured location can turn a proven-
+            # live subgraph into garbage: invalidate cached verdicts.
+            self.tenured_epoch += 1
         if count == 0:
             self.zeros.add(location)
         elif self.anchors and self.root_rc.get(location, 0) == 0:
@@ -219,10 +328,14 @@ class RefTracker:
     def inc_root(self, location: Location) -> None:
         self.rc[location] = self.rc.get(location, 0) + 1
         self.root_rc[location] = self.root_rc.get(location, 0) + 1
+        if self.unrooted_anchors:
+            self.unrooted_anchors.discard(location)
 
     def dec_root(self, location: Location) -> None:
         count = self.rc[location] - 1
         self.rc[location] = count
+        if location < self.tenure_floor:
+            self.tenured_epoch += 1
         roots = self.root_rc[location] - 1
         if roots:
             self.root_rc[location] = roots
@@ -232,6 +345,8 @@ class RefTracker:
                 self.zeros.add(location)
             elif self.anchors:
                 self.suspects.add(location)
+                if location in self.anchors:
+                    self.unrooted_anchors.add(location)
             return
         if count == 0:
             self.zeros.add(location)
@@ -267,24 +382,53 @@ class RefTracker:
         self._dec_value_heap(old)
         if isinstance(new, Escape):
             self.saw_escape = True
+        floor = self.tenure_floor
+        tenured = location < floor
+        if tenured:
+            self.tenured_epoch += 1
         forward = False
+        young = False
         for reference in new.locations():
             self.inc_heap(reference)
             if reference >= location:
                 forward = True
+            if reference >= floor:
+                young = True
         if forward:
             # A forward (or self) edge: any cycle through this cell is
             # now possible.  The canonical case is letrec/define
             # initialization writing a recursive closure over its own
             # binding cell.
             self.anchors.add(location)
+            if self.root_rc.get(location, 0) == 0:
+                self.unrooted_anchors.add(location)
         else:
             self.anchors.discard(location)
+            if self.unrooted_anchors:
+                self.unrooted_anchors.discard(location)
+        if tenured:
+            # Write barrier: a tenured cell now referencing the nursery
+            # carries an old-to-young edge (every such edge is forward,
+            # so remembered is always a subset of the anchors).
+            if young:
+                self.remembered.add(location)
+            elif self.remembered:
+                self.remembered.discard(location)
 
     def on_delete(self, location: Location, value: Value) -> None:
         self._dec_value_heap(value)
+        if location < self.tenure_floor:
+            self.tenured_epoch += 1
+            if self.remembered:
+                self.remembered.discard(location)
         if self.anchors:
             self.anchors.discard(location)
+            if self.unrooted_anchors:
+                self.unrooted_anchors.discard(location)
+        if self.survival:
+            self.survival.pop(location, None)
+        if self._verdicts:
+            self._verdicts.pop(location, None)
 
     # -- priming and sweeping ----------------------------------------------
 
@@ -302,20 +446,31 @@ class RefTracker:
                 self.inc_heap(reference)
                 if reference >= location:
                     self.anchors.add(location)
+        # No roots are registered yet, so every anchor is unrooted.
+        self.unrooted_anchors = set(self.anchors)
+        if self.generational:
+            self._next_scan = store._next_location + self.NURSERY_SPAN
 
-    def sweep(self, store: Store) -> int:
+    def sweep(self, store: Store, pin_from: Optional[int] = None) -> int:
         """Apply the GC rule via the decrement cascade: delete every
         candidate whose count is zero, transitively.  Returns the
-        number of locations collected."""
+        number of locations collected.  Candidates at or above
+        *pin_from* are held out of the cascade (and restored to the
+        candidate set afterwards, so a later unpinned sweep sees
+        them)."""
         collected = 0
         zeros = self.zeros
         rc = self.rc
+        held: List[Location] = []
         while zeros:
             batch: List[Location] = []
             for location in zeros:
                 if rc.get(location, 0) == 0:
                     if location in store:
-                        batch.append(location)
+                        if pin_from is not None and location >= pin_from:
+                            held.append(location)
+                        else:
+                            batch.append(location)
                     else:
                         rc.pop(location, None)
                         self.root_rc.pop(location, None)
@@ -326,17 +481,29 @@ class RefTracker:
             # deleted values' references and refilling ``zeros``.
             store.delete_many(batch)
             collected += len(batch)
+        if held:
+            zeros.update(held)
         return collected
 
-    def _trial_reclaim(self, store: Store, anchor: Location) -> Optional[int]:
+    def _trial_reclaim(
+        self,
+        store: Store,
+        anchor: Location,
+        pin_from: Optional[int] = None,
+    ) -> Optional[int]:
         """Bounded trial deletion of the subgraph reachable from an
         unrooted *anchor*.  Any garbage cycle through the anchor lies
         inside that subgraph; a member is externally referenced exactly
         when its total count exceeds its subgraph-internal in-degree.
         Members neither externally referenced nor reachable from one
         are garbage and are deleted.  Returns the number reclaimed, or
-        None when the subgraph exceeds the budget."""
+        None when the subgraph exceeds the budget.  Locations at or
+        above *pin_from* count as externally referenced.  A trial that
+        frees nothing over an entirely tenured subgraph caches an
+        epoch-stamped liveness verdict for the anchor."""
         budget = self.TRIAL_BUDGET
+        floor = self.tenure_floor
+        all_tenured = True
         subgraph: Dict[Location, Tuple[Location, ...]] = {}
         stack: List[Location] = [anchor]
         while stack:
@@ -345,16 +512,29 @@ class RefTracker:
                 continue
             if len(subgraph) >= budget:
                 return None
+            if location >= floor:
+                all_tenured = False
             references = store.read(location).locations()
             subgraph[location] = references
             stack.extend(references)
+        self.stats["trials"] += 1
+        self.stats["trial_nodes"] += len(subgraph)
         internal: Dict[Location, int] = dict.fromkeys(subgraph, 0)
         for references in subgraph.values():
             for reference in references:
                 if reference in internal:
                     internal[reference] += 1
         rc = self.rc
-        live = [loc for loc in subgraph if rc.get(loc, 0) > internal[loc]]
+        if pin_from is None:
+            live = [
+                loc for loc in subgraph if rc.get(loc, 0) > internal[loc]
+            ]
+        else:
+            live = [
+                loc
+                for loc in subgraph
+                if loc >= pin_from or rc.get(loc, 0) > internal[loc]
+            ]
         alive: Set[Location] = set(live)
         while live:
             for reference in subgraph[live.pop()]:
@@ -367,9 +547,15 @@ class RefTracker:
             # itself, so the deletion hooks drive those counts to zero
             # and the next sweep purges the entries.
             store.delete_many(garbage)
+        elif self.generational and all_tenured and pin_from is None:
+            # Fully live, fully tenured: re-examining this anchor is
+            # pointless until some tenured location is mutated.
+            self._verdicts[anchor] = self.tenured_epoch
         return len(garbage)
 
-    def reclaim(self, store: Store) -> Tuple[int, bool]:
+    def reclaim(
+        self, store: Store, pin_from: Optional[int] = None
+    ) -> Tuple[int, bool]:
         """One application of the GC rule: sweep the zero candidates,
         then resolve cycle suspects.  Returns (locations collected,
         canonical trace still required).
@@ -380,38 +566,111 @@ class RefTracker:
         so the values of a stream's ``gc`` events sum to the meter's
         ``collected`` total."""
         bus = self.bus
-        collected = self.sweep(store)
+        self.stats["collections"] += 1
+        generational = self.generational
+        collected = self.sweep(store, pin_from)
         if bus is not None and collected:
             bus.emit_gc("delta", collected)
         while self.suspects:
             unrooted = [
                 anchor
-                for anchor in self.anchors
-                if anchor in store and anchor not in self.root_rc
+                for anchor in self.unrooted_anchors
+                if anchor in store
             ]
             if not unrooted:
                 # Every cycle passes through an anchor and every live
                 # anchor is rooted, so every cycle is live: the
                 # suspects are refcount-exact leftovers.
                 self.suspects.clear()
-                return collected, False
+                break
+            if generational:
+                epoch = self.tenured_epoch
+                verdicts = self._verdicts
+                pending = []
+                for anchor in unrooted:
+                    if verdicts.get(anchor) == epoch:
+                        self.stats["trial_skips"] += 1
+                    else:
+                        pending.append(anchor)
+                unrooted = pending
             progress = 0
             for anchor in unrooted:
-                freed = self._trial_reclaim(store, anchor)
+                freed = self._trial_reclaim(store, anchor, pin_from)
                 if freed is None:
                     return collected, True
                 progress += freed
             if not progress:
+                if generational:
+                    # Every unrooted anchor's trial fit the budget and
+                    # freed nothing (this round or, cached, since the
+                    # last tenured mutation).  Any remaining garbage
+                    # would have a source SCC with no external
+                    # references inside some unrooted anchor's
+                    # subgraph, and that trial would have freed it —
+                    # so no garbage remains and the conservative
+                    # canonical trace can be skipped.  It would have
+                    # reclaimed nothing, so the collected totals stay
+                    # identical to the plain delta engine's.
+                    self.suspects.clear()
+                    break
                 # Unrooted anchors kept alive through heap references
                 # the local analysis cannot rule on: trace once.
                 return collected, True
-            swept = self.sweep(store)
+            swept = self.sweep(store, pin_from)
             if bus is not None:
                 bus.emit_gc("trial", progress)
                 if swept:
                     bus.emit_gc("delta", swept)
             collected += progress + swept
+        if generational and store._next_location >= self._next_scan:
+            self._promote(store)
         return collected, False
+
+    def _promote(self, store: Store) -> None:
+        """Survival scan of the live nursery.  Each surviving location's
+        count is incremented; the tenure floor advances past the
+        leading run of locations that survived ``PROMOTE_AFTER`` scans
+        (the floor is a cursor, so only a prefix of the nursery can be
+        promoted).  The remembered set is rebuilt from the anchors —
+        every old-to-young edge is a forward edge, so tenured cells
+        referencing the nursery are always anchors — which also prunes
+        entries the floor movement made stale."""
+        floor = self.tenure_floor
+        survival = self.survival
+        cells = store._cells
+        nursery: List[Location] = []
+        for location in reversed(cells):
+            if location < floor:
+                break
+            nursery.append(location)
+        nursery.reverse()
+        self.stats["nursery_scans"] += 1
+        self.stats["nursery_scanned"] += len(nursery)
+        promote_after = self.PROMOTE_AFTER
+        new_floor = floor
+        promoted = 0
+        leading = True
+        for location in nursery:
+            count = survival.get(location, 0) + 1
+            if leading and count >= promote_after:
+                new_floor = location + 1
+                survival.pop(location, None)
+                promoted += 1
+            else:
+                leading = False
+                survival[location] = count
+        if promoted:
+            self.tenure_floor = new_floor
+            self.stats["promotions"] += promoted
+            remembered: Set[Location] = set()
+            for location in self.anchors:
+                if location < new_floor and location in cells and any(
+                    reference >= new_floor
+                    for reference in cells[location].locations()
+                ):
+                    remembered.add(location)
+            self.remembered = remembered
+        self._next_scan = store._next_location + self.NURSERY_SPAN
 
     def note_canonical(self, store: Store) -> None:
         """Reconcile after a canonical collection ran: every remaining
@@ -422,8 +681,12 @@ class RefTracker:
                 self.root_rc.pop(location, None)
         self.zeros.clear()
         self.suspects.clear()
-        if self.anchors:
+        if self.anchors and not self.generational:
+            # Generational mode skips this O(live heap) rescan: the
+            # deletion hooks already prune anchors (and the unrooted
+            # subset) cell by cell.
             self.anchors.intersection_update(store.locations())
+            self.unrooted_anchors.intersection_update(self.anchors)
 
     # -- integrity audit ----------------------------------------------------
 
@@ -504,6 +767,32 @@ class RefTracker:
             raise AssertionError(
                 f"anchor drift: expected={expected_anchors} "
                 f"actual={live_anchors}"
+            )
+        expected_unrooted = {
+            loc
+            for loc in expected_anchors
+            if expected_roots.get(loc, 0) == 0
+        }
+        live_unrooted = {
+            loc for loc in self.unrooted_anchors if loc in store
+        }
+        if live_unrooted != expected_unrooted:
+            raise AssertionError(
+                f"unrooted-anchor drift: expected={expected_unrooted} "
+                f"actual={live_unrooted}"
+            )
+        floor = self.tenure_floor
+        expected_remembered = {
+            location
+            for location, value in store.items()
+            if location < floor
+            and any(ref >= floor for ref in value.locations())
+        }
+        live_remembered = {loc for loc in self.remembered if loc in store}
+        if live_remembered != expected_remembered:
+            raise AssertionError(
+                f"remembered-set drift: expected={expected_remembered} "
+                f"actual={live_remembered}"
             )
         live = reachable_locations(store, root_values, root_env, root_kont)
         garbage = [loc for loc in store.locations() if loc not in live]

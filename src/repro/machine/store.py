@@ -13,6 +13,14 @@ A :class:`Store` may carry a *tracker* — the incremental metering
 engine (``repro.space.meter``) — which is notified of every mutation
 so it can maintain per-location reference counts and the linked
 binding ledger without rescanning the heap.
+
+Two store invariants double as metering infrastructure: locations are
+never reused (the supply counter only grows), so a location's number
+orders its allocation in time — the generational engine's nursery is
+simply the suffix of the domain above a watermark, and "tenured" is a
+comparison, not a tag; and ``mut_version`` increments on every write
+to an existing location, which is the write barrier the sampled meter
+reads to tell retro-reconstructible steps from suspect ones.
 """
 
 from __future__ import annotations

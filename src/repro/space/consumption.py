@@ -21,7 +21,13 @@ from ..machine.policy import Policy
 from ..machine.variants import REFERENCE_MACHINES, make_machine
 from ..syntax.ast import Expr
 from ..syntax.expander import expand_expression, expand_program
-from .meter import DEFAULT_STEP_LIMIT, MeterResult, run_metered
+from .meter import (
+    DEFAULT_CHECKPOINT_EVERY,
+    DEFAULT_STEP_LIMIT,
+    MeterResult,
+    run_metered,
+    run_sampled,
+)
 
 Source = Union[str, Expr]
 
@@ -52,6 +58,11 @@ class Consumption:
     answer: str
     linked: bool
     fixed_precision: bool
+    #: Engine/meter introspection from the run (engine name, fallback
+    #: counts, generational scan/promotion counters, sampled-meter trip
+    #: and certification stats) — plain data, travels the sweep
+    #: channel; ``repro analyze --meter-audit`` aggregates it.
+    meter_stats: Optional[Dict] = None
 
 
 def measure(
@@ -67,6 +78,8 @@ def measure(
     step_limit: int = DEFAULT_STEP_LIMIT,
     answer_limit: int = 200,
     engine: str = "delta",
+    meter: str = "exact",
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     trace=None,
     metrics=None,
     blame=None,
@@ -74,27 +87,56 @@ def measure(
     """Measure the Definition 23 space consumption of running
     *program* on *argument* under the named reference implementation.
 
+    ``meter="sampled"`` uses the checkpointed sampling meter
+    (:func:`repro.space.meter.run_sampled`, measuring exactly every
+    ``checkpoint_every`` transitions plus at allocation-burst
+    watermarks) instead of the exact per-step meter; the reported
+    numbers are identical, the run is faster.  The sampled loop has no
+    per-transition observation points, so it cannot carry telemetry.
+
     ``trace``/``metrics``/``blame`` attach the telemetry stack to the
     metered run (see :func:`repro.space.meter.run_metered`)."""
+    if meter not in ("exact", "sampled"):
+        raise ValueError(f"unknown meter mode: {meter!r}")
     machine = (
         make_machine(machine_name, policy=policy)
         if policy is not None
         else make_machine(machine_name)
     )
-    result: MeterResult = run_metered(
-        machine,
-        prepare_program(program),
-        prepare_input(argument),
-        linked=linked,
-        fixed_precision=fixed_precision,
-        gc_interval=gc_interval,
-        gc_when=gc_when,
-        step_limit=step_limit,
-        engine=engine,
-        trace=trace,
-        metrics=metrics,
-        blame=blame,
-    )
+    if meter == "sampled":
+        if trace is not None or metrics is not None or blame is not None:
+            raise ValueError(
+                "telemetry requires the exact meter; the sampled loop "
+                "has no per-transition observation points"
+            )
+        if gc_when != "always":
+            raise ValueError("sampled metering fixes gc_when='always'")
+        result: MeterResult = run_sampled(
+            machine,
+            prepare_program(program),
+            prepare_input(argument),
+            linked=linked,
+            fixed_precision=fixed_precision,
+            checkpoint_every=checkpoint_every,
+            gc_interval=gc_interval,
+            step_limit=step_limit,
+            engine=engine,
+        )
+    else:
+        result = run_metered(
+            machine,
+            prepare_program(program),
+            prepare_input(argument),
+            linked=linked,
+            fixed_precision=fixed_precision,
+            gc_interval=gc_interval,
+            gc_when=gc_when,
+            step_limit=step_limit,
+            engine=engine,
+            trace=trace,
+            metrics=metrics,
+            blame=blame,
+        )
     return Consumption(
         machine=machine_name,
         total=result.consumption,
@@ -104,6 +146,7 @@ def measure(
         answer=answer_string(result.final, answer_limit),
         linked=linked,
         fixed_precision=fixed_precision,
+        meter_stats=result.meter_stats or None,
     )
 
 

@@ -173,14 +173,21 @@ class BindingLedger:
     Each configuration component that contributes an environment graph
     registers it with :meth:`add_graph` when it enters the
     configuration and :meth:`remove_graph` when it leaves; ``distinct``
-    is the section 13 binding term, read in O(1)."""
+    is the section 13 binding term, read in O(1).
 
-    __slots__ = ("_counts", "distinct", "saw_escape")
+    ``blame`` is an optional sink (the incremental blame profiler —
+    :class:`repro.telemetry.blame.IncrementalBlame`) notified on every
+    0↔1 transition of a pair's count, i.e. exactly when the pair
+    enters or leaves the *distinct* set — the per-identifier
+    ``binding:<name>`` blame term is the per-name slice of that set."""
+
+    __slots__ = ("_counts", "distinct", "saw_escape", "blame")
 
     def __init__(self):
         self._counts: Dict[Tuple[str, int], int] = {}
         self.distinct = 0
         self.saw_escape = False
+        self.blame = None
 
     def add_graph(self, graph) -> None:
         counts = self._counts
@@ -189,6 +196,8 @@ class BindingLedger:
             counts[binding] = count + 1
             if count == 0:
                 self.distinct += 1
+                if self.blame is not None:
+                    self.blame.bind_delta(binding[0], 1)
 
     def remove_graph(self, graph) -> None:
         counts = self._counts
@@ -199,6 +208,8 @@ class BindingLedger:
             else:
                 del counts[binding]
                 self.distinct -= 1
+                if self.blame is not None:
+                    self.blame.bind_delta(binding[0], -1)
 
     def add_value(self, value: Value) -> None:
         """Register a value entering the store or the accumulator: only

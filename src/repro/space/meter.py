@@ -29,11 +29,29 @@ Two metering engines drive the same loop:
   configuration (reference counts do not model the continuation
   chains it retains).  Either way the measured numbers are
   *identical* to the reference engine on every program.
+- ``engine="generational"`` — the delta engine with the tracker's
+  generational mode switched on (tenure floor, epoch-cached trial
+  verdicts, incremental unrooted-anchor set, survival-driven
+  promotion, remembered set — see the ``gc`` module docstring).  The
+  reclaimed locations per application are identical to ``delta``; only
+  the amount of cold state re-examined per collection shrinks.
 - ``engine="reference"`` — the seed behaviour: canonical full-heap
   trace per application, direct configuration re-walk per measurement.
   Kept as the verification oracle; the agreement tests in
-  ``tests/test_delta_meter.py`` hold the two engines equal over the
+  ``tests/test_delta_meter.py`` hold the engines equal over the
   corpus, the separator families, and random programs.
+
+:func:`run_sampled` is the checkpointed sampling meter
+(``meter="sampled"``): it drives the same trajectory per-step but
+applies the GC rule lazily, reading an O(1) *upper bound* on the exact
+pre-GC space each step and reconstructing the exact measurement
+retroactively (pinned collection against the previous configuration's
+roots) only when the bound threatens the running sup, every
+``checkpoint_every`` transitions, and at every allocation-burst
+watermark.  The reported sup is exact: any step whose bound could not
+be resolved exactly records the bound as a *suspect*, and a run whose
+suspects are not all dominated by the final sup transparently replays
+under the exact meter.
 """
 
 from __future__ import annotations
@@ -48,12 +66,19 @@ from ..machine.gc import RefTracker, collect, collect_final
 from ..machine.machine import Machine
 from ..machine.values import Value
 from ..syntax.ast import Expr, ast_size
-from .flat import configuration_space
+from .flat import configuration_space, value_space
 from .linked import BindingLedger, configuration_space_linked, value_structural
 
 DEFAULT_STEP_LIMIT = 5_000_000
 
-ENGINES = ("delta", "reference")
+ENGINES = ("delta", "generational", "reference")
+
+#: Default sampled-meter knobs: exact checkpoint every this many
+#: transitions, and whenever this many locations were allocated since
+#: the last collection (the burst watermark also bounds how far the
+#: lazily-collected store may outgrow the exact one).
+DEFAULT_CHECKPOINT_EVERY = 64
+DEFAULT_BURST = 512
 
 
 @dataclass
@@ -68,6 +93,10 @@ class MeterResult:
     collected: int
     peak_step: int
     trace: List[Tuple[int, int]] = field(default_factory=list)
+    #: Engine/meter observability (``repro analyze --meter-audit``):
+    #: trial/scan/promotion counters, remembered-set size, sampled-mode
+    #: trip and checkpoint counts, certification outcome.
+    meter_stats: dict = field(default_factory=dict)
 
     @property
     def consumption(self) -> int:
@@ -107,11 +136,11 @@ class ReferenceMeter:
     def measure(self, configuration: Configuration) -> int:
         return self._measure(configuration, self.fixed_precision)
 
-    def collect(self, state: State) -> int:
-        return collect(state, self.bus)
+    def collect(self, state: State, pin_from: Optional[int] = None) -> int:
+        return collect(state, self.bus, pin_from)
 
-    def collect_final(self, final: Final) -> int:
-        return collect_final(final, self.bus)
+    def collect_final(self, final: Final, pin_from: Optional[int] = None) -> int:
+        return collect_final(final, self.bus, pin_from)
 
     def detach(self, store) -> None:
         pass
@@ -133,6 +162,7 @@ class DeltaMeter:
         "fixed_precision",
         "tracker",
         "ledger",
+        "blame_inc",
         "fallback",
         "_fallback_measure",
         "_env",
@@ -143,12 +173,24 @@ class DeltaMeter:
         "canonical_fallbacks",
     )
 
-    def __init__(self, machine: Machine, linked: bool, fixed_precision: bool):
+    def __init__(
+        self,
+        machine: Machine,
+        linked: bool,
+        fixed_precision: bool,
+        generational: bool = False,
+    ):
         self.uses_gc = machine.uses_gc_rule
         self.linked = linked
         self.fixed_precision = fixed_precision
-        self.tracker: Optional[RefTracker] = RefTracker() if self.uses_gc else None
+        self.tracker: Optional[RefTracker] = (
+            RefTracker(generational) if self.uses_gc else None
+        )
         self.ledger: Optional[BindingLedger] = BindingLedger() if linked else None
+        #: Optional incremental blame sink (attached by a profiler in
+        #: incremental mode *before* :meth:`prime`); receives the same
+        #: store/root deltas this engine already tracks.
+        self.blame_inc = None
         self.fallback = False
         self.bus = None
         #: GC-rule applications where the local cycle analysis could
@@ -170,18 +212,25 @@ class DeltaMeter:
             self.tracker.on_alloc(location, value)
         if self.ledger is not None:
             self.ledger.on_alloc(location, value)
+        if self.blame_inc is not None:
+            self.blame_inc.store_add(value)
 
     def on_write(self, location, old, new) -> None:
         if self.tracker is not None:
             self.tracker.on_write(location, old, new)
         if self.ledger is not None:
             self.ledger.on_write(location, old, new)
+        if self.blame_inc is not None:
+            self.blame_inc.store_remove(old)
+            self.blame_inc.store_add(new)
 
     def on_delete(self, location, value) -> None:
         if self.tracker is not None:
             self.tracker.on_delete(location, value)
         if self.ledger is not None:
             self.ledger.on_delete(location, value)
+        if self.blame_inc is not None:
+            self.blame_inc.store_remove(value)
 
     # -- root component bookkeeping ----------------------------------------
 
@@ -195,6 +244,8 @@ class DeltaMeter:
         ledger = self.ledger
         if ledger is not None and frame.env is not None:
             ledger.add_graph(frame.env.graph())
+        if self.blame_inc is not None:
+            self.blame_inc.frame_add(frame)
 
     def _remove_frame(self, frame: Kont) -> None:
         tracker = self.tracker
@@ -206,6 +257,8 @@ class DeltaMeter:
         ledger = self.ledger
         if ledger is not None and frame.env is not None:
             ledger.remove_graph(frame.env.graph())
+        if self.blame_inc is not None:
+            self.blame_inc.frame_remove(frame)
 
     def _set_env(self, env) -> None:
         if env is self._env:
@@ -225,6 +278,8 @@ class DeltaMeter:
             if ledger is not None:
                 ledger.add_graph(env.graph())
         self._env = env
+        if self.blame_inc is not None and not self.linked:
+            self.blame_inc.set_env_size(0 if env is None else len(env))
 
     def _set_acc(self, acc: Optional[Value]) -> None:
         if acc is self._acc:
@@ -242,6 +297,11 @@ class DeltaMeter:
             if ledger is not None:
                 ledger.add_value(acc)
         self._acc = acc
+        if self.blame_inc is not None:
+            if old is not None:
+                self.blame_inc.acc_remove(old)
+            if acc is not None:
+                self.blame_inc.acc_add(acc)
 
     def _set_kont(self, kont: Optional[Kont]) -> None:
         old = self._kont
@@ -290,7 +350,12 @@ class DeltaMeter:
         if self._store is not None:
             self._store.tracker = None
         self.tracker = None
-        self.ledger = None
+        if self.ledger is not None:
+            self.ledger.blame = None
+            self.ledger = None
+        if self.blame_inc is not None:
+            self.blame_inc.active = False
+            self.blame_inc = None
 
     # -- engine interface ----------------------------------------------------
 
@@ -308,7 +373,14 @@ class DeltaMeter:
         if self.ledger is not None:
             for _location, value in state.store.items():
                 self.ledger.add_value(value)
-        if self.tracker is not None or self.ledger is not None:
+        if self.blame_inc is not None:
+            for _location, value in state.store.items():
+                self.blame_inc.store_add(value)
+        if (
+            self.tracker is not None
+            or self.ledger is not None
+            or self.blame_inc is not None
+        ):
             state.store.tracker = self
         self._set_env(state.env)
         self._set_kont(state.kont)
@@ -350,25 +422,25 @@ class DeltaMeter:
                 )
         return total
 
-    def collect(self, state: State) -> int:
+    def collect(self, state: State, pin_from: Optional[int] = None) -> int:
         if self.fallback:
-            return collect(state, self.bus)
+            return collect(state, self.bus, pin_from)
         tracker = self.tracker
-        collected, need_canonical = tracker.reclaim(state.store)
+        collected, need_canonical = tracker.reclaim(state.store, pin_from)
         if need_canonical:
             self.canonical_fallbacks += 1
-            collected += collect(state, self.bus)
+            collected += collect(state, self.bus, pin_from)
             tracker.note_canonical(state.store)
         return collected
 
-    def collect_final(self, final: Final) -> int:
+    def collect_final(self, final: Final, pin_from: Optional[int] = None) -> int:
         if self.fallback:
-            return collect_final(final, self.bus)
+            return collect_final(final, self.bus, pin_from)
         tracker = self.tracker
-        collected, need_canonical = tracker.reclaim(final.store)
+        collected, need_canonical = tracker.reclaim(final.store, pin_from)
         if need_canonical:
             self.canonical_fallbacks += 1
-            collected += collect_final(final, self.bus)
+            collected += collect_final(final, self.bus, pin_from)
             tracker.note_canonical(final.store)
         return collected
 
@@ -411,9 +483,29 @@ def make_meter(
 ) -> Union[DeltaMeter, ReferenceMeter]:
     if engine == "delta":
         return DeltaMeter(machine, linked, fixed_precision)
+    if engine == "generational":
+        return DeltaMeter(machine, linked, fixed_precision, generational=True)
     if engine == "reference":
         return ReferenceMeter(machine, linked, fixed_precision)
     raise ValueError(f"unknown metering engine: {engine!r} (want {ENGINES})")
+
+
+def _engine_stats(meter, engine: str, extra: Optional[dict] = None) -> dict:
+    """Observability payload for ``MeterResult.meter_stats``."""
+    stats = {
+        "engine": engine,
+        "canonical_fallbacks": meter.canonical_fallbacks,
+        "escape_fallback": bool(meter.fallback),
+    }
+    tracker = getattr(meter, "tracker", None)
+    if tracker is not None:
+        stats.update(tracker.stats)
+        stats["tenure_floor"] = tracker.tenure_floor
+        stats["remembered_size"] = len(tracker.remembered)
+        stats["anchors"] = len(tracker.anchors)
+    if extra:
+        stats.update(extra)
+    return stats
 
 
 def _finalize_metrics(
@@ -510,6 +602,9 @@ def run_metered(
         )
     if blame is not None:
         blame.bind(machine.name, linked, fixed_precision)
+        attach = getattr(blame, "attach_engine", None)
+        if attach is not None:
+            attach(meter)
     restrict_token = None
     if metrics is not None:
         from ..machine.environment import (
@@ -621,6 +716,7 @@ def run_metered(
                     collected=collected,
                     peak_step=peak_step,
                     trace=samples,
+                    meter_stats=_engine_stats(meter, engine, {"mode": "exact"}),
                 )
             state = configuration
             space = measure(state)
@@ -655,6 +751,244 @@ def run_metered(
         meter.detach(state.store)
         if restrict_token is not None:
             pop_restrict_stats(restrict_token)
+
+
+def run_sampled(
+    machine: Machine,
+    program: Expr,
+    argument: Optional[Expr] = None,
+    *,
+    linked: bool = False,
+    fixed_precision: bool = False,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    burst: int = DEFAULT_BURST,
+    gc_interval: int = 1,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+    engine: str = "delta",
+) -> MeterResult:
+    """The checkpointed sampling meter (``meter="sampled"``): exact sup
+    at a fraction of the exact meter's per-step cost.
+
+    The machine trajectory is *identical* to :func:`run_metered`'s —
+    the GC rule only removes unreachable locations, locations are never
+    reused, and compaction runs on the same cadence — so the answer and
+    step count always agree.  Space is handled lazily:
+
+    - Every step reads an O(1) *bound* on the exact pre-GC space: the
+      current register/continuation/accumulator terms (exact) plus the
+      lazily-collected store's maintained total (a superset of the
+      exact store, so the bound can only overestimate).  Under linked
+      accounting the ledger's staleness is covered by adding one word
+      per location allocated since the last root sync — every binding
+      pair created since then uses a fresh location.
+    - When the bound exceeds the running sup (or every
+      ``checkpoint_every`` transitions, or ``burst`` allocations
+      accumulated), the exact measurement is reconstructed
+      *retroactively*: sync the engine's roots to the previous
+      configuration and apply the GC rule with the current step's
+      allocations pinned.  The store is then exactly the pre-GC store
+      of the current step, and the same O(1) read is exact.
+    - A step that wrote to the store cannot be reconstructed (the
+      write may have dropped edges that kept garbage reachable in the
+      exact schedule, so the retro-collection could delete cells the
+      exact pre-GC store still charges).  Such a step records its
+      bound as a *suspect* instead; reclamation soundness is
+      unaffected (everything deleted is unreachable in both
+      schedules).
+
+    The run is *certified* when every suspect bound is dominated by the
+    final sup — then the sup is provably exact: a missed peak at step k
+    would have forced ``bound(k) >= space(k) > sup``, triggering either
+    an exact trip (contradiction) or an undominated suspect.  An
+    uncertified run transparently replays under :func:`run_metered`.
+    Either way the returned sup equals the exact meter's.
+    """
+    if engine == "reference":
+        raise ValueError(
+            "sampled metering needs a delta-family engine for its O(1) "
+            "space bound; use engine='delta' or engine='generational'"
+        )
+    if checkpoint_every <= 0:
+        raise ValueError("checkpoint_every must be positive")
+    program_size = ast_size(program)
+    meter = make_meter(machine, linked, fixed_precision, engine)
+    state = machine.inject(program, argument)
+    store = state.store
+    uses_gc = machine.uses_gc_rule
+    compacts = type(machine).compact is not Machine.compact
+    fp = fixed_precision
+    trips = 0
+    checkpoints = 0
+    suspects: List[Tuple[int, int]] = []
+    try:
+        collected = meter.prime(state)
+        sup_space = meter.measure(state)
+        peak_step = 0
+        sync_loc = store._next_location
+        last_collect_loc = sync_loc
+        steps = 0
+        step = machine.step
+        transition = meter.transition
+        measure = meter.measure
+        while True:
+            prev = state
+            mut_mark = store.mut_version
+            alloc_mark = store._next_location
+            configuration = step(state)
+            steps += 1
+            if configuration.is_final:
+                break
+            state = configuration
+            if meter.fallback:
+                # An escape procedure entered the configuration: the
+                # tracker is gone, so degrade to the exact per-step
+                # schedule (parity with run_metered on such programs).
+                transition(state)
+                space = measure(state)
+                if space > sup_space:
+                    sup_space, peak_step = space, steps
+                if uses_gc and steps % gc_interval == 0:
+                    if compacts:
+                        compacted = machine.compact(state)
+                        if compacted is not state:
+                            state = compacted
+                    collected += meter.collect(state)
+                if steps >= step_limit:
+                    raise StepLimitExceeded(steps)
+                continue
+            if linked:
+                bound = measure(state) + (store._next_location - sync_loc)
+            else:
+                bound = (
+                    len(state.env._bindings)
+                    + state.kont.flat_space
+                    + (store._space_fixed if fp else store._space_bignum)
+                )
+                if state.is_value:
+                    bound += value_space(state.control, fp)
+                if not uses_gc:
+                    # No GC rule: the lazy store IS the exact store and
+                    # every flat term is current, so the bound is the
+                    # exact space — no reconstruction ever needed.
+                    if bound > sup_space:
+                        sup_space, peak_step = bound, steps
+                    if steps >= step_limit:
+                        raise StepLimitExceeded(steps)
+                    continue
+            due = (
+                steps % checkpoint_every == 0
+                or store._next_location - last_collect_loc >= burst
+            )
+            if bound > sup_space or due:
+                wrote = uses_gc and store.mut_version != mut_mark
+                if wrote and not due:
+                    suspects.append((steps, bound))
+                else:
+                    transition(prev)
+                    if uses_gc:
+                        collected += meter.collect(prev, pin_from=alloc_mark)
+                    transition(state)
+                    space = measure(state)
+                    if space > sup_space:
+                        sup_space, peak_step = space, steps
+                    if wrote and bound > sup_space:
+                        # The reading is only a lower bound of the
+                        # exact pre-GC space on a write step.
+                        suspects.append((steps, bound))
+                    sync_loc = store._next_location
+                    last_collect_loc = sync_loc
+                    trips += 1
+                    if due:
+                        checkpoints += 1
+            if compacts and steps % gc_interval == 0:
+                compacted = machine.compact(state)
+                if compacted is not state:
+                    state = compacted
+            if steps >= step_limit:
+                raise StepLimitExceeded(steps)
+
+        final = configuration
+        if meter.fallback:
+            transition(final)
+            space = measure(final)
+            if space > sup_space:
+                sup_space, peak_step = space, steps
+            if uses_gc:
+                collected += meter.collect_final(final)
+        else:
+            wrote = uses_gc and store.mut_version != mut_mark
+            if linked:
+                bound = measure(final) + (store._next_location - sync_loc)
+            else:
+                bound = (
+                    store._space_fixed if fp else store._space_bignum
+                ) + value_space(final.value, fp)
+                if not uses_gc:
+                    if bound > sup_space:
+                        sup_space, peak_step = bound, steps
+                    bound = sup_space  # exact; no suspect, no trip
+            if bound > sup_space:
+                if wrote:
+                    suspects.append((steps, bound))
+                    transition(final)
+                else:
+                    transition(prev)
+                    if uses_gc:
+                        collected += meter.collect(prev, pin_from=alloc_mark)
+                    transition(final)
+                    space = measure(final)
+                    if space > sup_space:
+                        sup_space, peak_step = space, steps
+                    trips += 1
+            else:
+                transition(final)
+            if uses_gc:
+                collected += meter.collect_final(final)
+
+        certified = all(bound <= sup_space for _step, bound in suspects)
+        stats = _engine_stats(
+            meter,
+            engine,
+            {
+                "mode": "sampled",
+                "trips": trips,
+                "checkpoints": checkpoints,
+                "suspect_steps": len(suspects),
+                "certified": certified,
+                "exact_rerun": False,
+                "checkpoint_every": checkpoint_every,
+                "burst": burst,
+            },
+        )
+        if not certified:
+            meter.detach(store)
+            result = run_metered(
+                machine,
+                program,
+                argument,
+                linked=linked,
+                fixed_precision=fixed_precision,
+                gc_interval=gc_interval,
+                step_limit=step_limit,
+                engine=engine,
+            )
+            stats["certified"] = True
+            stats["exact_rerun"] = True
+            stats["engine"] = result.meter_stats.get("engine", engine)
+            result.meter_stats = stats
+            return result
+        return MeterResult(
+            machine=machine.name,
+            sup_space=sup_space,
+            program_size=program_size,
+            steps=steps,
+            final=final,
+            collected=collected,
+            peak_step=peak_step,
+            meter_stats=stats,
+        )
+    finally:
+        meter.detach(store)
 
 
 def run_to_final(

@@ -196,6 +196,108 @@ def blame_configuration(
     return _blame_flat(configuration, fixed_precision)
 
 
+class IncrementalBlame:
+    """Per-holder blame maintained as a delta alongside the meter.
+
+    The :class:`~repro.space.meter.DeltaMeter` fans its store-mutation
+    hooks and root-component diffs into this object, so the per-holder
+    dict tracks :func:`blame_configuration`'s decomposition of the
+    *current* configuration exactly — a blame sample becomes an
+    O(changed-holders) dict copy instead of an O(configuration)
+    re-decomposition.  Label and word conventions mirror
+    ``_blame_flat`` / ``_blame_linked`` term for term:
+
+    - store cells via the mutation hooks (flat: ``1 + space(v)``;
+      linked: closures 2, others ``1 + structural``),
+    - continuation frames via the chain diff (own words =
+      ``flat_space``/``linked_space`` minus the parent's),
+    - the accumulator via the acc diff,
+    - ``env:register`` (flat only) set absolutely per step,
+    - ``binding:<name>`` (linked only) driven by the binding ledger's
+      0↔1 distinct-set transitions.
+
+    The engine deactivates this object when it permanently falls back
+    (escape procedures); the profiler then resumes from-scratch
+    decomposition, so every sample stays exact either way.
+    """
+
+    __slots__ = ("blame", "linked", "fixed_precision", "active")
+
+    def __init__(self, linked: bool, fixed_precision: bool):
+        self.blame: Dict[str, int] = {}
+        self.linked = linked
+        self.fixed_precision = fixed_precision
+        self.active = True
+
+    def _add(self, key: str, words: int) -> None:
+        if words:
+            blame = self.blame
+            blame[key] = blame.get(key, 0) + words
+
+    def snapshot(self) -> Dict[str, int]:
+        """The current decomposition (zero-valued holders dropped, so
+        the dict equals the from-scratch oracle's key for key)."""
+        return {key: words for key, words in self.blame.items() if words}
+
+    # -- store cells ---------------------------------------------------------
+
+    def _store_words(self, value) -> int:
+        if self.linked:
+            if isinstance(value, Closure):
+                return 2
+            return 1 + value_structural(value, self.fixed_precision)
+        return 1 + value_space(value, self.fixed_precision)
+
+    def store_add(self, value) -> None:
+        self._add(_value_label(value, "store"), self._store_words(value))
+
+    def store_remove(self, value) -> None:
+        self._add(_value_label(value, "store"), -self._store_words(value))
+
+    # -- continuation frames -------------------------------------------------
+
+    def _frame_words(self, frame) -> int:
+        parent = frame.parent
+        if self.linked:
+            return frame.linked_space - (parent.linked_space if parent else 0)
+        return frame.flat_space - (parent.flat_space if parent else 0)
+
+    def frame_add(self, frame) -> None:
+        self._add(_kont_label(frame), self._frame_words(frame))
+
+    def frame_remove(self, frame) -> None:
+        self._add(_kont_label(frame), -self._frame_words(frame))
+
+    # -- register environment / accumulator ---------------------------------
+
+    def set_env_size(self, size: int) -> None:
+        """Flat accounting charges the register environment |Dom rho|
+        words; set absolutely (the env is swapped wholesale per step)."""
+        blame = self.blame
+        if size:
+            blame["env:register"] = size
+        elif "env:register" in blame:
+            blame["env:register"] = 0
+
+    def _acc_words(self, value) -> int:
+        if self.linked:
+            if isinstance(value, Closure):
+                return 1
+            return value_structural(value, self.fixed_precision)
+        return value_space(value, self.fixed_precision)
+
+    def acc_add(self, value) -> None:
+        self._add(_value_label(value, "acc"), self._acc_words(value))
+
+    def acc_remove(self, value) -> None:
+        self._add(_value_label(value, "acc"), -self._acc_words(value))
+
+    # -- distinct bindings (driven by the BindingLedger) ---------------------
+
+    def bind_delta(self, name: str, delta: int) -> None:
+        self._add(f"binding:{name}", delta)
+
+
 def holder_class(key: str) -> str:
     """Collapse a holder key to its machine-independent class: call
     sites and lambdas are stripped (``kont:Push@(f (- n 1))`` ->
@@ -380,15 +482,31 @@ class BlameProfiler:
     its keep stride — bounded memory over unbounded runs, at the cost
     of a coarser (but still pointwise-exact) series.  ``0`` disables
     series retention entirely (peak/totals/history still work).
+
+    ``incremental=True`` asks the meter to maintain the decomposition
+    as a delta (:class:`IncrementalBlame`): each sample is then an
+    O(holders) dict copy instead of an O(configuration) re-walk, with
+    identical (exact) values — the engine deactivates the delta and
+    this profiler resumes from-scratch decomposition if it permanently
+    falls back.  ``incremental_samples`` counts how many samples the
+    delta path served.
     """
 
-    def __init__(self, every: int = 1, series_capacity: int = 256):
+    def __init__(
+        self,
+        every: int = 1,
+        series_capacity: int = 256,
+        incremental: bool = False,
+    ):
         if every < 1:
             raise ValueError("every must be >= 1")
         if series_capacity < 0:
             raise ValueError("series_capacity must be >= 0")
         self.every = every
         self.series_capacity = series_capacity
+        self.incremental = incremental
+        self.incremental_samples = 0
+        self._inc: Optional[IncrementalBlame] = None
         self.machine: Optional[str] = None
         self.linked = False
         self.fixed_precision = False
@@ -412,6 +530,19 @@ class BlameProfiler:
         self.linked = linked
         self.fixed_precision = fixed_precision
 
+    def attach_engine(self, meter) -> None:
+        """Wire the incremental delta into a delta-family engine
+        (called by ``run_metered`` after :meth:`bind`; a no-op unless
+        ``incremental=True`` and the engine supports the hook)."""
+        if not self.incremental or not hasattr(meter, "blame_inc"):
+            return
+        inc = IncrementalBlame(self.linked, self.fixed_precision)
+        meter.blame_inc = inc
+        ledger = getattr(meter, "ledger", None)
+        if ledger is not None:
+            ledger.blame = inc
+        self._inc = inc
+
     def observe(self, configuration, space: int, step: int) -> None:
         """One measured configuration; called by ``run_metered`` at
         every measure point (step 0, each transition, the pre-GC
@@ -420,9 +551,14 @@ class BlameProfiler:
         self.observed = count + 1
         if count % self.every:
             return
-        blame = blame_configuration(
-            configuration, self.linked, self.fixed_precision
-        )
+        inc = self._inc
+        if inc is not None and inc.active:
+            blame = inc.snapshot()
+            self.incremental_samples += 1
+        else:
+            blame = blame_configuration(
+                configuration, self.linked, self.fixed_precision
+            )
         sample_index = self.sampled
         self.sampled = sample_index + 1
         totals = self.totals

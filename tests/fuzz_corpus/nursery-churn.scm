@@ -1,0 +1,15 @@
+; Short-lived garbage churned across nursery-span boundaries while a
+; survivor list keeps growing: the generational engine must promote
+; the survivors (their survival counts crossing the threshold) while
+; collecting the churn without rescanning tenured state, and every
+; engine must still report identical sup/steps/collected.
+(define (f n)
+  (define (make k)
+    (if (zero? k) '() (cons k (make (- k 1)))))
+  (define (go i keep)
+    (if (zero? i)
+        (length keep)
+        (begin
+          (make 9)
+          (go (- i 1) (cons i keep)))))
+  (go (* n 6) '()))

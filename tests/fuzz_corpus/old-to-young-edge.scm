@@ -1,0 +1,14 @@
+; A long-lived pair mutated to point at freshly allocated structure:
+; after the generational engine tenures the pair, each set-cdr!
+; creates an old-to-young edge that only the remembered set can see.
+; Forgetting it would let a nursery-local collection free reachable
+; cells and under-report the sup.
+(define (f n)
+  (let ((anchor (cons 0 '())))
+    (define (churn i)
+      (if (zero? i)
+          (car (cdr anchor))
+          (begin
+            (set-cdr! anchor (cons i (cons i '())))
+            (churn (- i 1)))))
+    (churn (+ (* n 8) 5))))

@@ -1,0 +1,14 @@
+; A store write on the same transition that sets the space peak: the
+; sampled meter cannot retro-reconstruct a write step (dropped edges
+; may have kept garbage live under the exact schedule), so the step
+; must be recorded as a suspect and the sup still certified — the
+; lower-bound reading on the post-trip store has to dominate it.
+(define (f n)
+  (let ((v (make-vector 4 0)))
+    (define (loop i)
+      (if (zero? i)
+          (vector-ref v 0)
+          (begin
+            (vector-set! v (modulo i 4) (cons i (cons i '())))
+            (loop (- i 1)))))
+    (loop (+ (* n 4) 3))))

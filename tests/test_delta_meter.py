@@ -1,16 +1,25 @@
-"""The incremental metering engine against the reference oracle.
+"""The incremental metering engines against the reference oracle.
 
-The delta engine (refcount delta-GC + memoized U_X accounting) must
-report numbers *identical* to the seed reference engine — sup_space,
-consumption, collected, peak_step — on every program, machine, and
-accounting.  These tests hold that equality over the corpus, the
-separator families, cycle- and escape-heavy programs, and random
-terminating programs, and audit the engine's internal bookkeeping
-(reference counts, root counts, anchors, binding ledger) against
-from-scratch recomputation.
+The delta engine (refcount delta-GC + memoized U_X accounting) and its
+generational refinement (nursery/tenured split, remembered sets,
+verdict caching) must report numbers *identical* to the seed reference
+engine — sup_space, consumption, collected, peak_step — on every
+program, machine, and accounting.  These tests hold that equality over
+the corpus, the separator families, cycle- and escape-heavy programs,
+and random terminating programs, and audit the engines' internal
+bookkeeping (reference counts, root counts, anchors, remembered sets,
+binding ledger) against from-scratch recomputation.
+
+The checkpointed sampling meter (``run_sampled``) gets the same
+treatment: its sup/steps/answer/collected must equal the exact
+per-step meter's on every program — including write-heavy suspect
+paths, escape fallbacks, MTA compaction, and the checked-in fuzz
+corpus — at every checkpoint cadence.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 from hypothesis import given, settings
@@ -20,9 +29,11 @@ from repro.machine.variants import ALL_MACHINES, make_machine
 from repro.programs.corpus import load_corpus
 from repro.programs.separators import SEPARATORS, theorem26_program
 from repro.space.consumption import prepare_input, prepare_program
-from repro.space.meter import make_meter, run_metered
+from repro.space.meter import make_meter, run_metered, run_sampled
 
 ALL_MACHINE_NAMES = tuple(sorted(ALL_MACHINES))
+
+DELTA_ENGINES = ("delta", "generational")
 
 #: Programs exercising the paths the incremental bookkeeping handles
 #: specially: letrec/define self-reference (anchors), set!-created
@@ -62,28 +73,22 @@ TRICKY_PROGRAMS = {
 }
 
 
-def meter_both(machine_name, program, argument, **options):
-    """Run both engines on the same prepared (P, D); return results."""
+def meter_engines(machine_name, program, argument, **options):
+    """Run every engine on the same prepared (P, D); return results."""
     program = prepare_program(program)
     argument = prepare_input(argument)
     results = {}
-    for engine in ("delta", "reference"):
+    for engine in ("delta", "generational", "reference"):
         machine = make_machine(machine_name)
         results[engine] = run_metered(
             machine, program, argument, engine=engine, **options
         )
-    return results["delta"], results["reference"]
+    return results
 
 
 def assert_engines_agree(machine_name, program, argument, **options):
-    delta, reference = meter_both(machine_name, program, argument, **options)
-    observed = (
-        delta.sup_space,
-        delta.consumption,
-        delta.collected,
-        delta.peak_step,
-        delta.steps,
-    )
+    results = meter_engines(machine_name, program, argument, **options)
+    reference = results["reference"]
     expected = (
         reference.sup_space,
         reference.consumption,
@@ -91,7 +96,16 @@ def assert_engines_agree(machine_name, program, argument, **options):
         reference.peak_step,
         reference.steps,
     )
-    assert observed == expected, (machine_name, options)
+    for engine in DELTA_ENGINES:
+        result = results[engine]
+        observed = (
+            result.sup_space,
+            result.consumption,
+            result.collected,
+            result.peak_step,
+            result.steps,
+        )
+        assert observed == expected, (machine_name, engine, options)
 
 
 # ---------------------------------------------------------------------------
@@ -171,11 +185,12 @@ def test_delta_bookkeeping_audit(machine_name, name):
     drift)."""
     program = prepare_program(TRICKY_PROGRAMS[name])
     for linked in (False, True):
-        machine = make_machine(machine_name)
-        run_metered(
-            machine, program, None, linked=linked, engine="delta",
-            audit_every=1,
-        )
+        for engine in DELTA_ENGINES:
+            machine = make_machine(machine_name)
+            run_metered(
+                machine, program, None, linked=linked, engine=engine,
+                audit_every=1,
+            )
 
 
 def test_store_linked_structural_checkpoint():
@@ -285,8 +300,190 @@ def test_delta_audit_on_random_programs(body):
     )
     argument = prepare_input("3")
     for machine_name in ("gc", "tail"):
-        machine = make_machine(machine_name)
-        run_metered(
-            machine, program, argument, linked=True, engine="delta",
-            audit_every=1,
+        for engine in DELTA_ENGINES:
+            machine = make_machine(machine_name)
+            run_metered(
+                machine, program, argument, linked=True, engine=engine,
+                audit_every=1,
+            )
+
+
+@given(random_bodies, st.sampled_from(ALL_MACHINE_NAMES))
+@settings(max_examples=40, deadline=None)
+def test_all_engines_agree_on_random_programs_all_machines(
+    body, machine_name
+):
+    """The satellite property: generational == delta == reference on
+    answer, sup, peak, and collected, over every machine and both
+    accountings."""
+    program = f"(define (f n) (let ((a n) (b 1)) {body}))"
+    for linked in (False, True):
+        results = meter_engines(machine_name, program, "3", linked=linked)
+        reference = results["reference"]
+        for engine in DELTA_ENGINES:
+            result = results[engine]
+            assert result.final.value == reference.final.value or (
+                str(result.final.value) == str(reference.final.value)
+            )
+            assert (
+                result.sup_space,
+                result.peak_step,
+                result.collected,
+                result.steps,
+            ) == (
+                reference.sup_space,
+                reference.peak_step,
+                reference.collected,
+                reference.steps,
+            ), (machine_name, engine, linked)
+
+
+# ---------------------------------------------------------------------------
+# The checkpointed sampling meter
+# ---------------------------------------------------------------------------
+
+#: Programs stressing the sampled meter's hard paths: store writes on
+#: candidate-peak steps (the suspect/lower-bound machinery), escapes
+#: (mid-run fallback to the exact schedule), and long monotone
+#: allocation ramps (checkpoint and burst cadences).
+SAMPLED_PROGRAMS = dict(
+    TRICKY_PROGRAMS,
+    **{
+        "write-at-peak": """
+            (define v (make-vector 6 0))
+            (define (loop i)
+              (if (zero? i) (vector-ref v 1)
+                  (begin (vector-set! v (modulo i 6) (cons i (quote ())))
+                         (loop (- i 1)))))
+            (loop 30)
+            """,
+        "alloc-ramp": """
+            (define (grow n acc)
+              (if (zero? n) (length acc) (grow (- n 1) (cons n acc))))
+            (grow 40 (quote ()))
+            """,
+        "alloc-then-drop": """
+            (define (make n)
+              (if (zero? n) (quote ()) (cons n (make (- n 1)))))
+            (define (churn i)
+              (if (zero? i) 0 (begin (make 12) (churn (- i 1)))))
+            (churn 10)
+            """,
+    },
+)
+
+
+def assert_sampled_matches_exact(
+    machine_name, program, argument, *, checkpoint_every=64, **options
+):
+    program = prepare_program(program)
+    argument = prepare_input(argument)
+    exact = run_metered(
+        make_machine(machine_name), program, argument, **options
+    )
+    sampled = run_sampled(
+        make_machine(machine_name),
+        program,
+        argument,
+        checkpoint_every=checkpoint_every,
+        **options,
+    )
+    assert (
+        sampled.sup_space,
+        sampled.steps,
+        sampled.collected,
+    ) == (
+        exact.sup_space,
+        exact.steps,
+        exact.collected,
+    ), (machine_name, checkpoint_every, options)
+    assert str(sampled.final.value) == str(exact.final.value)
+    assert sampled.meter_stats["certified"]
+    return sampled
+
+
+@pytest.mark.parametrize("name", sorted(SAMPLED_PROGRAMS), ids=str)
+@pytest.mark.parametrize("machine_name", ALL_MACHINE_NAMES)
+def test_sampled_sup_equals_exact_on_stress_programs(machine_name, name):
+    for linked in (False, True):
+        assert_sampled_matches_exact(
+            machine_name, SAMPLED_PROGRAMS[name], None, linked=linked
+        )
+
+
+@pytest.mark.parametrize("checkpoint_every", (1, 3, 64, 10**9))
+def test_sampled_sup_never_missed_across_cadences(checkpoint_every):
+    """The sup must survive any checkpoint cadence — including one so
+    sparse that only the bound-exceeds-sup trigger and the allocation
+    burst watermark ever fire."""
+    for machine_name in ("gc", "mta", "tail"):
+        for engine in DELTA_ENGINES:
+            assert_sampled_matches_exact(
+                machine_name,
+                SAMPLED_PROGRAMS["alloc-then-drop"],
+                None,
+                checkpoint_every=checkpoint_every,
+                engine=engine,
+            )
+
+
+@pytest.mark.parametrize("machine_name", ("gc", "mta"))
+def test_sampled_meter_reports_certification_stats(machine_name):
+    sampled = assert_sampled_matches_exact(
+        machine_name, SAMPLED_PROGRAMS["alloc-ramp"], None
+    )
+    stats = sampled.meter_stats
+    assert stats["mode"] == "sampled"
+    assert stats["trips"] >= 1
+    assert stats["certified"] is True
+
+
+def test_sampled_separators_both_accountings():
+    for separator in SEPARATORS:
+        for machine_name in ("gc", "tail", "sfs"):
+            for linked in (False, True):
+                assert_sampled_matches_exact(
+                    machine_name,
+                    separator.source,
+                    "10",
+                    linked=linked,
+                    fixed_precision=True,
+                )
+
+
+FUZZ_CORPUS_DIR = os.path.join(os.path.dirname(__file__), "fuzz_corpus")
+
+
+@pytest.mark.parametrize(
+    "filename",
+    sorted(
+        name
+        for name in os.listdir(FUZZ_CORPUS_DIR)
+        if name.endswith(".scm")
+    ),
+)
+def test_sampled_sup_equals_exact_on_fuzz_corpus(filename):
+    """The satellite property: on every checked-in fuzz regression the
+    sampled sup equals the exact sup (both engines, both accountings)."""
+    with open(os.path.join(FUZZ_CORPUS_DIR, filename)) as handle:
+        source = handle.read()
+    for machine_name in ("gc", "mta", "stack"):
+        for engine in DELTA_ENGINES:
+            for linked in (False, True):
+                assert_sampled_matches_exact(
+                    machine_name,
+                    source,
+                    "3",
+                    linked=linked,
+                    engine=engine,
+                )
+
+
+@given(random_bodies, st.sampled_from(("gc", "mta", "tail")))
+@settings(max_examples=40, deadline=None)
+def test_sampled_sup_equals_exact_on_random_programs(body, machine_name):
+    program = f"(define (f n) (let ((a n) (b 1)) {body}))"
+    for linked in (False, True):
+        assert_sampled_matches_exact(
+            machine_name, program, "3", linked=linked, checkpoint_every=7
         )

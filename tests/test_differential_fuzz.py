@@ -16,11 +16,14 @@ equivalence of the final answer across
 * both metering engines (delta and reference) under
 * both accountings (Figure 7 total and Figure 8 linked),
 
-plus the unmetered fused driver.  Any divergence anywhere in the
-matrix — a fusion that changed an answer, a meter that drove the
-machine differently, a variant hook that broke §11 — shows up as a
-two-element answer set, and hypothesis shrinks the program that
-exposed it.
+plus the unmetered fused driver.  A second, reduced-machine matrix
+crosses the full engine axis — reference/delta/generational x
+exact/sampled metering — and holds the *numbers* (sup, steps,
+collected), not just the answers, equal across it.  Any divergence
+anywhere in either matrix — a fusion that changed an answer, a meter
+that drove the machine differently, a variant hook that broke §11 —
+shows up as a two-element answer set, and hypothesis shrinks the
+program that exposed it.
 
 Shrunken counterexamples worth keeping are checked into
 ``tests/fuzz_corpus/`` as ``.scm`` files; every corpus file is
@@ -41,7 +44,7 @@ from repro.machine.answer import answer_string
 from repro.machine.errors import StuckError
 from repro.machine.variants import ALL_MACHINES, make_stepper
 from repro.space.consumption import prepare_input, prepare_program
-from repro.space.meter import run_metered, run_to_final
+from repro.space.meter import run_metered, run_sampled, run_to_final
 
 ALL_MACHINE_NAMES = tuple(sorted(ALL_MACHINES))
 
@@ -187,6 +190,69 @@ def matrix_answers(source: str, argument: str = ARGUMENT) -> dict:
     return answers
 
 
+#: The engine-axis matrix runs on a reduced machine subset: one plain
+#: GC machine, the compacting MTA machine (trajectory-changing
+#: ``compact``), and the GC-free tail machine (the sampled meter's
+#: no-reconstruction fast path).
+ENGINE_MATRIX_MACHINES = ("gc", "mta", "tail")
+
+
+def engine_matrix_outcomes(source: str, argument: str = ARGUMENT) -> dict:
+    """(answer, steps, sup, collected) for every cell of machine x
+    engine x meter-mode x accounting on the reduced subset.  The
+    sampled meter never carries the reference engine (it needs a
+    delta-family engine for its O(1) bound)."""
+    program_expr = prepare_program(source)
+    argument_expr = prepare_input(argument)
+    outcomes = {}
+    for name in ENGINE_MATRIX_MACHINES:
+        for accounting in ("S", "U"):
+            linked = accounting == "U"
+            for engine in ("reference", "delta", "generational"):
+                modes = ("exact",) if engine == "reference" else (
+                    "exact", "sampled"
+                )
+                for mode in modes:
+                    runner = run_metered if mode == "exact" else run_sampled
+                    def cell(runner=runner, engine=engine, linked=linked):
+                        result = runner(
+                            make_stepper(name, "gen2"),
+                            program_expr,
+                            argument_expr,
+                            engine=engine,
+                            linked=linked,
+                            step_limit=FUEL,
+                        )
+                        return (
+                            answer_string(result.final),
+                            result.steps,
+                            result.sup_space,
+                            result.collected,
+                        )
+                    outcomes[(name, engine, mode, accounting)] = observe(cell)
+    return outcomes
+
+
+def assert_engine_matrix_equivalent(source: str, argument: str = ARGUMENT):
+    outcomes = engine_matrix_outcomes(source, argument)
+    for name in ENGINE_MATRIX_MACHINES:
+        for accounting in ("S", "U"):
+            group = {
+                cell: outcome
+                for cell, outcome in outcomes.items()
+                if cell[0] == name and cell[3] == accounting
+            }
+            distinct = set(group.values())
+            assert len(distinct) == 1, (
+                f"engine-axis divergence on {name}/{accounting}:\n"
+                + "\n".join(
+                    f"  {cell}: {outcome}"
+                    for cell, outcome in sorted(group.items())
+                )
+                + f"\nprogram:\n{source}"
+            )
+
+
 def assert_observationally_equivalent(source: str, argument: str = ARGUMENT):
     answers = matrix_answers(source, argument)
     distinct = {}
@@ -215,6 +281,16 @@ def test_random_programs_observationally_equivalent(body):
     # plan cache would hide plan-construction bugs).
     clear_prepass_caches()
     assert_observationally_equivalent(wrap(body))
+
+
+@given(random_bodies)
+@settings(max_examples=20, deadline=None)
+def test_random_programs_engine_matrix_equivalent(body):
+    """The engine axis: reference/delta/generational x exact/sampled
+    agree on answer, steps, sup, and collected — numbers, not just
+    answers."""
+    clear_prepass_caches()
+    assert_engine_matrix_equivalent(wrap(body))
 
 
 @given(random_bodies, st.sampled_from(ALL_MACHINE_NAMES))
@@ -267,3 +343,10 @@ def test_corpus_observationally_equivalent(filename):
     with open(os.path.join(CORPUS_DIR, filename)) as handle:
         source = handle.read()
     assert_observationally_equivalent(source)
+
+
+@pytest.mark.parametrize("filename", corpus_files())
+def test_corpus_engine_matrix_equivalent(filename):
+    with open(os.path.join(CORPUS_DIR, filename)) as handle:
+        source = handle.read()
+    assert_engine_matrix_equivalent(source)
