@@ -30,12 +30,11 @@ Run with::
     PYTHONPATH=src python -m pytest benchmarks -m blame_census
 """
 
-import json
 import os
 
 import pytest
 
-from conftest import once
+from conftest import once, write_bench_summary
 
 from repro.harness.report import render_blame_table
 from repro.programs.corpus import load_corpus
@@ -57,7 +56,6 @@ BLAME_EVERY = 4
 TOP_ROWS = 12
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 CENSUS_JSON = "BENCH_blame_census.json"
 
 #: Minimum peak share of return continuations under the
@@ -190,14 +188,7 @@ def test_bench_blame_census(benchmark, artifacts):
     print("\n" + text)
 
     # The JSON artifact, deterministic and atomic, to both locations.
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    for directory in (RESULTS_DIR, REPO_ROOT):
-        target = os.path.join(directory, CENSUS_JSON)
-        staging = f"{target}.tmp.{os.getpid()}"
-        with open(staging, "w") as handle:
-            json.dump(summary, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(staging, target)
+    write_bench_summary(CENSUS_JSON, summary)
     validate_blame_census(os.path.join(RESULTS_DIR, CENSUS_JSON))
 
     # Every machine covered the whole corpus under both accountings.

@@ -24,6 +24,8 @@ import time
 
 import pytest
 
+from conftest import write_bench_summary
+
 from repro.machine.reference_step import make_seed_stepper
 from repro.machine.variants import make_machine
 from repro.programs.corpus import load_program
@@ -37,28 +39,8 @@ ARGUMENT = prepare_input("10")
 
 MACHINES = ("tail", "gc", "stack", "evlis", "free", "sfs", "bigloo", "mta")
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 THROUGHPUT_JSON = "BENCH_throughput.json"
 STEP_RATE_JSON = "BENCH_step_rate.json"
-
-
-def _write_summary(name, log):
-    """One copy under benchmarks/results/ (the citable artifact) and
-    one at the repo root (the at-a-glance summary).
-
-    Deterministic and atomic: keys are sorted so reruns with identical
-    numbers produce byte-identical files, and each file is staged to a
-    temp path and renamed into place so a reader (or an interrupted
-    bench session) never sees a torn summary."""
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    for directory in (RESULTS_DIR, REPO_ROOT):
-        target = os.path.join(directory, name)
-        staging = f"{target}.tmp.{os.getpid()}"
-        with open(staging, "w") as handle:
-            json.dump(log, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(staging, target)
 
 SPEEDUP_SEPARATOR = "gc-vs-tail"
 SPEEDUP_MACHINE = "gc"
@@ -103,7 +85,7 @@ def throughput_log():
         metered = rates.get(f"metered-flat/{name}")
         if unmetered and metered:
             log["metered_ratio"][name] = round(unmetered / metered, 2)
-    _write_summary(THROUGHPUT_JSON, log)
+    write_bench_summary(THROUGHPUT_JSON, log)
 
 
 def record_rate(log, label, steps, seconds):
@@ -338,7 +320,7 @@ def step_rate_log():
         "acceptance": {},
     }
     yield log
-    _write_summary(STEP_RATE_JSON, log)
+    write_bench_summary(STEP_RATE_JSON, log)
 
 
 def _best_step_rate(factory, name, program, argument):

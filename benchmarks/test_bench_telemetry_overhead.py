@@ -26,6 +26,8 @@ import time
 
 import pytest
 
+from conftest import write_bench_summary
+
 from repro.machine.variants import make_machine
 from repro.programs.corpus import load_program
 from repro.space.consumption import prepare_input, prepare_program
@@ -41,7 +43,6 @@ ROUNDS = 7
 MAX_OVERHEAD = 0.10  # disabled telemetry may cost at most 10%
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 OVERHEAD_JSON = "BENCH_telemetry_overhead.json"
 STEP_RATE_JSON = os.path.join(RESULTS_DIR, "BENCH_step_rate.json")
 
@@ -90,16 +91,7 @@ def overhead_log():
         "traced": {},
     }
     yield log
-    # Deterministic (sorted keys) and atomic (staged + renamed), like
-    # the step-rate summary writer.
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    for directory in (RESULTS_DIR, REPO_ROOT):
-        target = os.path.join(directory, OVERHEAD_JSON)
-        staging = f"{target}.tmp.{os.getpid()}"
-        with open(staging, "w") as handle:
-            json.dump(log, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(staging, target)
+    write_bench_summary(OVERHEAD_JSON, log)
 
 
 @pytest.mark.telemetry_overhead
@@ -279,3 +271,76 @@ def test_bench_blame_sampling_speedup(overhead_log):
             f"{speedup:.2f}x the from-scratch {scratch_rate:.0f}/s"
         )
     overhead_log["blame_sampling"] = section
+
+
+RETENTION_MIN_RATIO = 0.90
+RETENTION_MACHINE = "gc"
+RETENTION_EVERY = 64
+
+
+@pytest.mark.telemetry_overhead
+def test_bench_retention_off_overhead(overhead_log):
+    """Retention capture disabled (the tier-1 default: no profiler, no
+    provenance sink, no ``pre_step`` stamping) keeps >= 90% of the
+    recorded exact-metered step rate.  The baseline is
+    ``BENCH_throughput.json``'s ``metered-flat`` rate for the same
+    machine and workload — the path the retention branches were added
+    to.  The retention-*on* rate is recorded for the record (the
+    profiled path snapshots a dominator tree per sample; it is allowed
+    to be expensive), and its measurements must agree exactly with the
+    bare meter's."""
+    from repro.telemetry.retention import RetentionProfiler
+
+    throughput = os.path.join(RESULTS_DIR, "BENCH_throughput.json")
+    if not os.path.exists(throughput):
+        pytest.skip(
+            "no BENCH_throughput.json baseline; run the throughput "
+            "benchmarks first"
+        )
+    with open(throughput) as handle:
+        rates = json.load(handle)["steps_per_second"]
+    key = f"metered-flat/{RETENTION_MACHINE}"
+    if key not in rates:
+        pytest.skip(f"no {key} entry in BENCH_throughput.json")
+    baseline = rates[key]
+
+    def bare():
+        machine = make_machine(RETENTION_MACHINE)
+        return run_metered(machine, PROGRAM, ARGUMENT)
+
+    def profiled():
+        machine = make_machine(RETENTION_MACHINE)
+        profiler = RetentionProfiler(every=RETENTION_EVERY)
+        result = run_metered(machine, PROGRAM, ARGUMENT, retention=profiler)
+        return result, profiler
+
+    off_rate, _ = _best_rate(lambda: bare().steps)
+    on_rate, _ = _best_rate(lambda: profiled()[0].steps)
+    bare_result = bare()
+    on_result, profiler = profiled()
+    # The profiler changes nothing it observes...
+    assert (on_result.sup_space, on_result.steps) == (
+        bare_result.sup_space, bare_result.steps
+    )
+    # ...and what it observed partitions the space exactly (at every=64
+    # the sampled peak may undershoot the true sup; exactness, not peak
+    # coverage, is the contract here).
+    assert profiler.at_peak is not None
+    for _step, space, self_sum, partition_sum in profiler.history:
+        assert self_sum == space and partition_sum == space
+    ratio = off_rate / baseline
+    overhead_log["retention"] = {
+        "machine": RETENTION_MACHINE,
+        "min_ratio": RETENTION_MIN_RATIO,
+        "baseline": "BENCH_throughput.json metered-flat",
+        "baseline_steps_per_second": baseline,
+        "retention_off_steps_per_second": round(off_rate, 1),
+        "ratio": round(ratio, 3),
+        "retention_on_every": RETENTION_EVERY,
+        "retention_on_steps_per_second": round(on_rate, 1),
+        "slowdown": round(off_rate / on_rate, 2),
+    }
+    assert ratio >= RETENTION_MIN_RATIO, (
+        f"retention-off metered rate {off_rate:.0f}/s is "
+        f"{(1 - ratio) * 100:.1f}% below the {baseline:.0f}/s baseline"
+    )

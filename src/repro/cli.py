@@ -14,6 +14,9 @@
     python -m repro sweep program.scm --trace-sample 64 --blame-every 8
     python -m repro trace program.scm --arg 64 --machine gc --series
     python -m repro trace program.scm --arg 64 --suggest-fusions
+    python -m repro analyze --retention --machine gc --diff tail
+    python -m repro trace p.scm --arg 64 --retention-top 8 --flamegraph out.folded
+    python -m repro sweep program.scm --machine gc --retention-sample 8
     python -m repro trace --metrics-in metrics.json   # rank fusions offline
     python -m repro audit gc tail                # space-safety audit
     python -m repro corpus                       # bundled benchmarks
@@ -30,13 +33,16 @@ from .analysis.frequency import analyze_program, frequency_table
 from .harness.report import (
     render_blame_series,
     render_blame_table,
+    render_retention_diff,
     render_series,
     render_step_mix,
     render_table,
+    render_why_live,
 )
 from .harness.runner import run
 from .harness.sweep import (
     aggregate_metrics,
+    aggregate_retention,
     aggregate_series,
     aggregate_traces,
     grid_cells,
@@ -211,9 +217,88 @@ def _cmd_meter_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default program for ``analyze --retention``: the Theorem 25
+#: gc-vs-tail separator, whose retention story is the paper's —
+#: Return konts keeping environments live that tail-call deallocation
+#: drops.
+RETENTION_DEFAULT_PROGRAM = "gc-vs-tail"
+RETENTION_DEFAULT_ARGUMENT = "48"
+
+
+def _retention_source(name: str, argument: Optional[str]) -> "tuple":
+    """Resolve an ``analyze --retention`` program name: a Theorem 25
+    separator name, a bundled corpus name, or a file path."""
+    from .programs.corpus import corpus_names, load_program
+    from .programs.separators import SEPARATORS_BY_NAME
+
+    if name in SEPARATORS_BY_NAME:
+        return (
+            SEPARATORS_BY_NAME[name].source,
+            argument or RETENTION_DEFAULT_ARGUMENT,
+        )
+    if name in set(corpus_names()):
+        entry = load_program(name)
+        return entry.source, argument or entry.default_input
+    return _read_source(name), argument
+
+
+def _cmd_retention(args: argparse.Namespace) -> int:
+    from .telemetry.retention import retention_diff, retention_run
+
+    names = args.programs or [RETENTION_DEFAULT_PROGRAM]
+    argument = getattr(args, "arg", None)
+    for name in names:
+        source, program_argument = _retention_source(name, argument)
+        machines = [args.machine]
+        if args.diff:
+            machines.append(args.diff)
+        snapshots = {}
+        for machine in machines:
+            _result, profiler = retention_run(
+                machine,
+                source,
+                program_argument,
+                fixed_precision=True,
+                step_limit=2_000_000,
+            )
+            snapshot = profiler.at_peak
+            snapshots[machine] = snapshot
+            print(render_blame_table(
+                snapshot.root_retention(),
+                total=snapshot.space,
+                title=(
+                    f"retention at peak [{name} on {machine}, "
+                    f"step {snapshot.step}] — "
+                    "retained words per dominating root"
+                ),
+                limit=12,
+            ))
+            print(render_why_live(
+                snapshot,
+                top=3,
+                title=f"why live [{name} on {machine}]",
+            ))
+        if args.diff:
+            diff = retention_diff(
+                snapshots[args.machine], snapshots[args.diff]
+            )
+            print(render_retention_diff(
+                diff,
+                left=args.machine,
+                right=args.diff,
+                title=(
+                    f"retention diff [{name}: "
+                    f"{args.machine} vs {args.diff}]"
+                ),
+            ))
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     if getattr(args, "meter_audit", False):
         return _cmd_meter_audit(args)
+    if getattr(args, "retention", False):
+        return _cmd_retention(args)
     if args.loops:
         from .analysis.loops import loop_candidates, loops_table
 
@@ -247,12 +332,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     ns = tuple(int(n) for n in args.ns.split(","))
     machines = args.machine.split(",")
     if args.meter == "sampled" and (
-        args.metrics or args.trace_sample or args.blame_every
+        args.metrics
+        or args.trace_sample
+        or args.blame_every
+        or args.retention_sample
     ):
         raise SystemExit(
             "sweep: --meter sampled has no per-transition observation "
-            "points; drop --metrics/--trace-sample/--blame-every or "
-            "use --meter exact"
+            "points; drop --metrics/--trace-sample/--blame-every/"
+            "--retention-sample or use --meter exact"
         )
     cells = grid_cells(
         {(machine,): source for machine in machines},
@@ -265,6 +353,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         metrics=bool(args.metrics),
         trace_sample=args.trace_sample,
         blame_every=args.blame_every,
+        retention_sample=args.retention_sample,
     )
     outcomes = run_grid(cells, jobs=args.jobs, timeout=args.timeout)
     by_machine = series_from_outcomes(outcomes)
@@ -306,6 +395,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             merged.totals(),
             title=(
                 f"space blame over the grid "
+                f"[{len(merged)} samples, summed]"
+            ),
+            limit=12,
+        ))
+    if args.retention_sample:
+        merged = aggregate_retention(outcomes)
+        print(render_blame_table(
+            merged.totals(),
+            title=(
+                f"retained words per dominating root over the grid "
                 f"[{len(merged)} samples, summed]"
             ),
             limit=12,
@@ -377,6 +476,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         if name not in ALL_MACHINES:
             raise SystemExit(f"unknown machine: {name!r}")
     accounting = "U" if args.linked else "S"
+    retention_on = bool(args.retention_top or args.flamegraph)
     for name in machines:
         writer = None
         if args.stream:
@@ -408,6 +508,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 blame_every=args.blame_every,
                 sink=writer,
                 retain=writer is None or bool(args.trace_out),
+                retention_every=1 if retention_on else 0,
             )
         finally:
             if writer is not None:
@@ -443,6 +544,45 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 top=args.series_top,
                 title=f"space blame over time [{name}]",
             ))
+        if retention_on:
+            snapshot = session.retention.at_peak
+            if args.retention_top:
+                print(render_blame_table(
+                    snapshot.root_retention(),
+                    total=snapshot.space,
+                    title=(
+                        f"retention at peak [{name}, "
+                        f"step {snapshot.step}] — "
+                        "retained words per dominating root"
+                    ),
+                    limit=args.retention_top,
+                ))
+                print(render_why_live(
+                    snapshot, top=3, title=f"why live [{name}]"
+                ))
+            if args.flamegraph:
+                from .telemetry.export import (
+                    write_flamegraph,
+                    write_retention_jsonl,
+                )
+
+                suffix = f".{name}" if len(machines) > 1 else ""
+                stem = (
+                    args.flamegraph[:-7]
+                    if args.flamegraph.endswith(".folded")
+                    else args.flamegraph
+                )
+                folded_path = (
+                    f"{stem}{suffix}.folded" if suffix else args.flamegraph
+                )
+                retention_path = f"{stem}{suffix}.retention.jsonl"
+                stacks = write_flamegraph(snapshot, folded_path)
+                nodes = write_retention_jsonl(snapshot, retention_path)
+                print(
+                    f"; flamegraph: {stacks} stacks -> {folded_path} "
+                    f"(+ {nodes} nodes -> {retention_path})",
+                    file=sys.stderr,
+                )
         if args.trace_out:
             suffix = f".{name}" if len(machines) > 1 else ""
             base, chrome = _trace_paths(args.trace_out)
@@ -580,7 +720,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze_parser.add_argument(
         "--machine", default="gc", choices=sorted(ALL_MACHINES),
-        help="machine for --meter-audit runs (default gc)",
+        help="machine for --meter-audit and --retention runs "
+        "(default gc)",
+    )
+    analyze_parser.add_argument(
+        "--retention", action="store_true",
+        help="why-live retention analysis: run the program(s) — "
+        "Theorem 25 separator names, corpus names, or files; default "
+        f"{RETENTION_DEFAULT_PROGRAM!r} — under the exact meter and "
+        "print the peak configuration's retained words per dominating "
+        "root plus shortest why-live root paths for the "
+        "largest-retained store cells",
+    )
+    analyze_parser.add_argument(
+        "--diff", metavar="MACHINE", choices=sorted(ALL_MACHINES),
+        help="with --retention: also run MACHINE and print the "
+        "per-root-class retained diff (the gc-vs-tail separator gap "
+        "is exactly the vanished Return-kont rows)",
+    )
+    analyze_parser.add_argument(
+        "--arg", help="input expression for --retention runs "
+        "(defaults per program)",
     )
     analyze_parser.set_defaults(handler=_cmd_analyze)
 
@@ -655,6 +815,13 @@ def build_parser() -> argparse.ArgumentParser:
         "K-th measured configuration), ship the per-cell BlameSeries "
         "back, and print the merged who-holds-the-space table",
     )
+    sweep_parser.add_argument(
+        "--retention-sample", type=int, default=0, metavar="K",
+        help="attach a why-live retention profiler to every cell "
+        "(snapshot every K-th measured configuration), ship the "
+        "per-cell per-root retained-size series back, and print the "
+        "merged retained-words-per-root table",
+    )
     sweep_parser.set_defaults(handler=_cmd_sweep)
 
     trace_parser = commands.add_parser(
@@ -705,6 +872,19 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument(
         "--series-top", type=int, default=6,
         help="sparkline rows before folding into '(other)'",
+    )
+    trace_parser.add_argument(
+        "--retention-top", type=int, default=0, metavar="K",
+        help="attach the why-live retention profiler and print the "
+        "top-K dominating roots (retained words partitioning the "
+        "peak space exactly) plus why-live root paths",
+    )
+    trace_parser.add_argument(
+        "--flamegraph", metavar="OUT",
+        help="write the peak configuration's retention dominator tree "
+        "as folded flamegraph stacks to OUT (flamegraph.pl/speedscope "
+        "input; weights sum to the peak space) and the full node "
+        "table to OUT-stem.retention.jsonl",
     )
     trace_parser.add_argument("--trace-out", metavar="PATH")
     trace_parser.add_argument("--metrics", metavar="PATH")

@@ -104,6 +104,73 @@ def render_step_mix(
     return render_table(["step kind", "steps", "share"], rows, title=title)
 
 
+def render_retention_diff(
+    diff: dict,
+    left: str = "left",
+    right: str = "right",
+    title: Optional[str] = None,
+) -> str:
+    """Render a :func:`~repro.telemetry.retention.retention_diff`
+    payload as a side-by-side per-root-class retained table plus the
+    vanished-roots summary line attributing the space gap."""
+    classes = sorted(
+        set(diff["left"]) | set(diff["right"]),
+        key=lambda cls: (
+            -(diff["left"].get(cls, 0) - diff["right"].get(cls, 0)),
+            cls,
+        ),
+    )
+    rows: List[Sequence[Cell]] = []
+    for cls in classes:
+        left_words = diff["left"].get(cls, 0)
+        right_words = diff["right"].get(cls, 0)
+        rows.append([cls, left_words, right_words, left_words - right_words])
+    rows.append(
+        [
+            "TOTAL",
+            diff["left_space"],
+            diff["right_space"],
+            diff["gap"],
+        ]
+    )
+    table = render_table(
+        ["root class", f"{left} retained", f"{right} retained", "delta"],
+        rows,
+        title=title,
+    )
+    if diff["vanished"]:
+        vanished = ", ".join(diff["vanished"])
+        table += (
+            f"\nvanished on {right}: {vanished}"
+            f" ({diff['vanished_words']} of the {diff['gap']}-word gap)"
+        )
+    return table
+
+
+def render_why_live(
+    snapshot,
+    top: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render the why-live root paths of a
+    :class:`~repro.telemetry.retention.RetentionSnapshot`'s ``top``
+    largest-retained store locations, one ``loc N (M words retained):
+    root ... -> ...`` line each."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    locations = snapshot.top_locations(top=top)
+    if not locations:
+        lines.append("(no store locations in this configuration)")
+    for location in locations:
+        node = snapshot.loc_node[location]
+        lines.append(
+            f"loc {location} ({snapshot.retained[node]} words retained): "
+            f"{snapshot.render_path(location)}"
+        )
+    return "\n".join(lines)
+
+
 def render_blame_series(
     series,
     top: int = 6,

@@ -66,6 +66,7 @@ def run(
     trace=None,
     metrics=None,
     blame=None,
+    retention=None,
 ) -> RunResult:
     """Run *program* (optionally applied to *argument*).
 
@@ -108,6 +109,8 @@ def run(
         raise ValueError(f"unknown meter mode: {meter!r}")
     if blame is not None and meter != "exact":
         raise ValueError("blame profiling requires the exact meter")
+    if retention is not None and meter != "exact":
+        raise ValueError("retention profiling requires the exact meter")
     if meter == "sampled" and (trace is not None or metrics is not None):
         raise ValueError("telemetry requires the exact meter")
     program_expr = prepare_program(program)
@@ -144,6 +147,7 @@ def run(
                 trace=trace,
                 metrics=metrics,
                 blame=blame,
+                retention=retention,
             )
         return RunResult(
             machine=machine,

@@ -67,6 +67,11 @@ class SweepCell:
     #: > 0 attaches a BlameProfiler (decomposing every k-th measured
     #: configuration) and ships its BlameSeries back.  0 = no blame.
     blame_every: int = 0
+    #: > 0 attaches a RetentionProfiler (snapshotting every k-th
+    #: measured configuration) and ships its per-root retained-size
+    #: series (BlameSeries ``as_dict`` keyed by root labels, pointwise
+    #: summing to the measured space) back.  0 = no retention.
+    retention_sample: int = 0
 
 
 @dataclass(frozen=True)
@@ -83,6 +88,10 @@ class SweepOutcome:
     #: The cell's BlameSeries in ``as_dict`` form when the cell asked
     #: for blame profiling; ``None`` otherwise.
     series: Optional[dict] = None
+    #: The cell's per-root retained-size series (BlameSeries
+    #: ``as_dict``) when the cell asked for retention sampling;
+    #: ``None`` otherwise.
+    retention: Optional[dict] = None
 
     @property
     def total(self) -> int:
@@ -131,6 +140,11 @@ def run_cell(cell: SweepCell) -> SweepOutcome:
         from ..telemetry.blame import BlameProfiler
 
         blame = BlameProfiler(every=cell.blame_every)
+    retention = None
+    if cell.retention_sample > 0:
+        from ..telemetry.retention import RetentionProfiler
+
+        retention = RetentionProfiler(every=cell.retention_sample)
     try:
         result = measure(
             cell.machine,
@@ -146,6 +160,7 @@ def run_cell(cell: SweepCell) -> SweepOutcome:
             metrics=registry,
             trace=bus,
             blame=blame,
+            retention=retention,
         )
     except Exception as error:  # noqa: BLE001 - reported, not hidden
         return SweepOutcome(cell=cell, error=f"{type(error).__name__}: {error}")
@@ -155,6 +170,9 @@ def run_cell(cell: SweepCell) -> SweepOutcome:
         metrics=registry.as_dict() if registry is not None else None,
         events=tuple(bus.events) if bus is not None else None,
         series=blame.series().as_dict() if blame is not None else None,
+        retention=(
+            retention.series().as_dict() if retention is not None else None
+        ),
     )
 
 
@@ -340,6 +358,22 @@ def aggregate_series(outcomes: Iterable[SweepOutcome]):
     )
 
 
+def aggregate_retention(outcomes: Iterable[SweepOutcome]):
+    """Fold the per-cell retention series of a grid into one
+    :class:`~repro.telemetry.blame.BlameSeries` over root labels (via
+    ``merge``, so mixed accountings are refused).  Cells without
+    retention sampling contribute nothing."""
+    from ..telemetry.blame import BlameSeries
+
+    return BlameSeries.merge(
+        [
+            BlameSeries.from_dict(outcome.retention)
+            for outcome in outcomes
+            if outcome.retention is not None
+        ]
+    )
+
+
 def series_from_outcomes(
     outcomes: Iterable[SweepOutcome],
 ) -> Dict[Tuple, Dict[int, int]]:
@@ -355,6 +389,7 @@ __all__ = [
     "SweepCell",
     "SweepOutcome",
     "aggregate_metrics",
+    "aggregate_retention",
     "aggregate_series",
     "aggregate_traces",
     "default_jobs",

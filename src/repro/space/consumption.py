@@ -83,6 +83,7 @@ def measure(
     trace=None,
     metrics=None,
     blame=None,
+    retention=None,
 ) -> Consumption:
     """Measure the Definition 23 space consumption of running
     *program* on *argument* under the named reference implementation.
@@ -94,8 +95,9 @@ def measure(
     numbers are identical, the run is faster.  The sampled loop has no
     per-transition observation points, so it cannot carry telemetry.
 
-    ``trace``/``metrics``/``blame`` attach the telemetry stack to the
-    metered run (see :func:`repro.space.meter.run_metered`)."""
+    ``trace``/``metrics``/``blame``/``retention`` attach the telemetry
+    stack to the metered run (see
+    :func:`repro.space.meter.run_metered`)."""
     if meter not in ("exact", "sampled"):
         raise ValueError(f"unknown meter mode: {meter!r}")
     machine = (
@@ -104,7 +106,12 @@ def measure(
         else make_machine(machine_name)
     )
     if meter == "sampled":
-        if trace is not None or metrics is not None or blame is not None:
+        if (
+            trace is not None
+            or metrics is not None
+            or blame is not None
+            or retention is not None
+        ):
             raise ValueError(
                 "telemetry requires the exact meter; the sampled loop "
                 "has no per-transition observation points"
@@ -136,6 +143,7 @@ def measure(
             trace=trace,
             metrics=metrics,
             blame=blame,
+            retention=retention,
         )
     return Consumption(
         machine=machine_name,

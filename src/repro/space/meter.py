@@ -107,7 +107,7 @@ class MeterResult:
 class ReferenceMeter:
     """The canonical engine: trace per collection, re-walk per measure."""
 
-    __slots__ = ("uses_gc", "fixed_precision", "_measure", "bus")
+    __slots__ = ("uses_gc", "fixed_precision", "_measure", "bus", "prov")
 
     #: The canonical engine never *falls back* (it is the fallback);
     #: kept as a class constant so telemetry reads one attribute on
@@ -122,13 +122,34 @@ class ReferenceMeter:
             configuration_space_linked if linked else configuration_space
         )
         self.bus = None
+        #: Optional allocation-site provenance sink (a retention
+        #: profiler's :class:`~repro.telemetry.retention.AllocSites`);
+        #: when set this engine installs itself as the store tracker
+        #: purely to forward allocation events.
+        self.prov = None
 
     def attach_bus(self, bus) -> None:
         """Publish this engine's reclamations to a trace bus."""
         self.bus = bus
 
+    # -- store tracker interface (provenance forwarding only) ---------------
+
+    def on_alloc(self, location, value) -> None:
+        if self.prov is not None:
+            self.prov.on_alloc(location, value)
+
+    def on_write(self, location, old, new) -> None:
+        pass
+
+    def on_delete(self, location, value) -> None:
+        if self.prov is not None:
+            self.prov.on_delete(location, value)
+
     def prime(self, state: State) -> int:
-        return collect(state, self.bus) if self.uses_gc else 0
+        collected = collect(state, self.bus) if self.uses_gc else 0
+        if self.prov is not None:
+            state.store.tracker = self
+        return collected
 
     def transition(self, configuration: Configuration) -> None:
         pass
@@ -143,7 +164,8 @@ class ReferenceMeter:
         return collect_final(final, self.bus, pin_from)
 
     def detach(self, store) -> None:
-        pass
+        if store is not None and store.tracker is self:
+            store.tracker = None
 
 
 class DeltaMeter:
@@ -163,6 +185,7 @@ class DeltaMeter:
         "tracker",
         "ledger",
         "blame_inc",
+        "prov",
         "fallback",
         "_fallback_measure",
         "_env",
@@ -191,6 +214,12 @@ class DeltaMeter:
         #: incremental mode *before* :meth:`prime`); receives the same
         #: store/root deltas this engine already tracks.
         self.blame_inc = None
+        #: Optional allocation-site provenance sink (a retention
+        #: profiler's :class:`~repro.telemetry.retention.AllocSites`);
+        #: unlike the other sinks it survives the escape fallback —
+        #: allocation events stay well-defined even when reference
+        #: counts stop modelling reachability.
+        self.prov = None
         self.fallback = False
         self.bus = None
         #: GC-rule applications where the local cycle analysis could
@@ -214,6 +243,8 @@ class DeltaMeter:
             self.ledger.on_alloc(location, value)
         if self.blame_inc is not None:
             self.blame_inc.store_add(value)
+        if self.prov is not None:
+            self.prov.on_alloc(location, value)
 
     def on_write(self, location, old, new) -> None:
         if self.tracker is not None:
@@ -231,6 +262,8 @@ class DeltaMeter:
             self.ledger.on_delete(location, value)
         if self.blame_inc is not None:
             self.blame_inc.store_remove(value)
+        if self.prov is not None:
+            self.prov.on_delete(location, value)
 
     # -- root component bookkeeping ----------------------------------------
 
@@ -347,7 +380,10 @@ class DeltaMeter:
         procedure has entered the configuration; reference counts no
         longer model the continuation chains it retains)."""
         self.fallback = True
-        if self._store is not None:
+        # Provenance survives the fallback: keep the store hooked so
+        # allocation events still reach the sink (the on_* forwarders
+        # null-check every other sink).
+        if self._store is not None and self.prov is None:
             self._store.tracker = None
         self.tracker = None
         if self.ledger is not None:
@@ -380,6 +416,7 @@ class DeltaMeter:
             self.tracker is not None
             or self.ledger is not None
             or self.blame_inc is not None
+            or self.prov is not None
         ):
             state.store.tracker = self
         self._set_env(state.env)
@@ -543,6 +580,7 @@ def run_metered(
     trace=None,
     metrics=None,
     blame=None,
+    retention=None,
 ) -> MeterResult:
     """Run *program* (applied to *argument* if given) to a final
     configuration, measuring the supremum of configuration space.
@@ -579,6 +617,11 @@ def run_metered(
     - ``blame`` — a :class:`repro.telemetry.blame.BlameProfiler`;
       called at every measure point with the configuration and its
       measured space.
+    - ``retention`` — a :class:`repro.telemetry.retention.
+      RetentionProfiler`; observed at the same measure points as
+      ``blame``, plus a ``pre_step`` call before each transition so
+      allocation-site provenance can be stamped through the engine's
+      store hooks.
     """
     if gc_when not in ("always", "store-change"):
         raise ValueError(f"unknown gc_when: {gc_when!r}")
@@ -603,6 +646,11 @@ def run_metered(
     if blame is not None:
         blame.bind(machine.name, linked, fixed_precision)
         attach = getattr(blame, "attach_engine", None)
+        if attach is not None:
+            attach(meter)
+    if retention is not None:
+        retention.bind(machine.name, linked, fixed_precision)
+        attach = getattr(retention, "attach_engine", None)
         if attach is not None:
             attach(meter)
     restrict_token = None
@@ -641,6 +689,8 @@ def run_metered(
             bus.emit_space(accounting, sup_space, 0)
         if blame is not None:
             blame.observe(state, sup_space, 0)
+        if retention is not None:
+            retention.observe(state, sup_space, 0)
         samples: List[Tuple[int, int]] = []
         if trace_every:
             samples.append((0, sup_space))
@@ -666,6 +716,8 @@ def run_metered(
                         )
                     counter.inc()
                     depth_hist.observe(state.kont.depth)
+            if retention is not None:
+                retention.pre_step(state, steps)
             configuration = step(state)
             steps += 1
             transition(configuration)
@@ -677,6 +729,8 @@ def run_metered(
                     bus.emit_space(accounting, space, steps)
                 if blame is not None:
                     blame.observe(configuration, space, steps)
+                if retention is not None:
+                    retention.observe(configuration, space, steps)
                 if space > sup_space:
                     sup_space, peak_step = space, steps
                 if uses_gc:
@@ -724,6 +778,8 @@ def run_metered(
                 bus.emit_space(accounting, space, steps)
             if blame is not None:
                 blame.observe(state, space, steps)
+            if retention is not None:
+                retention.observe(state, space, steps)
             if space > sup_space:
                 sup_space, peak_step = space, steps
             if trace_every and steps % trace_every == 0:

@@ -19,11 +19,18 @@ the step rate:
   continuation classes, so separators print a ranked "who holds the
   space" table — plus a bounded per-holder time-series
   (:class:`BlameSeries`) of whole decompositions, pointwise exact;
+- :mod:`repro.telemetry.retention` — the why-live layer over blame's
+  who: retention-graph snapshots (GC roots, labeled edges mirroring
+  the collector's traversal, allocation-site provenance) analyzed
+  with shortest root paths and a dominator tree whose root-retained
+  sizes partition the metered space exactly, plus gc-vs-tail
+  retention diffs and folded-stacks flamegraphs;
 - :mod:`repro.telemetry.export` — JSONL event logs (buffered *and*
   streamed: :class:`JsonlStreamWriter` attaches as a bus sink and
   writes events as they are emitted), Chrome ``trace_event`` files
   (loadable in Perfetto, including the per-holder ``space-blame``
-  counter track), and machine-readable metrics dumps.
+  counter track), retention flamegraph/JSONL exports, and
+  machine-readable metrics dumps.
 
 The honesty contract mirrors the meter and the stepper: telemetry is
 *derived, never authoritative*.  The trace-fidelity suite
@@ -49,19 +56,34 @@ from .export import (
     read_jsonl,
     validate_blame_census,
     validate_chrome_trace,
+    validate_flamegraph,
     validate_jsonl,
+    validate_retention_jsonl,
     write_chrome_trace,
+    write_flamegraph,
     write_jsonl,
     write_metrics,
+    write_retention_jsonl,
 )
 from .metrics import MetricsRegistry, step_mix
+from .retention import (
+    AllocSites,
+    RetentionProfiler,
+    RetentionSnapshot,
+    retention_diff,
+    retention_run,
+    retention_snapshot,
+)
 
 __all__ = [
+    "AllocSites",
     "BlameProfiler",
     "BlameSeries",
     "JsonlStreamWriter",
     "MetricsRegistry",
     "ReplaySummary",
+    "RetentionProfiler",
+    "RetentionSnapshot",
     "TraceBus",
     "TraceSession",
     "blame_by_class",
@@ -70,13 +92,20 @@ __all__ = [
     "holder_class",
     "read_jsonl",
     "replay",
+    "retention_diff",
+    "retention_run",
+    "retention_snapshot",
     "step_kind_label",
     "step_mix",
     "trace_run",
     "validate_blame_census",
     "validate_chrome_trace",
+    "validate_flamegraph",
     "validate_jsonl",
+    "validate_retention_jsonl",
     "write_chrome_trace",
+    "write_flamegraph",
     "write_jsonl",
     "write_metrics",
+    "write_retention_jsonl",
 ]

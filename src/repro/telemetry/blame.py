@@ -636,6 +636,8 @@ class TraceSession:
     machine: str = ""
     linked: bool = False
     extra: dict = field(default_factory=dict)
+    #: RetentionProfiler when the run sampled retention snapshots.
+    retention: object = None
 
 
 def trace_run(
@@ -655,6 +657,7 @@ def trace_run(
     series_capacity: int = 256,
     sink=None,
     retain: bool = True,
+    retention_every: int = 0,
 ) -> TraceSession:
     """Run one program on one machine with the full telemetry stack
     attached — trace bus, metrics registry, blame profiler — and
@@ -665,7 +668,11 @@ def trace_run(
     :class:`repro.telemetry.export.JsonlStreamWriter`); ``retain=False``
     turns the bus's ring off so an unbounded run streams in constant
     memory.  ``series_capacity`` bounds the blame profiler's retained
-    per-holder time-series (0 disables it)."""
+    per-holder time-series (0 disables it).  ``retention_every`` > 0
+    additionally attaches a
+    :class:`~repro.telemetry.retention.RetentionProfiler` sampling a
+    retention snapshot every that many observations
+    (``session.retention``)."""
     # Deferred so importing the telemetry package never drags in the
     # meter/harness stack (which imports telemetry lazily in turn).
     from ..machine.answer import answer_string
@@ -679,6 +686,13 @@ def trace_run(
     bus = TraceBus(capacity=capacity, sample=sample, sink=sink, retain=retain)
     metrics = MetricsRegistry()
     blame = BlameProfiler(every=blame_every, series_capacity=series_capacity)
+    retention = None
+    if retention_every > 0:
+        from .retention import RetentionProfiler
+
+        retention = RetentionProfiler(
+            every=retention_every, series_capacity=series_capacity
+        )
     result = run_metered(
         machine,
         prepare_program(program),
@@ -691,6 +705,7 @@ def trace_run(
         trace=bus,
         metrics=metrics,
         blame=blame,
+        retention=retention,
     )
     # Blame instruments (documented in the metrics module docstring):
     # how much of the run the profiler saw, and how wide the peak is.
@@ -698,6 +713,10 @@ def trace_run(
     metrics.gauge("blame_peak_holders", machine=machine_name).set(
         len(blame.at_peak)
     )
+    if retention is not None:
+        metrics.counter("retention_samples", machine=machine_name).inc(
+            retention.sampled
+        )
     return TraceSession(
         result=result,
         bus=bus,
@@ -710,6 +729,7 @@ def trace_run(
             "engine": engine,
             "stepper": stepper,
         },
+        retention=retention,
     )
 
 

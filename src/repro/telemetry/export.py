@@ -481,6 +481,150 @@ def write_metrics(metrics, path: str, **meta) -> None:
         json.dump(document, handle, indent=2, sort_keys=True)
 
 
+def write_flamegraph(snapshot, path: str) -> int:
+    """Write a :class:`~repro.telemetry.retention.RetentionSnapshot`'s
+    dominator tree as folded flamegraph stacks (one ``R;...;label
+    words`` line per positive-self node — ``flamegraph.pl`` /
+    speedscope / inferno input).  The line weights sum to exactly the
+    snapshot's measured space.  Returns the line count."""
+    lines = snapshot.folded_stacks()
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)
+
+
+def validate_flamegraph(path: str) -> dict:
+    """Schema-check a folded-stacks flamegraph file; returns
+    ``{"lines", "total"}`` or raises ValueError.
+
+    Every line must be ``frame(;frame)* <positive int>`` with the
+    stack rooted at ``R``; identical stacks must not repeat (the
+    writer merges them)."""
+    lines = 0
+    total = 0
+    seen: set = set()
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            stack, _, words = line.rpartition(" ")
+            if not stack:
+                raise ValueError(f"{path}:{lineno}: missing stack")
+            try:
+                count = int(words)
+            except ValueError:
+                raise ValueError(f"{path}:{lineno}: bad count {words!r}")
+            if count <= 0:
+                raise ValueError(f"{path}:{lineno}: non-positive count")
+            frames = stack.split(";")
+            if frames[0] != "R" or not all(frames):
+                raise ValueError(f"{path}:{lineno}: stack not rooted at R")
+            if stack in seen:
+                raise ValueError(f"{path}:{lineno}: duplicate stack")
+            seen.add(stack)
+            lines += 1
+            total += count
+    if not lines:
+        raise ValueError(f"{path}: empty flamegraph")
+    return {"lines": lines, "total": total}
+
+
+def write_retention_jsonl(snapshot, path: str) -> int:
+    """Write a :class:`~repro.telemetry.retention.RetentionSnapshot` as
+    JSON lines: a ``meta`` record (machine, accounting, step, measured
+    space) followed by one ``node`` record per retention-graph node
+    (id, label, self/retained words, dominator parent, allocation
+    site).  Returns the node count."""
+    document = snapshot.as_dict()
+    with open(path, "w", encoding="utf-8") as handle:
+        meta = {
+            "kind": "meta",
+            "version": JSONL_VERSION,
+            "format": "retention",
+            "machine": document["machine"],
+            "accounting": "linked" if document["linked"] else "flat",
+            "fixed_precision": document["fixed_precision"],
+            "step": document["step"],
+            "space": document["space"],
+            "nodes": len(document["nodes"]),
+        }
+        handle.write(json.dumps(meta) + "\n")
+        for node in document["nodes"]:
+            record = {"kind": "node"}
+            record.update(node)
+            handle.write(json.dumps(record) + "\n")
+    return len(document["nodes"])
+
+
+def validate_retention_jsonl(path: str) -> dict:
+    """Schema-check a retention JSONL file *including the exactness
+    oracle*: node self sizes must sum to the meta record's measured
+    space, and so must the root nodes' retained sizes (the dominator
+    partition).  Returns a summary dict or raises ValueError."""
+    meta = None
+    nodes: dict = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{lineno}: not JSON ({error})")
+            if not isinstance(record, dict):
+                raise ValueError(f"{path}:{lineno}: not a JSON object")
+            kind = record.get("kind")
+            if lineno == 1:
+                if kind != "meta" or record.get("format") != "retention":
+                    raise ValueError(
+                        f"{path}:1: first line must be the retention meta record"
+                    )
+                meta = record
+                continue
+            if kind != "node":
+                raise ValueError(f"{path}:{lineno}: unknown record kind {kind!r}")
+            node_id = record.get("id")
+            if not isinstance(node_id, int) or node_id in nodes:
+                raise ValueError(f"{path}:{lineno}: bad or duplicate node id")
+            if not isinstance(record.get("label"), str) or not record["label"]:
+                raise ValueError(f"{path}:{lineno}: bad label")
+            for field_name in ("self", "retained", "idom"):
+                if not isinstance(record.get(field_name), int):
+                    raise ValueError(f"{path}:{lineno}: bad {field_name!r}")
+            if record["retained"] < record["self"] or record["self"] < 0:
+                raise ValueError(f"{path}:{lineno}: retained < self")
+            nodes[node_id] = record
+    if meta is None:
+        raise ValueError(f"{path}: empty retention file")
+    if len(nodes) != meta.get("nodes"):
+        raise ValueError(f"{path}: node count disagrees with meta record")
+    if 0 not in nodes or nodes[0]["idom"] != 0:
+        raise ValueError(f"{path}: missing super-root node 0")
+    for node_id, record in nodes.items():
+        if record["idom"] not in nodes:
+            raise ValueError(f"{path}: node {node_id} has unknown idom")
+    space = meta.get("space")
+    self_total = sum(record["self"] for record in nodes.values())
+    if self_total != space:
+        raise ValueError(
+            f"{path}: node self sizes sum to {self_total}, meta space is {space}"
+        )
+    root_total = sum(
+        record["retained"]
+        for node_id, record in nodes.items()
+        if node_id != 0 and record["idom"] == 0
+    )
+    if root_total != space:
+        raise ValueError(
+            f"{path}: root retained sizes sum to {root_total}, "
+            f"meta space is {space}"
+        )
+    return {"nodes": len(nodes), "space": space, "meta": meta}
+
+
 __all__ = [
     "JsonlStreamWriter",
     "chrome_blame_counter_events",
@@ -488,8 +632,12 @@ __all__ = [
     "read_jsonl",
     "validate_blame_census",
     "validate_chrome_trace",
+    "validate_flamegraph",
     "validate_jsonl",
+    "validate_retention_jsonl",
     "write_chrome_trace",
+    "write_flamegraph",
     "write_jsonl",
     "write_metrics",
+    "write_retention_jsonl",
 ]

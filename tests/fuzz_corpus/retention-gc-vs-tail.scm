@@ -1,0 +1,8 @@
+; Retention regression (gc vs tail): a pure tail-recursive countdown.
+; On the gc machine every self-call stacks a Return frame, so the peak
+; retention snapshot's dominator tree hangs almost all of the measured
+; space off kont:Return roots; the properly tail-recursive machine has
+; no Return frames at all, and the retention diff must attribute the
+; separator gap to exactly those vanished root classes.
+(define (f n)
+  (if (zero? n) 0 (f (- n 1))))

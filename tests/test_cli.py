@@ -185,6 +185,130 @@ class TestOtherCommands:
         assert "VIOLATION" in capsys.readouterr().out
 
 
+class TestMeterAuditCommand:
+    def test_meter_audit_table_shape(self, loop_file, capsys):
+        assert main(["analyze", "--meter-audit", loop_file,
+                     "--machine", "gc"]) == 0
+        out = capsys.readouterr().out
+        assert "generational meter audit [gc]" in out
+        for column in ("program", "meter", "steps", "collect", "scans",
+                       "promote", "remem", "cert"):
+            assert column in out
+        # One exact row and one sampled row per program.
+        assert sum(line.split()[1] == "exact"
+                   for line in out.splitlines() if "loop.scm" in line) == 1
+        assert sum(line.split()[1] == "sampled"
+                   for line in out.splitlines() if "loop.scm" in line) == 1
+
+    def test_meter_audit_exact_and_sampled_agree_on_steps(
+        self, capsys
+    ):
+        """The audit's honesty check, visible at the CLI surface: for
+        the same corpus program the exact and sampled meters report the
+        same transition count (the sampled meter skips measurements,
+        never steps)."""
+        assert main(["analyze", "--meter-audit", "fib",
+                     "--machine", "gc"]) == 0
+        rows = [line.split() for line in capsys.readouterr().out.splitlines()
+                if line.strip().startswith("fib")]
+        assert len(rows) == 2
+        steps = {row[1]: int(row[2]) for row in rows}
+        assert steps["exact"] == steps["sampled"]
+
+    def test_sampled_meter_refuses_telemetry_flags(self, loop_file):
+        """The guard behind the audit: telemetry needs per-transition
+        observation points, which the sampled meter does not have."""
+        from repro.space.consumption import measure
+        from repro.telemetry.blame import BlameProfiler
+
+        with pytest.raises(ValueError, match="observation points"):
+            measure("gc", open(loop_file).read(), "5", meter="sampled",
+                    blame=BlameProfiler())
+
+
+class TestRetentionCommands:
+    def test_analyze_retention_prints_roots_and_paths(
+        self, loop_file, capsys
+    ):
+        assert main(["analyze", "--retention", loop_file,
+                     "--machine", "gc", "--arg", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "retention at peak [" in out
+        assert "retained words per dominating root" in out
+        assert "kont:Return" in out
+        assert "why live [" in out
+        assert "root env:register rib f" in out
+        assert "[alloc " in out
+
+    def test_analyze_retention_diff_names_the_vanished_roots(
+        self, loop_file, capsys
+    ):
+        assert main(["analyze", "--retention", loop_file,
+                     "--machine", "gc", "--diff", "tail",
+                     "--arg", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "retention diff [" in out
+        assert "gc retained" in out and "tail retained" in out
+        assert "vanished on tail: kont:Return" in out
+
+    def test_analyze_retention_defaults_to_the_separator(self, capsys):
+        assert main(["analyze", "--retention"]) == 0
+        out = capsys.readouterr().out
+        assert "gc-vs-tail on gc" in out
+
+    def test_trace_retention_top_prints_table_and_paths(
+        self, loop_file, capsys
+    ):
+        assert main(["trace", loop_file, "--arg", "12", "--machine", "gc",
+                     "--retention-top", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "retention at peak [gc" in out
+        assert "why live [gc]" in out
+
+    def test_trace_flamegraph_writes_valid_artifacts(
+        self, loop_file, tmp_path, capsys
+    ):
+        from repro.telemetry.export import (
+            validate_flamegraph,
+            validate_retention_jsonl,
+        )
+
+        out = tmp_path / "peak.folded"
+        assert main(["trace", loop_file, "--arg", "12", "--machine", "gc",
+                     "--flamegraph", str(out)]) == 0
+        assert "flamegraph:" in capsys.readouterr().err
+        folded = validate_flamegraph(out)
+        jsonl = validate_retention_jsonl(tmp_path / "peak.retention.jsonl")
+        # Both artifacts carry the same exact partition of the peak.
+        assert folded["total"] == jsonl["space"] > 0
+
+    def test_trace_flamegraph_per_machine_suffixes(
+        self, loop_file, tmp_path, capsys
+    ):
+        from repro.telemetry.export import validate_flamegraph
+
+        out = tmp_path / "peak.folded"
+        assert main(["trace", loop_file, "--arg", "8",
+                     "--machine", "tail,gc",
+                     "--flamegraph", str(out)]) == 0
+        assert validate_flamegraph(tmp_path / "peak.tail.folded")["total"] > 0
+        assert validate_flamegraph(tmp_path / "peak.gc.folded")["total"] > 0
+
+    def test_sweep_retention_sample_prints_grid_table(
+        self, loop_file, capsys
+    ):
+        assert main(["sweep", loop_file, "--ns", "4,8", "--machine", "gc",
+                     "--retention-sample", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "retained words per dominating root over the grid" in out
+        assert "samples, summed" in out
+
+    def test_sweep_sampled_meter_refuses_retention_sample(self, loop_file):
+        with pytest.raises(SystemExit, match="observation points"):
+            main(["sweep", loop_file, "--ns", "4", "--machine", "gc",
+                  "--meter", "sampled", "--retention-sample", "4"])
+
+
 class TestTraceCommand:
     def test_trace_prints_mix_and_blame(self, loop_file, capsys):
         assert main(["trace", loop_file, "--arg", "10",
