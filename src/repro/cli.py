@@ -20,6 +20,8 @@
     python -m repro trace --metrics-in metrics.json   # rank fusions offline
     python -m repro audit gc tail                # space-safety audit
     python -m repro corpus                       # bundled benchmarks
+    python -m repro serve --port 8000 --spool-dir spool   # machine farm
+    python -m repro submit program.scm --arg 64 --machine gc --budget 300
 """
 
 from __future__ import annotations
@@ -631,6 +633,111 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serving.server import ReproServer
+
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        default_budget=args.default_budget,
+        spool_dir=args.spool_dir,
+        max_retries=args.max_retries,
+        job_timeout=args.job_timeout,
+    )
+
+    def announce(line: str) -> None:
+        print(line, flush=True)
+
+    try:
+        asyncio.run(server.serve_forever(announce=announce))
+    except KeyboardInterrupt:
+        print("; interrupted, shutting down", file=sys.stderr)
+    finally:
+        server.close_sync()
+    return 0
+
+
+def _http_json(url: str, payload=None):
+    """POST *payload* (or GET when None); returns (status, body dict)."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    if payload is None:
+        request = urllib.request.Request(url)
+    else:
+        request = urllib.request.Request(
+            url,
+            data=json.dumps(payload).encode("utf-8"),
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit to a running `repro serve`; exit 0 on a result, 3 on a
+    quota kill, 1 on everything else."""
+    import json
+    import time as time_module
+
+    source = _read_source(args.program)
+    payload = {
+        "program": source,
+        "tenant": args.tenant,
+        "machine": args.machine,
+        "accounting": "linked" if args.linked else "flat",
+        "engine": args.engine,
+        "meter": args.meter,
+        "checkpoint_every": args.checkpoint_every,
+    }
+    if args.arg is not None:
+        payload["argument"] = args.arg
+    if args.budget is not None:
+        payload["budget"] = args.budget
+    if args.step_limit is not None:
+        payload["step_limit"] = args.step_limit
+    url = args.url.rstrip("/")
+    status, body = _http_json(f"{url}/submit", payload)
+    if status != 202:
+        print(f"; rejected ({status}): {body.get('reason')}", file=sys.stderr)
+        print(json.dumps(body))
+        return 1
+    job = body["job"]
+    print(f"; submitted {job} (budget={body.get('budget')})", file=sys.stderr)
+    if args.no_poll:
+        print(json.dumps(body))
+        return 0
+    while True:
+        status, snapshot = _http_json(f"{url}/jobs/{job}")
+        if status != 200:
+            print(f"; poll failed ({status})", file=sys.stderr)
+            return 1
+        if snapshot["status"] not in ("queued", "running"):
+            break
+        time_module.sleep(args.poll_interval)
+    receipt = snapshot["result"]
+    print(json.dumps(receipt))
+    if snapshot["status"] == "done":
+        return 0
+    if snapshot["status"] == "killed":
+        print(
+            f"; killed: consumption >= {receipt['consumption']} over "
+            f"budget {receipt['budget']} (top holder: {receipt['holder']})",
+            file=sys.stderr,
+        )
+        return 3
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -920,6 +1027,83 @@ def build_parser() -> argparse.ArgumentParser:
         "reference", nargs="?", default="tail", choices=sorted(ALL_MACHINES)
     )
     audit_parser.set_defaults(handler=_cmd_audit)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="evaluation service: HTTP submit/poll/stream with "
+        "space-quota admission control",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (0 = ephemeral; the bound port is announced)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, help="worker processes"
+    )
+    serve_parser.add_argument(
+        "--max-pending", type=int, default=8,
+        help="per-tenant bounded queue (429 past this)",
+    )
+    serve_parser.add_argument(
+        "--default-budget", type=int, default=None,
+        help="space budget (words of consumption) for submits that "
+        "carry none; omit for unmetered admission",
+    )
+    serve_parser.add_argument(
+        "--spool-dir", default=None,
+        help="directory for per-job JSONL receipt spools",
+    )
+    serve_parser.add_argument(
+        "--max-retries", type=int, default=1,
+        help="re-queue a job this many times when its worker dies",
+    )
+    serve_parser.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="kill a job's worker after this many seconds",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    submit_parser = commands.add_parser(
+        "submit",
+        help="client for `repro serve`: submit a program, poll to the "
+        "terminal receipt (exit 3 on a quota kill)",
+    )
+    submit_parser.add_argument("program", help="path to a .scm file, or -")
+    submit_parser.add_argument(
+        "--url", default="http://127.0.0.1:8000", help="server base URL"
+    )
+    submit_parser.add_argument("--arg", help="input expression")
+    submit_parser.add_argument(
+        "--machine", default="tail", choices=sorted(ALL_MACHINES)
+    )
+    submit_parser.add_argument(
+        "--linked", action="store_true",
+        help="Figure 8 linked (U_X) accounting instead of flat",
+    )
+    submit_parser.add_argument(
+        "--engine", default="delta", choices=ENGINES
+    )
+    submit_parser.add_argument(
+        "--meter", default="sampled", choices=("exact", "sampled")
+    )
+    submit_parser.add_argument(
+        "--checkpoint-every", type=int, default=DEFAULT_CHECKPOINT_EVERY
+    )
+    submit_parser.add_argument(
+        "--budget", type=int, default=None,
+        help="space budget in words of Definition 23 consumption",
+    )
+    submit_parser.add_argument("--step-limit", type=int, default=None)
+    submit_parser.add_argument("--tenant", default="anonymous")
+    submit_parser.add_argument(
+        "--no-poll", action="store_true",
+        help="print the 202 body and exit instead of polling",
+    )
+    submit_parser.add_argument(
+        "--poll-interval", type=float, default=0.2
+    )
+    submit_parser.set_defaults(handler=_cmd_submit)
 
     return parser
 

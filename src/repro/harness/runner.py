@@ -63,6 +63,8 @@ def run(
     step_limit: int = DEFAULT_STEP_LIMIT,
     answer_limit: int = 10000,
     stepper: str = "annotated",
+    budget: Optional[int] = None,
+    checkpoint_hook=None,
     trace=None,
     metrics=None,
     blame=None,
@@ -94,6 +96,12 @@ def run(
     them equal — so this knob exists for differential testing and
     before/after benchmarking, not for semantics.
 
+    ``budget`` caps the Definition 23 consumption on metered runs: the
+    run raises :class:`repro.space.meter.QuotaExceeded` (a structured
+    receipt naming the blame-census top holder) the moment its
+    certified space lower bound crosses.  ``checkpoint_hook(steps,
+    consumption)`` is the sampled meter's progress callback.
+
     ``trace``/``metrics``/``blame`` attach the telemetry stack (a
     :class:`~repro.telemetry.bus.TraceBus`, a
     :class:`~repro.telemetry.metrics.MetricsRegistry`, a
@@ -113,6 +121,10 @@ def run(
         raise ValueError("retention profiling requires the exact meter")
     if meter == "sampled" and (trace is not None or metrics is not None):
         raise ValueError("telemetry requires the exact meter")
+    if checkpoint_hook is not None and meter != "sampled":
+        raise ValueError("checkpoint_hook requires meter='sampled'")
+    if budget is not None and not meter:
+        raise ValueError("a space budget requires a metered run")
     program_expr = prepare_program(program)
     argument_expr = prepare_input(argument)
     names = primitive_names()
@@ -133,6 +145,8 @@ def run(
                 gc_interval=gc_interval,
                 step_limit=step_limit,
                 engine=engine,
+                budget=budget,
+                checkpoint_hook=checkpoint_hook,
             )
         else:
             result = run_metered(
@@ -144,6 +158,7 @@ def run(
                 gc_interval=gc_interval,
                 step_limit=step_limit,
                 engine=engine,
+                budget=budget,
                 trace=trace,
                 metrics=metrics,
                 blame=blame,

@@ -28,6 +28,8 @@ and a harness test holds parallel output byte-identical to serial.
 from __future__ import annotations
 
 import os
+import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -185,6 +187,382 @@ def default_jobs() -> int:
         return 1
 
 
+class ChannelError(RuntimeError):
+    """A job could not travel the pickle channel to a worker."""
+
+
+class RemoteError(RuntimeError):
+    """The job function raised inside the worker process."""
+
+
+class WorkerCrashed(RuntimeError):
+    """The worker process died (signal, OOM kill) past its retry
+    budget."""
+
+
+class JobTimeout(RuntimeError):
+    """The job exceeded its wall-clock timeout and its worker was
+    killed."""
+
+
+def _pool_worker_main(conn) -> None:
+    """Worker-process loop: receive ``(fn, arg)`` jobs, reply with zero
+    or more ``("progress", payload)`` messages followed by exactly one
+    ``("done", result)`` or ``("error", message)``.  ``None`` shuts the
+    worker down.  Module-level so it pickles by reference."""
+
+    def emit(payload) -> None:
+        try:
+            conn.send(("progress", payload))
+        except (BrokenPipeError, OSError):
+            pass  # parent gone; the job result will fail the same way
+
+    while True:
+        try:
+            job = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        except Exception as error:  # noqa: BLE001 - job didn't unpickle
+            # Connection framing survives a failed unpickle, so the
+            # channel is still clean; report and keep serving.
+            try:
+                conn.send(
+                    ("error", f"job did not survive the channel: {error}")
+                )
+                continue
+            except Exception:
+                break
+        if job is None:
+            break
+        fn, arg = job
+        try:
+            result = fn(arg, emit)
+        except BaseException as error:  # noqa: BLE001 - shipped, not hidden
+            reply = ("error", f"{type(error).__name__}: {error}")
+        else:
+            reply = ("done", result)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+        except Exception as error:  # unpicklable result
+            try:
+                conn.send(("error", f"unpicklable result: {error}"))
+            except Exception:
+                break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+class _PoolJob:
+    __slots__ = ("fn", "arg", "future", "on_event", "timeout", "attempts",
+                 "deadline")
+
+    def __init__(self, fn, arg, future, on_event, timeout):
+        self.fn = fn
+        self.arg = arg
+        self.future = future
+        self.on_event = on_event
+        self.timeout = timeout
+        self.attempts = 0
+        self.deadline: Optional[float] = None
+
+    def notify(self, kind: str, payload) -> None:
+        if self.on_event is None:
+            return
+        try:
+            self.on_event(kind, payload)
+        except Exception:  # noqa: BLE001 - observer, never the job
+            pass
+
+
+class _PoolWorker:
+    __slots__ = ("process", "conn")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+
+class WorkerPool:
+    """Long-lived worker processes over pickle channels — the sweep
+    harness's `run_grid` plumbing, extracted so the serving layer can
+    schedule on it too.
+
+    Each worker is one ``multiprocessing.Process`` running
+    :func:`_pool_worker_main` on its own duplex pipe.  A dispatcher
+    thread in the parent multiplexes the busy pipes
+    (``multiprocessing.connection.wait``), assigns queued jobs to idle
+    workers, and turns channel traffic into
+    :class:`concurrent.futures.Future` results:
+
+    - ``("progress", payload)`` messages fan out to the job's
+      ``on_event`` callback (kinds ``start`` / ``retry`` /
+      ``progress``) — called on the dispatcher thread, so observers
+      must be quick and thread-safe.
+    - A worker death (pipe EOF — e.g. SIGKILL) respawns the worker and
+      **re-queues the job at the front** until it has been attempted
+      ``1 + max_retries`` times, after which the future fails with
+      :class:`WorkerCrashed`.  Each retry emits a ``retry`` event: the
+      serving layer's ``retried`` receipt.
+    - A job still running ``timeout`` seconds after dispatch gets its
+      worker killed (and replaced); the future fails with
+      :class:`JobTimeout`.
+    - A job that cannot be pickled fails its future with
+      :class:`ChannelError` without losing the worker; a job function
+      that raises in the worker fails with :class:`RemoteError`.
+
+    Futures are not cancellable; ``shutdown()`` fails whatever is still
+    outstanding.
+    """
+
+    _POLL = 0.2  # dispatcher wake cadence when a deadline is armed
+
+    def __init__(self, workers: int = 1, max_retries: int = 1, context=None):
+        import multiprocessing
+        import threading
+
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self._ctx = context if context is not None else multiprocessing
+        self._max_retries = max_retries
+        self._lock = threading.Lock()
+        self._pending: "deque[_PoolJob]" = deque()
+        self._idle: List[_PoolWorker] = []
+        self._busy: Dict[object, Tuple[_PoolWorker, _PoolJob]] = {}
+        self._stop = False
+        self._wake_recv, self._wake_send = self._ctx.Pipe(duplex=False)
+        with self._lock:
+            for _ in range(workers):
+                self._spawn_locked()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="worker-pool-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- public API ----------------------------------------------------
+
+    def submit(self, fn, arg, *, timeout: Optional[float] = None,
+               on_event=None):
+        """Queue ``fn(arg, emit)`` on a worker; returns a Future."""
+        from concurrent.futures import Future
+
+        future: Future = Future()
+        job = _PoolJob(fn, arg, future, on_event, timeout)
+        with self._lock:
+            if self._stop:
+                raise RuntimeError("pool is shut down")
+            self._pending.append(job)
+        self._wake()
+        return future
+
+    def pids(self) -> List[int]:
+        """Live worker pids (fault-injection tests kill these)."""
+        with self._lock:
+            workers = self._idle + [w for w, _job in self._busy.values()]
+            return [w.pid for w in workers if w.pid is not None]
+
+    def shutdown(self) -> None:
+        """Stop the dispatcher, fail outstanding futures, reap the
+        workers.  Idempotent."""
+        with self._lock:
+            if self._stop:
+                return
+            self._stop = True
+        self._wake()
+        self._dispatcher.join(timeout=10)
+        with self._lock:
+            pending = list(self._pending)
+            self._pending.clear()
+            busy = list(self._busy.values())
+            self._busy.clear()
+            workers = self._idle + [worker for worker, _job in busy]
+            self._idle = []
+        for job in pending:
+            _fail(job.future, RuntimeError("pool shut down"))
+        for _worker, job in busy:
+            _fail(job.future, RuntimeError("pool shut down"))
+        for worker in workers:
+            try:
+                worker.process.terminate()
+            except Exception:
+                pass
+        for worker in workers:
+            worker.process.join(timeout=5)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        try:
+            self._wake_recv.close()
+            self._wake_send.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- dispatcher ----------------------------------------------------
+
+    def _wake(self) -> None:
+        try:
+            self._wake_send.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+
+    def _spawn_locked(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_pool_worker_main, args=(child_conn,), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        self._idle.append(_PoolWorker(process, parent_conn))
+
+    def _dispatch_loop(self) -> None:
+        from multiprocessing.connection import wait as conn_wait
+
+        while True:
+            with self._lock:
+                if self._stop:
+                    return
+                self._assign_locked()
+                conns = list(self._busy)
+                deadlines = [
+                    job.deadline
+                    for _worker, job in self._busy.values()
+                    if job.deadline is not None
+                ]
+            wait_for = None
+            if deadlines:
+                wait_for = max(0.0, min(deadlines) - time.monotonic())
+                wait_for = min(wait_for, self._POLL)
+            try:
+                ready = conn_wait([self._wake_recv] + conns, wait_for)
+            except OSError:
+                ready = []
+            for conn in ready:
+                if conn is self._wake_recv:
+                    try:
+                        while self._wake_recv.poll():
+                            self._wake_recv.recv()
+                    except (EOFError, OSError):
+                        pass
+                    continue
+                self._service(conn)
+            self._reap_timeouts()
+
+    def _assign_locked(self) -> None:
+        while self._pending and self._idle:
+            job = self._pending.popleft()
+            worker = self._idle.pop()
+            try:
+                worker.conn.send((job.fn, job.arg))
+            except Exception as error:  # unpicklable job; worker is fine
+                self._idle.append(worker)
+                _fail(job.future, ChannelError(
+                    f"job did not survive the channel: {error}"
+                ))
+                continue
+            job.attempts += 1
+            if job.timeout is not None:
+                job.deadline = time.monotonic() + job.timeout
+            self._busy[worker.conn] = (worker, job)
+            job.notify("start", {"pid": worker.pid, "attempt": job.attempts})
+
+    def _service(self, conn) -> None:
+        with self._lock:
+            entry = self._busy.get(conn)
+        if entry is None:
+            return
+        worker, job = entry
+        try:
+            kind, payload = conn.recv()
+        except (EOFError, OSError):
+            self._worker_died(conn)
+            return
+        if kind == "progress":
+            job.notify("progress", payload)
+            return
+        with self._lock:
+            self._busy.pop(conn, None)
+            if not self._stop:
+                self._idle.append(worker)
+        if kind == "done":
+            if not job.future.done():
+                job.future.set_result(payload)
+        else:
+            _fail(job.future, RemoteError(str(payload)))
+
+    def _worker_died(self, conn) -> None:
+        with self._lock:
+            worker, job = self._busy.pop(conn)
+            if not self._stop:
+                self._spawn_locked()
+        pid = worker.pid
+        worker.process.join(timeout=5)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if job.attempts <= self._max_retries:
+            job.notify("retry", {"pid": pid, "attempt": job.attempts})
+            with self._lock:
+                self._pending.appendleft(job)
+        else:
+            _fail(job.future, WorkerCrashed(
+                f"worker {pid} died after {job.attempts} attempt(s)"
+            ))
+
+    def _reap_timeouts(self) -> None:
+        now = time.monotonic()
+        with self._lock:
+            expired = [
+                conn
+                for conn, (_worker, job) in self._busy.items()
+                if job.deadline is not None and now >= job.deadline
+            ]
+            victims = []
+            for conn in expired:
+                worker, job = self._busy.pop(conn)
+                victims.append((worker, job))
+                if not self._stop:
+                    self._spawn_locked()
+        for worker, job in victims:
+            try:
+                worker.process.kill()
+            except Exception:
+                pass
+            worker.process.join(timeout=5)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            _fail(job.future, JobTimeout(
+                f"timeout: exceeded {job.timeout}s"
+            ))
+
+
+def _fail(future, error: Exception) -> None:
+    if not future.done():
+        future.set_exception(error)
+
+
+def _run_cell_job(cell: SweepCell, emit) -> SweepOutcome:
+    """`run_cell` in WorkerPool job shape (the sweep sends no
+    progress)."""
+    return run_cell(cell)
+
+
 def run_grid(
     cells: Sequence[SweepCell],
     jobs: int = 1,
@@ -192,47 +570,41 @@ def run_grid(
 ) -> List[SweepOutcome]:
     """Run every cell; outcomes come back in cell order.
 
-    ``jobs`` > 1 fans the cells over a process pool.  A cell whose
-    worker dies (or cannot be pickled) is re-run serially; a cell
-    still running after ``timeout`` seconds yields a ``timeout``
-    error outcome.  Serial and parallel runs produce identical
-    measurements — the cells share nothing.
+    ``jobs`` > 1 fans the cells over a :class:`WorkerPool`.  A cell
+    whose worker dies is retried on a fresh worker (and serially in the
+    parent as the last resort); a cell that cannot be pickled is re-run
+    serially; a cell still running after ``timeout`` seconds yields a
+    ``timeout`` error outcome.  Serial and parallel runs produce
+    identical measurements — the cells share nothing.
     """
     cells = list(cells)
     if jobs <= 1 or len(cells) <= 1:
         return [run_cell(cell) for cell in cells]
     try:
-        import multiprocessing
-
-        pool = multiprocessing.Pool(processes=min(jobs, len(cells)))
-    except (ImportError, OSError):
+        pool = WorkerPool(workers=min(jobs, len(cells)))
+    except Exception:  # no multiprocessing on this platform
         return [run_cell(cell) for cell in cells]
     outcomes: List[Optional[SweepOutcome]] = [None] * len(cells)
     try:
-        try:
-            pending = [
-                (index, pool.apply_async(run_cell, (cell,)))
-                for index, cell in enumerate(cells)
-            ]
-        except Exception:  # submission failed (e.g. unpicklable cell)
-            pool.terminate()
-            return [run_cell(cell) for cell in cells]
-        for index, handle in pending:
+        futures = [
+            pool.submit(_run_cell_job, cell, timeout=timeout)
+            for cell in cells
+        ]
+        for index, future in enumerate(futures):
             try:
-                outcomes[index] = handle.get(timeout)
-            except multiprocessing.TimeoutError:
+                outcomes[index] = future.result()
+            except JobTimeout:
                 outcomes[index] = SweepOutcome(
                     cell=cells[index],
                     error=f"timeout: exceeded {timeout}s",
                 )
             except Exception:
-                # The worker died or the result did not survive the
-                # channel; the measurement itself may be fine — retry
-                # in-process.
+                # The worker died past retries or the cell did not
+                # survive the channel; the measurement itself may be
+                # fine — retry in-process.
                 outcomes[index] = run_cell(cells[index])
     finally:
-        pool.terminate()
-        pool.join()
+        pool.shutdown()
     return [outcome for outcome in outcomes if outcome is not None]
 
 
@@ -386,8 +758,13 @@ def series_from_outcomes(
 
 
 __all__ = [
+    "ChannelError",
+    "JobTimeout",
+    "RemoteError",
     "SweepCell",
     "SweepOutcome",
+    "WorkerCrashed",
+    "WorkerPool",
     "aggregate_metrics",
     "aggregate_retention",
     "aggregate_series",

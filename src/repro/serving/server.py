@@ -1,0 +1,406 @@
+"""The `repro serve` HTTP front end.
+
+A deliberately small hand-rolled HTTP/1.1 server on asyncio streams
+(stdlib only — the repo bakes in no web framework): every connection
+carries one request, responses close the connection.  Endpoints:
+
+- ``POST /submit`` — validate a job spec (:func:`repro.serving.
+  protocol.validate_submit`), parse-check the program, resolve the
+  budget, admit past the tenant's bounded queue, and schedule on the
+  :class:`~repro.harness.sweep.WorkerPool`.  Replies 202 with the
+  ``queued`` receipt, 400 with a ``rejected`` receipt for malformed
+  payloads/programs, 429 for backpressure.
+- ``GET /jobs/<id>`` — poll: the job snapshot with its full receipt
+  stream so far.
+- ``GET /jobs/<id>/stream`` — NDJSON push: the receipt stream as it
+  happens (opening meta record, every receipt line byte-identical to
+  the spool's, closing meta once the job settles) — the socket-facing
+  twin of the spool file, and valid input to
+  :func:`repro.serving.protocol.validate_job_stream` when captured.
+- ``GET /jobs`` — all job snapshots; ``GET /healthz`` — liveness.
+
+Scheduling events flow from the pool's dispatcher thread into the
+:class:`~repro.serving.session.SessionStore` (thread-safe); asyncio
+handlers only ever read snapshots or block in ``asyncio.to_thread`` on
+:meth:`~repro.serving.session.SessionStore.wait_records`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Optional
+
+from ..harness.sweep import WorkerPool
+from ..machine.primitives import primitive_names
+from ..space.consumption import prepare_input, prepare_program
+from ..syntax.validate import validate
+from .protocol import validate_submit
+from .quota import resolve_budget, run_service_job
+from .session import Backpressure, SessionStore
+
+_MAX_HEAD = 64 * 1024
+_MAX_BODY = 4 * 1024 * 1024
+_STREAM_POLL = 0.25
+
+
+class ReproServer:
+    """The evaluation service: HTTP front end + worker pool + store."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        max_pending: int = 8,
+        default_budget: Optional[int] = None,
+        spool_dir: Optional[str] = None,
+        max_retries: int = 1,
+        job_timeout: Optional[float] = None,
+    ):
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.default_budget = default_budget
+        self.job_timeout = job_timeout
+        self.max_retries = max_retries
+        self.store = SessionStore(max_pending=max_pending,
+                                  spool_dir=spool_dir)
+        self.pool: Optional[WorkerPool] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener (resolving an ephemeral port) and spin up
+        the worker pool."""
+        if self.pool is None:
+            self.pool = WorkerPool(
+                workers=self.workers, max_retries=self.max_retries
+            )
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.close_sync()
+
+    def close_sync(self) -> None:
+        """Tear down the non-asyncio halves (pool, spools); safe to
+        call from any thread, idempotent."""
+        if self.pool is not None:
+            self.pool.shutdown()
+            self.pool = None
+        self.store.close()
+
+    async def serve_forever(self, announce=None) -> None:
+        await self.start()
+        if announce is not None:
+            announce(
+                f"serving on http://{self.host}:{self.port} "
+                f"(workers={self.workers}, "
+                f"default_budget={self.default_budget})"
+            )
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self.stop()
+
+    def start_in_thread(self) -> "ServerHandle":
+        """Run the server on a daemon thread; returns a handle with
+        the bound port and a ``stop()``.  The test-suite entry."""
+        started = threading.Event()
+        failure: list = []
+        loop_box: list = []
+
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            loop_box.append(loop)
+            try:
+                loop.run_until_complete(self.start())
+            except Exception as error:  # noqa: BLE001 - reported to caller
+                failure.append(error)
+                started.set()
+                loop.close()
+                return
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.close()
+
+        thread = threading.Thread(
+            target=runner, name="repro-serve", daemon=True
+        )
+        thread.start()
+        started.wait(30)
+        if failure:
+            raise failure[0]
+        return ServerHandle(self, loop_box[0], thread)
+
+    # -- scheduling ----------------------------------------------------
+
+    def _schedule(self, job_id: str, spec: dict) -> None:
+        def on_event(kind: str, payload) -> None:
+            if kind == "start":
+                self.store.append(
+                    job_id,
+                    {"kind": "start", "pid": payload["pid"],
+                     "attempt": payload["attempt"]},
+                )
+            elif kind == "retry":
+                self.store.append(
+                    job_id,
+                    {"kind": "retried", "pid": payload["pid"],
+                     "attempt": payload["attempt"]},
+                )
+            elif kind == "progress" and isinstance(payload, dict):
+                self.store.append(job_id, payload)
+
+        def on_done(future) -> None:
+            error = future.exception()
+            if error is not None:
+                self.store.append(
+                    job_id,
+                    {"kind": "error",
+                     "error": f"{type(error).__name__}: {error}"},
+                )
+            else:
+                self.store.append(job_id, future.result())
+
+        future = self.pool.submit(
+            run_service_job,
+            spec,
+            timeout=self.job_timeout,
+            on_event=on_event,
+        )
+        future.add_done_callback(on_done)
+
+    # -- HTTP plumbing -------------------------------------------------
+
+    async def _handle_client(self, reader, writer) -> None:
+        try:
+            try:
+                head = await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"), timeout=10
+                )
+            except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                    asyncio.TimeoutError):
+                return
+            request_line, *header_lines = head.decode(
+                "latin-1"
+            ).split("\r\n")
+            parts = request_line.split(" ")
+            if len(parts) != 3:
+                await self._respond(writer, 400, {
+                    "kind": "rejected", "reason": "bad-request-line",
+                })
+                return
+            method, target, _version = parts
+            headers = {}
+            for line in header_lines:
+                if ":" in line:
+                    name, _, value = line.partition(":")
+                    headers[name.strip().lower()] = value.strip()
+            body = b""
+            length = int(headers.get("content-length", 0) or 0)
+            if length:
+                if length > _MAX_BODY:
+                    await self._respond(writer, 413, {
+                        "kind": "rejected", "reason": "body-too-large",
+                    })
+                    return
+                body = await reader.readexactly(length)
+            await self._route(writer, method, target, body)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(self, writer, method: str, target: str,
+                     body: bytes) -> None:
+        if method == "POST" and target == "/submit":
+            await self._handle_submit(writer, body)
+        elif method == "GET" and target == "/healthz":
+            await self._respond(writer, 200, {
+                "status": "ok",
+                "workers": self.workers,
+                "jobs": len(self.store.jobs()),
+            })
+        elif method == "GET" and target == "/jobs":
+            await self._respond(writer, 200, {"jobs": self.store.jobs()})
+        elif method == "GET" and target.startswith("/jobs/"):
+            rest = target[len("/jobs/"):]
+            if rest.endswith("/stream"):
+                await self._handle_stream(writer, rest[: -len("/stream")])
+            else:
+                snapshot = self.store.snapshot(rest)
+                if snapshot is None:
+                    await self._respond(writer, 404, {
+                        "kind": "rejected", "reason": "unknown-job",
+                    })
+                else:
+                    await self._respond(writer, 200, snapshot)
+        else:
+            await self._respond(writer, 404, {
+                "kind": "rejected", "reason": "unknown-endpoint",
+            })
+
+    async def _handle_submit(self, writer, body: bytes) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            await self._respond(writer, 400, {
+                "kind": "rejected", "reason": f"not JSON: {error}",
+            })
+            return
+        try:
+            spec = validate_submit(payload)
+        except ValueError as error:
+            await self._respond(writer, 400, {
+                "kind": "rejected", "reason": str(error),
+            })
+            return
+        # Parse/expand/scope-check before admission: a malformed
+        # program is the submitter's 400, not a worker's error receipt.
+        try:
+            names = primitive_names()
+            program = prepare_program(spec["program"])
+            validate(program, names)
+            argument = prepare_input(spec["argument"])
+            if argument is not None:
+                validate(argument, names)
+        except Exception as error:  # noqa: BLE001 - the 400 body
+            await self._respond(writer, 400, {
+                "kind": "rejected",
+                "reason": f"malformed-program: {error}",
+            })
+            return
+        spec["budget"] = resolve_budget(spec["budget"], self.default_budget)
+        try:
+            job = self.store.admit(spec)
+        except Backpressure as error:
+            await self._respond(writer, 429, error.receipt())
+            return
+        self._schedule(job.id, spec)
+        await self._respond(writer, 202, {
+            "job": job.id,
+            "tenant": job.tenant,
+            "status": "queued",
+            "budget": spec["budget"],
+        })
+
+    async def _handle_stream(self, writer, job_id: str) -> None:
+        if self.store.get(job_id) is None:
+            await self._respond(writer, 404, {
+                "kind": "rejected", "reason": "unknown-job",
+            })
+            return
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        count = 0
+        meta = {
+            "kind": "meta",
+            "stream": "serve-receipts",
+            "streamed": True,
+            "job": job_id,
+        }
+        try:
+            writer.write(json.dumps(meta).encode("utf-8") + b"\n")
+            await writer.drain()
+            last_seq = -1
+            while True:
+                records, settled = await asyncio.to_thread(
+                    self.store.wait_records, job_id, last_seq, _STREAM_POLL
+                )
+                for record in records:
+                    # Byte-identical to the spool's line for the same
+                    # record: both are json.dumps of the same dict.
+                    writer.write(
+                        json.dumps(record).encode("utf-8") + b"\n"
+                    )
+                    last_seq = record["seq"]
+                    count += 1
+                if records:
+                    await writer.drain()
+                if settled and not records:
+                    closing = {
+                        "kind": "meta",
+                        "closing": True,
+                        "events": count,
+                        "job": job_id,
+                    }
+                    writer.write(
+                        json.dumps(closing).encode("utf-8") + b"\n"
+                    )
+                    await writer.drain()
+                    return
+        except (ConnectionError, OSError):
+            return  # client dropped; the spool keeps the full stream
+
+    async def _respond(self, writer, status: int, payload: dict) -> None:
+        reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                   404: "Not Found", 413: "Payload Too Large",
+                   429: "Too Many Requests", 500: "Internal Server Error"}
+        body = json.dumps(payload).encode("utf-8") + b"\n"
+        head = (
+            f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+
+class ServerHandle:
+    """A running `start_in_thread` server: port + stop()."""
+
+    def __init__(self, server: ReproServer, loop, thread):
+        self.server = server
+        self.loop = loop
+        self.thread = thread
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server.host}:{self.server.port}"
+
+    def stop(self) -> None:
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self.loop
+        )
+        try:
+            future.result(timeout=15)
+        finally:
+            self.loop.call_soon_threadsafe(self.loop.stop)
+            self.thread.join(timeout=15)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+__all__ = ["ReproServer", "ServerHandle"]

@@ -1,0 +1,275 @@
+"""Multi-tenant session store for `repro serve`.
+
+One :class:`JobRecord` per submitted job: the validated spec, a status,
+and the ordered receipt stream (queued, start, retried, progress, and
+exactly one terminal receipt).  Receipts are stamped with ``job`` /
+``tenant`` / ``seq`` / ``ts`` here, appended to the in-memory record
+list (what the poll and stream endpoints read), and mirrored line for
+line into a JSONL spool file via
+:class:`~repro.telemetry.export.JsonlStreamWriter` over a
+:class:`~repro.telemetry.export.LineTee` — so a tap (a socket handle,
+a tee into a pipeline) can attach mid-run and sees exactly the bytes
+the spool gets, and a dropped tap detaches without hurting the spool.
+
+Backpressure is per tenant: a tenant may hold at most ``max_pending``
+queued-or-running jobs; the next submit raises :class:`Backpressure`
+(the server's 429 path) with a ``rejected`` receipt payload.
+
+Everything is guarded by one condition variable: the WorkerPool's
+dispatcher thread appends receipts, asyncio handlers read snapshots and
+block (via ``asyncio.to_thread``) in :meth:`SessionStore.wait_records`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..telemetry.export import JsonlStreamWriter, LineTee
+from .protocol import TERMINAL_KINDS
+
+#: Receipt kind -> terminal job status.
+_TERMINAL_STATUS = {"result": "done", "quota": "killed", "error": "error"}
+
+ACTIVE_STATUSES = ("queued", "running")
+
+
+class Backpressure(Exception):
+    """A tenant's bounded queue is full (the 429 path)."""
+
+    def __init__(self, tenant: str, pending: int, limit: int):
+        self.tenant = tenant
+        self.pending = pending
+        self.limit = limit
+        super().__init__(
+            f"tenant {tenant!r} has {pending} pending job(s), limit {limit}"
+        )
+
+    def receipt(self) -> dict:
+        return {
+            "kind": "rejected",
+            "reason": "backpressure",
+            "tenant": self.tenant,
+            "pending": self.pending,
+            "limit": self.limit,
+        }
+
+
+@dataclass
+class JobRecord:
+    """One job's lifetime: spec, status, and its receipt stream."""
+
+    id: str
+    tenant: str
+    spec: dict
+    status: str = "queued"
+    records: List[dict] = field(default_factory=list)
+    result: Optional[dict] = None
+    created: float = 0.0
+    spool_path: Optional[str] = None
+
+    def snapshot(self) -> dict:
+        """The poll payload: plain data, safe to serialize."""
+        return {
+            "job": self.id,
+            "tenant": self.tenant,
+            "status": self.status,
+            "machine": self.spec["machine"],
+            "accounting": self.spec["accounting"],
+            "budget": self.spec.get("budget"),
+            "records": list(self.records),
+            "result": self.result,
+        }
+
+
+class SessionStore:
+    """Thread-safe job registry with per-tenant backpressure."""
+
+    def __init__(
+        self,
+        max_pending: int = 8,
+        spool_dir: Optional[str] = None,
+    ):
+        if max_pending < 1:
+            raise ValueError("max_pending must be positive")
+        self.max_pending = max_pending
+        self.spool_dir = spool_dir
+        self._cond = threading.Condition()
+        self._jobs: Dict[str, JobRecord] = {}
+        self._order: List[str] = []
+        self._ids = itertools.count(1)
+        self._seq: Dict[str, int] = {}
+        self._writers: Dict[str, JsonlStreamWriter] = {}
+        self._tees: Dict[str, LineTee] = {}
+        if spool_dir is not None:
+            os.makedirs(spool_dir, exist_ok=True)
+
+    # -- admission -----------------------------------------------------
+
+    def admit(self, spec: dict) -> JobRecord:
+        """Register a validated spec as a queued job, or raise
+        :class:`Backpressure` when the tenant's queue is full."""
+        tenant = spec["tenant"]
+        with self._cond:
+            pending = sum(
+                1
+                for job in self._jobs.values()
+                if job.tenant == tenant and job.status in ACTIVE_STATUSES
+            )
+            if pending >= self.max_pending:
+                raise Backpressure(tenant, pending, self.max_pending)
+            job_id = f"job-{next(self._ids):06d}"
+            job = JobRecord(
+                id=job_id, tenant=tenant, spec=spec, created=time.time()
+            )
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+            self._seq[job_id] = 0
+            if self.spool_dir is not None:
+                path = os.path.join(self.spool_dir, f"{job_id}.jsonl")
+                job.spool_path = path
+                tee = LineTee(open(path, "w", encoding="utf-8"))
+                self._tees[job_id] = tee
+                self._writers[job_id] = JsonlStreamWriter(
+                    tee,
+                    meta={
+                        "stream": "serve-receipts",
+                        "job": job_id,
+                        "tenant": tenant,
+                        "machine": spec["machine"],
+                        "accounting": spec["accounting"],
+                        "budget": spec.get("budget"),
+                    },
+                    flush_every=1,
+                )
+        self.append(
+            job_id,
+            {
+                "kind": "queued",
+                "machine": spec["machine"],
+                "accounting": spec["accounting"],
+                "engine": spec["engine"],
+                "meter": spec["meter"],
+                "budget": spec.get("budget"),
+            },
+        )
+        return job
+
+    # -- the receipt stream --------------------------------------------
+
+    def append(self, job_id: str, receipt: dict) -> dict:
+        """Stamp and record one receipt; terminal kinds settle the job
+        (status flip, result capture, spool closed with its closing
+        meta receipt).  Returns the stamped record."""
+        with self._cond:
+            job = self._jobs[job_id]
+            seq = self._seq[job_id]
+            self._seq[job_id] = seq + 1
+            record = dict(receipt)
+            record.update(
+                job=job_id, tenant=job.tenant, seq=seq, ts=time.time()
+            )
+            job.records.append(record)
+            kind = record.get("kind")
+            if kind == "start":
+                job.status = "running"
+            elif kind in TERMINAL_KINDS:
+                job.status = _TERMINAL_STATUS[kind]
+                job.result = record
+            writer = self._writers.get(job_id)
+            if writer is not None:
+                writer.write_record(record)
+                if kind in TERMINAL_KINDS:
+                    # The writer borrows the tee (file-like targets are
+                    # never closed by it), so close the spool file here.
+                    writer.close()
+                    del self._writers[job_id]
+                    tee = self._tees.pop(job_id, None)
+                    if tee is not None:
+                        try:
+                            tee.close()
+                        except OSError:
+                            pass
+            self._cond.notify_all()
+            return record
+
+    # -- taps (the socket sink) ----------------------------------------
+
+    def attach_mirror(self, job_id: str, handle) -> bool:
+        """Attach a file-like tap to the job's spool tee; every later
+        spool line is mirrored to it byte for byte.  Returns False when
+        the job has already settled (no tee to attach to)."""
+        with self._cond:
+            tee = self._tees.get(job_id)
+            if tee is None:
+                return False
+            tee.attach(handle)
+            return True
+
+    def detach_mirror(self, job_id: str, handle) -> None:
+        with self._cond:
+            tee = self._tees.get(job_id)
+            if tee is not None:
+                tee.detach(handle)
+
+    # -- reads ---------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self._cond:
+            return self._jobs.get(job_id)
+
+    def snapshot(self, job_id: str) -> Optional[dict]:
+        with self._cond:
+            job = self._jobs.get(job_id)
+            return None if job is None else job.snapshot()
+
+    def jobs(self) -> List[dict]:
+        with self._cond:
+            return [self._jobs[job_id].snapshot() for job_id in self._order]
+
+    def wait_records(
+        self, job_id: str, after_seq: int, timeout: float
+    ) -> Tuple[List[dict], bool]:
+        """Receipts with ``seq > after_seq``, blocking up to
+        ``timeout`` seconds for news; returns ``(records, settled)``.
+        The streaming endpoint drains a job with repeated calls."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while True:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    return [], True
+                fresh = [r for r in job.records if r["seq"] > after_seq]
+                settled = job.status not in ACTIVE_STATUSES
+                if fresh or settled:
+                    return fresh, settled
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return [], False
+                self._cond.wait(remaining)
+
+    def close(self) -> None:
+        """Settle nothing, but close any spool still open (a killed
+        server leaves valid JSONL behind)."""
+        with self._cond:
+            writers = list(self._writers.values())
+            tees = list(self._tees.values())
+            self._writers.clear()
+            self._tees.clear()
+        for writer in writers:
+            try:
+                writer.close()
+            except Exception:
+                pass
+        for tee in tees:
+            try:
+                tee.close()
+            except OSError:
+                pass
+
+
+__all__ = ["ACTIVE_STATUSES", "Backpressure", "JobRecord", "SessionStore"]

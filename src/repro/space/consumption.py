@@ -80,6 +80,8 @@ def measure(
     engine: str = "delta",
     meter: str = "exact",
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    budget: Optional[int] = None,
+    checkpoint_hook=None,
     trace=None,
     metrics=None,
     blame=None,
@@ -97,9 +99,19 @@ def measure(
 
     ``trace``/``metrics``/``blame``/``retention`` attach the telemetry
     stack to the metered run (see
-    :func:`repro.space.meter.run_metered`)."""
+    :func:`repro.space.meter.run_metered`).
+
+    ``budget`` caps the consumption under either meter (the run raises
+    :class:`repro.space.meter.QuotaExceeded` when its certified lower
+    bound crosses); ``checkpoint_hook`` is the sampled meter's progress
+    callback and is rejected under the exact meter."""
     if meter not in ("exact", "sampled"):
         raise ValueError(f"unknown meter mode: {meter!r}")
+    if checkpoint_hook is not None and meter != "sampled":
+        raise ValueError(
+            "checkpoint_hook requires meter='sampled' (the exact meter "
+            "has no checkpoint cadence)"
+        )
     machine = (
         make_machine(machine_name, policy=policy)
         if policy is not None
@@ -128,6 +140,8 @@ def measure(
             gc_interval=gc_interval,
             step_limit=step_limit,
             engine=engine,
+            budget=budget,
+            checkpoint_hook=checkpoint_hook,
         )
     else:
         result = run_metered(
@@ -140,6 +154,7 @@ def measure(
             gc_when=gc_when,
             step_limit=step_limit,
             engine=engine,
+            budget=budget,
             trace=trace,
             metrics=metrics,
             blame=blame,

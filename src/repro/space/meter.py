@@ -104,6 +104,99 @@ class MeterResult:
         return self.program_size + self.sup_space
 
 
+class QuotaExceeded(Exception):
+    """A run's certified space lower bound crossed its byte budget.
+
+    ``budget`` caps the Definition 23 consumption ``|P| + sup space``.
+    The exact meter kills at the first transition whose measurement
+    crosses; the sampled meter kills at the first checkpoint whose
+    retro-exact reconstruction crosses.  Every measurement that can
+    trigger a kill is a lower bound of the run's true sup (exact trips
+    are exact; write-step trip readings can only understate the exact
+    pre-GC space), so a program whose true consumption fits the budget
+    is never killed, and an uncertified sampled run that slips through
+    is caught by its transparent exact replay.
+
+    The exception carries a structured receipt: the blame census of
+    the killing configuration (exact under both accountings, summing
+    to ``sup_space``) and its top holder, so the kill message itself
+    says *who* held the space.
+    """
+
+    def __init__(
+        self,
+        machine: str,
+        budget: int,
+        consumption: int,
+        sup_space: int,
+        step: int,
+        linked: bool,
+        fixed_precision: bool,
+        blame: dict,
+    ):
+        self.machine = machine
+        self.budget = budget
+        self.consumption = consumption
+        self.sup_space = sup_space
+        self.step = step
+        self.linked = linked
+        self.fixed_precision = fixed_precision
+        self.blame = dict(blame)
+        self.holder = (
+            max(self.blame, key=self.blame.get) if self.blame else None
+        )
+        accounting = "U" if linked else "S"
+        super().__init__(
+            f"space quota exceeded on {machine}: certified "
+            f"{accounting}_{machine} >= {consumption} > budget {budget} "
+            f"at step {step} (top holder: {self.holder})"
+        )
+
+    def receipt(self) -> dict:
+        """The kill as plain data (serving/CLI receipt payload)."""
+        return {
+            "kind": "quota",
+            "machine": self.machine,
+            "budget": self.budget,
+            "consumption": self.consumption,
+            "sup_space": self.sup_space,
+            "step": self.step,
+            "accounting": "linked" if self.linked else "flat",
+            "fixed_precision": self.fixed_precision,
+            "holder": self.holder,
+            "blame": self.blame,
+        }
+
+
+def _quota_kill(
+    machine: Machine,
+    budget: int,
+    program_size: int,
+    space: int,
+    step: int,
+    linked: bool,
+    fixed_precision: bool,
+    configuration,
+) -> QuotaExceeded:
+    """Build the structured kill for a measurement that crossed."""
+    from ..telemetry.blame import blame_configuration
+
+    try:
+        blame = blame_configuration(configuration, linked, fixed_precision)
+    except Exception:  # census is best-effort; the kill is not
+        blame = {}
+    return QuotaExceeded(
+        machine.name,
+        budget,
+        program_size + space,
+        space,
+        step,
+        linked,
+        fixed_precision,
+        blame,
+    )
+
+
 class ReferenceMeter:
     """The canonical engine: trace per collection, re-walk per measure."""
 
@@ -577,6 +670,7 @@ def run_metered(
     trace_every: int = 0,
     engine: str = "delta",
     audit_every: int = 0,
+    budget: Optional[int] = None,
     trace=None,
     metrics=None,
     blame=None,
@@ -601,6 +695,12 @@ def run_metered(
     both report identical numbers.  ``audit_every`` > 0 re-derives the
     delta engine's reference counts and binding ledger from scratch
     every that many collections and raises on drift (testing only).
+
+    ``budget`` caps the consumption ``|P| + sup space``: the first
+    measurement that crosses raises :class:`QuotaExceeded` carrying the
+    blame census of the killing configuration.  The final
+    configuration's pre-GC spike is charged too (the paper's sup ranges
+    over every C_i), so a run can be killed on its last step.
 
     Telemetry (all optional, all observation-only — none changes a
     transition or a measured number):
@@ -685,6 +785,11 @@ def run_metered(
         last_gc_version = state.store.version
         sup_space = meter.measure(state)
         peak_step = 0
+        if budget is not None and program_size + sup_space > budget:
+            raise _quota_kill(
+                machine, budget, program_size, sup_space, 0,
+                linked, fixed_precision, state,
+            )
         if bus is not None:
             bus.emit_space(accounting, sup_space, 0)
         if blame is not None:
@@ -733,6 +838,11 @@ def run_metered(
                     retention.observe(configuration, space, steps)
                 if space > sup_space:
                     sup_space, peak_step = space, steps
+                    if budget is not None and program_size + space > budget:
+                        raise _quota_kill(
+                            machine, budget, program_size, space, steps,
+                            linked, fixed_precision, configuration,
+                        )
                 if uses_gc:
                     if metrics is not None:
                         words_before = configuration.store.space_bignum
@@ -782,6 +892,11 @@ def run_metered(
                 retention.observe(state, space, steps)
             if space > sup_space:
                 sup_space, peak_step = space, steps
+                if budget is not None and program_size + space > budget:
+                    raise _quota_kill(
+                        machine, budget, program_size, space, steps,
+                        linked, fixed_precision, state,
+                    )
             if trace_every and steps % trace_every == 0:
                 samples.append((steps, space))
             if uses_gc and steps % gc_interval == 0:
@@ -821,6 +936,8 @@ def run_sampled(
     gc_interval: int = 1,
     step_limit: int = DEFAULT_STEP_LIMIT,
     engine: str = "delta",
+    budget: Optional[int] = None,
+    checkpoint_hook=None,
 ) -> MeterResult:
     """The checkpointed sampling meter (``meter="sampled"``): exact sup
     at a fraction of the exact meter's per-step cost.
@@ -858,6 +975,19 @@ def run_sampled(
     an exact trip (contradiction) or an undominated suspect.  An
     uncertified run transparently replays under :func:`run_metered`.
     Either way the returned sup equals the exact meter's.
+
+    ``budget`` caps ``|P| + sup space`` exactly as in
+    :func:`run_metered`: every certified measurement (exact trips, the
+    no-GC fast path, the degraded fallback schedule) checks on update
+    and raises :class:`QuotaExceeded` on crossing.  Suspect bounds
+    never kill — they are not certified — but an over-budget peak
+    hiding in a suspect leaves the run uncertified, and the exact
+    replay (which inherits ``budget``) kills it there.
+
+    ``checkpoint_hook(steps, consumption)`` is called with the running
+    certified lower bound at the prime measurement, after every exact
+    trip, and every ``checkpoint_every`` steps on the trip-free paths —
+    the serving layer's progress heartbeat.
     """
     if engine == "reference":
         raise ValueError(
@@ -880,6 +1010,13 @@ def run_sampled(
         collected = meter.prime(state)
         sup_space = meter.measure(state)
         peak_step = 0
+        if budget is not None and program_size + sup_space > budget:
+            raise _quota_kill(
+                machine, budget, program_size, sup_space, 0,
+                linked, fixed_precision, state,
+            )
+        if checkpoint_hook is not None:
+            checkpoint_hook(0, program_size + sup_space)
         sync_loc = store._next_location
         last_collect_loc = sync_loc
         steps = 0
@@ -903,6 +1040,15 @@ def run_sampled(
                 space = measure(state)
                 if space > sup_space:
                     sup_space, peak_step = space, steps
+                    if budget is not None and program_size + space > budget:
+                        raise _quota_kill(
+                            machine, budget, program_size, space, steps,
+                            linked, fixed_precision, state,
+                        )
+                if checkpoint_hook is not None and (
+                    steps % checkpoint_every == 0
+                ):
+                    checkpoint_hook(steps, program_size + sup_space)
                 if uses_gc and steps % gc_interval == 0:
                     if compacts:
                         compacted = machine.compact(state)
@@ -928,6 +1074,17 @@ def run_sampled(
                     # exact space — no reconstruction ever needed.
                     if bound > sup_space:
                         sup_space, peak_step = bound, steps
+                        if budget is not None and (
+                            program_size + bound > budget
+                        ):
+                            raise _quota_kill(
+                                machine, budget, program_size, bound, steps,
+                                linked, fixed_precision, state,
+                            )
+                    if checkpoint_hook is not None and (
+                        steps % checkpoint_every == 0
+                    ):
+                        checkpoint_hook(steps, program_size + sup_space)
                     if steps >= step_limit:
                         raise StepLimitExceeded(steps)
                     continue
@@ -947,6 +1104,13 @@ def run_sampled(
                     space = measure(state)
                     if space > sup_space:
                         sup_space, peak_step = space, steps
+                        if budget is not None and (
+                            program_size + space > budget
+                        ):
+                            raise _quota_kill(
+                                machine, budget, program_size, space, steps,
+                                linked, fixed_precision, state,
+                            )
                     if wrote and bound > sup_space:
                         # The reading is only a lower bound of the
                         # exact pre-GC space on a write step.
@@ -956,6 +1120,8 @@ def run_sampled(
                     trips += 1
                     if due:
                         checkpoints += 1
+                    if checkpoint_hook is not None:
+                        checkpoint_hook(steps, program_size + sup_space)
             if compacts and steps % gc_interval == 0:
                 compacted = machine.compact(state)
                 if compacted is not state:
@@ -969,6 +1135,11 @@ def run_sampled(
             space = measure(final)
             if space > sup_space:
                 sup_space, peak_step = space, steps
+                if budget is not None and program_size + space > budget:
+                    raise _quota_kill(
+                        machine, budget, program_size, space, steps,
+                        linked, fixed_precision, final,
+                    )
             if uses_gc:
                 collected += meter.collect_final(final)
         else:
@@ -982,6 +1153,13 @@ def run_sampled(
                 if not uses_gc:
                     if bound > sup_space:
                         sup_space, peak_step = bound, steps
+                        if budget is not None and (
+                            program_size + bound > budget
+                        ):
+                            raise _quota_kill(
+                                machine, budget, program_size, bound, steps,
+                                linked, fixed_precision, final,
+                            )
                     bound = sup_space  # exact; no suspect, no trip
             if bound > sup_space:
                 if wrote:
@@ -995,6 +1173,13 @@ def run_sampled(
                     space = measure(final)
                     if space > sup_space:
                         sup_space, peak_step = space, steps
+                        if budget is not None and (
+                            program_size + space > budget
+                        ):
+                            raise _quota_kill(
+                                machine, budget, program_size, space, steps,
+                                linked, fixed_precision, final,
+                            )
                     trips += 1
             else:
                 transition(final)
@@ -1027,6 +1212,7 @@ def run_sampled(
                 gc_interval=gc_interval,
                 step_limit=step_limit,
                 engine=engine,
+                budget=budget,
             )
             stats["certified"] = True
             stats["exact_rerun"] = True

@@ -143,6 +143,17 @@ class JsonlStreamWriter:
         if self.flush_every and self.events % self.flush_every == 0:
             self._handle.flush()
 
+    def write_record(self, record: dict) -> None:
+        """Append an arbitrary JSON record line (a serving receipt, a
+        quota kill) to the stream.  Counts toward ``events`` so the
+        closing meta still states how many lines precede it."""
+        if self.closed:
+            raise ValueError("write to a closed JsonlStreamWriter")
+        self._handle.write(json.dumps(record) + "\n")
+        self.events += 1
+        if self.flush_every and self.events % self.flush_every == 0:
+            self._handle.flush()
+
     def close(self, bus: Optional[TraceBus] = None) -> int:
         """Flush and (when owned) close the handle; idempotent.
         Returns the number of event lines written."""
@@ -171,6 +182,58 @@ class JsonlStreamWriter:
 
     def __exit__(self, *_exc) -> None:
         self.close()
+
+
+class LineTee:
+    """A file-like that fans every line out to one *primary* handle
+    plus any number of detachable *mirrors* — the socket-sink shim.
+
+    Point a :class:`JsonlStreamWriter` at a ``LineTee`` whose primary
+    is the server-side spool file and whose mirror is a response
+    socket's ``makefile("w")``: both sides see byte-identical lines.
+    A mirror that raises ``OSError``/``ValueError`` on write or flush
+    (the client dropped the connection) is silently detached — the
+    primary stream is unaffected, so the spool still ends with the
+    writer's closing receipt.  The primary's errors propagate: losing
+    the spool is a real failure.
+    """
+
+    def __init__(self, primary, *mirrors):
+        self._primary = primary
+        self._mirrors = list(mirrors)
+
+    @property
+    def mirrors(self) -> int:
+        """How many mirrors are still attached."""
+        return len(self._mirrors)
+
+    def attach(self, mirror) -> None:
+        self._mirrors.append(mirror)
+
+    def detach(self, mirror) -> None:
+        if mirror in self._mirrors:
+            self._mirrors.remove(mirror)
+
+    def _fan(self, op: str, *args) -> None:
+        for mirror in list(self._mirrors):
+            try:
+                getattr(mirror, op)(*args)
+            except (OSError, ValueError):
+                self._mirrors.remove(mirror)
+
+    def write(self, text: str) -> int:
+        count = self._primary.write(text)
+        self._fan("write", text)
+        return count
+
+    def flush(self) -> None:
+        self._primary.flush()
+        self._fan("flush")
+
+    def close(self) -> None:
+        """Close the primary; mirrors are borrowed, so only flushed."""
+        self._fan("flush")
+        self._primary.close()
 
 
 def read_jsonl(path: str) -> List[Event]:
@@ -627,6 +690,7 @@ def validate_retention_jsonl(path: str) -> dict:
 
 __all__ = [
     "JsonlStreamWriter",
+    "LineTee",
     "chrome_blame_counter_events",
     "chrome_trace_events",
     "read_jsonl",
