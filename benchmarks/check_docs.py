@@ -1,0 +1,193 @@
+"""Executable-documentation gate.
+
+Extracts every fenced ``repro`` command from ``docs/*.md`` and
+smoke-runs it, so the documented command lines can never drift from
+the CLI they document.  The harness:
+
+* materializes the fixture programs the docs refer to (``loop.scm``,
+  ``program.scm``, ``sep.scm`` — the canonical loop and the Theorem 25
+  stack-vs-gc separator) in a scratch working directory, where
+  by-product files (``m.json``, ``trace.jsonl``, ``peak.folded``, …)
+  also land;
+* boots one live ``repro serve`` instance and rewrites each command's
+  ``--url http://…`` to it, so the ``repro submit`` examples run
+  against a real server;
+* runs ``repro serve`` commands just long enough to print their
+  announce line, then stops them — the announce is the documented
+  behavior;
+* preserves per-file command order (producers like ``--metrics m.json``
+  run before consumers like ``--metrics-in m.json``), and lets
+  ``repro submit`` exit with any documented outcome code
+  (``EXIT_CODES``: 0 done, 3 quota-killed, 4 deferred) while every
+  other command must exit 0.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_docs.py
+    PYTHONPATH=src python benchmarks/check_docs.py docs/serving.md
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shlex
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOCS_DIR = os.path.join(REPO_ROOT, "docs")
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+COMMAND_TIMEOUT = 180
+
+#: repro submit's documented outcome codes (protocol.EXIT_CODES): done,
+#: quota-killed, and deferred are all successful demonstrations.
+SUBMIT_OK = {0, 3, 4}
+
+LOOP = "(define (f n) (if (zero? n) 0 (f (- n 1))))\n"
+
+_FENCE = re.compile(r"^```")
+_URL = re.compile(r"--url\s+http://\S+")
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (SRC_DIR, env.get("PYTHONPATH")) if p
+    )
+    return env
+
+
+def write_fixtures(workdir: str) -> None:
+    sys.path.insert(0, SRC_DIR)
+    from repro.programs.separators import STACK_VS_GC
+
+    for name in ("loop.scm", "program.scm"):
+        with open(os.path.join(workdir, name), "w") as handle:
+            handle.write(LOOP)
+    with open(os.path.join(workdir, "sep.scm"), "w") as handle:
+        handle.write(STACK_VS_GC.strip() + "\n")
+
+
+def extract_commands(text: str) -> list:
+    """Fenced lines that invoke the CLI, shell prompt and env prefix
+    stripped, backslash continuations joined, in document order."""
+    commands = []
+    in_fence = False
+    pending = ""
+    for raw in text.splitlines():
+        if _FENCE.match(raw.strip()):
+            in_fence = not in_fence
+            pending = ""
+            continue
+        if not in_fence:
+            continue
+        line = pending + raw.strip()
+        if line.endswith("\\"):
+            pending = line[:-1] + " "
+            continue
+        pending = ""
+        stripped = line
+        if stripped.startswith("$ "):
+            stripped = stripped[2:].lstrip()
+        while re.match(r"^[A-Za-z_][A-Za-z0-9_]*=\S+\s", stripped):
+            stripped = stripped.split(None, 1)[1]
+        if stripped.startswith("python -m repro "):
+            commands.append(stripped[len("python -m "):])
+        elif stripped.startswith("repro "):
+            commands.append(stripped)
+    return commands
+
+
+def start_server(workdir: str):
+    """Boot the shared live server; return (process, url)."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "2", "--spool-dir", "check-docs-spools"],
+        cwd=workdir, env=_env(), stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True,
+    )
+    line = _await_announce(process)
+    url = line.split("serving on ", 1)[1].split()[0]
+    return process, url
+
+
+def _await_announce(process, timeout: float = 60.0):
+    deadline = time.monotonic() + timeout
+    line = process.stdout.readline()
+    while "serving on " not in line:
+        if process.poll() is not None or time.monotonic() > deadline:
+            raise SystemExit(
+                f"server never announced (rc={process.poll()}): {line!r}"
+            )
+        line = process.stdout.readline()
+    return line
+
+
+def run_command(command: str, workdir: str, url: str) -> tuple:
+    """Run one documented command; returns (ok, detail)."""
+    command = _URL.sub(f"--url {url}", command)
+    argv = [sys.executable, "-m"] + shlex.split(command)
+    if shlex.split(command)[1] == "serve":
+        process = subprocess.Popen(
+            argv, cwd=workdir, env=_env(), stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            _await_announce(process)
+        finally:
+            process.terminate()
+            process.wait(timeout=30)
+        return True, "announced"
+    proc = subprocess.run(
+        argv, cwd=workdir, env=_env(), capture_output=True, text=True,
+        timeout=COMMAND_TIMEOUT,
+    )
+    allowed = SUBMIT_OK if shlex.split(command)[1] == "submit" else {0}
+    if proc.returncode in allowed:
+        return True, f"exit {proc.returncode}"
+    tail = (proc.stderr or proc.stdout).strip().splitlines()[-8:]
+    return False, f"exit {proc.returncode}\n      " + "\n      ".join(tail)
+
+
+def main(argv=None) -> int:
+    paths = (argv or sys.argv[1:]) or sorted(
+        os.path.join(DOCS_DIR, name)
+        for name in os.listdir(DOCS_DIR)
+        if name.endswith(".md")
+    )
+    failures = 0
+    total = 0
+    with tempfile.TemporaryDirectory(prefix="repro-check-docs-") as workdir:
+        write_fixtures(workdir)
+        server, url = start_server(workdir)
+        try:
+            for path in paths:
+                with open(path, encoding="utf-8") as handle:
+                    commands = extract_commands(handle.read())
+                if not commands:
+                    continue
+                print(f"{os.path.relpath(path, REPO_ROOT)}: "
+                      f"{len(commands)} command(s)")
+                for command in commands:
+                    total += 1
+                    ok, detail = run_command(command, workdir, url)
+                    print(f"  {'ok  ' if ok else 'FAIL'} {command} "
+                          f"[{detail}]")
+                    if not ok:
+                        failures += 1
+        finally:
+            server.terminate()
+            server.wait(timeout=30)
+    if failures:
+        print(f"docs-check: {failures}/{total} documented command(s) failed")
+        return 1
+    print(f"docs-check: all {total} documented command(s) ran")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

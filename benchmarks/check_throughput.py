@@ -17,7 +17,9 @@ checked-in baseline and fails (exit 1) when the metering gap widens:
   sampled within ``max_sampled_vs_per_step`` of the per-step unmetered
   loop, and sampled at least ``min_sampled_over_exact`` times the
   exact meter — and neither quotient may regress past ``threshold``
-  times the recorded one.
+  times the recorded one;
+* the serving artifact cache's warm-vs-cold speedup must hold
+  ``--cache-floor`` (default 3.0) in the current run.
 
 Usage::
 
@@ -33,6 +35,7 @@ import sys
 
 DEFAULT_THRESHOLD = 0.9
 DEFAULT_ENGINE_FLOOR = 5.0
+DEFAULT_CACHE_FLOOR = 3.0
 
 
 def load_payload(path: str) -> dict:
@@ -142,6 +145,30 @@ def check_sampled_flagship(
     return failures
 
 
+def check_cache(baseline: dict, current: dict, floor: float) -> list:
+    """The serving artifact cache's warm-vs-cold speedup must hold its
+    own floor in the current run.  The quotient is within-session
+    (cold and warm submissions on the same host), so no cross-baseline
+    normalization is needed — only presence is checked against the
+    baseline, so a run that silently drops the section fails."""
+    entry = current.get("cache")
+    recorded = baseline.get("cache")
+    if not recorded and not entry:
+        return []
+    if not entry:
+        print("FAIL cache: missing from the current run")
+        return ["cache"]
+    speedup = entry.get("speedup")
+    floor = max(floor, entry.get("min_speedup", floor))
+    ok = speedup is not None and speedup >= floor
+    print(
+        f"{'ok  ' if ok else 'FAIL'} cache warm-vs-cold "
+        f"{speedup:.2f}x (floor {floor:.2f}x) on "
+        f"{entry.get('workload')}"
+    )
+    return [] if ok else ["cache"]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="recorded BENCH_throughput.json")
@@ -157,6 +184,11 @@ def main(argv=None) -> int:
         help="minimum delta/reference engine speedup on the gc-vs-tail "
         "separator (default 5.0)",
     )
+    parser.add_argument(
+        "--cache-floor", type=float, default=DEFAULT_CACHE_FLOOR,
+        help="minimum warm-vs-cold artifact-cache speedup on the "
+        "serving workload (default 3.0)",
+    )
     args = parser.parse_args(argv)
 
     baseline = load_payload(args.baseline)
@@ -165,6 +197,7 @@ def main(argv=None) -> int:
     failures.extend(check_metered_ratio(baseline, current, args.threshold))
     failures.extend(check_engine_floor(current, args.engine_floor))
     failures.extend(check_sampled_flagship(baseline, current, args.threshold))
+    failures.extend(check_cache(baseline, current, args.cache_floor))
     if failures:
         print(
             f"metered-throughput regression: {', '.join(failures)}"

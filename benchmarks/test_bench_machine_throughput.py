@@ -76,8 +76,19 @@ def throughput_log():
     at session end.  ``metered_ratio`` (per machine: the unmetered
     batched rate over the exact delta-metered flat rate — the cost of
     making every Definition 21 configuration observable) is derived at
-    session end from the recorded rates."""
+    session end from the recorded rates.
+
+    The log is seeded from the checked-in results file, so a partial
+    run (``-k cache``, say) refreshes its own section and carries the
+    others forward instead of clobbering them."""
     log = {"steps_per_second": {}, "engine_speedup": {}, "metered_ratio": {}}
+    recorded = os.path.join(
+        os.path.dirname(__file__), "results", THROUGHPUT_JSON
+    )
+    if os.path.exists(recorded):
+        with open(recorded) as handle:
+            for section, value in json.load(handle).items():
+                log[section] = value
     yield log
     rates = log["steps_per_second"]
     for name in MACHINES:
@@ -290,6 +301,98 @@ def test_bench_sampled_flagship(throughput_log):
     assert sampled_over_exact >= SAMPLED_OVER_EXACT_MIN, (
         throughput_log["sampled_flagship"]
     )
+
+
+# ---------------------------------------------------------------------------
+# The serving artifact cache: a repeat submission rides a hydrated
+# artifact (interned prepass + gen-3 bytecode) instead of re-lowering
+# its source — the `repro serve` warm path against the cold one.
+# ---------------------------------------------------------------------------
+
+#: Acceptance: a warm (artifact-cached) repeat submission at least this
+#: many times faster than a cold one on the lowering-heavy workload.
+CACHE_SPEEDUP_MIN = 3.0
+CACHE_ROUNDS = 3
+CACHE_ITERATIONS = 5
+
+#: A lowering-heavy, run-light workload: a library of definitions with
+#: deep bodies — expensive to parse, expand, annotate, and lower (the
+#: per-submission cost the cache amortizes) — driving a short loop that
+#: never enters them.  The shape mirrors a corpus program library
+#: submitted over and over at small N.
+CACHE_DEFINES = 10
+CACHE_BODY_DEPTH = 300
+
+
+def _cache_workload():
+    def library_define(i):
+        expr = "n"
+        for depth in range(CACHE_BODY_DEPTH):
+            expr = f"(+ {depth % 7} {expr})"
+        return f"(define (aux{i} n) (if (zero? n) 0 {expr}))"
+
+    parts = [library_define(i) for i in range(CACHE_DEFINES)]
+    parts.append("(define (f n) (if (zero? n) 0 (f (- n 1))))")
+    return "\n".join(parts)
+
+
+def test_bench_cache_warm_vs_cold(throughput_log):
+    """The serving cache flagship: run the same submission through the
+    worker job entry cold (source re-lowered every time) and warm (a
+    content-addressed artifact hydrated once, then hit per repeat), and
+    gate the warm/cold quotient.  Timing is best-of-rounds over a batch
+    of iterations, mirroring the step-rate benches."""
+    from repro.serving.artifacts import (
+        build_artifact,
+        clear_hydrated,
+        program_sha,
+    )
+    from repro.serving.protocol import validate_submit
+    from repro.serving.quota import run_service_job
+
+    source = _cache_workload()
+    cold_spec = validate_submit(
+        {"program": source, "argument": "4", "machine": "gc"}
+    )
+    blob = build_artifact(prepare_program(source))
+    warm_spec = dict(cold_spec)
+    warm_spec["program_sha"] = program_sha(source)
+    warm_spec["artifact"] = blob
+
+    def best(spec, prime=False):
+        top = None
+        for _ in range(CACHE_ROUNDS):
+            if prime:
+                clear_hydrated()
+                receipt = run_service_job(dict(spec))  # hydrate outside
+                assert receipt["kind"] == "result", receipt
+            start = time.perf_counter()
+            for _ in range(CACHE_ITERATIONS):
+                receipt = run_service_job(dict(spec))
+            elapsed = (time.perf_counter() - start) / CACHE_ITERATIONS
+            assert receipt["kind"] == "result", receipt
+            top = elapsed if top is None else min(top, elapsed)
+        return top, receipt
+
+    cold_s, cold_receipt = best(cold_spec)
+    warm_s, warm_receipt = best(warm_spec, prime=True)
+    # The cache changes where lowering happens, never the measurement.
+    for field in ("answer", "steps", "sup_space", "consumption"):
+        assert warm_receipt[field] == cold_receipt[field], field
+    speedup = cold_s / warm_s
+    throughput_log["cache"] = {
+        "workload": (
+            f"{CACHE_DEFINES} library definitions of body depth "
+            f"{CACHE_BODY_DEPTH} + a tail loop, argument 4, gc"
+        ),
+        "artifact_bytes": len(blob),
+        "iterations": CACHE_ROUNDS * CACHE_ITERATIONS,
+        "cold_seconds_per_submission": round(cold_s, 6),
+        "warm_seconds_per_submission": round(warm_s, 6),
+        "speedup": round(speedup, 2),
+        "min_speedup": CACHE_SPEEDUP_MIN,
+    }
+    assert speedup >= CACHE_SPEEDUP_MIN, throughput_log["cache"]
 
 
 # ---------------------------------------------------------------------------

@@ -422,6 +422,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 bus.emit_cell(f"total:{key}", outcome.result.total)
                 bus.emit_cell(f"steps:{key}", outcome.result.steps)
         _export_trace(bus, args.trace_out)
+    if args.history:
+        from .harness.sweep import history_records
+        from .serving.scheduler import SweepHistory
+
+        records = history_records(outcomes)
+        SweepHistory.append_jsonl(args.history, records)
+        print(
+            f"; history: {len(records)} point(s) -> {args.history}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -647,6 +657,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         spool_dir=args.spool_dir,
         max_retries=args.max_retries,
         job_timeout=args.job_timeout,
+        history=args.history,
+        artifact_capacity=args.artifact_cache,
     )
 
     def announce(line: str) -> None:
@@ -683,39 +695,12 @@ def _http_json(url: str, payload=None):
         return error.code, json.loads(error.read())
 
 
-def _cmd_submit(args: argparse.Namespace) -> int:
-    """Submit to a running `repro serve`; exit 0 on a result, 3 on a
-    quota kill, 1 on everything else."""
+def _poll_job(url: str, job: str, poll_interval: float) -> int:
+    """Poll one job to settlement, print its terminal receipt, and map
+    the outcome through :data:`repro.serving.protocol.EXIT_CODES`."""
     import json
     import time as time_module
 
-    source = _read_source(args.program)
-    payload = {
-        "program": source,
-        "tenant": args.tenant,
-        "machine": args.machine,
-        "accounting": "linked" if args.linked else "flat",
-        "engine": args.engine,
-        "meter": args.meter,
-        "checkpoint_every": args.checkpoint_every,
-    }
-    if args.arg is not None:
-        payload["argument"] = args.arg
-    if args.budget is not None:
-        payload["budget"] = args.budget
-    if args.step_limit is not None:
-        payload["step_limit"] = args.step_limit
-    url = args.url.rstrip("/")
-    status, body = _http_json(f"{url}/submit", payload)
-    if status != 202:
-        print(f"; rejected ({status}): {body.get('reason')}", file=sys.stderr)
-        print(json.dumps(body))
-        return 1
-    job = body["job"]
-    print(f"; submitted {job} (budget={body.get('budget')})", file=sys.stderr)
-    if args.no_poll:
-        print(json.dumps(body))
-        return 0
     while True:
         status, snapshot = _http_json(f"{url}/jobs/{job}")
         if status != 200:
@@ -723,7 +708,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             return 1
         if snapshot["status"] not in ("queued", "running"):
             break
-        time_module.sleep(args.poll_interval)
+        time_module.sleep(poll_interval)
     receipt = snapshot["result"]
     print(json.dumps(receipt))
     if snapshot["status"] == "done":
@@ -735,7 +720,81 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 3
+    if snapshot["status"] == "deferred":
+        print(
+            f"; deferred: predicted {receipt['predicted']} over budget "
+            f"{receipt['budget']} ({receipt['growth']} from sweep history "
+            f"at N={receipt['requested_n']})",
+            file=sys.stderr,
+        )
+        return 4
     return 1
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit to a running `repro serve`; exit codes are the
+    :data:`repro.serving.protocol.EXIT_CODES` table (0 done, 1
+    error/rejected, 3 quota-killed, 4 deferred)."""
+    import json
+
+    source = _read_source(args.program)
+    payload = {
+        "program": source,
+        "tenant": args.tenant,
+        "machine": args.machine,
+        "accounting": "linked" if args.linked else "flat",
+        "engine": args.engine,
+        "meter": args.meter,
+        "checkpoint_every": args.checkpoint_every,
+    }
+    if args.budget is not None:
+        payload["budget"] = args.budget
+    if args.step_limit is not None:
+        payload["step_limit"] = args.step_limit
+    url = args.url.rstrip("/")
+
+    if args.batch_args:
+        if args.arg is not None:
+            raise SystemExit("submit: use --arg or --batch-args, not both")
+        jobs = []
+        for argument in args.batch_args.split(","):
+            member = dict(payload)
+            member["argument"] = argument.strip()
+            jobs.append(member)
+        status, body = _http_json(f"{url}/submit", {"jobs": jobs})
+        if status != 202:
+            print(f"; rejected ({status}): {body.get('reason')}",
+                  file=sys.stderr)
+            print(json.dumps(body))
+            return 1
+        entries = body["jobs"]
+        ids = [entry["job"] for entry in entries]
+        print(
+            f"; submitted batch of {len(ids)}: {ids[0]}..{ids[-1]} "
+            f"(budget={entries[0].get('budget')})",
+            file=sys.stderr,
+        )
+        if args.no_poll:
+            print(json.dumps(body))
+            return 0
+        code = 0
+        for job in ids:
+            code = max(code, _poll_job(url, job, args.poll_interval))
+        return code
+
+    if args.arg is not None:
+        payload["argument"] = args.arg
+    status, body = _http_json(f"{url}/submit", payload)
+    if status != 202:
+        print(f"; rejected ({status}): {body.get('reason')}", file=sys.stderr)
+        print(json.dumps(body))
+        return 1
+    job = body["job"]
+    print(f"; submitted {job} (budget={body.get('budget')})", file=sys.stderr)
+    if args.no_poll:
+        print(json.dumps(body))
+        return 0
+    return _poll_job(url, job, args.poll_interval)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -929,6 +988,12 @@ def build_parser() -> argparse.ArgumentParser:
         "per-cell per-root retained-size series back, and print the "
         "merged retained-words-per-root table",
     )
+    sweep_parser.add_argument(
+        "--history", metavar="PATH",
+        help="append every measured (N, consumption) point to PATH "
+        "(JSONL) — the sweep-history file `repro serve --history` "
+        "feeds the predictive quota scheduler from",
+    )
     sweep_parser.set_defaults(handler=_cmd_sweep)
 
     trace_parser = commands.add_parser(
@@ -1062,18 +1127,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--job-timeout", type=float, default=None,
         help="kill a job's worker after this many seconds",
     )
+    serve_parser.add_argument(
+        "--history", metavar="PATH", default=None,
+        help="seed the predictive quota scheduler from a `repro sweep "
+        "--history` JSONL file (the service also learns from its own "
+        "completed runs)",
+    )
+    serve_parser.add_argument(
+        "--artifact-cache", type=int, default=64, metavar="N",
+        help="capacity of the content-addressed compiled-program "
+        "cache (entries)",
+    )
     serve_parser.set_defaults(handler=_cmd_serve)
 
+    from .serving.protocol import EXIT_CODES
+
+    exit_code_lines = "\n".join(
+        f"  {code}  {name:<15} {meaning}"
+        for code, name, meaning in EXIT_CODES
+    )
     submit_parser = commands.add_parser(
         "submit",
-        help="client for `repro serve`: submit a program, poll to the "
-        "terminal receipt (exit 3 on a quota kill)",
+        help="client for `repro serve`: submit a program (or a "
+        "--batch-args batch), poll to the terminal receipt "
+        "(exit 3 on a quota kill, 4 when deferred)",
+        epilog="exit codes:\n" + exit_code_lines,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     submit_parser.add_argument("program", help="path to a .scm file, or -")
     submit_parser.add_argument(
         "--url", default="http://127.0.0.1:8000", help="server base URL"
     )
     submit_parser.add_argument("--arg", help="input expression")
+    submit_parser.add_argument(
+        "--batch-args", metavar="N1,N2,...",
+        help="submit one batch with the same program over several "
+        "arguments (one POST, one worker round-trip; receipts stay "
+        "per-job); exit code is the worst member's",
+    )
     submit_parser.add_argument(
         "--machine", default="tail", choices=sorted(ALL_MACHINES)
     )

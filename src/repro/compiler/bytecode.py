@@ -47,7 +47,7 @@ from typing import Dict, Optional, Tuple
 
 from ..analysis.callgraph import classify_calls
 from ..machine.policy import identity_permutation
-from ..syntax.ast import Call, Expr, If, Lambda, Quote, Var
+from ..syntax.ast import Call, Expr, If, Lambda, Quote, Var, walk
 from ..syntax.free_vars import branch_free_vars
 from .prepass import _VAR_ADDRS, call_plan, if_test_plan, quote_value
 
@@ -108,6 +108,17 @@ class Code:
             f"|instrs|={len(self.instrs)}, loop={self.has_loop})"
         )
 
+    def __getstate__(self):
+        # fns holds tier-3b generated Python functions (unpicklable);
+        # pycodegen regenerates them lazily in the receiving process.
+        return (self.lam, self.nregs, self.instrs, self.has_loop,
+                self.ncalls)
+
+    def __setstate__(self, state):
+        self.lam, self.nregs, self.instrs, self.has_loop, self.ncalls \
+            = state
+        self.fns = {}
+
 
 #: Lambda -> Code | None (None: compiled and judged not worth running —
 #: the probe then never re-compiles).
@@ -160,6 +171,34 @@ def clear_gen3_caches() -> None:
 def code_count() -> int:
     """Number of lambdas with live compiled code (introspection)."""
     return sum(1 for code in _CODE.values() if code is not None)
+
+
+def export_gen3(program: Expr) -> Dict[str, dict]:
+    """Per-program slices of the gen-3 caches — the bytecode half of
+    artifact (de)hydration (:mod:`repro.serving.artifacts`).  Every
+    lambda is compiled eagerly so the artifact carries the finished
+    codes; ``None`` entries (judged not worth compiling) ship too, so
+    hydrated processes never re-probe them."""
+    register_program(program)
+    codes: Dict[Lambda, Optional[Code]] = {}
+    call_info: Dict[Call, object] = {}
+    for node in walk(program):
+        cls = node.__class__
+        if cls is Lambda:
+            codes[node] = gen3_code(node)
+        elif cls is Call:
+            info = _CALL_INFO.get(node)
+            if info is not None:
+                call_info[node] = info
+    return {"codes": codes, "call_info": call_info}
+
+
+def install_gen3(program: Expr, tables: Dict[str, dict]) -> None:
+    """Install exported gen-3 tables for a hydrated *program* and mark
+    it registered — the inverse of :func:`export_gen3`."""
+    _CODE.update(tables["codes"])
+    _CALL_INFO.update(tables["call_info"])
+    _REGISTERED[id(program)] = program
 
 
 # -- the compiler ----------------------------------------------------------

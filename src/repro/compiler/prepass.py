@@ -194,6 +194,19 @@ class CallPlan:
     def __repr__(self) -> str:
         return f"CallPlan(|exprs|={len(self.site.exprs)}, order={self.order})"
 
+    def __getstate__(self):
+        # beta_cache holds per-machine-class *generated functions*
+        # (unpicklable, and bound to the building process); everything
+        # else is plain data.  Dropped on pickle, rebuilt lazily at the
+        # first fused application in the receiving process.
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        state["beta_cache"] = None
+        return state
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
 
 #: Simple-expression codes for :attr:`CallPlan.kinds`.
 _EXPR_KIND = {Var: 1, Quote: 2, Lambda: 3}
@@ -422,3 +435,64 @@ def clear_prepass_caches() -> None:
 def plan_count() -> int:
     """Number of interned (site, order) plans (introspection/tests)."""
     return sum(len(plans) for plans in _SITE_PLANS.values())
+
+
+def export_prepass(expr: Expr) -> Dict[str, dict]:
+    """Per-program slices of every prepass side cache, keyed by the
+    nodes of *expr* — the prepass half of artifact (de)hydration
+    (:mod:`repro.serving.artifacts`).  The caches key on node
+    *identity*, so the tables are only meaningful pickled together
+    with the tree they annotate: one blob preserves the sharing."""
+    annotate(expr)
+    plans: Dict[Call, Dict[Tuple[int, ...], CallPlan]] = {}
+    var_addrs: Dict[Var, tuple] = {}
+    quote_values: Dict[Quote, object] = {}
+    if_tests: Dict[If, Optional[CallPlan]] = {}
+    body_plans: Dict[Lambda, Optional[CallPlan]] = {}
+    for node in walk(expr):
+        cls = node.__class__
+        if cls is Call:
+            site_plans = _SITE_PLANS.get(node)
+            if site_plans:
+                plans[node] = dict(site_plans)
+        elif cls is Var:
+            addr = _VAR_ADDRS.get(node)
+            if addr is not None:
+                var_addrs[node] = addr
+        elif cls is Quote:
+            if node in _QUOTE_VALUES:
+                quote_values[node] = _QUOTE_VALUES[node]
+        elif cls is If:
+            entry = _IF_TESTS.get(node, _ABSENT)
+            if entry is not _ABSENT:
+                if_tests[node] = entry
+        elif cls is Lambda:
+            entry = _BODY_PLANS.get(node, _ABSENT)
+            if entry is not _ABSENT:
+                body_plans[node] = entry
+    return {
+        "plans": plans,
+        "var_addrs": var_addrs,
+        "quote_values": quote_values,
+        "if_tests": if_tests,
+        "body_plans": body_plans,
+    }
+
+
+def install_prepass(expr: Expr, tables: Dict[str, dict]) -> None:
+    """Install exported tables for a hydrated *expr* (the unpickled
+    tree whose nodes key *tables*) and mark it annotated — the inverse
+    of :func:`export_prepass`, run once per program per process.  The
+    free-variable lru caches are *not* shipped; they refill lazily per
+    node (plans carry their suffix FV sets precomputed)."""
+    _VAR_ADDRS.update(tables["var_addrs"])
+    _QUOTE_VALUES.update(tables["quote_values"])
+    _IF_TESTS.update(tables["if_tests"])
+    _BODY_PLANS.update(tables["body_plans"])
+    for site, orders in tables["plans"].items():
+        merged = _SITE_PLANS.setdefault(site, {})
+        merged.update(orders)
+        for plan in orders.values():
+            if plan.is_identity:
+                _IDENTITY_PLANS[site] = plan
+    _ANNOTATED[id(expr)] = expr

@@ -757,6 +757,34 @@ def series_from_outcomes(
     return series
 
 
+def history_records(outcomes: Iterable[SweepOutcome]) -> List[dict]:
+    """Scheduler-history rows (`repro serve --history`) for measured
+    outcomes: one record per successful cell whose argument parses as
+    an integer N, in the :class:`repro.serving.scheduler.SweepHistory`
+    JSONL shape.  Failed cells and non-numeric arguments are skipped —
+    they carry no (N, consumption) point to predict from."""
+    from ..serving.artifacts import program_sha  # late: avoid cycle
+
+    records: List[dict] = []
+    for outcome in outcomes:
+        if outcome.result is None:
+            continue
+        cell = outcome.cell
+        try:
+            n = int(str(cell.argument).strip())
+        except (TypeError, ValueError):
+            continue
+        records.append({
+            "program_sha": program_sha(cell.program),
+            "machine": cell.machine,
+            "accounting": "linked" if cell.linked else "flat",
+            "fixed_precision": cell.fixed_precision,
+            "n": n,
+            "consumption": outcome.result.total,
+        })
+    return records
+
+
 __all__ = [
     "ChannelError",
     "JobTimeout",
@@ -771,6 +799,7 @@ __all__ = [
     "aggregate_traces",
     "default_jobs",
     "grid_cells",
+    "history_records",
     "run_cell",
     "run_grid",
     "series_from_outcomes",

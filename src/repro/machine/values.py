@@ -46,6 +46,13 @@ class _Singleton(Value):
     def __repr__(self) -> str:
         return self._name
 
+    def __reduce__(self):
+        # Singletons are identity-compared throughout the machines
+        # (``v is NIL``, ``v is TRUE``); pickled copies would silently
+        # break eq?/null?/truthiness, so unpickling must resolve back
+        # to the canonical module-level instance.
+        return (_singleton, (self._name,))
+
 
 class Boolean(Value):
     """TRUE or FALSE; use the module-level singletons."""
@@ -58,6 +65,9 @@ class Boolean(Value):
     def __repr__(self) -> str:
         return "TRUE" if self.value else "FALSE"
 
+    def __reduce__(self):
+        return (_boolean, (self.value,))
+
 
 TRUE = Boolean(True)
 FALSE = Boolean(False)
@@ -65,6 +75,16 @@ UNSPECIFIED = _Singleton("UNSPECIFIED")
 UNDEFINED = _Singleton("UNDEFINED")
 NIL = _Singleton("NIL")
 EOF = _Singleton("EOF")
+
+_SINGLETONS = {s._name: s for s in (UNSPECIFIED, UNDEFINED, NIL, EOF)}
+
+
+def _singleton(name: str) -> "_Singleton":
+    return _SINGLETONS[name]
+
+
+def _boolean(value: bool) -> Boolean:
+    return TRUE if value else FALSE
 
 
 class Num(Value):

@@ -23,7 +23,14 @@ Layout:
   files streamed through :class:`~repro.telemetry.export.
   JsonlStreamWriter`.
 - :mod:`repro.serving.quota` — the quota governor: budget resolution,
-  the worker-side job entry, progress/kill receipt shaping.
+  the worker-side job entries (single and batched), progress/kill
+  receipt shaping.
+- :mod:`repro.serving.artifacts` — the content-addressed compiled-
+  program cache: prepass + gen-3 lowering pickled once per program
+  and shipped to workers, so repeat submissions skip lowering.
+- :mod:`repro.serving.scheduler` — predictive quota scheduling:
+  growth-class fits over recorded sweep history, admit-if-it-will-fit
+  with ``deferred`` receipts for runs predicted to bust their budget.
 - :mod:`repro.serving.server` — the asyncio HTTP front end
   (submit/poll plus an NDJSON streaming endpoint fed by the same
   receipt records the spool gets).

@@ -23,8 +23,9 @@ from ..space.meter import (
 
 #: Every receipt kind a job stream may carry, in the rough order they
 #: appear: admission, scheduling, progress heartbeats, and exactly one
-#: terminal kind (``result`` / ``quota`` / ``error``).  ``rejected`` is
-#: only ever an HTTP response body (400/429), never a stream line.
+#: terminal kind (``result`` / ``quota`` / ``error`` / ``deferred``).
+#: ``rejected`` is only ever an HTTP response body (400/429), never a
+#: stream line.
 RECEIPT_KINDS = (
     "queued",
     "start",
@@ -33,10 +34,23 @@ RECEIPT_KINDS = (
     "result",
     "quota",
     "error",
+    "deferred",
     "rejected",
 )
 
-TERMINAL_KINDS = ("result", "quota", "error")
+TERMINAL_KINDS = ("result", "quota", "error", "deferred")
+
+#: `repro submit` exit codes — the single source of truth shared by the
+#: CLI help epilog and the docs/serving.md table (a test pins both).
+EXIT_CODES = (
+    (0, "done", "the run completed; the result receipt is printed"),
+    (1, "error/rejected", "the submission was rejected or the run erred"),
+    (3, "quota-killed", "the meter crossed the budget mid-run"),
+    (4, "deferred", "the scheduler predicted a bust and never spawned it"),
+)
+
+#: How many job specs one batch `POST /submit` may carry.
+MAX_BATCH = 64
 
 ACCOUNTINGS = ("flat", "linked")
 METERS = ("exact", "sampled")
@@ -144,6 +158,33 @@ def validate_submit(payload: dict) -> dict:
     return spec
 
 
+def validate_submit_batch(payload: dict) -> list:
+    """Normalize a batch submit ``{"jobs": [spec, ...]}`` into a list
+    of job specs.  Validation is all-or-nothing: any bad member raises
+    ``ValueError`` naming its index, and nothing is admitted."""
+    if not isinstance(payload, dict):
+        raise ValueError("submit payload must be a JSON object")
+    jobs = payload.get("jobs")
+    unknown = set(payload) - {"jobs"}
+    if unknown:
+        raise ValueError(
+            f"unknown batch field(s): {', '.join(sorted(unknown))}"
+        )
+    if not isinstance(jobs, list) or not jobs:
+        raise ValueError("batch field 'jobs' must be a non-empty array")
+    if len(jobs) > MAX_BATCH:
+        raise ValueError(
+            f"batch carries {len(jobs)} jobs; the limit is {MAX_BATCH}"
+        )
+    specs = []
+    for index, member in enumerate(jobs):
+        try:
+            specs.append(validate_submit(member))
+        except ValueError as error:
+            raise ValueError(f"jobs[{index}]: {error}")
+    return specs
+
+
 _RECEIPT_FIELDS = {
     "queued": ("machine", "accounting", "engine", "meter", "budget"),
     "start": ("pid", "attempt"),
@@ -154,6 +195,8 @@ _RECEIPT_FIELDS = {
     "quota": ("budget", "consumption", "sup_space", "step", "holder",
               "blame", "machine", "accounting"),
     "error": ("error",),
+    "deferred": ("budget", "predicted", "requested_n", "growth", "machine",
+                 "accounting"),
     "rejected": ("reason",),
 }
 
@@ -197,6 +240,13 @@ def validate_receipt(record: dict, where: str = "receipt") -> str:
                     f"{where}: result receipt field {field!r} must be an "
                     "integer"
                 )
+    if kind == "deferred":
+        if record["predicted"] <= record["budget"]:
+            raise ValueError(
+                f"{where}: deferred receipt predicted "
+                f"{record['predicted']} does not exceed budget "
+                f"{record['budget']}"
+            )
     return kind
 
 
@@ -291,6 +341,8 @@ def validate_job_stream(path: str) -> dict:
 
 __all__ = [
     "ACCOUNTINGS",
+    "EXIT_CODES",
+    "MAX_BATCH",
     "METERS",
     "RECEIPT_KINDS",
     "SUBMIT_DEFAULTS",
@@ -300,4 +352,5 @@ __all__ = [
     "validate_receipt",
     "validate_result",
     "validate_submit",
+    "validate_submit_batch",
 ]

@@ -74,13 +74,18 @@ def run_service_job(spec: dict, emit=None) -> dict:
     """
     from ..harness.runner import run
     from ..space.meter import QuotaExceeded
+    from .artifacts import resolve_program
 
     hook = None
     if spec["meter"] == "sampled":
         hook = make_progress_hook(emit, spec.get("progress_every", 0))
     try:
+        # When the spec carries a compiled artifact, hydrate it (once
+        # per program per worker) and inject the pre-lowered tree;
+        # otherwise run from source, re-lowering as before.
+        program = resolve_program(spec)
         result = run(
-            spec["program"],
+            program,
             spec.get("argument"),
             machine=spec["machine"],
             meter=spec["meter"],
@@ -109,9 +114,35 @@ def run_service_job(spec: dict, emit=None) -> dict:
     }
 
 
+def run_service_batch(specs: list, emit=None) -> dict:
+    """Execute a batch of validated job specs on one worker
+    round-trip, serially and in order; returns
+    ``{"kind": "batch", "receipts": [...]}`` with one terminal
+    receipt per spec, each tagged with its batch ``index``.
+
+    Progress heartbeats are tagged with the same index so the server
+    can route them to the right job's stream.  Terminal receipts are
+    delivered only through the return value — never the progress
+    channel — so a worker crash mid-batch (the whole batch re-runs on
+    a fresh worker) can never double-emit a terminal receipt.
+    """
+    receipts = []
+    for index, spec in enumerate(specs):
+        if emit is None:
+            sub_emit = None
+        else:
+            def sub_emit(payload, _index=index):
+                emit(dict(payload, index=_index))
+        receipt = run_service_job(spec, sub_emit)
+        receipt["index"] = index
+        receipts.append(receipt)
+    return {"kind": "batch", "receipts": receipts}
+
+
 __all__ = [
     "make_progress_hook",
     "quota_receipt",
     "resolve_budget",
+    "run_service_batch",
     "run_service_job",
 ]

@@ -1,0 +1,219 @@
+"""Predictive quota scheduling: admit-if-it-will-fit.
+
+PR 9's governor is purely reactive — a submission runs until its
+certified Definition 23 consumption crosses its budget, then dies
+with a `quota` receipt.  Correct, but wasteful: Theorem 25 already
+*classifies* these programs, so a handful of recorded `repro sweep`
+points per (program, machine, accounting) cell is enough to predict a
+new submission's peak from its requested N and decline doomed runs at
+admission.
+
+The predictor is exactly the Figure 6 toolkit
+(:mod:`repro.space.asymptotics`): least-squares fits of
+``consumption = a * f(N) + b`` over the recorded growth classes, best
+shape chosen with the slow-growth tie-break.  Verdicts are
+deliberately asymmetric, because the two mistakes cost differently:
+
+- ``fit`` — predicted peak clears the budget with margin (or an exact
+  recorded point at this N fits).  Admitted; the in-meter kill stays
+  armed as the backstop for wrong predictions.
+- ``defer`` — the run is *confidently* doomed: an exact recorded
+  point over budget, a recorded point at some smaller N already over
+  budget on a monotone series, or a clean fit predicting well past
+  the line.  The job is admitted to the store but never spawned; its
+  terminal receipt is ``deferred``.
+- ``uncertain`` — the prediction lands in the margin band or the fit
+  is noisy.  Admitted and run: a wrong admit costs one metered run
+  killed at its first over-budget checkpoint, a wrong defer silently
+  refuses work that would have fit.
+- ``unknown`` — no budget, no integer N, or fewer than three history
+  points spanning 2x.  Admitted and run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..space.asymptotics import GROWTH_CLASSES, fit_growth
+
+#: A fit verdict requires the predicted peak times this margin to
+#: still clear the budget.
+FIT_MARGIN = 1.25
+
+#: A defer verdict (absent an exact/monotone certificate) requires the
+#: predicted peak to exceed the budget times this margin.
+DEFER_MARGIN = 1.5
+
+#: Fits with best relative error above this are "noisy": never defer
+#: on them, and only admit as uncertain.
+NOISE_CEILING = 0.05
+
+#: Beyond this multiple of the largest recorded N, an interpolating
+#: fit is extrapolation — demote fit verdicts to uncertain.
+EXTRAPOLATION_CAP = 4.0
+
+#: History key: (program sha, machine, accounting, fixed_precision).
+CellKey = Tuple[str, str, str, bool]
+
+_HISTORY_FIELDS = ("program_sha", "machine", "accounting", "n", "consumption")
+
+
+class SweepHistory:
+    """Recorded (N, consumption) points per corpus cell.
+
+    Cells are keyed by (program sha, machine, accounting,
+    fixed_precision); points come from `repro sweep --history` runs
+    (:func:`repro.harness.sweep.history_records`) or from the service's
+    own completed runs.  Persisted as JSONL, one record per line.
+    """
+
+    def __init__(self) -> None:
+        self._points: Dict[CellKey, Dict[int, int]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(points) for points in self._points.values())
+
+    @property
+    def cells(self) -> int:
+        return len(self._points)
+
+    def record(self, program_sha: str, machine: str, accounting: str,
+               n: int, consumption: int, *,
+               fixed_precision: bool = True) -> None:
+        """Record one measured point; a repeat N overwrites (the meter
+        is deterministic, so repeats only differ after a code change)."""
+        key = (program_sha, machine, accounting, bool(fixed_precision))
+        self._points.setdefault(key, {})[int(n)] = int(consumption)
+
+    def extend(self, records: Iterable[dict]) -> int:
+        """Record many dicts (the JSONL row shape); returns the count."""
+        count = 0
+        for record in records:
+            self.record(
+                record["program_sha"], record["machine"],
+                record["accounting"], record["n"], record["consumption"],
+                fixed_precision=record.get("fixed_precision", True),
+            )
+            count += 1
+        return count
+
+    def points(self, program_sha: str, machine: str, accounting: str, *,
+               fixed_precision: bool = True) -> List[Tuple[int, int]]:
+        """The recorded (n, consumption) points of a cell, n-sorted."""
+        key = (program_sha, machine, accounting, bool(fixed_precision))
+        cell = self._points.get(key, {})
+        return sorted(cell.items())
+
+    # -- persistence -------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "SweepHistory":
+        """Load a JSONL history file; missing file -> empty history."""
+        history = cls()
+        if not os.path.exists(path):
+            return history
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                if all(field in record for field in _HISTORY_FIELDS):
+                    history.extend([record])
+        return history
+
+    @staticmethod
+    def append_jsonl(path: str, records: Iterable[dict]) -> int:
+        """Append records to a JSONL history file; returns the count."""
+        count = 0
+        with open(path, "a", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                count += 1
+        return count
+
+
+def _monotone(points: List[Tuple[int, int]]) -> bool:
+    """True when consumption is nondecreasing in N over the recording."""
+    return all(c0 <= c1 for (_, c0), (_, c1) in zip(points, points[1:]))
+
+
+class PredictiveScheduler:
+    """Admission verdicts from recorded sweep history.
+
+    :meth:`verdict` returns a dict receipt fragment::
+
+        {"verdict": "fit"|"uncertain"|"defer"|"unknown",
+         "predicted": int|None, "growth": str|None,
+         "points": int, "requested_n": int|None, "budget": int|None}
+    """
+
+    def __init__(self, history: Optional[SweepHistory] = None):
+        self.history = history if history is not None else SweepHistory()
+
+    def observe(self, program_sha: str, machine: str, accounting: str,
+                n: Optional[int], consumption: Optional[int], *,
+                fixed_precision: bool = True) -> None:
+        """Feed a completed service run back into the history, so the
+        scheduler warms itself without an external sweep file."""
+        if n is None or consumption is None:
+            return
+        self.history.record(program_sha, machine, accounting, n,
+                            consumption, fixed_precision=fixed_precision)
+
+    def verdict(self, program_sha: str, machine: str, accounting: str,
+                n: Optional[int], budget: Optional[int], *,
+                fixed_precision: bool = True) -> dict:
+        base = {
+            "verdict": "unknown", "predicted": None, "growth": None,
+            "points": 0, "requested_n": n, "budget": budget,
+        }
+        if budget is None or n is None:
+            return base
+        points = self.history.points(
+            program_sha, machine, accounting,
+            fixed_precision=fixed_precision)
+        base["points"] = len(points)
+        ns = [p for p, _ in points]
+        if len(points) < 3 or max(ns) < 2 * min(ns):
+            return base
+
+        exact = dict(points).get(n)
+        if exact is not None:
+            base["growth"] = "recorded"
+            base["predicted"] = exact
+            base["verdict"] = "fit" if exact <= budget else "defer"
+            return base
+
+        # Monotone certificate: if some recorded N' <= N already blew
+        # the budget and the series never decreases, the requested run
+        # can only do worse — defer without consulting the fit at all.
+        if _monotone(points):
+            for point_n, consumption in points:
+                if point_n <= n and consumption > budget:
+                    base["growth"] = "monotone"
+                    base["predicted"] = consumption
+                    base["verdict"] = "defer"
+                    return base
+
+        classification = fit_growth(ns, [c for _, c in points])
+        best = classification.best
+        shape = GROWTH_CLASSES[best.name]
+        predicted = best.coefficient * shape(float(n)) + best.intercept
+        predicted = max(0, int(math.ceil(predicted)))
+        base["growth"] = best.name
+        base["predicted"] = predicted
+        if best.relative_error > NOISE_CEILING:
+            base["verdict"] = "uncertain"
+            return base
+        extrapolating = n > EXTRAPOLATION_CAP * max(ns)
+        if predicted * FIT_MARGIN <= budget and not extrapolating:
+            base["verdict"] = "fit"
+        elif predicted >= budget * DEFER_MARGIN:
+            base["verdict"] = "defer"
+        else:
+            base["verdict"] = "uncertain"
+        return base

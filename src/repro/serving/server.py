@@ -5,11 +5,19 @@ A deliberately small hand-rolled HTTP/1.1 server on asyncio streams
 carries one request, responses close the connection.  Endpoints:
 
 - ``POST /submit`` — validate a job spec (:func:`repro.serving.
-  protocol.validate_submit`), parse-check the program, resolve the
-  budget, admit past the tenant's bounded queue, and schedule on the
-  :class:`~repro.harness.sweep.WorkerPool`.  Replies 202 with the
-  ``queued`` receipt, 400 with a ``rejected`` receipt for malformed
-  payloads/programs, 429 for backpressure.
+  protocol.validate_submit`) or a batch ``{"jobs": [...]}``
+  (:func:`~repro.serving.protocol.validate_submit_batch`), parse-check
+  the program (through the content-addressed
+  :class:`~repro.serving.artifacts.ArtifactCache` — a warm program
+  skips lowering entirely), resolve the budget, consult the
+  :class:`~repro.serving.scheduler.PredictiveScheduler` (jobs
+  predicted to bust their budget settle immediately with a
+  ``deferred`` receipt, never spawned), admit past the tenant's
+  bounded queue, and schedule on the
+  :class:`~repro.harness.sweep.WorkerPool` — batches coalesce onto
+  one worker round-trip.  Replies 202 with the ``queued`` receipt
+  (or a ``jobs`` array), 400 with a ``rejected`` receipt for
+  malformed payloads/programs, 429 for backpressure.
 - ``GET /jobs/<id>`` — poll: the job snapshot with its full receipt
   stream so far.
 - ``GET /jobs/<id>/stream`` — NDJSON push: the receipt stream as it
@@ -17,7 +25,8 @@ carries one request, responses close the connection.  Endpoints:
   the spool's, closing meta once the job settles) — the socket-facing
   twin of the spool file, and valid input to
   :func:`repro.serving.protocol.validate_job_stream` when captured.
-- ``GET /jobs`` — all job snapshots; ``GET /healthz`` — liveness.
+- ``GET /jobs`` — all job snapshots; ``GET /healthz`` — liveness;
+  ``GET /metrics`` — artifact-cache and scheduler counters.
 
 Scheduling events flow from the pool's dispatcher thread into the
 :class:`~repro.serving.session.SessionStore` (thread-safe); asyncio
@@ -36,13 +45,28 @@ from ..harness.sweep import WorkerPool
 from ..machine.primitives import primitive_names
 from ..space.consumption import prepare_input, prepare_program
 from ..syntax.validate import validate
-from .protocol import validate_submit
-from .quota import resolve_budget, run_service_job
+from ..telemetry.metrics import MetricsRegistry
+from .artifacts import ArtifactCache, build_artifact, program_sha
+from .protocol import validate_submit, validate_submit_batch
+from .quota import resolve_budget, run_service_batch, run_service_job
+from .scheduler import PredictiveScheduler, SweepHistory
 from .session import Backpressure, SessionStore
 
 _MAX_HEAD = 64 * 1024
 _MAX_BODY = 4 * 1024 * 1024
 _STREAM_POLL = 0.25
+
+
+def _requested_n(spec: dict) -> Optional[int]:
+    """The submission's requested N: its argument as an integer, when
+    it is one (the scheduler's prediction axis)."""
+    argument = spec.get("argument")
+    if argument is None:
+        return None
+    try:
+        return int(str(argument).strip())
+    except ValueError:
+        return None
 
 
 class ReproServer:
@@ -58,6 +82,8 @@ class ReproServer:
         spool_dir: Optional[str] = None,
         max_retries: int = 1,
         job_timeout: Optional[float] = None,
+        history=None,
+        artifact_capacity: int = 64,
     ):
         self.host = host
         self.port = port
@@ -67,6 +93,13 @@ class ReproServer:
         self.max_retries = max_retries
         self.store = SessionStore(max_pending=max_pending,
                                   spool_dir=spool_dir)
+        self.metrics = MetricsRegistry()
+        self.artifacts = ArtifactCache(
+            capacity=artifact_capacity, metrics=self.metrics
+        )
+        if isinstance(history, str):
+            history = SweepHistory.load(history)
+        self.scheduler = PredictiveScheduler(history)
         self.pool: Optional[WorkerPool] = None
         self._server: Optional[asyncio.AbstractServer] = None
 
@@ -173,7 +206,9 @@ class ReproServer:
                      "error": f"{type(error).__name__}: {error}"},
                 )
             else:
-                self.store.append(job_id, future.result())
+                receipt = future.result()
+                self.store.append(job_id, receipt)
+                self._observe(spec, receipt)
 
         future = self.pool.submit(
             run_service_job,
@@ -182,6 +217,78 @@ class ReproServer:
             on_event=on_event,
         )
         future.add_done_callback(on_done)
+
+    def _schedule_batch(self, members: list) -> None:
+        """Run several (job, spec) members as ONE worker round-trip
+        (:func:`~repro.serving.quota.run_service_batch`).  Progress
+        receipts route by batch index; terminal receipts land when the
+        batch returns, so a worker crash (the whole batch re-runs on a
+        fresh worker, with a ``retried`` receipt on every member) can
+        never double-terminate a job."""
+        ids = [job.id for job, _ in members]
+        specs = [spec for _, spec in members]
+
+        def on_event(kind: str, payload) -> None:
+            if kind == "start":
+                for job_id in ids:
+                    self.store.append(
+                        job_id,
+                        {"kind": "start", "pid": payload["pid"],
+                         "attempt": payload["attempt"]},
+                    )
+            elif kind == "retry":
+                for job_id in ids:
+                    self.store.append(
+                        job_id,
+                        {"kind": "retried", "pid": payload["pid"],
+                         "attempt": payload["attempt"]},
+                    )
+            elif kind == "progress" and isinstance(payload, dict):
+                index = payload.get("index")
+                if isinstance(index, int) and 0 <= index < len(ids):
+                    receipt = {k: v for k, v in payload.items()
+                               if k != "index"}
+                    self.store.append(ids[index], receipt)
+
+        def on_done(future) -> None:
+            error = future.exception()
+            if error is not None:
+                for job_id in ids:
+                    self.store.append(
+                        job_id,
+                        {"kind": "error",
+                         "error": f"{type(error).__name__}: {error}"},
+                    )
+                return
+            for receipt in future.result()["receipts"]:
+                index = receipt.pop("index")
+                self.store.append(ids[index], receipt)
+                self._observe(specs[index], receipt)
+
+        self.metrics.counter("batch", size=str(len(members))).inc()
+        future = self.pool.submit(
+            run_service_batch,
+            specs,
+            timeout=self.job_timeout,
+            on_event=on_event,
+        )
+        future.add_done_callback(on_done)
+
+    def _observe(self, spec: dict, receipt: dict) -> None:
+        """Feed a completed run back into the scheduler's history (the
+        service warms its own predictor; an external `repro sweep
+        --history` file just starts it warm)."""
+        if receipt.get("kind") != "result":
+            return
+        n = _requested_n(spec)
+        consumption = receipt.get("consumption")
+        sha = spec.get("program_sha")
+        if sha is None or n is None or not isinstance(consumption, int):
+            return
+        self.scheduler.observe(
+            sha, spec["machine"], spec["accounting"], n, consumption,
+            fixed_precision=spec["fixed_precision"],
+        )
 
     # -- HTTP plumbing -------------------------------------------------
 
@@ -240,6 +347,15 @@ class ReproServer:
             })
         elif method == "GET" and target == "/jobs":
             await self._respond(writer, 200, {"jobs": self.store.jobs()})
+        elif method == "GET" and target == "/metrics":
+            await self._respond(writer, 200, {
+                "cache": self.artifacts.stats(),
+                "scheduler": {
+                    "history_points": len(self.scheduler.history),
+                    "cells": self.scheduler.history.cells,
+                },
+                "counters": self.metrics.as_dict()["counters"],
+            })
         elif method == "GET" and target.startswith("/jobs/"):
             rest = target[len("/jobs/"):]
             if rest.endswith("/stream"):
@@ -257,6 +373,30 @@ class ReproServer:
                 "kind": "rejected", "reason": "unknown-endpoint",
             })
 
+    def _prepare_spec(self, spec: dict) -> None:
+        """Parse/expand/scope-check before admission — through the
+        artifact cache: a cold program is lowered once
+        (:func:`~repro.serving.artifacts.build_artifact`) and the blob
+        cached under its content address; a warm one skips parse,
+        validation, and lowering entirely.  The blob rides the spec to
+        the worker.  A malformed program is the submitter's 400, never
+        a worker's error receipt."""
+        names = primitive_names()
+        sha = program_sha(spec["program"])
+        spec["program_sha"] = sha
+
+        def build() -> bytes:
+            program = prepare_program(spec["program"])
+            validate(program, names)
+            return build_artifact(program)
+
+        spec["artifact"] = self.artifacts.get_or_build(
+            sha, spec["machine"], spec["stepper"], build
+        )
+        argument = prepare_input(spec["argument"])
+        if argument is not None:
+            validate(argument, names)
+
     async def _handle_submit(self, writer, body: bytes) -> None:
         try:
             payload = json.loads(body.decode("utf-8"))
@@ -265,41 +405,81 @@ class ReproServer:
                 "kind": "rejected", "reason": f"not JSON: {error}",
             })
             return
+        batch = isinstance(payload, dict) and "jobs" in payload
         try:
-            spec = validate_submit(payload)
+            if batch:
+                specs = validate_submit_batch(payload)
+            else:
+                specs = [validate_submit(payload)]
         except ValueError as error:
             await self._respond(writer, 400, {
                 "kind": "rejected", "reason": str(error),
             })
             return
-        # Parse/expand/scope-check before admission: a malformed
-        # program is the submitter's 400, not a worker's error receipt.
+        for index, spec in enumerate(specs):
+            try:
+                self._prepare_spec(spec)
+            except Exception as error:  # noqa: BLE001 - the 400 body
+                prefix = f"jobs[{index}]: " if batch else ""
+                await self._respond(writer, 400, {
+                    "kind": "rejected",
+                    "reason": f"{prefix}malformed-program: {error}",
+                })
+                return
+        verdicts = []
+        for spec in specs:
+            spec["budget"] = resolve_budget(
+                spec["budget"], self.default_budget
+            )
+            verdict = self.scheduler.verdict(
+                spec["program_sha"], spec["machine"], spec["accounting"],
+                _requested_n(spec), spec["budget"],
+                fixed_precision=spec["fixed_precision"],
+            )
+            self.metrics.counter(
+                "scheduler", verdict=verdict["verdict"]
+            ).inc()
+            verdicts.append(verdict)
         try:
-            names = primitive_names()
-            program = prepare_program(spec["program"])
-            validate(program, names)
-            argument = prepare_input(spec["argument"])
-            if argument is not None:
-                validate(argument, names)
-        except Exception as error:  # noqa: BLE001 - the 400 body
-            await self._respond(writer, 400, {
-                "kind": "rejected",
-                "reason": f"malformed-program: {error}",
-            })
-            return
-        spec["budget"] = resolve_budget(spec["budget"], self.default_budget)
-        try:
-            job = self.store.admit(spec)
+            jobs = self.store.admit_batch(specs)
         except Backpressure as error:
             await self._respond(writer, 429, error.receipt())
             return
-        self._schedule(job.id, spec)
-        await self._respond(writer, 202, {
-            "job": job.id,
-            "tenant": job.tenant,
-            "status": "queued",
-            "budget": spec["budget"],
-        })
+        runnable = []
+        entries = []
+        for job, spec, verdict in zip(jobs, specs, verdicts):
+            entry = {
+                "job": job.id,
+                "tenant": job.tenant,
+                "status": "queued",
+                "budget": spec["budget"],
+            }
+            if verdict["verdict"] == "defer":
+                # Predicted to bust the budget: settle immediately with
+                # the deferred receipt, never spawn the doomed run.
+                self.store.append(job.id, {
+                    "kind": "deferred",
+                    "budget": verdict["budget"],
+                    "predicted": verdict["predicted"],
+                    "requested_n": verdict["requested_n"],
+                    "growth": verdict["growth"],
+                    "machine": spec["machine"],
+                    "accounting": spec["accounting"],
+                })
+                entry["status"] = "deferred"
+                entry["predicted"] = verdict["predicted"]
+            else:
+                runnable.append((job, spec))
+            entries.append(entry)
+        if len(runnable) > 1:
+            self._schedule_batch(runnable)
+        elif runnable:
+            job, spec = runnable[0]
+            self._schedule(job.id, spec)
+        if batch:
+            await self._respond(writer, 202, {"jobs": entries})
+        else:
+            await self._respond(writer, 202, entries[0])
 
     async def _handle_stream(self, writer, job_id: str) -> None:
         if self.store.get(job_id) is None:

@@ -33,7 +33,12 @@ from ..telemetry.export import JsonlStreamWriter, LineTee
 from .protocol import TERMINAL_KINDS
 
 #: Receipt kind -> terminal job status.
-_TERMINAL_STATUS = {"result": "done", "quota": "killed", "error": "error"}
+_TERMINAL_STATUS = {
+    "result": "done",
+    "quota": "killed",
+    "error": "error",
+    "deferred": "deferred",
+}
 
 ACTIVE_STATUSES = ("queued", "running")
 
@@ -113,51 +118,67 @@ class SessionStore:
     def admit(self, spec: dict) -> JobRecord:
         """Register a validated spec as a queued job, or raise
         :class:`Backpressure` when the tenant's queue is full."""
-        tenant = spec["tenant"]
+        return self.admit_batch([spec])[0]
+
+    def admit_batch(self, specs: List[dict]) -> List[JobRecord]:
+        """Register several validated specs atomically: either every
+        spec is admitted (in order, under one lock acquisition) or
+        :class:`Backpressure` is raised and none is.  Batch members
+        count against their tenant's quota together — a batch that
+        would push any tenant past ``max_pending`` is refused whole."""
         with self._cond:
-            pending = sum(
-                1
-                for job in self._jobs.values()
-                if job.tenant == tenant and job.status in ACTIVE_STATUSES
-            )
-            if pending >= self.max_pending:
-                raise Backpressure(tenant, pending, self.max_pending)
-            job_id = f"job-{next(self._ids):06d}"
-            job = JobRecord(
-                id=job_id, tenant=tenant, spec=spec, created=time.time()
-            )
-            self._jobs[job_id] = job
-            self._order.append(job_id)
-            self._seq[job_id] = 0
-            if self.spool_dir is not None:
-                path = os.path.join(self.spool_dir, f"{job_id}.jsonl")
-                job.spool_path = path
-                tee = LineTee(open(path, "w", encoding="utf-8"))
-                self._tees[job_id] = tee
-                self._writers[job_id] = JsonlStreamWriter(
-                    tee,
-                    meta={
-                        "stream": "serve-receipts",
-                        "job": job_id,
-                        "tenant": tenant,
-                        "machine": spec["machine"],
-                        "accounting": spec["accounting"],
-                        "budget": spec.get("budget"),
-                    },
-                    flush_every=1,
+            pending: Dict[str, int] = {}
+            for job in self._jobs.values():
+                if job.status in ACTIVE_STATUSES:
+                    pending[job.tenant] = pending.get(job.tenant, 0) + 1
+            for spec in specs:
+                tenant = spec["tenant"]
+                count = pending.get(tenant, 0)
+                if count >= self.max_pending:
+                    raise Backpressure(tenant, count, self.max_pending)
+                pending[tenant] = count + 1
+            admitted = []
+            for spec in specs:
+                tenant = spec["tenant"]
+                job_id = f"job-{next(self._ids):06d}"
+                job = JobRecord(
+                    id=job_id, tenant=tenant, spec=spec, created=time.time()
                 )
-        self.append(
-            job_id,
-            {
-                "kind": "queued",
-                "machine": spec["machine"],
-                "accounting": spec["accounting"],
-                "engine": spec["engine"],
-                "meter": spec["meter"],
-                "budget": spec.get("budget"),
-            },
-        )
-        return job
+                self._jobs[job_id] = job
+                self._order.append(job_id)
+                self._seq[job_id] = 0
+                if self.spool_dir is not None:
+                    path = os.path.join(self.spool_dir, f"{job_id}.jsonl")
+                    job.spool_path = path
+                    tee = LineTee(open(path, "w", encoding="utf-8"))
+                    self._tees[job_id] = tee
+                    self._writers[job_id] = JsonlStreamWriter(
+                        tee,
+                        meta={
+                            "stream": "serve-receipts",
+                            "job": job_id,
+                            "tenant": tenant,
+                            "machine": spec["machine"],
+                            "accounting": spec["accounting"],
+                            "budget": spec.get("budget"),
+                        },
+                        flush_every=1,
+                    )
+                admitted.append(job)
+        for job in admitted:
+            spec = job.spec
+            self.append(
+                job.id,
+                {
+                    "kind": "queued",
+                    "machine": spec["machine"],
+                    "accounting": spec["accounting"],
+                    "engine": spec["engine"],
+                    "meter": spec["meter"],
+                    "budget": spec.get("budget"),
+                },
+            )
+        return admitted
 
     # -- the receipt stream --------------------------------------------
 

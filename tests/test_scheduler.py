@@ -1,0 +1,224 @@
+"""Predictive quota scheduling: the admission verdicts against real
+measured consumption.
+
+The acceptance property, over corpus cells with >= 3 recorded sweep
+points: a job the scheduler predicts to *fit* is never quota-killed
+when actually run under its budget, and every *deferred* job would in
+fact have been killed — verified by running it unbudgeted and
+comparing its true Definition 23 consumption against the budget.
+"""
+
+import functools
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.runner import run
+from repro.programs.separators import GC_VS_TAIL, STACK_VS_GC
+from repro.serving.artifacts import program_sha
+from repro.serving.scheduler import (
+    DEFER_MARGIN,
+    FIT_MARGIN,
+    PredictiveScheduler,
+    SweepHistory,
+)
+from repro.space.meter import QuotaExceeded
+
+pytestmark = pytest.mark.serving
+
+PROGRAMS = {"gc-vs-tail": GC_VS_TAIL, "stack-vs-gc": STACK_VS_GC}
+
+#: The corpus cells the history is recorded over: Theorem 25's
+#: separator growth classes, per machine x accounting.
+CELLS = (
+    ("gc-vs-tail", "tail", "flat"),    # O(1)
+    ("gc-vs-tail", "gc", "flat"),      # O(n)
+    ("gc-vs-tail", "gc", "linked"),
+    ("stack-vs-gc", "gc", "flat"),     # O(n)
+    ("stack-vs-gc", "stack", "flat"),  # O(n^2)
+    ("stack-vs-gc", "stack", "linked"),
+)
+
+RECORDED_NS = (8, 16, 32, 64)
+
+#: Ns the property may request: recorded points (the exact-lookup
+#: path), interpolations, and a mild extrapolation.
+REQUEST_NS = (8, 12, 16, 24, 32, 48, 64, 96)
+
+
+@functools.lru_cache(maxsize=None)
+def _consumption(program, machine, accounting, n):
+    result = run(PROGRAMS[program], str(n), machine=machine, meter="exact",
+                 linked=accounting == "linked", fixed_precision=True)
+    return result.consumption
+
+
+@functools.lru_cache(maxsize=1)
+def _history():
+    history = SweepHistory()
+    for program, machine, accounting in CELLS:
+        for n in RECORDED_NS:
+            history.record(
+                program_sha(PROGRAMS[program]), machine, accounting,
+                n, _consumption(program, machine, accounting, n),
+            )
+    return history
+
+
+# -- the acceptance property -------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    cell=st.sampled_from(CELLS),
+    n=st.sampled_from(REQUEST_NS),
+    budget=st.integers(min_value=16, max_value=20_000),
+)
+def test_fit_never_killed_and_defer_always_would_be(cell, n, budget):
+    program, machine, accounting = cell
+    scheduler = PredictiveScheduler(_history())
+    verdict = scheduler.verdict(
+        program_sha(PROGRAMS[program]), machine, accounting, n, budget
+    )
+    assert verdict["points"] >= 3
+    if verdict["verdict"] == "fit":
+        # Predicted-to-fit is never quota-killed.
+        result = run(PROGRAMS[program], str(n), machine=machine,
+                     meter="exact", linked=accounting == "linked",
+                     fixed_precision=True, budget=budget)
+        assert result.consumption <= budget
+    elif verdict["verdict"] == "defer":
+        # Every deferred job would in fact have been killed: its true
+        # unbudgeted consumption exceeds the budget.
+        assert _consumption(program, machine, accounting, n) > budget
+    else:
+        assert verdict["verdict"] in ("uncertain", "unknown")
+
+
+# -- verdict unit behavior ---------------------------------------------
+
+
+def _sha(program):
+    return program_sha(PROGRAMS[program])
+
+
+def test_exact_recorded_point_decides_directly():
+    scheduler = PredictiveScheduler(_history())
+    consumption = _consumption("gc-vs-tail", "gc", "flat", 32)
+    fit = scheduler.verdict(_sha("gc-vs-tail"), "gc", "flat", 32,
+                            consumption)
+    assert fit["verdict"] == "fit"
+    assert fit["growth"] == "recorded"
+    assert fit["predicted"] == consumption
+    defer = scheduler.verdict(_sha("gc-vs-tail"), "gc", "flat", 32,
+                              consumption - 1)
+    assert defer["verdict"] == "defer"
+
+
+def test_monotone_certificate_defers_beyond_recorded_range():
+    scheduler = PredictiveScheduler(_history())
+    small = _consumption("gc-vs-tail", "gc", "flat", 8)
+    verdict = scheduler.verdict(_sha("gc-vs-tail"), "gc", "flat",
+                                10_000, small)
+    assert verdict["verdict"] == "defer"
+    assert verdict["growth"] in ("monotone", "recorded")
+    assert verdict["predicted"] > small - 1
+
+
+def test_unknown_without_history_budget_or_integer_n():
+    scheduler = PredictiveScheduler(_history())
+    assert scheduler.verdict("no-such-sha", "gc", "flat", 32,
+                             100)["verdict"] == "unknown"
+    sha = _sha("gc-vs-tail")
+    assert scheduler.verdict(sha, "gc", "flat", 32, None)["verdict"] \
+        == "unknown"
+    assert scheduler.verdict(sha, "gc", "flat", None, 100)["verdict"] \
+        == "unknown"
+    # Two points are not a trend.
+    thin = SweepHistory()
+    thin.record(sha, "gc", "flat", 8, 100)
+    thin.record(sha, "gc", "flat", 16, 200)
+    assert PredictiveScheduler(thin).verdict(
+        sha, "gc", "flat", 32, 50)["verdict"] == "unknown"
+
+
+def test_margin_band_is_uncertain():
+    # A clean linear history: consumption = 10n.
+    history = SweepHistory()
+    for n in (8, 16, 32, 64):
+        history.record("sha", "gc", "flat", n, 10 * n)
+    scheduler = PredictiveScheduler(history)
+    predicted = scheduler.verdict("sha", "gc", "flat", 48, 10**9)
+    assert predicted["predicted"] == pytest.approx(480, abs=2)
+    # Budget inside (predicted, predicted*FIT_MARGIN): too tight to
+    # promise a fit, too loose to confidently defer.
+    band_budget = int(predicted["predicted"] * (FIT_MARGIN + 1.0) / 2)
+    assert scheduler.verdict("sha", "gc", "flat", 48,
+                             band_budget)["verdict"] == "uncertain"
+    assert scheduler.verdict(
+        "sha", "gc", "flat", 48,
+        int(predicted["predicted"] * DEFER_MARGIN) + 1,
+    )["verdict"] in ("fit", "uncertain")
+
+
+def test_observe_feeds_history():
+    scheduler = PredictiveScheduler()
+    for n, consumption in ((8, 80), (16, 160), (32, 320)):
+        scheduler.observe("sha", "gc", "flat", n, consumption)
+    assert len(scheduler.history) == 3
+    assert scheduler.verdict("sha", "gc", "flat", 16, 100)["verdict"] \
+        == "defer"
+    scheduler.observe("sha", "gc", "flat", None, 100)  # no N: ignored
+    assert len(scheduler.history) == 3
+
+
+# -- history persistence -----------------------------------------------
+
+
+def test_history_jsonl_round_trip(tmp_path):
+    path = str(tmp_path / "history.jsonl")
+    records = [
+        {"program_sha": "abc", "machine": "gc", "accounting": "flat",
+         "fixed_precision": True, "n": n, "consumption": 10 * n}
+        for n in (8, 16, 32)
+    ]
+    assert SweepHistory.append_jsonl(path, records) == 3
+    loaded = SweepHistory.load(path)
+    assert len(loaded) == 3
+    assert loaded.points("abc", "gc", "flat") == \
+        [(8, 80), (16, 160), (32, 320)]
+    # Appending accumulates; malformed lines are skipped on load.
+    SweepHistory.append_jsonl(path, [{"not": "a-record"}])
+    SweepHistory.append_jsonl(path, records[:1])
+    assert len(SweepHistory.load(path)) == 3  # overwrite, not duplicate
+
+
+def test_history_load_missing_file_is_empty(tmp_path):
+    history = SweepHistory.load(str(tmp_path / "absent.jsonl"))
+    assert len(history) == 0
+    assert history.cells == 0
+
+
+def test_sweep_history_records_from_outcomes(tmp_path):
+    from repro.harness.sweep import grid_cells, history_records, run_grid
+
+    cells = grid_cells(
+        {("gc",): GC_VS_TAIL}, (8, 16, 32), fixed_precision=True
+    )
+    outcomes = run_grid(cells)
+    records = history_records(outcomes)
+    assert len(records) == 3
+    for record in records:
+        assert record["program_sha"] == program_sha(GC_VS_TAIL)
+        assert record["machine"] == "gc"
+        assert record["accounting"] == "flat"
+        assert record["consumption"] == _consumption(
+            "gc-vs-tail", "gc", "flat", record["n"]
+        )
+    path = str(tmp_path / "history.jsonl")
+    SweepHistory.append_jsonl(path, records)
+    loaded = SweepHistory.load(path)
+    assert loaded.points(program_sha(GC_VS_TAIL), "gc", "flat") == \
+        [(r["n"], r["consumption"]) for r in records]

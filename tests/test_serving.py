@@ -10,6 +10,7 @@ over budget is always killed (at a certified measurement that is a
 is — across both accountings and all three engines.
 """
 
+import argparse
 import json
 import os
 import signal
@@ -588,3 +589,184 @@ def test_serve_worker_sigkill_yields_retried_receipt_and_serial_result(
         info = validate_job_stream(str(tmp_path / f"{job}.jsonl"))
         assert info["terminal"] == "result"
         assert "retried" in info["kinds"]
+
+
+# -- batch submission --------------------------------------------------
+
+
+def test_batch_submit_runs_all_jobs_with_per_job_spools(tmp_path):
+    """A batch rides one worker round-trip but every member gets its
+    own seq-ordered, byte-identical spool and a result matching a
+    serial run."""
+    args = ("8", "16", "48")
+    with _serve(spool_dir=str(tmp_path), workers=1) as handle:
+        status, body = _post(f"{handle.url}/submit", {
+            "jobs": [
+                {"program": GC_VS_TAIL, "argument": n, "machine": "gc"}
+                for n in args
+            ],
+        })
+        assert status == 202, body
+        assert len(body["jobs"]) == len(args)
+        for entry, n in zip(body["jobs"], args):
+            assert entry["status"] == "queued"
+            snapshot = _poll(handle.url, entry["job"])
+            assert snapshot["status"] == "done", snapshot
+            receipt = validate_result(snapshot["result"])
+            expected = run(GC_VS_TAIL, n, machine="gc", meter="sampled",
+                           fixed_precision=True)
+            assert receipt["consumption"] == expected.consumption
+            assert receipt["answer"] == expected.answer
+            info = validate_job_stream(
+                str(tmp_path / f"{entry['job']}.jsonl"))
+            assert info["terminal"] == "result"
+
+
+def test_batch_admission_is_all_or_nothing(tmp_path):
+    with _serve(spool_dir=str(tmp_path), max_pending=2) as handle:
+        jobs = [{"program": LOOP, "argument": "4", "machine": "gc"}] * 3
+        status, body = _post(f"{handle.url}/submit", {"jobs": jobs})
+        assert status == 429, body
+        assert body["reason"] == "backpressure"
+        # Nothing was admitted: a batch that does fit still has the
+        # full quota available.
+        status, body = _post(f"{handle.url}/submit", {"jobs": jobs[:2]})
+        assert status == 202, body
+        for entry in body["jobs"]:
+            assert _poll(handle.url, entry["job"])["status"] == "done"
+
+
+def test_batch_invalid_member_rejects_whole_batch(tmp_path):
+    with _serve(spool_dir=str(tmp_path)) as handle:
+        status, body = _post(f"{handle.url}/submit", {"jobs": [
+            {"program": LOOP, "argument": "4", "machine": "gc"},
+            {"program": LOOP, "argument": "4", "machine": "warp-drive"},
+        ]})
+        assert status == 400, body
+        assert "jobs[1]" in body["reason"]
+        status, body = _post(f"{handle.url}/submit", {"jobs": []})
+        assert status == 400
+        status, body = _post(f"{handle.url}/submit", {"jobs": [
+            {"program": "(define (f n)", "argument": "4",
+             "machine": "gc"},
+        ]})
+        assert status == 400, body
+        assert "jobs[0]" in body["reason"]
+
+
+# -- predictive scheduling over HTTP -----------------------------------
+
+
+def _primed_history():
+    from repro.serving.artifacts import program_sha
+    from repro.serving.scheduler import SweepHistory
+
+    history = SweepHistory()
+    sha = program_sha(STACK_VS_GC)
+    for n in (8, 16, 32, 64):
+        result = run(STACK_VS_GC, str(n), machine="stack", meter="exact",
+                     fixed_precision=True)
+        history.record(sha, "stack", "flat", n, result.consumption)
+    return history
+
+
+def test_deferred_receipt_instead_of_doomed_run(tmp_path):
+    """A submission the sweep history proves will bust its budget is
+    never spawned: the terminal receipt is ``deferred`` and the spool
+    validates with that terminal."""
+    history = _primed_history()
+    budget = run(STACK_VS_GC, "16", machine="stack", meter="exact",
+                 fixed_precision=True).consumption + 64
+    with _serve(spool_dir=str(tmp_path), history=history) as handle:
+        status, body = _post(f"{handle.url}/submit", {
+            "program": STACK_VS_GC, "argument": "100000",
+            "machine": "stack", "budget": budget,
+        })
+        assert status == 202, body
+        assert body["status"] == "deferred"
+        snapshot = _poll(handle.url, body["job"])
+        assert snapshot["status"] == "deferred"
+        receipt = snapshot["result"]
+        assert receipt["kind"] == "deferred"
+        assert receipt["predicted"] > receipt["budget"] == budget
+        assert receipt["requested_n"] == 100000
+        info = validate_job_stream(str(tmp_path / f"{body['job']}.jsonl"))
+        assert info["terminal"] == "deferred"
+        # A fit-verdict submission on the same cell still runs to done.
+        status, body = _post(f"{handle.url}/submit", {
+            "program": STACK_VS_GC, "argument": "16",
+            "machine": "stack", "budget": budget,
+        })
+        assert status == 202, body
+        snapshot = _poll(handle.url, body["job"])
+        assert snapshot["status"] == "done", snapshot
+
+
+def test_server_self_learns_history_from_results(tmp_path):
+    """With no sweep file, completed runs feed the scheduler: after
+    three warm-up submissions the fourth (huge N, same budget) is
+    deferred by the monotone certificate."""
+    with _serve(spool_dir=str(tmp_path), workers=1) as handle:
+        for n in ("8", "16", "48"):
+            status, body = _post(f"{handle.url}/submit", {
+                "program": GC_VS_TAIL, "argument": n, "machine": "gc",
+            })
+            assert status == 202
+            assert _poll(handle.url, body["job"])["status"] == "done"
+        ceiling = run(GC_VS_TAIL, "48", machine="gc", meter="exact",
+                      fixed_precision=True).consumption
+        status, body = _post(f"{handle.url}/submit", {
+            "program": GC_VS_TAIL, "argument": "100000", "machine": "gc",
+            "budget": ceiling,
+        })
+        assert status == 202, body
+        assert body["status"] == "deferred"
+        receipt = _poll(handle.url, body["job"])["result"]
+        assert receipt["kind"] == "deferred"
+        assert receipt["predicted"] > ceiling
+
+
+# -- the metrics endpoint ----------------------------------------------
+
+
+def test_metrics_endpoint_reports_cache_and_scheduler(tmp_path):
+    with _serve(spool_dir=str(tmp_path), workers=1) as handle:
+        for _ in range(2):
+            status, body = _post(f"{handle.url}/submit", {
+                "program": GC_VS_TAIL, "argument": "8", "machine": "gc",
+            })
+            assert status == 202
+            assert _poll(handle.url, body["job"])["status"] == "done"
+        status, metrics = _get(f"{handle.url}/metrics")
+        assert status == 200
+        assert metrics["cache"]["hits"] >= 1
+        assert metrics["cache"]["misses"] >= 1
+        assert metrics["cache"]["entries"] >= 1
+        assert metrics["scheduler"]["history_points"] >= 1
+        assert any(key.startswith("artifact_cache")
+                   for key in metrics["counters"])
+
+
+# -- exit codes: one source of truth -----------------------------------
+
+
+def test_exit_codes_share_one_source_with_docs_and_cli_help():
+    from repro.cli import build_parser
+    from repro.serving.protocol import EXIT_CODES
+
+    codes = {code for code, _, _ in EXIT_CODES}
+    assert codes == {0, 1, 3, 4}
+
+    docs = open("docs/serving.md", encoding="utf-8").read()
+    for code, name, _meaning in EXIT_CODES:
+        assert f"| {code} | `{name}` |" in docs, (code, name)
+
+    parser = build_parser()
+    subparsers = next(
+        action for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    help_text = subparsers.choices["submit"].format_help()
+    for code, name, _meaning in EXIT_CODES:
+        assert name in help_text, name
+        assert str(code) in help_text
